@@ -1,0 +1,116 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (pass a figure name, or nothing for all), then runs a few
+   Bechamel microbenchmarks of the toolchain itself. *)
+
+let figures =
+  [
+    ("fig3", Experiments.Figures.fig3);
+    ("fig9", Experiments.Figures.fig9);
+    ("fig10", Experiments.Figures.fig10);
+    ("fig11", Experiments.Figures.fig11);
+    ("fig12", Experiments.Figures.fig12);
+    ("fig13", Experiments.Figures.fig13);
+    ("fig14", Experiments.Figures.fig14);
+    ("fig15", Experiments.Figures.fig15);
+    ("fig16", Experiments.Figures.fig16);
+    ("ablation-barriers", Experiments.Figures.ablation_barriers);
+    ("ablation-exp-constants", Experiments.Figures.ablation_exp_constants);
+    ("ablation-chem-comm", Experiments.Figures.ablation_chem_comm);
+    ("ablation-weights", Experiments.Figures.ablation_weights);
+    ("ablation-batches", Experiments.Figures.ablation_batches);
+  ]
+
+let microbenchmarks () =
+  let open Bechamel in
+  let mech = Chem.Mech_gen.dme () in
+  let arch = Gpusim.Arch.kepler_k20c in
+  let opts = { (Singe.Compile.default_options arch) with Singe.Compile.n_warps = 6 } in
+  let grid = Chem.Grid.create mech ~points:32 ~seed:1L in
+  let tests =
+    [
+      Test.make ~name:"compile-dme-viscosity-ws" (Staged.stage (fun () ->
+          ignore (Singe.Compile.compile mech Singe.Kernel_abi.Viscosity
+                    Singe.Compile.Warp_specialized opts)));
+      Test.make ~name:"reference-viscosity-point" (Staged.stage (fun () ->
+          ignore (Chem.Ref_kernels.viscosity_point mech
+                    ~temp:(Chem.Grid.point_temperature grid 0)
+                    ~mole_frac:(Chem.Grid.point_mole_fracs grid mech 0))));
+      Test.make ~name:"qssa-graph-build" (Staged.stage (fun () ->
+          ignore (Chem.Qssa.build mech)));
+      Test.make ~name:"reference-chemistry-point" (Staged.stage (fun () ->
+          ignore (Chem.Ref_kernels.chemistry_point mech
+                    ~temp:(Chem.Grid.point_temperature grid 0)
+                    ~pressure:(Chem.Grid.point_pressure grid 0)
+                    ~mole_frac:(Chem.Grid.point_mole_fracs grid mech 0)
+                    ~diffusion:(Chem.Grid.point_diffusion grid 0))));
+      Test.make ~name:"chemkin-parse-dme" (
+        let text = Chem.Mech_io.chemkin_of_mechanism mech in
+        Staged.stage (fun () -> ignore (Chem.Chemkin_parser.parse text)));
+      Test.make ~name:"transport-fit-dme" (Staged.stage (fun () ->
+          ignore (Chem.Transport.fit mech.Chem.Mechanism.species)));
+      Test.make ~name:"simulate-dme-viscosity-1batch" (
+        let c = Singe.Compile.compile mech Singe.Kernel_abi.Viscosity
+                  Singe.Compile.Warp_specialized opts in
+        Staged.stage (fun () ->
+            ignore (Singe.Compile.run ~check:false c ~total_points:(13 * 3 * 32))));
+      Test.make ~name:"isa-text-roundtrip" (
+        let c = Singe.Compile.compile mech Singe.Kernel_abi.Viscosity
+                  Singe.Compile.Warp_specialized opts in
+        let p = c.Singe.Compile.lowered.Singe.Lower.program in
+        Staged.stage (fun () ->
+            match Gpusim.Isa_text.parse (Gpusim.Isa_text.emit p) with
+            | Ok _ -> ()
+            | Error e -> failwith e));
+      Test.make ~name:"cuda-emit-viscosity" (
+        let c = Singe.Compile.compile mech Singe.Kernel_abi.Viscosity
+                  Singe.Compile.Warp_specialized opts in
+        let p = c.Singe.Compile.lowered.Singe.Lower.program in
+        Staged.stage (fun () -> ignore (Singe.Cuda_emit.emit ~arch p)));
+      Test.make ~name:"roofline-analysis" (
+        let c = Singe.Compile.compile mech Singe.Kernel_abi.Chemistry
+                  Singe.Compile.Warp_specialized
+                  { opts with Singe.Compile.n_warps = 4; max_barriers = 16;
+                    ctas_per_sm_target = 1 } in
+        let p = c.Singe.Compile.lowered.Singe.Lower.program in
+        Staged.stage (fun () -> ignore (Gpusim.Roofline.analyze arch p)));
+    ]
+  in
+  let benchmark test =
+    let instance = Toolkit.Instance.monotonic_clock in
+    let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) () in
+    let results = Benchmark.all cfg [ instance ] test in
+    Analyze.all
+      (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |])
+      instance results
+  in
+  print_endline (String.make 78 '-');
+  print_endline "Toolchain microbenchmarks (Bechamel, monotonic clock)";
+  print_endline (String.make 78 '-');
+  List.iter
+    (fun test ->
+      let results = benchmark (Test.make_grouped ~name:"g" [ test ]) in
+      Hashtbl.iter
+        (fun name ols ->
+          match Bechamel.Analyze.OLS.estimates ols with
+          | Some [ est ] -> Printf.printf "  %-32s %12.0f ns/run\n%!" name est
+          | _ -> Printf.printf "  %-32s (no estimate)\n%!" name)
+        results)
+    tests
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  (match args with
+  | [] | [ "all" ] -> Experiments.Figures.all ()
+  | [ "microbench" ] -> microbenchmarks ()
+  | names ->
+      List.iter
+        (fun name ->
+          match List.assoc_opt name figures with
+          | Some f -> f ()
+          | None ->
+              Printf.eprintf "unknown figure %S; available: %s\n" name
+                (String.concat ", " (List.map fst figures));
+              exit 1)
+        names);
+  if args = [] || args = [ "all" ] then microbenchmarks ()
+

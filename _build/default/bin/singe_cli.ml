@@ -1,0 +1,301 @@
+(* The Singe command-line driver.
+
+   singe info      --mech dme
+   singe compile   --mech heptane --kernel chemistry --arch kepler --warps 16 [--dump]
+   singe run       --mech dme --kernel viscosity --arch kepler --points 32768
+   singe tune      --mech dme --kernel diffusion --arch fermi
+   singe figures   [fig3 fig9 ... | all]
+
+   Mechanisms: the bundled synthetic dme / heptane / hydrogen, or external
+   CHEMKIN inputs via --chemkin/--thermo/--transport[/--sets]. *)
+
+open Cmdliner
+
+let mech_term =
+  let mech_name =
+    Arg.(value & opt string "dme" & info [ "mech" ] ~docv:"NAME"
+           ~doc:"Bundled mechanism: dme, heptane, methane or hydrogen.")
+  in
+  let file kind =
+    Arg.(value & opt (some file) None & info [ kind ] ~docv:"FILE")
+  in
+  let build name chemkin thermo transport sets =
+    match (chemkin, thermo, transport) with
+    | Some c, Some th, Some tr -> (
+        match
+          Chem.Mech_io.load_files ?species_sets_path:sets ~chemkin_path:c
+            ~thermo_path:th ~transport_path:tr ~name:"user" ()
+        with
+        | Ok m -> m
+        | Error e -> failwith e)
+    | None, None, None -> (
+        match String.lowercase_ascii name with
+        | "dme" -> Chem.Mech_gen.dme ()
+        | "heptane" -> Chem.Mech_gen.heptane ()
+        | "methane" -> Chem.Mech_gen.methane ()
+        | "hydrogen" -> Chem.Mech_gen.hydrogen ()
+        | other -> failwith ("unknown mechanism " ^ other))
+    | _ -> failwith "--chemkin, --thermo and --transport must be given together"
+  in
+  Term.(const build $ mech_name $ file "chemkin" $ file "thermo"
+        $ file "transport" $ file "sets")
+
+let kernel_term =
+  let parse s =
+    match Singe.Kernel_abi.kernel_of_string s with
+    | Some k -> Ok k
+    | None -> Error (`Msg ("unknown kernel " ^ s))
+  in
+  let printer ppf k = Format.pp_print_string ppf (Singe.Kernel_abi.kernel_name k) in
+  Arg.(value & opt (Arg.conv (parse, printer)) Singe.Kernel_abi.Viscosity
+       & info [ "kernel" ] ~docv:"KERNEL" ~doc:"viscosity, diffusion or chemistry.")
+
+let arch_term =
+  let parse s =
+    match Gpusim.Arch.by_name s with
+    | Some a -> Ok a
+    | None -> Error (`Msg ("unknown architecture " ^ s))
+  in
+  let printer ppf (a : Gpusim.Arch.t) = Format.pp_print_string ppf a.Gpusim.Arch.name in
+  Arg.(value & opt (Arg.conv (parse, printer)) Gpusim.Arch.kepler_k20c
+       & info [ "arch" ] ~docv:"ARCH" ~doc:"fermi or kepler.")
+
+let warps_term =
+  Arg.(value & opt int 8 & info [ "warps" ] ~docv:"N" ~doc:"Warps per CTA.")
+
+let version_term =
+  let parse = function
+    | "ws" | "warp-specialized" -> Ok Singe.Compile.Warp_specialized
+    | "baseline" | "base" -> Ok Singe.Compile.Baseline
+    | "naive" -> Ok Singe.Compile.Naive_warp_specialized
+    | s -> Error (`Msg ("unknown version " ^ s))
+  in
+  let printer ppf v =
+    Format.pp_print_string ppf
+      (match v with
+      | Singe.Compile.Warp_specialized -> "ws"
+      | Singe.Compile.Baseline -> "baseline"
+      | Singe.Compile.Naive_warp_specialized -> "naive")
+  in
+  Arg.(value & opt (Arg.conv (parse, printer)) Singe.Compile.Warp_specialized
+       & info [ "version" ] ~docv:"V" ~doc:"ws, baseline or naive.")
+
+let info_cmd =
+  let run mech =
+    Format.printf "%a@." Chem.Mechanism.pp mech;
+    let g = Chem.Qssa.build mech in
+    Printf.printf "QSSA phase touches %d of %d reactions\n"
+      (List.length (Chem.Qssa.reactions_touched g))
+      (Chem.Mechanism.n_reactions mech);
+    Printf.printf "viscosity pair constants: %.1f KB\n"
+      (float_of_int
+         (Chem.Transport.constant_bytes
+            ~n:(Array.length (Chem.Mechanism.computed_species mech)))
+      /. 1000.)
+  in
+  Cmd.v (Cmd.info "info" ~doc:"Describe a mechanism.")
+    Term.(const run $ mech_term)
+
+let options_of arch warps kernel =
+  { (Singe.Compile.default_options arch) with
+    Singe.Compile.n_warps = warps;
+    max_barriers = (if kernel = Singe.Kernel_abi.Chemistry then 16 else 8);
+    ctas_per_sm_target = (if kernel = Singe.Kernel_abi.Chemistry then 1 else 2) }
+
+let compile_cmd =
+  let dump = Arg.(value & flag & info [ "dump" ] ~doc:"Print the generated code.") in
+  let asm = Arg.(value & opt (some string) None & info [ "emit-asm" ] ~docv:"FILE"
+                 ~doc:"Write the program's textual assembly to FILE ('-' for stdout).") in
+  let cuda = Arg.(value & opt (some string) None & info [ "emit-cuda" ] ~docv:"FILE"
+                  ~doc:"Write the kernel as CUDA C source to FILE ('-' for stdout).") in
+  let run mech kernel arch warps version dump asm cuda =
+    let c = Singe.Compile.compile mech kernel version (options_of arch warps kernel) in
+    let p = c.Singe.Compile.lowered.Singe.Lower.program in
+    Printf.printf
+      "%s: %d instrs, %d double regs/thread (%d of them constant bank), %d \
+       int regs, %.1f KB shared, %d named barriers, %d sync points, %d B \
+       spilled per thread\n"
+      p.Gpusim.Isa.name
+      (Gpusim.Isa.static_instr_count p.Gpusim.Isa.body)
+      p.Gpusim.Isa.n_fregs
+      c.Singe.Compile.lowered.Singe.Lower.n_bank_regs
+      p.Gpusim.Isa.n_iregs
+      (float_of_int p.Gpusim.Isa.shared_doubles *. 8. /. 1024.)
+      c.Singe.Compile.schedule.Singe.Schedule.barriers_used
+      c.Singe.Compile.schedule.Singe.Schedule.n_sync_points
+      c.Singe.Compile.lowered.Singe.Lower.spill_bytes_per_thread;
+    let occ = Gpusim.Machine.occupancy arch p in
+    Printf.printf "occupancy: %d CTAs/SM (limited by %s)\n"
+      occ.Gpusim.Machine.resident_ctas occ.Gpusim.Machine.limited_by;
+    if dump then Format.printf "@.== prologue ==@.%a== body ==@.%a@."
+        Gpusim.Isa.pp_block p.Gpusim.Isa.prologue
+        Gpusim.Isa.pp_block p.Gpusim.Isa.body;
+    (match asm with
+    | Some "-" -> print_string (Gpusim.Isa_text.emit p)
+    | Some file ->
+        let oc = open_out file in
+        output_string oc (Gpusim.Isa_text.emit p);
+        close_out oc;
+        Printf.printf "assembly written to %s\n" file
+    | None -> ());
+    match cuda with
+    | Some "-" -> print_string (Singe.Cuda_emit.emit ~arch p)
+    | Some file ->
+        let oc = open_out file in
+        output_string oc (Singe.Cuda_emit.emit ~arch p);
+        close_out oc;
+        Printf.printf "CUDA source written to %s\n" file
+    | None -> ()
+  in
+  Cmd.v (Cmd.info "compile" ~doc:"Compile a kernel and report its resources.")
+    Term.(const run $ mech_term $ kernel_term $ arch_term $ warps_term
+          $ version_term $ dump $ asm $ cuda)
+
+let run_cmd =
+  let points = Arg.(value & opt int 32768 & info [ "points" ] ~docv:"N") in
+  let run mech kernel arch warps version points =
+    let c = Singe.Compile.compile mech kernel version (options_of arch warps kernel) in
+    let r = Singe.Compile.run c ~total_points:points in
+    Printf.printf
+      "%s on %s: %.4g points/s, %.1f GFLOPS, %.1f GB/s DRAM, worst rel. \
+       error vs host reference %.2g\n"
+      (Singe.Kernel_abi.kernel_name kernel)
+      arch.Gpusim.Arch.name
+      r.Singe.Compile.machine.Gpusim.Machine.points_per_sec
+      r.Singe.Compile.machine.Gpusim.Machine.gflops
+      r.Singe.Compile.machine.Gpusim.Machine.dram_gbs
+      r.Singe.Compile.max_rel_err
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Compile, simulate and verify a kernel.")
+    Term.(const run $ mech_term $ kernel_term $ arch_term $ warps_term
+          $ version_term $ points)
+
+let tune_cmd =
+  let run mech kernel arch version =
+    let o = Singe.Autotune.tune mech kernel version arch in
+    Printf.printf "tried %d configurations (%d skipped)\n"
+      o.Singe.Autotune.tried o.Singe.Autotune.skipped;
+    Printf.printf "best: %d warps, %d CTAs/SM target -> %.4g points/s\n"
+      o.Singe.Autotune.best.Singe.Autotune.options.Singe.Compile.n_warps
+      o.Singe.Autotune.best.Singe.Autotune.options.Singe.Compile.ctas_per_sm_target
+      o.Singe.Autotune.best.Singe.Autotune.throughput
+  in
+  Cmd.v (Cmd.info "tune" ~doc:"Brute-force autotune a kernel configuration.")
+    Term.(const run $ mech_term $ kernel_term $ arch_term $ version_term)
+
+let stats_cmd =
+  let run mech kernel arch warps version =
+    let c = Singe.Compile.compile mech kernel version (options_of arch warps kernel) in
+    let p = c.Singe.Compile.lowered.Singe.Lower.program in
+    Format.printf "%s on %s@.%a@.%a@." p.Gpusim.Isa.name arch.Gpusim.Arch.name
+      Gpusim.Isa_stats.pp
+      (Gpusim.Isa_stats.of_program arch p)
+      Gpusim.Roofline.pp
+      (Gpusim.Roofline.analyze arch p)
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:"Static instruction mix, code footprint and roofline bounds.")
+    Term.(const run $ mech_term $ kernel_term $ arch_term $ warps_term
+          $ version_term)
+
+let partition_cmd =
+  (* Dumps the paper's partition diagrams: Fig. 5 (diffusion columns) and
+     Figs. 6/7 (chemistry reaction + QSSA warp assignment). *)
+  let run mech kernel warps =
+    match kernel with
+    | Singe.Kernel_abi.Diffusion ->
+        let n = Array.length (Chem.Mechanism.computed_species mech) in
+        Printf.printf
+          "diffusion column partition (Fig. 5), N=%d species, %d warps\n" n
+          warps;
+        for i = 0 to n - 1 do
+          let rows = Singe.Diffusion_dfg.cells ~n i in
+          Printf.printf "  column %2d -> warp %d, rows [%s]\n" i
+            (Singe.Diffusion_dfg.column_warp ~n ~n_warps:warps i)
+            (String.concat ";" (List.map string_of_int rows))
+        done;
+        Printf.printf "covers every unordered pair exactly once: %b\n"
+          (Singe.Diffusion_dfg.covers_all_pairs ~n)
+    | Singe.Kernel_abi.Viscosity | Singe.Kernel_abi.Conductivity ->
+        let n = Array.length (Chem.Mechanism.computed_species mech) in
+        Printf.printf "%s species partition, N=%d species, %d warps\n"
+          (Singe.Kernel_abi.kernel_name kernel) n warps;
+        for w = 0 to warps - 1 do
+          let owned =
+            List.filter
+              (fun k -> Singe.Viscosity_dfg.species_warp ~n ~n_warps:warps k = w)
+              (List.init n Fun.id)
+          in
+          Printf.printf "  warp %2d: %d species [%s]\n" w (List.length owned)
+            (String.concat ";" (List.map string_of_int owned))
+        done
+    | Singe.Kernel_abi.Chemistry ->
+        let part = Singe.Chemistry_dfg.partition mech ~n_warps:warps in
+        let nr = Array.length part.Singe.Chemistry_dfg.reaction_warp in
+        Printf.printf
+          "chemistry warp partition (Fig. 6): %d reactions over %d warps, %d \
+           QSSA warp(s)\n"
+          nr warps part.Singe.Chemistry_dfg.n_qssa_warps;
+        for w = 0 to warps - 1 do
+          let owned =
+            List.filter
+              (fun r -> part.Singe.Chemistry_dfg.reaction_warp.(r) = w)
+              (List.init nr Fun.id)
+          in
+          Printf.printf "  warp %2d: cost %5d, %3d reactions\n" w
+            part.Singe.Chemistry_dfg.warp_cost.(w)
+            (List.length owned)
+        done;
+        let g = Chem.Qssa.build mech in
+        if Array.length g.Chem.Qssa.nodes > 0 then begin
+          Printf.printf "QSSA node assignment (Fig. 7):\n";
+          Array.iteri
+            (fun k (node : Chem.Qssa.node) ->
+              Printf.printf "  node %2d (species %s) -> warp %d, deps [%s]\n" k
+                mech.Chem.Mechanism.species.(node.Chem.Qssa.species)
+                  .Chem.Species.name
+                part.Singe.Chemistry_dfg.qssa_node_warp.(k)
+                (String.concat ";"
+                   (List.map string_of_int node.Chem.Qssa.deps)))
+            g.Chem.Qssa.nodes
+        end
+  in
+  Cmd.v
+    (Cmd.info "partition"
+       ~doc:"Dump the kernel's warp partition (Figs. 5-7).")
+    Term.(const run $ mech_term $ kernel_term $ warps_term)
+
+let figures_cmd =
+  let names = Arg.(value & pos_all string [ "all" ] & info [] ~docv:"FIGURE") in
+  let run names =
+    List.iter
+      (fun n ->
+        match n with
+        | "all" -> Experiments.Figures.all ()
+        | "fig3" -> Experiments.Figures.fig3 ()
+        | "fig9" -> Experiments.Figures.fig9 ()
+        | "fig10" -> Experiments.Figures.fig10 ()
+        | "fig11" -> Experiments.Figures.fig11 ()
+        | "fig12" -> Experiments.Figures.fig12 ()
+        | "fig13" -> Experiments.Figures.fig13 ()
+        | "fig14" -> Experiments.Figures.fig14 ()
+        | "fig15" -> Experiments.Figures.fig15 ()
+        | "fig16" -> Experiments.Figures.fig16 ()
+        | "ablation-barriers" -> Experiments.Figures.ablation_barriers ()
+        | "ablation-exp-constants" -> Experiments.Figures.ablation_exp_constants ()
+        | "ablation-chem-comm" -> Experiments.Figures.ablation_chem_comm ()
+        | "ablation-weights" -> Experiments.Figures.ablation_weights ()
+        | "ablation-batches" -> Experiments.Figures.ablation_batches ()
+        | other -> failwith ("unknown figure " ^ other))
+      names
+  in
+  Cmd.v (Cmd.info "figures" ~doc:"Regenerate the paper's tables and figures.")
+    Term.(const run $ names)
+
+let () =
+  let doc = "Singe: a warp-specializing DSL compiler for combustion chemistry" in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "singe" ~doc)
+          [ info_cmd; compile_cmd; run_cmd; tune_cmd; stats_cmd; partition_cmd; figures_cmd ]))

@@ -1,0 +1,1 @@
+examples/custom_mechanism.ml: Array Chem Format Gpusim List Printf Singe String Sutil

@@ -1,0 +1,1 @@
+examples/qssa_pipeline.ml: Array Chem Gpusim List Printf Singe String

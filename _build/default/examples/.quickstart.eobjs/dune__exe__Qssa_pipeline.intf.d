@@ -1,0 +1,1 @@
+examples/qssa_pipeline.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Chem Filename Format Gpusim List Printf Singe Sys Unix

@@ -1,0 +1,1 @@
+examples/roofline_report.ml: Chem Gpusim List Printf Singe

@@ -1,0 +1,1 @@
+examples/transport_suite.ml: Array Chem Gpusim List Printf Singe

@@ -1,0 +1,1 @@
+examples/viscosity_study.ml: Chem Gpusim List Printf Singe

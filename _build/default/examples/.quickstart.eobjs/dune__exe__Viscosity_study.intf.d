@@ -1,0 +1,1 @@
+examples/viscosity_study.mli:

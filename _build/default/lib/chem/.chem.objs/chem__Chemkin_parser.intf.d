@@ -1,0 +1,1 @@
+lib/chem/chemkin_parser.mli: Reaction

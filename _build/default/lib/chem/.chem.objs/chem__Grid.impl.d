@@ -1,0 +1,1 @@
+lib/chem/grid.ml: Array Mechanism Rates Sutil

@@ -1,0 +1,1 @@
+lib/chem/mech_gen.ml: Array Float Hashtbl List Mechanism Option Printf Reaction Species String Sutil Thermo

@@ -1,0 +1,1 @@
+lib/chem/mech_gen.mli: Mechanism

@@ -1,0 +1,1 @@
+lib/chem/mech_io.ml: Array Buffer Chemkin_parser Filename List Mechanism Option Printf Reaction Result Species String Thermo_parser Transport_parser

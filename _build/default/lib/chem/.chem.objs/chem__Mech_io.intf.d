@@ -1,0 +1,1 @@
+lib/chem/mech_io.mli: Mechanism

@@ -1,0 +1,1 @@
+lib/chem/mechanism.ml: Array Format List Printf Reaction Species String Thermo Transport

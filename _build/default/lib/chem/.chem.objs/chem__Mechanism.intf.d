@@ -1,0 +1,1 @@
+lib/chem/mechanism.mli: Format Reaction Species Thermo Transport

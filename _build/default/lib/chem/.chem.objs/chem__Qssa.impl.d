@@ -1,0 +1,1 @@
+lib/chem/qssa.ml: Array Fun List Mechanism Reaction

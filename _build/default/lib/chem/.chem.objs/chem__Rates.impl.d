@@ -1,0 +1,1 @@
+lib/chem/rates.ml: Array Float List Reaction Thermo

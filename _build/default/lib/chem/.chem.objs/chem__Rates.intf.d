@@ -1,0 +1,1 @@
+lib/chem/rates.mli: Reaction Thermo

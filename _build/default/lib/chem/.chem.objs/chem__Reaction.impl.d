@@ -1,0 +1,1 @@
+lib/chem/reaction.ml: Array Format Hashtbl List Printf Species

@@ -1,0 +1,1 @@
+lib/chem/reaction.mli: Format Species

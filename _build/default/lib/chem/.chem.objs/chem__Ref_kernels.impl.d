@@ -1,0 +1,1 @@
+lib/chem/ref_kernels.ml: Array Float List Mechanism Qssa Rates Reaction Stiffness Thermo Transport

@@ -1,0 +1,1 @@
+lib/chem/ref_kernels.mli: Mechanism

@@ -1,0 +1,1 @@
+lib/chem/species.ml: Array Buffer Format List Printf String

@@ -1,0 +1,1 @@
+lib/chem/species.mli: Format

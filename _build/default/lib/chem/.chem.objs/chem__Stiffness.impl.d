@@ -1,0 +1,1 @@
+lib/chem/stiffness.ml: Array List Mechanism Reaction

@@ -1,0 +1,1 @@
+lib/chem/thermo_parser.ml: Array Buffer List Printf Species String Thermo

@@ -1,0 +1,1 @@
+lib/chem/thermo_parser.mli: Species Thermo

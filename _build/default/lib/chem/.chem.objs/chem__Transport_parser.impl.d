@@ -1,0 +1,1 @@
+lib/chem/transport_parser.ml: Buffer List Printf Species String

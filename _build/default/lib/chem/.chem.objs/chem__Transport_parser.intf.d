@@ -1,0 +1,1 @@
+lib/chem/transport_parser.mli: Species

@@ -1,0 +1,54 @@
+(** Parser for the CHEMKIN mechanism file (the first of Singe's three input
+    files; Fig. 4 shows the format).
+
+    Supported constructs: [ELEMENTS]/[SPECIES]/[REACTIONS] sections, ["!"]
+    comments, reversible ["="]/["<=>"] and irreversible ["=>"] reactions,
+    integer stoichiometric prefixes (["2CH3"]), falloff ["( +M)"] partners,
+    plain ["+M"] third bodies, and the auxiliary lines [LOW/.../],
+    [TROE/.../], [REV/.../], [LT/.../], [DUPLICATE], and third-body
+    efficiency pairs ([H2/2.0/ H2O/5.0/]).
+
+    Names are resolved to indices later by {!Mech_io}; this module returns a
+    purely syntactic representation. *)
+
+type raw_side = (string * int) list
+(** (species name, stoichiometric coefficient) *)
+
+type raw_reaction = {
+  line : int;  (** 1-based source line of the equation *)
+  equation : string;  (** original text, for diagnostics *)
+  lhs : raw_side;
+  rhs : raw_side;
+  reversible : bool;
+  falloff : bool;  (** "(+M)" present *)
+  third_body : bool;  (** "+M" present (falloff implies this) *)
+  arrhenius : Reaction.arrhenius;  (** high-pressure / only limit *)
+  low : Reaction.arrhenius option;
+  troe : Reaction.troe_params option;
+  sri : Reaction.sri_params option;
+  plog : (float * Reaction.arrhenius) list;
+  rev : Reaction.arrhenius option;
+  landau_teller : (float * float) option;  (** LT/ b c / *)
+  efficiencies : (string * float) list;
+  duplicate : bool;
+}
+
+type t = {
+  elements : string list;
+  species_names : string list;
+  raw_reactions : raw_reaction list;
+}
+
+val parse : string -> (t, string) result
+(** Parse file contents. Errors carry a line number. *)
+
+val parse_file : string -> (t, string) result
+
+val parse_species_sets : string -> ((string list * string list), string) result
+(** Parser for the optional fourth input file: a [QSSA] section and a
+    [STIFF] section, each listing species names, ["!"] comments allowed.
+    Returns (qssa names, stiff names). *)
+
+val rate_model_of_raw : raw_reaction -> (Reaction.rate_model, string) result
+(** Combine the auxiliary information into a {!Reaction.rate_model};
+    rejects inconsistent combinations (e.g. TROE without LOW). *)

@@ -1,0 +1,41 @@
+type t = {
+  points : int;
+  temperature : float array;
+  pressure : float array;
+  mole_frac : float array array;
+  diffusion_in : float array array;
+}
+
+let create ?(t_range = (1000.0, 2500.0)) mech ~points ~seed =
+  let t_lo, t_hi = t_range in
+  let rng = Sutil.Prng.create seed in
+  let n = Mechanism.n_species mech in
+  let computed = Mechanism.computed_species mech in
+  let temperature =
+    Array.init points (fun _ -> Sutil.Prng.range rng t_lo t_hi)
+  in
+  let pressure =
+    Array.init points (fun _ -> Rates.p_atm *. Sutil.Prng.range rng 0.8 1.2)
+  in
+  let mole_frac = Array.init n (fun _ -> Array.make points 0.0) in
+  for p = 0 to points - 1 do
+    let raw =
+      Array.map (fun _ -> 1e-6 +. Sutil.Prng.float rng 1.0) computed
+    in
+    let total = Array.fold_left ( +. ) 0.0 raw in
+    Array.iteri (fun k sp -> mole_frac.(sp).(p) <- raw.(k) /. total) computed
+  done;
+  let diffusion_in =
+    Array.init n (fun _ ->
+        Array.init points (fun _ -> Sutil.Prng.log_range rng 1e-6 1e-2))
+  in
+  { points; temperature; pressure; mole_frac; diffusion_in }
+
+let point_temperature t p = t.temperature.(p)
+let point_pressure t p = t.pressure.(p)
+
+let point_mole_fracs t mech p =
+  Array.init (Mechanism.n_species mech) (fun sp -> t.mole_frac.(sp).(p))
+
+let point_diffusion t p =
+  Array.map (fun row -> row.(p)) t.diffusion_in

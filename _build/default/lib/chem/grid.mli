@@ -1,0 +1,39 @@
+(** Cartesian-grid state in structure-of-arrays layout (§3.1): every field
+    of every point lives in its own contiguous array so that global-memory
+    accesses coalesce.
+
+    Functional GPU simulation only ever touches the points of a few resident
+    CTAs, so a grid materializes exactly [points] entries; experiments pass
+    the *logical* problem size (32^3 .. 128^3) separately to the timing
+    model, which scales by wave count. *)
+
+type t = {
+  points : int;
+  temperature : float array;  (** K *)
+  pressure : float array;  (** Pa *)
+  mole_frac : float array array;
+      (** [mole_frac.(sp).(p)]: one array per species (SoA); QSSA species
+          rows are zero *)
+  diffusion_in : float array array;
+      (** per-species diffusion outputs consumed by the chemistry kernel's
+          stiffness phase (Listing 4) *)
+}
+
+val create :
+  ?t_range:float * float -> Mechanism.t -> points:int -> seed:int64 -> t
+(** Random but reproducible combustion-like state: T in 1000-2500 K (at or
+    above the NASA-polynomial mid temperature (override with [t_range],
+    e.g. [(300., 2500.)], when compiling with full-range thermodynamics),
+    so the generated kernels'
+    single-range thermodynamic evaluation matches the host reference
+    exactly), P within 20% of 1 atm, strictly positive mole fractions normalized over the
+    computed (non-QSSA) species. *)
+
+val point_temperature : t -> int -> float
+val point_pressure : t -> int -> float
+
+val point_mole_fracs : t -> Mechanism.t -> int -> float array
+(** Full per-species mole-fraction vector of one point (QSSA entries 0). *)
+
+val point_diffusion : t -> int -> float array
+(** Per-species diffusion input vector of one point. *)

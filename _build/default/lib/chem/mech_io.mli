@@ -1,0 +1,37 @@
+(** Assembling mechanisms from the four CHEMKIN-standard input files, and
+    writing mechanisms back out in those formats (round-trip). *)
+
+val load_strings :
+  ?species_sets:string ->
+  chemkin:string ->
+  thermo:string ->
+  transport:string ->
+  name:string ->
+  unit ->
+  (Mechanism.t, string) result
+(** Parse all inputs, resolve species names, attach thermo/transport data,
+    build rate models, and validate. Species missing a TRANSPORT entry get
+    {!Species.default_transport}; species missing a THERMO entry are an
+    error. *)
+
+val load_files :
+  ?species_sets_path:string ->
+  chemkin_path:string ->
+  thermo_path:string ->
+  transport_path:string ->
+  name:string ->
+  unit ->
+  (Mechanism.t, string) result
+
+val chemkin_of_mechanism : Mechanism.t -> string
+(** CHEMKIN mechanism text (ELEMENTS/SPECIES/REACTIONS) for the given
+    mechanism. *)
+
+val thermo_of_mechanism : Mechanism.t -> string
+val transport_of_mechanism : Mechanism.t -> string
+
+val species_sets_of_mechanism : Mechanism.t -> string
+(** The optional fourth file (QSSA/STIFF sections). *)
+
+val save_files : Mechanism.t -> dir:string -> unit
+(** Write [<name>.{mech,therm,tran,sets}] under [dir]. *)

@@ -1,0 +1,50 @@
+(** Quasi-steady-state approximation (QSSA) computation graph (§3.4).
+
+    For each QSSA species [s], taken in the mechanism's QSSA order, the
+    scaling factor is
+
+    {[ scale_s = prod_s / (cons_s + eps) ]}
+
+    where [prod_s] sums forward rates of reactions producing [s] and reverse
+    rates of reactions consuming it (weighted by stoichiometry), and [cons_s]
+    the converse. The factor is then applied in place: forward rates of
+    reactions consuming [s] and reverse rates of reactions producing [s] are
+    multiplied by [scale_s].
+
+    Because the application mutates rates that later species' sums read,
+    species sharing reactions are data-dependent: this is the directed
+    acyclic graph the paper partitions across QSSA warps (Fig. 7). Cycles
+    are broken by the QSSA species ordering (later species see the already
+    scaled rates of earlier ones, Jacobi-style), the standard practice in
+    reduced-mechanism codes. *)
+
+type node = {
+  species : int;  (** QSSA species (mechanism index) *)
+  produced_by : (int * int) list;  (** (reaction, nu+) with [species] a product *)
+  consumed_by : (int * int) list;  (** (reaction, nu-) with [species] a reactant *)
+  deps : int list;
+      (** node positions (not species indices) of earlier QSSA nodes whose
+          application touches a reaction this node reads *)
+  flops : int;  (** FLOP estimate for mapping (paper: 20-60 DFMA each) *)
+}
+
+type graph = { nodes : node array }
+(** Nodes appear in dependency-respecting order: [deps] of node [k] only
+    reference positions [< k]. *)
+
+val eps : float
+(** Denominator guard, 1e-30. *)
+
+val build : Mechanism.t -> graph
+
+val well_ordered : graph -> bool
+(** All dependency edges point backwards: the invariant property tests
+    check. *)
+
+val reactions_touched : graph -> int list
+(** Sorted reaction indices read or scaled by the QSSA phase (the paper:
+    "usually between half and two-thirds of the reaction rates"). *)
+
+val eval : graph -> rr_f:float array -> rr_r:float array -> float array
+(** Computes all scaling factors and applies them in place to the rate
+    arrays; returns the factors in node order. *)

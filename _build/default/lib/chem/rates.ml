@@ -1,0 +1,151 @@
+let r_cal = 1.98720
+let p_atm = 101325.0
+
+let arrhenius (a : Reaction.arrhenius) temp =
+  a.Reaction.pre_exp
+  *. (temp ** a.Reaction.temp_exp)
+  *. exp (-.a.Reaction.activation /. (r_cal *. temp))
+
+let third_body_conc (r : Reaction.t) conc =
+  let total = Array.fold_left ( +. ) 0.0 conc in
+  match r.Reaction.third_body with
+  | None -> total
+  | Some tb ->
+      List.fold_left
+        (fun acc (sp, eff) -> acc +. ((eff -. 1.0) *. conc.(sp)))
+        total tb.Reaction.enhanced
+
+let troe_blending (p : Reaction.troe_params) ~temp ~pr =
+  let fcent =
+    ((1.0 -. p.Reaction.alpha) *. exp (-.temp /. p.Reaction.t3))
+    +. (p.Reaction.alpha *. exp (-.temp /. p.Reaction.t1))
+    +. if p.Reaction.t2 = 0.0 then 0.0 else exp (-.p.Reaction.t2 /. temp)
+  in
+  let fcent = Float.max fcent 1e-30 in
+  let lfc = log10 fcent in
+  let c = -0.4 -. (0.67 *. lfc) in
+  let n = 0.75 -. (1.27 *. lfc) in
+  let lpr = log10 (Float.max pr 1e-300) in
+  let f1 = (lpr +. c) /. (n -. (0.14 *. (lpr +. c))) in
+  10.0 ** (lfc /. (1.0 +. (f1 *. f1)))
+
+let sri_blending (p : Reaction.sri_params) ~temp ~pr =
+  let lpr = Float.log10 (Float.max pr 1e-300) in
+  let x = 1.0 /. (1.0 +. (lpr *. lpr)) in
+  let base =
+    (p.Reaction.sa *. exp (-.p.Reaction.sb /. temp)) +. exp (-.temp /. p.Reaction.sc)
+  in
+  p.Reaction.sd *. (base ** x) *. (temp ** p.Reaction.se)
+
+(* PLOG: ln k linear in ln P between the table's pressures (atm), clamped
+   outside; evaluated with the telescoping-clamp identity so the generated
+   kernels can share the exact same branch-free form. *)
+let plog_coeff table ~temp ~pressure =
+  match table with
+  | [] -> invalid_arg "plog_coeff: empty table"
+  | (_, a0) :: rest ->
+      let lnp = log (pressure /. p_atm) in
+      let lnk (a : Reaction.arrhenius) =
+        log a.Reaction.pre_exp
+        +. (a.Reaction.temp_exp *. log temp)
+        -. (a.Reaction.activation /. (r_cal *. temp))
+      in
+      let acc = ref (lnk a0) in
+      let prev = ref (log (fst (List.hd table)), lnk a0) in
+      List.iter
+        (fun (p, a) ->
+          let lp = log p and lk = lnk a in
+          let lp0, lk0 = !prev in
+          if lp > lp0 then begin
+            let w = Float.min 1.0 (Float.max 0.0 ((lnp -. lp0) /. (lp -. lp0))) in
+            acc := !acc +. (w *. (lk -. lk0));
+            prev := (lp, lk)
+          end)
+        rest;
+      exp !acc
+
+let forward_coeff ?pressure (r : Reaction.t) ~temp ~conc =
+  match r.Reaction.rate with
+  | Reaction.Simple a -> arrhenius a temp
+  | Reaction.Landau_teller { arr; b; c } ->
+      arrhenius arr temp
+      *. exp ((b /. (temp ** (1.0 /. 3.0))) +. (c /. (temp ** (2.0 /. 3.0))))
+  | Reaction.Plog table -> (
+      match pressure with
+      | Some p -> plog_coeff table ~temp ~pressure:p
+      | None -> invalid_arg "forward_coeff: PLOG reaction needs ~pressure")
+  | Reaction.Falloff { high; low; kind } ->
+      let k_inf = arrhenius high temp in
+      let k0 = arrhenius low temp in
+      let m = third_body_conc r conc in
+      let pr = k0 *. m /. Float.max k_inf 1e-300 in
+      let blend =
+        match kind with
+        | Reaction.Lindemann -> 1.0
+        | Reaction.Troe p -> troe_blending p ~temp ~pr
+        | Reaction.Sri p -> sri_blending p ~temp ~pr
+      in
+      k_inf *. (pr /. (1.0 +. pr)) *. blend
+
+let equilibrium_constant thermo (r : Reaction.t) temp =
+  let delta_g =
+    List.fold_left
+      (fun acc (sp, coeff) ->
+        acc +. (float_of_int coeff *. Thermo.gibbs_over_rt thermo.(sp) temp))
+      0.0 r.Reaction.products
+    -. List.fold_left
+         (fun acc (sp, coeff) ->
+           acc +. (float_of_int coeff *. Thermo.gibbs_over_rt thermo.(sp) temp))
+         0.0 r.Reaction.reactants
+  in
+  let delta_nu = Reaction.net_molecularity r in
+  let c0 = p_atm /. (Thermo.gas_constant *. temp) in
+  (* Clamp the exponent so a badly scaled synthetic mechanism cannot
+     overflow to infinity and poison downstream comparisons. *)
+  let expo = Float.max (-250.0) (Float.min 250.0 (-.delta_g)) in
+  exp expo *. (c0 ** float_of_int delta_nu)
+
+let reverse_coeff thermo (r : Reaction.t) ~temp ~forward ~conc =
+  ignore conc;
+  match r.Reaction.reverse with
+  | Reaction.Irreversible -> 0.0
+  | Reaction.Explicit a -> arrhenius a temp
+  | Reaction.From_equilibrium ->
+      forward /. Float.max (equilibrium_constant thermo r temp) 1e-300
+
+let conc_product side conc =
+  List.fold_left
+    (fun acc (sp, coeff) ->
+      let c = conc.(sp) in
+      let rec pow acc k = if k = 0 then acc else pow (acc *. c) (k - 1) in
+      pow acc coeff)
+    1.0 side
+
+let progress ?pressure thermo (r : Reaction.t) ~temp ~conc =
+  let kf = forward_coeff ?pressure r ~temp ~conc in
+  let kr = reverse_coeff thermo r ~temp ~forward:kf ~conc in
+  let tb_factor =
+    (* Plain "+M" reactions multiply by [M]; falloff reactions already folded
+       it into the blending. *)
+    match (r.Reaction.rate, r.Reaction.third_body) with
+    | (Reaction.Simple _ | Reaction.Landau_teller _), Some _ ->
+        third_body_conc r conc
+    | _, _ -> 1.0
+  in
+  let qf = kf *. conc_product r.Reaction.reactants conc *. tb_factor in
+  let qr = kr *. conc_product r.Reaction.products conc *. tb_factor in
+  (qf, qr)
+
+let production_rates ?pressure thermo reactions ~temp ~conc ~n =
+  let wdot = Array.make n 0.0 in
+  Array.iter
+    (fun r ->
+      let qf, qr = progress ?pressure thermo r ~temp ~conc in
+      let q = qf -. qr in
+      List.iter
+        (fun sp ->
+          wdot.(sp) <-
+            wdot.(sp) +. (float_of_int (Reaction.delta_stoich r sp) *. q))
+        (Reaction.species_involved r))
+    reactions;
+  wdot

@@ -1,0 +1,55 @@
+(** Evaluation of reaction rates (ground truth for the generated kernels).
+
+    Concentrations are in mol/m^3, temperatures in Kelvin, activation
+    energies in cal/mol (CHEMKIN convention). *)
+
+val r_cal : float
+(** Gas constant in cal/(mol K) = 1.98720. *)
+
+val p_atm : float
+(** Standard atmosphere in Pa = 101325. *)
+
+val arrhenius : Reaction.arrhenius -> float -> float
+(** [arrhenius a t] is [A T^beta exp(-E/(R_cal T))]. *)
+
+val third_body_conc : Reaction.t -> float array -> float
+(** Effective third-body concentration [\[M\]] including enhanced
+    efficiencies; total concentration when the reaction has no [third_body]
+    record. *)
+
+val troe_blending : Reaction.troe_params -> temp:float -> pr:float -> float
+
+val sri_blending : Reaction.sri_params -> temp:float -> pr:float -> float
+(** The Troe broadening factor F (Listing 1's computation). *)
+
+val plog_coeff :
+  (float * Reaction.arrhenius) list -> temp:float -> pressure:float -> float
+(** PLOG interpolation: [ln k] linear in [ln P] between table entries
+    (pressures in atm, ascending), clamped outside the table. *)
+
+val forward_coeff :
+  ?pressure:float -> Reaction.t -> temp:float -> conc:float array -> float
+(** Forward rate coefficient including falloff blending. Does NOT include
+    the plain "+M" third-body concentration factor (see {!progress}). *)
+
+val equilibrium_constant :
+  Thermo.table -> Reaction.t -> float -> float
+(** Concentration-based equilibrium constant
+    [Kc = exp(-sum nu_i g_i/RT) * (P_atm/(R T))^(delta nu)]. *)
+
+val reverse_coeff :
+  Thermo.table -> Reaction.t -> temp:float -> forward:float -> conc:float array -> float
+(** Reverse rate coefficient: 0 for irreversible reactions, explicit
+    Arrhenius when given, otherwise [forward / Kc]. *)
+
+val progress :
+  ?pressure:float ->
+  Thermo.table -> Reaction.t -> temp:float -> conc:float array -> float * float
+(** [(q_f, q_r)]: forward and reverse rates of progress including
+    concentration powers and, for plain "+M" reactions, the third-body
+    factor. *)
+
+val production_rates :
+  ?pressure:float ->
+  Thermo.table -> Reaction.t array -> temp:float -> conc:float array -> n:int -> float array
+(** Net molar production rate [wdot] of each of the [n] species. *)

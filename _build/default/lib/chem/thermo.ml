@@ -1,0 +1,47 @@
+type entry = {
+  t_low : float;
+  t_mid : float;
+  t_high : float;
+  low : float array;
+  high : float array;
+}
+
+let gas_constant = 8.31446
+
+let validate e =
+  if Array.length e.low <> 7 then Error "low coefficient set must have 7 entries"
+  else if Array.length e.high <> 7 then
+    Error "high coefficient set must have 7 entries"
+  else if not (e.t_low < e.t_mid && e.t_mid < e.t_high) then
+    Error "temperature ranges must satisfy t_low < t_mid < t_high"
+  else Ok ()
+
+let coeffs e t = if t < e.t_mid then e.low else e.high
+
+let cp_over_r e t =
+  let a = coeffs e t in
+  a.(0) +. (t *. (a.(1) +. (t *. (a.(2) +. (t *. (a.(3) +. (t *. a.(4))))))))
+
+let h_over_rt e t =
+  let a = coeffs e t in
+  a.(0)
+  +. (t
+     *. ((a.(1) /. 2.0)
+        +. (t
+           *. ((a.(2) /. 3.0)
+              +. (t *. ((a.(3) /. 4.0) +. (t *. (a.(4) /. 5.0))))))))
+  +. (a.(5) /. t)
+
+let s_over_r e t =
+  let a = coeffs e t in
+  (a.(0) *. log t)
+  +. (t
+     *. (a.(1)
+        +. (t
+           *. ((a.(2) /. 2.0)
+              +. (t *. ((a.(3) /. 3.0) +. (t *. (a.(4) /. 4.0))))))))
+  +. a.(6)
+
+let gibbs_over_rt e t = h_over_rt e t -. s_over_r e t
+
+type table = entry array

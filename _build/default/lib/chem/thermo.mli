@@ -1,0 +1,34 @@
+(** NASA-7 polynomial thermodynamics (the THERMO-file standard).
+
+    Each species carries two coefficient sets of seven, one for the low
+    temperature range [\[t_low, t_mid\]] and one for the high range
+    [\[t_mid, t_high\]]. Nondimensional properties:
+    {ul
+    {- [cp/R  = a1 + a2 T + a3 T^2 + a4 T^3 + a5 T^4]}
+    {- [h/RT  = a1 + a2/2 T + a3/3 T^2 + a4/4 T^3 + a5/5 T^4 + a6/T]}
+    {- [s/R   = a1 ln T + a2 T + a3/2 T^2 + a4/3 T^3 + a5/4 T^4 + a7]}} *)
+
+type entry = {
+  t_low : float;
+  t_mid : float;
+  t_high : float;
+  low : float array;  (** 7 coefficients for T in [t_low, t_mid] *)
+  high : float array;  (** 7 coefficients for T in [t_mid, t_high] *)
+}
+
+val gas_constant : float
+(** Universal gas constant, 8.31446 J/(mol K). *)
+
+val validate : entry -> (unit, string) result
+(** Checks range ordering and coefficient-array lengths. *)
+
+val cp_over_r : entry -> float -> float
+val h_over_rt : entry -> float -> float
+val s_over_r : entry -> float -> float
+
+val gibbs_over_rt : entry -> float -> float
+(** [g/RT = h/RT - s/R]; used when computing equilibrium constants for
+    reverse reaction rates. *)
+
+type table = entry array
+(** One entry per species, indexed like the mechanism's species array. *)

@@ -1,0 +1,149 @@
+type entry = {
+  name : string;
+  composition : (Species.element * int) list;
+  thermo : Thermo.entry;
+}
+
+exception Parse_error of int * string
+
+let fail line fmt = Printf.ksprintf (fun s -> raise (Parse_error (line, s))) fmt
+
+let field text lo len =
+  (* 1-based fixed columns; tolerate short lines by padding. *)
+  let padded =
+    if String.length text >= lo - 1 + len then text
+    else text ^ String.make (lo - 1 + len - String.length text) ' '
+  in
+  String.sub padded (lo - 1) len
+
+let float_field lineno text lo len =
+  let s = String.trim (field text lo len) in
+  let s = String.map (fun c -> if c = 'D' || c = 'd' then 'E' else c) s in
+  match float_of_string_opt s with
+  | Some f -> f
+  | None -> fail lineno "bad number %S in columns %d-%d" s lo (lo + len - 1)
+
+let parse_composition lineno text =
+  (* Four 5-column (element: 2 chars, count: 3 chars) pairs in cols 25-44. *)
+  let comps = ref [] in
+  for k = 0 to 3 do
+    let sym = String.trim (field text (25 + (k * 5)) 2) in
+    let cnt = String.trim (field text (27 + (k * 5)) 3) in
+    if sym <> "" && sym <> "0" then begin
+      match Species.element_of_string sym with
+      | None -> fail lineno "unknown element %S" sym
+      | Some e -> (
+          match int_of_string_opt cnt with
+          | Some n when n > 0 -> comps := (e, n) :: !comps
+          | Some _ -> ()
+          | None -> (
+              (* Counts are occasionally written as floats ("2."). *)
+              match float_of_string_opt cnt with
+              | Some f when f > 0.0 -> comps := (e, int_of_float f) :: !comps
+              | _ -> fail lineno "bad element count %S" cnt))
+    end
+  done;
+  List.rev !comps
+
+let card_floats lineno text n =
+  Array.init n (fun k -> float_field lineno text (1 + (k * 15)) 15)
+
+let parse contents =
+  let lines =
+    String.split_on_char '\n' contents
+    |> List.mapi (fun i l -> (i + 1, l))
+    |> List.filter (fun (_, l) ->
+           let t = String.trim l in
+           t <> ""
+           && (not (String.length t >= 1 && t.[0] = '!'))
+           && String.uppercase_ascii t <> "THERMO"
+           && String.uppercase_ascii t <> "END")
+  in
+  (* Drop a leading default-temperature line: three bare floats. *)
+  let lines =
+    match lines with
+    | (_, l) :: rest ->
+        let toks =
+          String.split_on_char ' ' l |> List.filter (fun t -> t <> "")
+        in
+        if
+          List.length toks = 3
+          && List.for_all (fun t -> float_of_string_opt t <> None) toks
+        then rest
+        else lines
+    | [] -> lines
+  in
+  let rec take4 acc = function
+    | [] -> Ok (List.rev acc)
+    | (l1, c1) :: (l2, c2) :: (l3, c3) :: (l4, c4) :: rest -> (
+        try
+          let name = String.trim (field c1 1 18) in
+          let name =
+            match String.index_opt name ' ' with
+            | Some i -> String.sub name 0 i
+            | None -> name
+          in
+          if name = "" then fail l1 "missing species name";
+          let composition = parse_composition l1 c1 in
+          let t_low = float_field l1 c1 46 10 in
+          let t_high = float_field l1 c1 56 10 in
+          let t_mid = float_field l1 c1 66 8 in
+          let r2 = card_floats l2 c2 5 in
+          let r3 = card_floats l3 c3 5 in
+          let r4 = card_floats l4 c4 4 in
+          let high =
+            [| r2.(0); r2.(1); r2.(2); r2.(3); r2.(4); r3.(0); r3.(1) |]
+          in
+          let low =
+            [| r3.(2); r3.(3); r3.(4); r4.(0); r4.(1); r4.(2); r4.(3) |]
+          in
+          let thermo = { Thermo.t_low; t_mid; t_high; low; high } in
+          (match Thermo.validate thermo with
+          | Ok () -> ()
+          | Error msg -> fail l1 "%s" msg);
+          ignore (l3, l4, c3, c4);
+          take4 ({ name; composition; thermo } :: acc) rest
+        with Parse_error (line, msg) ->
+          Error (Printf.sprintf "line %d: %s" line msg))
+    | (l, _) :: _ ->
+        Error (Printf.sprintf "line %d: incomplete 4-card thermo entry" l)
+  in
+  take4 [] lines
+
+let parse_file path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let contents = really_input_string ic len in
+  close_in ic;
+  parse contents
+
+let to_string entries =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "THERMO\n   300.000  1000.000  5000.000\n";
+  List.iter
+    (fun e ->
+      let th = e.thermo in
+      let comp = Buffer.create 20 in
+      List.iteri
+        (fun k (el, n) ->
+          if k < 4 then
+            Buffer.add_string comp
+              (Printf.sprintf "%-2s%3d" (Species.element_symbol el) n))
+        e.composition;
+      let comp = Buffer.contents comp in
+      let comp = comp ^ String.make (20 - String.length comp) ' ' in
+      Buffer.add_string buf
+        (Printf.sprintf "%-18s      %sG%10.3f%10.3f%8.2f      1\n" e.name comp
+           th.Thermo.t_low th.Thermo.t_high th.Thermo.t_mid);
+      let h = th.Thermo.high and l = th.Thermo.low in
+      let e15 v = Printf.sprintf "%15.8E" v in
+      Buffer.add_string buf
+        (e15 h.(0) ^ e15 h.(1) ^ e15 h.(2) ^ e15 h.(3) ^ e15 h.(4) ^ "    2\n");
+      Buffer.add_string buf
+        (e15 h.(5) ^ e15 h.(6) ^ e15 l.(0) ^ e15 l.(1) ^ e15 l.(2) ^ "    3\n");
+      Buffer.add_string buf
+        (e15 l.(3) ^ e15 l.(4) ^ e15 l.(5) ^ e15 l.(6)
+        ^ String.make 15 ' ' ^ "    4\n"))
+    entries;
+  Buffer.add_string buf "END\n";
+  Buffer.contents buf

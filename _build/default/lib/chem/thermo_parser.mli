@@ -1,0 +1,24 @@
+(** Parser for the fixed-column NASA THERMO file (Singe's second input).
+
+    Format (per species, four 80-column card images):
+    {v
+    card 1: cols 1-18 name, 25-44 four (element,count) pairs, 45 phase,
+            46-55 T_low, 56-65 T_high, 66-73 T_mid, col 80 = '1'
+    card 2: five E15.8 numbers: high-range a1..a5, col 80 = '2'
+    card 3: high-range a6 a7, low-range a1 a2 a3, col 80 = '3'
+    card 4: low-range a4..a7, col 80 = '4'
+    v}
+    An optional global header line [THERMO] followed by a default
+    temperature-range line is accepted, as is a trailing [END]. *)
+
+type entry = {
+  name : string;
+  composition : (Species.element * int) list;
+  thermo : Thermo.entry;
+}
+
+val parse : string -> (entry list, string) result
+val parse_file : string -> (entry list, string) result
+
+val to_string : entry list -> string
+(** Emit in the same fixed-column format ({!parse} round-trips it). *)

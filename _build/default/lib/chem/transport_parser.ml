@@ -1,0 +1,66 @@
+let strip_comment line =
+  match String.index_opt line '!' with
+  | Some i -> String.sub line 0 i
+  | None -> line
+
+let parse contents =
+  let lines = String.split_on_char '\n' contents in
+  let entries = ref [] in
+  let error = ref None in
+  List.iteri
+    (fun idx raw ->
+      if !error = None then begin
+        let lineno = idx + 1 in
+        let text = String.trim (strip_comment raw) in
+        if text <> "" && String.uppercase_ascii text <> "END" then begin
+          let toks =
+            String.split_on_char ' ' text
+            |> List.concat_map (String.split_on_char '\t')
+            |> List.filter (fun t -> t <> "")
+          in
+          match toks with
+          | [ name; geo; eps; sigma; mu; alpha; zrot ] -> (
+              let nums = List.map float_of_string_opt [ geo; eps; sigma; mu; alpha; zrot ] in
+              match nums with
+              | [ Some g; Some e; Some s; Some m; Some a; Some z ] ->
+                  entries :=
+                    ( String.uppercase_ascii name,
+                      {
+                        Species.geometry = int_of_float g;
+                        well_depth = e;
+                        diameter = s;
+                        dipole = m;
+                        polarizability = a;
+                        rot_relax = z;
+                      } )
+                    :: !entries
+              | _ ->
+                  error :=
+                    Some (Printf.sprintf "line %d: bad number in %S" lineno text))
+          | _ ->
+              error :=
+                Some
+                  (Printf.sprintf "line %d: expected name + 6 fields, got %d"
+                     lineno (List.length toks))
+        end
+      end)
+    lines;
+  match !error with Some e -> Error e | None -> Ok (List.rev !entries)
+
+let parse_file path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let contents = really_input_string ic len in
+  close_in ic;
+  parse contents
+
+let to_string entries =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun (name, p) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%-18s %d %10.3f %10.4f %8.3f %8.3f %8.3f\n" name
+           p.Species.geometry p.Species.well_depth p.Species.diameter
+           p.Species.dipole p.Species.polarizability p.Species.rot_relax))
+    entries;
+  Buffer.contents buf

@@ -1,0 +1,11 @@
+(** Parser for the TRANSPORT file (Singe's third input): one line per
+    species with six whitespace-separated numbers after the name —
+    geometry flag, Lennard-Jones well depth (K), collision diameter
+    (Angstrom), dipole moment (Debye), polarizability (Angstrom^3),
+    rotational relaxation number. *)
+
+val parse : string -> ((string * Species.transport_params) list, string) result
+val parse_file : string -> ((string * Species.transport_params) list, string) result
+
+val to_string : (string * Species.transport_params) list -> string
+(** Emit in the same format ({!parse} round-trips it). *)

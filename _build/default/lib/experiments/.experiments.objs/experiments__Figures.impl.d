@@ -1,0 +1,1 @@
+lib/experiments/figures.ml: Array Chem Gpusim Hashtbl List Printf Singe String Sys

@@ -1,0 +1,349 @@
+let fast () = Sys.getenv_opt "SINGE_FAST" <> None
+
+let archs () = [ Gpusim.Arch.fermi_c2070; Gpusim.Arch.kepler_k20c ]
+
+let sizes () =
+  if fast () then [ (32768, "32^3") ]
+  else [ (32768, "32^3"); (262144, "64^3"); (2097152, "128^3") ]
+
+let line () = print_endline (String.make 78 '-')
+
+let header title =
+  line ();
+  Printf.printf "%s\n" title;
+  line ()
+
+let fig3 () =
+  header "Figure 3: chemical mechanisms";
+  Printf.printf "%-10s %9s %8s %5s %6s\n" "Mechanism" "Reactions" "Species"
+    "QSSA" "Stiff";
+  List.iter
+    (fun mech -> print_endline (Chem.Mechanism.summary mech))
+    [ Chem.Mech_gen.dme (); Chem.Mech_gen.heptane () ];
+  print_newline ()
+
+(* Tuned-configuration cache: figures share autotuning work. *)
+let tuned : (string, Singe.Autotune.candidate) Hashtbl.t = Hashtbl.create 32
+
+let tune mech kernel version arch =
+  let key =
+    Printf.sprintf "%s/%s/%s/%s" mech.Chem.Mechanism.name
+      (Singe.Kernel_abi.kernel_name kernel)
+      (match version with
+      | Singe.Compile.Warp_specialized -> "ws"
+      | Singe.Compile.Baseline -> "base"
+      | Singe.Compile.Naive_warp_specialized -> "naive")
+      arch.Gpusim.Arch.name
+  in
+  match Hashtbl.find_opt tuned key with
+  | Some c -> c
+  | None ->
+      let warp_candidates =
+        if fast () then
+          Some
+            (match version with
+            | Singe.Compile.Baseline -> [ 8 ]
+            | _ -> [ 4; 8 ])
+        else None
+      in
+      let outcome =
+        Singe.Autotune.tune ?warp_candidates mech kernel version arch
+      in
+      Hashtbl.replace tuned key outcome.Singe.Autotune.best;
+      outcome.Singe.Autotune.best
+
+let fig9 () =
+  header
+    "Figure 9: naive vs Singe (overlaid) warp-specialized code generation\n\
+     DME viscosity on Kepler, 32^3 points; throughput in points/s";
+  let mech = Chem.Mech_gen.dme () in
+  let arch = Gpusim.Arch.kepler_k20c in
+  Printf.printf "%-10s %14s %14s\n" "warps/CTA" "naive" "Singe";
+  let warps = if fast () then [ 2; 4; 6; 8 ] else [ 2; 3; 4; 5; 6; 8; 10; 12; 15; 16 ] in
+  List.iter
+    (fun n_warps ->
+      let run version =
+        let options =
+          { (Singe.Compile.default_options arch) with Singe.Compile.n_warps }
+        in
+        match
+          let c = Singe.Compile.compile mech Singe.Kernel_abi.Viscosity version options in
+          (* 8 point batches per CTA: the loop re-executes the kernel body,
+             so divergent instruction streams re-fetch every pass. *)
+          Singe.Compile.run c ~total_points:32768 ~ctas:128
+        with
+        | r -> Printf.sprintf "%14.3g" r.Singe.Compile.machine.Gpusim.Machine.points_per_sec
+        | exception Failure _ -> Printf.sprintf "%14s" "(won't fit)"
+      in
+      Printf.printf "%-10d %s %s\n%!" n_warps
+        (run Singe.Compile.Naive_warp_specialized)
+        (run Singe.Compile.Warp_specialized))
+    warps;
+  print_newline ()
+
+let fig10 () =
+  header
+    "Figure 10: constant registers per thread on Kepler\n\
+     (representative configurations: 6/13 warps for viscosity and \
+     diffusion, 16 for chemistry)";
+  Printf.printf "%-10s %10s %10s %10s\n" "Mechanism" "Viscosity" "Diffusion"
+    "Chemistry";
+  List.iter
+    (fun (mech, vis_warps) ->
+      let regs kernel n_warps =
+        let options =
+          { (Singe.Compile.default_options Gpusim.Arch.kepler_k20c) with
+            Singe.Compile.n_warps;
+            max_barriers = (if kernel = Singe.Kernel_abi.Chemistry then 16 else 8);
+            ctas_per_sm_target = (if kernel = Singe.Kernel_abi.Chemistry then 1 else 2) }
+        in
+        let c = Singe.Compile.compile mech kernel Singe.Compile.Warp_specialized options in
+        c.Singe.Compile.lowered.Singe.Lower.n_bank_regs
+      in
+      Printf.printf "%-10s %10d %10d %10d\n%!" mech.Chem.Mechanism.name
+        (regs Singe.Kernel_abi.Viscosity vis_warps)
+        (regs Singe.Kernel_abi.Diffusion vis_warps)
+        (regs Singe.Kernel_abi.Chemistry 16))
+    [ (Chem.Mech_gen.dme (), 6); (Chem.Mech_gen.heptane (), 13) ];
+  print_newline ()
+
+let perf_figure mech kernel =
+  header
+    (Printf.sprintf
+       "%s %s: data-parallel CUDA baseline vs warp-specialized (throughput, points/s)"
+       mech.Chem.Mechanism.name
+       (Singe.Kernel_abi.kernel_name kernel));
+  List.iter
+    (fun arch ->
+      let base = tune mech kernel Singe.Compile.Baseline arch in
+      let ws = tune mech kernel Singe.Compile.Warp_specialized arch in
+      Printf.printf
+        "%s  (baseline: %d warps/CTA; warp-specialized: %d warps/CTA, %d CTAs/SM)\n"
+        arch.Gpusim.Arch.name
+        base.Singe.Autotune.options.Singe.Compile.n_warps
+        ws.Singe.Autotune.options.Singe.Compile.n_warps
+        ws.Singe.Autotune.result.Singe.Compile.machine.Gpusim.Machine.occ
+          .Gpusim.Machine.resident_ctas;
+      Printf.printf "  %-8s %14s %14s %9s %10s %10s\n" "size" "baseline"
+        "warp-spec" "speedup" "base-GF" "ws-GF";
+      List.iter
+        (fun (points, label) ->
+          let rerun (c : Singe.Autotune.candidate) =
+            Singe.Compile.run c.Singe.Autotune.compiled ~total_points:points
+          in
+          let rb = rerun base and rw = rerun ws in
+          let tb = rb.Singe.Compile.machine.Gpusim.Machine.points_per_sec in
+          let tw = rw.Singe.Compile.machine.Gpusim.Machine.points_per_sec in
+          Printf.printf "  %-8s %14.4g %14.4g %8.2fx %10.1f %10.1f\n%!" label tb
+            tw (tw /. tb)
+            rb.Singe.Compile.machine.Gpusim.Machine.gflops
+            rw.Singe.Compile.machine.Gpusim.Machine.gflops)
+        (sizes ());
+      let spill (c : Singe.Autotune.candidate) =
+        c.Singe.Autotune.compiled.Singe.Compile.lowered.Singe.Lower.spill_bytes_per_thread
+      in
+      Printf.printf
+        "  spill bytes/thread: baseline %d, warp-specialized %d; baseline \
+         local-memory traffic %.0f GB/s\n"
+        (spill base) (spill ws)
+        base.Singe.Autotune.result.Singe.Compile.machine.Gpusim.Machine.local_gbs)
+    (archs ());
+  print_newline ()
+
+let fig11 () = perf_figure (Chem.Mech_gen.dme ()) Singe.Kernel_abi.Viscosity
+let fig12 () = perf_figure (Chem.Mech_gen.heptane ()) Singe.Kernel_abi.Viscosity
+let fig13 () = perf_figure (Chem.Mech_gen.dme ()) Singe.Kernel_abi.Diffusion
+let fig14 () = perf_figure (Chem.Mech_gen.heptane ()) Singe.Kernel_abi.Diffusion
+let fig15 () = perf_figure (Chem.Mech_gen.dme ()) Singe.Kernel_abi.Chemistry
+let fig16 () = perf_figure (Chem.Mech_gen.heptane ()) Singe.Kernel_abi.Chemistry
+
+let ablation_barriers () =
+  header
+    "Ablation (§6.2): named-barrier synchronization cost in DME diffusion";
+  let mech = Chem.Mech_gen.dme () in
+  List.iter
+    (fun arch ->
+      let run ~group_syncs =
+        let best = tune mech Singe.Kernel_abi.Diffusion Singe.Compile.Warp_specialized arch in
+        let options =
+          { best.Singe.Autotune.options with Singe.Compile.group_syncs }
+        in
+        let c =
+          Singe.Compile.compile mech Singe.Kernel_abi.Diffusion
+            Singe.Compile.Warp_specialized options
+        in
+        let r = Singe.Compile.run c ~total_points:32768 in
+        (r, c)
+      in
+      let grouped, cg = run ~group_syncs:true in
+      let ungrouped, cu = run ~group_syncs:false in
+      let stalls (r : Singe.Compile.run_result) =
+        let s = r.Singe.Compile.machine.Gpusim.Machine.sim in
+        s.Gpusim.Sm.counters.Gpusim.Sm.barrier_stalls
+        + s.Gpusim.Sm.counters.Gpusim.Sm.cta_barrier_stalls
+      in
+      Printf.printf
+        "%s: grouped syncs %.1f GFLOPS (%d sync points, %d warp-cycles \
+         stalled); ungrouped %.1f GFLOPS (%d sync points, %d stalled)\n%!"
+        arch.Gpusim.Arch.name
+        grouped.Singe.Compile.machine.Gpusim.Machine.gflops
+        cg.Singe.Compile.schedule.Singe.Schedule.n_sync_points
+        (stalls grouped)
+        ungrouped.Singe.Compile.machine.Gpusim.Machine.gflops
+        cu.Singe.Compile.schedule.Singe.Schedule.n_sync_points
+        (stalls ungrouped))
+    (archs ());
+  print_newline ()
+
+let ablation_exp_constants () =
+  header
+    "Ablation (§6.1): Kepler DFMA throughput with constant-cache-fed vs \
+     register-fed exponentials (DME viscosity)";
+  let mech = Chem.Mech_gen.dme () in
+  let arch = Gpusim.Arch.kepler_k20c in
+  let best = tune mech Singe.Kernel_abi.Viscosity Singe.Compile.Warp_specialized arch in
+  List.iter
+    (fun (flag, label) ->
+      let options =
+        { best.Singe.Autotune.options with Singe.Compile.exp_consts_in_registers = flag }
+      in
+      let c =
+        Singe.Compile.compile mech Singe.Kernel_abi.Viscosity
+          Singe.Compile.Warp_specialized options
+      in
+      let r = Singe.Compile.run c ~total_points:32768 in
+      Printf.printf "  %-22s %8.1f GFLOPS\n%!" label
+        r.Singe.Compile.machine.Gpusim.Machine.gflops)
+    [ (false, "constant-cache-fed"); (true, "register-fed") ];
+  print_newline ()
+
+
+let ablation_chem_comm () =
+  header
+    "Ablation: chemistry communication policy (staged / mixed / recompute), \
+     32^3 points";
+  List.iter
+    (fun (mech_name, mech) ->
+      List.iter
+        (fun arch ->
+          let best =
+            tune mech Singe.Kernel_abi.Chemistry Singe.Compile.Warp_specialized
+              arch
+          in
+          Printf.printf "%s chemistry on %s (autotuned: %d warps):\n" mech_name
+            arch.Gpusim.Arch.name
+            best.Singe.Autotune.options.Singe.Compile.n_warps;
+          List.iter
+            (fun (comm, label) ->
+              let options =
+                { best.Singe.Autotune.options with Singe.Compile.chem_comm = Some comm }
+              in
+              match
+                let c =
+                  Singe.Compile.compile mech Singe.Kernel_abi.Chemistry
+                    Singe.Compile.Warp_specialized options
+                in
+                (c, Singe.Compile.run c ~total_points:32768)
+              with
+              | c, r ->
+                  let p = c.Singe.Compile.lowered.Singe.Lower.program in
+                  Printf.printf
+                    "  %-10s %10.3e points/s, %5.1f KB shared, %5d B spilled\n%!"
+                    label
+                    r.Singe.Compile.machine.Gpusim.Machine.points_per_sec
+                    (float_of_int (p.Gpusim.Isa.shared_doubles * 8) /. 1024.)
+                    c.Singe.Compile.lowered.Singe.Lower.spill_bytes_per_thread
+              | exception Failure msg ->
+                  Printf.printf "  %-10s does not fit (%s)\n%!" label msg)
+            [
+              (Singe.Compile.Chem_staged, "staged");
+              (Singe.Compile.Chem_mixed, "mixed");
+              (Singe.Compile.Chem_recompute, "recompute");
+            ])
+        (archs ()))
+    [ ("dme", Chem.Mech_gen.dme ()) ];
+  print_newline ()
+
+let ablation_weights () =
+  header
+    "Ablation: domain hints vs greedy mapping weights (DME viscosity on \
+     Kepler). The DSL's partitioning hints pin the mapping; without them \
+     the greedy assignment must rediscover the structure from its \
+     FLOP/register/locality weights alone.";
+  let mech = Chem.Mech_gen.dme () in
+  let arch = Gpusim.Arch.kepler_k20c in
+  let best = tune mech Singe.Kernel_abi.Viscosity Singe.Compile.Warp_specialized arch in
+  (let r = Singe.Compile.run best.Singe.Autotune.compiled ~total_points:32768 in
+   Printf.printf "  %-28s %8.3e points/s\n%!" "domain hints (the DSL)"
+     r.Singe.Compile.machine.Gpusim.Machine.points_per_sec);
+  List.iter
+    (fun (weights, label) ->
+      (* Hints pin most of the viscosity mapping; drop them so the greedy
+         weights actually decide the assignment. *)
+      let options =
+        { best.Singe.Autotune.options with
+          Singe.Compile.weights;
+          respect_hints = false }
+      in
+      match
+        let c =
+          Singe.Compile.compile mech Singe.Kernel_abi.Viscosity
+            Singe.Compile.Warp_specialized options
+        in
+        (c, Singe.Compile.run c ~total_points:32768)
+      with
+      | c, r ->
+          let imb =
+            let loads =
+              Singe.Mapping.warp_flops c.Singe.Compile.dfg c.Singe.Compile.mapping
+            in
+            let mx = Array.fold_left max 0 loads
+            and mn = Array.fold_left min max_int loads in
+            float_of_int mx /. float_of_int (max 1 mn)
+          in
+          Printf.printf "  %-28s %8.3e points/s  (max/min warp FLOPs %.2f)\n%!"
+            label r.Singe.Compile.machine.Gpusim.Machine.points_per_sec imb
+      | exception Failure msg ->
+          Printf.printf "  %-28s does not fit (%s)\n%!" label msg)
+    [
+      (Singe.Mapping.default_weights, "default (1.0/0.25/0.5)");
+      ({ Singe.Mapping.w_flops = 1.0; w_regs = 0.0; w_locality = 0.0 }, "flops only");
+      ({ Singe.Mapping.w_flops = 0.0; w_regs = 1.0; w_locality = 0.0 }, "registers only");
+      ({ Singe.Mapping.w_flops = 0.0; w_regs = 0.0; w_locality = 1.0 }, "locality only");
+      ({ Singe.Mapping.w_flops = 1.0; w_regs = 1.0; w_locality = 1.0 }, "uniform");
+    ];
+  print_newline ()
+
+let ablation_batches () =
+  header
+    "Ablation (§6.2): constant-load amortization across streaming batches \
+     (DME diffusion on Kepler)";
+  let mech = Chem.Mech_gen.dme () in
+  let arch = Gpusim.Arch.kepler_k20c in
+  let best = tune mech Singe.Kernel_abi.Diffusion Singe.Compile.Warp_specialized arch in
+  List.iter
+    (fun points ->
+      let r =
+        Singe.Compile.run best.Singe.Autotune.compiled ~total_points:points
+      in
+      Printf.printf "  %8d points: %10.3e points/s (%5.1f GFLOPS)\n%!" points
+        r.Singe.Compile.machine.Gpusim.Machine.points_per_sec
+        r.Singe.Compile.machine.Gpusim.Machine.gflops)
+    [ 416; 832; 1664; 3328; 6656; 13312; 32768; 262144 ];
+  print_newline ()
+
+let all () =
+  fig3 ();
+  fig9 ();
+  fig10 ();
+  fig11 ();
+  fig12 ();
+  fig13 ();
+  fig14 ();
+  fig15 ();
+  fig16 ();
+  ablation_barriers ();
+  ablation_exp_constants ();
+  ablation_chem_comm ();
+  ablation_weights ();
+  ablation_batches ()

@@ -1,0 +1,76 @@
+(** Reproduction harness: one entry point per table and figure of the
+    paper (see DESIGN.md's experiment index). Each prints the same rows or
+    series the paper reports, on stdout.
+
+    Simulated numbers are deterministic, so the paper's twenty-iteration
+    harmonic mean collapses to a single run. Absolute magnitudes depend on
+    the simulator calibration (see {!Gpusim.Arch}); the comparisons the
+    paper argues from — who wins, by what factor, where crossovers fall —
+    are the reproduction target (EXPERIMENTS.md records both sides). *)
+
+val fast : unit -> bool
+(** True when the [SINGE_FAST] environment variable is set: smaller sweeps
+    for CI-style runs. *)
+
+val fig3 : unit -> unit
+(** Mechanism characteristics table (reactions / species / QSSA / stiff). *)
+
+val fig9 : unit -> unit
+(** Naive vs overlaid warp-specialized code generation: DME viscosity on
+    Kepler over a range of warps per CTA (the instruction-cache cliff). *)
+
+val fig10 : unit -> unit
+(** Constant registers per thread on Kepler, per mechanism and kernel. *)
+
+val perf_figure :
+  Chem.Mechanism.t -> Singe.Kernel_abi.kernel -> unit
+(** Figures 11-16: throughput of the autotuned baseline and
+    warp-specialized kernels on both architectures at 32^3 / 64^3 / 128^3,
+    with the sustained GFLOPS (§6.1/6.2) and spill bytes (§6.3) the paper
+    quotes in the text. *)
+
+val fig11 : unit -> unit
+(** DME viscosity *)
+
+val fig12 : unit -> unit
+(** heptane viscosity *)
+
+val fig13 : unit -> unit
+(** DME diffusion *)
+
+val fig14 : unit -> unit
+(** heptane diffusion *)
+
+val fig15 : unit -> unit
+(** DME chemistry *)
+
+val fig16 : unit -> unit
+(** heptane chemistry *)
+
+val ablation_barriers : unit -> unit
+(** §6.2: cost of named-barrier synchronization in the diffusion kernel —
+    grouped sync points vs one barrier per edge, and the CTA-barrier
+    epochs' share of runtime. *)
+
+val ablation_exp_constants : unit -> unit
+(** §6.1: the constant-cache-fed DFMA ceiling — viscosity with the
+    exponential's polynomial constants read from the constant cache vs
+    held in registers (the paper's deliberately-incorrect probe, here
+    implemented losslessly). *)
+
+val ablation_chem_comm : unit -> unit
+(** Chemistry communication-policy ablation: species vectors staged through
+    shared memory vs redundantly recomputed per consumer warp vs the mixed
+    policy — throughput, shared footprint and spill bytes. *)
+
+val ablation_weights : unit -> unit
+(** Mapping-weight sweep: how the FLOP / register / locality weights of the
+    greedy warp assignment trade balance for locality. *)
+
+val ablation_batches : unit -> unit
+(** §6.2: constant-load amortization — throughput versus grid size as the
+    per-CTA constant-loading prologue is amortized over more streaming
+    batches. *)
+
+val all : unit -> unit
+(** Every table, figure and ablation in order. *)

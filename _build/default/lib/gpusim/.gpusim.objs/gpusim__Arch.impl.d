@@ -1,0 +1,1 @@
+lib/gpusim/arch.ml: Format String

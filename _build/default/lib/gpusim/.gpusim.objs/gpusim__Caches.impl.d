@@ -1,0 +1,1 @@
+lib/gpusim/caches.ml: Arch Array

@@ -1,0 +1,1 @@
+lib/gpusim/isa_stats.ml: Arch Array Format Isa List

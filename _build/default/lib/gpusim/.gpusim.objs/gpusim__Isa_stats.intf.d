@@ -1,0 +1,1 @@
+lib/gpusim/isa_stats.mli: Arch Format Isa

@@ -1,0 +1,1 @@
+lib/gpusim/isa_text.ml: Array Buffer Int64 Isa List Printf String

@@ -1,0 +1,1 @@
+lib/gpusim/isa_text.mli: Isa

@@ -1,0 +1,1 @@
+lib/gpusim/machine.ml: Arch Array Float Isa List Memstate Printf Sm Trace

@@ -1,0 +1,1 @@
+lib/gpusim/roofline.ml: Arch Array Format Fun Isa List Machine

@@ -1,0 +1,1 @@
+lib/gpusim/roofline.mli: Arch Format Isa Machine

@@ -1,0 +1,1 @@
+lib/gpusim/sm.ml: Arch Array Buffer Caches Float Isa List Memstate Printf Trace

@@ -1,0 +1,1 @@
+lib/gpusim/sm.mli: Arch Caches Isa Memstate Trace

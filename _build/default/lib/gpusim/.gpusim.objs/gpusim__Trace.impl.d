@@ -1,0 +1,1 @@
+lib/gpusim/trace.ml: Arch Array Fun Hashtbl Isa List

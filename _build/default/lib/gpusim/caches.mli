@@ -1,0 +1,46 @@
+(** Instruction- and constant-cache models.
+
+    The instruction cache combines a set-associative line cache with a
+    small number of sequential prefetch streams. This reproduces the two
+    empirical rules of §5.1: a few concurrent instruction streams of any
+    length run at full speed (the prefetcher tracks them), and many short
+    divergent regions are fine once resident (capacity), but many {e long}
+    divergent paths thrash — the Fig. 9 cliff at six naive warp code
+    paths. *)
+
+module Icache : sig
+  type t
+
+  type stats = {
+    mutable hits : int;
+    mutable stream_hits : int;  (** misses absorbed by a prefetch stream *)
+    mutable misses : int;  (** full-latency misses *)
+  }
+
+  val create : Arch.t -> t
+
+  val access : t -> now:int -> line:int -> int
+  (** [access t ~now ~line] returns the stall in cycles for fetching the
+      given code line: 0 on a resident hit, the remaining fill time when
+      the line is still in flight (followers of the missing warp also
+      wait), a small catch-up cost when a prefetch stream covers the line,
+      the full miss latency otherwise. *)
+
+  val stats : t -> stats
+  val line_of_addr : Arch.t -> int -> int
+end
+
+module Ccache : sig
+  type t
+
+  type stats = { mutable hits : int; mutable misses : int }
+
+  val create : Arch.t -> t
+
+  val access : t -> now:int -> slot:int -> int
+  (** Stall cycles for reading the given 8-byte constant slot: 0 on a
+      resident hit, the remaining fill time while the line is in flight,
+      the full global latency on a miss. *)
+
+  val stats : t -> stats
+end

@@ -1,0 +1,47 @@
+(** Textual assembly for {!Isa.program}: a SASS-like, line-oriented format
+    that round-trips exactly.
+
+    Uses: inspecting generated code ([singe_cli compile --dump] prints the
+    same syntax via {!Isa.pp_block}), diffing two compilations, writing
+    small kernels by hand for simulator tests, and the round-trip property
+    tests.
+
+    Format sketch:
+    {v
+    .program dme-viscosity-ws6
+    .warps 6 .fregs 24 .iregs 3 .shared 1296 .local 0 .barriers 4
+    .pointmap coop
+    .group temperature 1
+    ...
+    .bank w0 l0 = 0x3FF0000000000000 ...
+    .param w0 l0 = 3 17
+    .constmem = 0x4008000000000000 ...
+    .prologue {
+      ld.cb f0, 0
+    }
+    .body {
+      ld.g f1, g0.f0
+      fma f2, f1, c[3], imm(0x3FE0000000000000)
+      if 0x0f {
+        st.s [128+32w+1l], f2 @l<4
+      }
+      switch {
+        warp 0 { bar.arr 2, 3 }
+        warp 1 { bar.sync 2, 3 }
+      }
+      st.g f2, g4.f0
+      bar.cta
+    }
+    v}
+
+    Floats serialize as hexadecimal bit patterns, so round-trips are exact
+    (a human-readable decimal appears in a trailing comment). *)
+
+val emit : Isa.program -> string
+(** Full textual form, parseable by {!parse}. *)
+
+val parse : string -> (Isa.program, string) result
+(** Inverse of {!emit}; errors carry a line number and message. *)
+
+val emit_block : Isa.block -> string
+(** Just a code block (not parseable on its own — no header). *)

@@ -1,0 +1,61 @@
+(** Whole-GPU kernel launches on top of the single-SM simulator.
+
+    Occupancy is computed exactly as on the real hardware: resident CTAs
+    per SM are limited by register-file capacity (the *maximum* per-warp
+    register demand governs the whole kernel — §4.1's register-balance
+    metric exists because of this), shared memory, warp slots, CTA slots,
+    and named barriers (16 per SM divided by barriers per CTA, the
+    footnote of §4.2).
+
+    One SM with its resident CTAs is simulated cycle-accurately; the
+    launch's remaining CTAs are accounted by wave scaling (all SMs run
+    identical independent work). *)
+
+type launch = {
+  program : Isa.program;
+  total_points : int;  (** logical problem size, e.g. 128^3 *)
+  ctas : int;  (** CTAs in the launch grid *)
+}
+
+type occupancy = {
+  resident_ctas : int;
+  limited_by : string;  (** which resource capped residency *)
+  warps_per_sm : int;
+}
+
+val occupancy : Arch.t -> Isa.program -> occupancy
+(** Raises [Failure] if even a single CTA does not fit (e.g. register
+    demand above the per-thread maximum — the spilling warning of §4.1
+    should have fired instead). *)
+
+val points_per_cta : launch -> int
+
+val batches_per_cta : launch -> int
+(** [Coop] kernels: 32 points per batch; [Thread_per_point]: n_warps*32. *)
+
+type result = {
+  occ : occupancy;
+  waves : float;
+  sm_cycles : int;  (** simulated cycles for one SM-round *)
+  time_s : float;  (** whole-launch wall time *)
+  points_per_sec : float;
+  gflops : float;  (** SASS-style DP GFLOPS actually sustained *)
+  dram_gbs : float;  (** tex+global+local traffic *)
+  local_gbs : float;  (** spill traffic alone *)
+  sim : Sm.result;
+  mem : Memstate.t;  (** post-run memory (outputs of the simulated CTAs) *)
+  simulated_points : int;  (** grid points with valid outputs in [mem] *)
+}
+
+val run :
+  ?fill_inputs:(Memstate.t -> int -> unit) ->
+  ?max_sim_batches:int ->
+  Arch.t ->
+  launch ->
+  result
+(** [fill_inputs mem n_points] populates the input field groups before
+    simulation. Launches streaming more than [max_sim_batches] batches per
+    CTA (default 6) are extrapolated from two short simulations — cycle
+    counts are linear in the batch count, so the prologue and per-batch
+    cost are pinned exactly; functional outputs cover the simulated
+    batches. *)

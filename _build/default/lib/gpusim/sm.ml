@@ -1,0 +1,801 @@
+exception Deadlock of string
+
+type counters = {
+  mutable issued : int;
+  mutable branch_instrs : int;
+  mutable flops : int;
+  mutable dp_warp_instrs : int;
+  mutable tex_bytes : int;
+  mutable global_bytes : int;
+  mutable local_bytes : int;
+  mutable shared_accesses : int;
+  mutable bank_conflict_slots : int;
+  mutable barrier_stalls : int;
+  mutable cta_barrier_stalls : int;
+  mutable icache_stall_cycles : int;
+  mutable ccache_stall_cycles : int;
+}
+
+type result = {
+  cycles : int;
+  counters : counters;
+  icache : Caches.Icache.stats;
+  ccache : Caches.Ccache.stats;
+}
+
+type job = {
+  arch : Arch.t;
+  program : Isa.program;
+  trace : Trace.t;
+  mem : Memstate.t;
+  resident_ctas : int;
+  batches : int;
+  cta_point_base : int array;
+}
+
+type wstate = Ready | Stalled | Waiting_bar of int | Waiting_cta | Retired
+
+type warp = {
+  cta : int;
+  wid : int;
+  index : int;  (** position in the warp array *)
+  cur : Trace.cursor;
+  fregs : float array array;
+  iregs : int array array;
+  freg_ready : int array;
+  ireg_ready : int array;
+  mutable st : wstate;
+  mutable stall_until : int;
+  mutable wait_since : int;
+  mutable paid_fetch : int;
+      (** entry whose icache miss was already paid: the fill is delivered
+          to this warp's fetch even if the line is evicted meanwhile *)
+  mutable paid_const : int;  (** likewise for a constant-cache stall *)
+}
+
+type barrier = { mutable arrived : int; mutable waiters : warp list }
+
+type pipe = { mutable busy : float; rate : float }
+
+type path = { mutable drain : float; bytes_per_cycle : float }
+
+let fresh_counters () =
+  {
+    issued = 0;
+    branch_instrs = 0;
+    flops = 0;
+    dp_warp_instrs = 0;
+    tex_bytes = 0;
+    global_bytes = 0;
+    local_bytes = 0;
+    shared_accesses = 0;
+    bank_conflict_slots = 0;
+    barrier_stalls = 0;
+    cta_barrier_stalls = 0;
+    icache_stall_cycles = 0;
+    ccache_stall_cycles = 0;
+  }
+
+let active_lanes = function
+  | Some (Isa.Lane_eq _) -> 1
+  | Some (Isa.Lane_lt n) -> n
+  | None -> 32
+
+let lane_active pred lane =
+  match pred with
+  | None -> true
+  | Some (Isa.Lane_eq k) -> lane = k
+  | Some (Isa.Lane_lt k) -> lane < k
+
+let run (job : job) =
+  let arch = job.arch and p = job.program in
+  let tr = job.trace and mem = job.mem in
+  let n_warps_total = job.resident_ctas * p.Isa.n_warps in
+  let warps =
+    Array.init n_warps_total (fun i ->
+        {
+          cta = i / p.Isa.n_warps;
+          wid = i mod p.Isa.n_warps;
+          index = i;
+          cur = Trace.cursor ();
+          fregs = Array.init (max 1 p.Isa.n_fregs) (fun _ -> Array.make 32 0.0);
+          iregs = Array.init (max 1 p.Isa.n_iregs) (fun _ -> Array.make 32 0);
+          freg_ready = Array.make (max 1 p.Isa.n_fregs) 0;
+          ireg_ready = Array.make (max 1 p.Isa.n_iregs) 0;
+          st = Ready;
+          stall_until = 0;
+          wait_since = 0;
+          paid_fetch = -1;
+          paid_const = -1;
+        })
+  in
+  let bars =
+    Array.init job.resident_ctas (fun _ ->
+        Array.init arch.Arch.named_barriers_per_sm (fun _ ->
+            { arrived = 0; waiters = [] }))
+  in
+  let cta_bars =
+    Array.init job.resident_ctas (fun _ -> { arrived = 0; waiters = [] })
+  in
+  let dp = { busy = 0.0; rate = arch.Arch.dp_issue_per_cycle } in
+  let alu = { busy = 0.0; rate = arch.Arch.alu_issue_per_cycle } in
+  let lsu = { busy = 0.0; rate = 1.0 } in
+  let shared_pipe = { busy = 0.0; rate = arch.Arch.shared_issue_per_cycle } in
+  let tex = { drain = 0.0; bytes_per_cycle = arch.Arch.tex_bytes_per_cycle } in
+  let globalp = { drain = 0.0; bytes_per_cycle = arch.Arch.global_bytes_per_cycle } in
+  let localp = { drain = 0.0; bytes_per_cycle = arch.Arch.local_bytes_per_cycle } in
+  let icache = Caches.Icache.create arch in
+  let ccache = Caches.Ccache.create arch in
+  let c = fresh_counters () in
+  let now = ref 0 in
+  let live = ref n_warps_total in
+  (* --- functional helpers --- *)
+  let point_of w lane batch =
+    let base = job.cta_point_base.(w.cta) in
+    match p.Isa.point_map with
+    | Isa.Coop -> base + (batch * 32) + lane
+    | Isa.Thread_per_point ->
+        base + (batch * p.Isa.n_warps * 32) + (w.wid * 32) + lane
+  in
+  let saddr_eval (a : Isa.saddr) w lane =
+    a.Isa.s_base
+    + (a.Isa.s_warp_mul * w.wid)
+    + (a.Isa.s_lane_mul * lane)
+    + match a.Isa.s_ireg with
+      | Some r -> a.Isa.s_ireg_mul * w.iregs.(r).(lane)
+      | None -> 0
+  in
+  let src_value w lane = function
+    | Isa.Sreg r -> w.fregs.(r).(lane)
+    | Isa.Simm f -> f
+    | Isa.Sconst s -> p.Isa.const_mem.(s)
+    | Isa.Sconst_warp s -> p.Isa.const_mem.(s + w.wid)
+    | Isa.Sshared a -> mem.Memstate.shared.(w.cta).(saddr_eval a w lane)
+  in
+  let field_of w lane = function
+    | Isa.F_static f -> f
+    | Isa.F_ireg r -> w.iregs.(r).(lane)
+  in
+  let apply_fop op (s : float array) =
+    match op with
+    | Isa.Add -> s.(0) +. s.(1)
+    | Isa.Sub -> s.(0) -. s.(1)
+    | Isa.Mul -> s.(0) *. s.(1)
+    | Isa.Fma -> Float.fma s.(0) s.(1) s.(2)
+    | Isa.Div -> s.(0) /. s.(1)
+    | Isa.Sqrt -> sqrt s.(0)
+    | Isa.Exp -> exp s.(0)
+    | Isa.Log -> log s.(0)
+    | Isa.Max -> Float.max s.(0) s.(1)
+    | Isa.Min -> Float.min s.(0) s.(1)
+    | Isa.Neg -> -.s.(0)
+  in
+  (* Shared bank-conflict serialization: number of distinct addresses that
+     collide per bank (broadcast of one address is free). *)
+  let conflict_ways (a : Isa.saddr) w pred =
+    if a.Isa.s_lane_mul = 0 && a.Isa.s_ireg = None then 1
+    else begin
+      let per_bank = Array.make arch.Arch.shared_banks [] in
+      for lane = 0 to 31 do
+        if lane_active pred lane then begin
+          let addr = saddr_eval a w lane in
+          let bank = addr mod arch.Arch.shared_banks in
+          if not (List.mem addr per_bank.(bank)) then
+            per_bank.(bank) <- addr :: per_bank.(bank)
+        end
+      done;
+      Array.fold_left (fun acc l -> max acc (List.length l)) 1 per_bank
+    end
+  in
+  (* --- pipe / path helpers --- *)
+  let pipe_free pipe = pipe.busy < float_of_int !now +. 1.0 in
+  let pipe_issue pipe slots =
+    pipe.busy <- Float.max pipe.busy (float_of_int !now) +. (slots /. pipe.rate)
+  in
+  let path_transfer path bytes =
+    let transfer = float_of_int bytes /. path.bytes_per_cycle in
+    let start = Float.max path.drain (float_of_int !now) in
+    path.drain <- start +. transfer;
+    int_of_float (Float.ceil (start +. transfer)) - !now
+  in
+  (* Warp-granularity barrier release. *)
+  let release_waiters waiters kind =
+    List.iter
+      (fun w ->
+        (match kind with
+        | `Named -> c.barrier_stalls <- c.barrier_stalls + (!now - w.wait_since)
+        | `Cta -> c.cta_barrier_stalls <- c.cta_barrier_stalls + (!now - w.wait_since));
+        w.st <- Stalled;
+        w.stall_until <- !now + 5)
+      waiters
+  in
+  (* Hint for the fast-forward when nothing can issue. *)
+  let min_hint = ref max_int in
+  let hint t = if t > !now && t < !min_hint then min_hint := t in
+  let hintf t = hint (int_of_float (Float.ceil t)) in
+  (* Attempt to issue the next instruction of warp [w]; true if issued. *)
+  let try_issue w =
+    match Trace.peek tr ~warp:w.wid ~batches:job.batches w.cur with
+    | None ->
+        w.st <- Retired;
+        decr live;
+        false
+    | Some entry_id -> (
+        let entry = tr.Trace.entries.(entry_id) in
+        let batch = w.cur.Trace.batch in
+        let finish_issue () =
+          Trace.advance tr ~warp:w.wid ~batches:job.batches w.cur;
+          c.issued <- c.issued + 1
+        in
+        let fetch_ok () =
+          if w.paid_fetch = entry_id then true
+          else begin
+            let line = Caches.Icache.line_of_addr arch entry.Trace.addr in
+            let stall = Caches.Icache.access icache ~now:!now ~line in
+            if stall > 0 then begin
+              w.st <- Stalled;
+              w.stall_until <- !now + stall;
+              c.icache_stall_cycles <- c.icache_stall_cycles + stall;
+              (* The fill is delivered to this warp even if contention
+                 evicts the line before the retry. *)
+              w.paid_fetch <- entry_id;
+              false
+            end
+            else true
+          end
+        in
+        let regs_ready srcs =
+          let t = ref 0 in
+          Array.iter
+            (fun s ->
+              match s with
+              | Isa.Sreg r -> t := max !t w.freg_ready.(r)
+              | Isa.Sshared a -> (
+                  match a.Isa.s_ireg with
+                  | Some r -> t := max !t w.ireg_ready.(r)
+                  | None -> ())
+              | Isa.Simm _ | Isa.Sconst _ | Isa.Sconst_warp _ -> ())
+            srcs;
+          !t
+        in
+        let const_srcs srcs =
+          Array.exists
+            (function Isa.Sconst _ | Isa.Sconst_warp _ -> true | _ -> false)
+            srcs
+        in
+        let shared_src srcs =
+          Array.to_list srcs
+          |> List.filter_map (function Isa.Sshared a -> Some a | _ -> None)
+        in
+        let ccache_check srcs =
+          (* Probe the constant cache for every constant operand; a miss
+             stalls the warp while the line fills (paid once per entry —
+             the fill is delivered even under eviction pressure). *)
+          if w.paid_const = entry_id then true
+          else begin
+            let stall = ref 0 in
+            Array.iter
+              (fun s ->
+                match s with
+                | Isa.Sconst slot ->
+                    stall := max !stall (Caches.Ccache.access ccache ~now:!now ~slot)
+                | Isa.Sconst_warp base ->
+                    stall :=
+                      max !stall
+                        (Caches.Ccache.access ccache ~now:!now ~slot:(base + w.wid))
+                | Isa.Sreg _ | Isa.Simm _ | Isa.Sshared _ -> ())
+              srcs;
+            if !stall > 0 then begin
+              w.st <- Stalled;
+              w.stall_until <- !now + !stall;
+              c.ccache_stall_cycles <- c.ccache_stall_cycles + !stall;
+              w.paid_const <- entry_id;
+              false
+            end
+            else true
+          end
+        in
+        match entry.Trace.instr with
+        | None ->
+            (* Synthetic warp-ID branch. *)
+            if not (pipe_free alu) then begin
+              hintf alu.busy;
+              false
+            end
+            else if not (fetch_ok ()) then false
+            else begin
+              pipe_issue alu 1.0;
+              c.branch_instrs <- c.branch_instrs + 1;
+              finish_issue ();
+              true
+            end
+        | Some instr -> (
+            match instr with
+            | Isa.Arith { op; dst; srcs; pred } ->
+                let ready = regs_ready srcs in
+                if ready > !now then begin
+                  hint ready;
+                  false
+                end
+                else if not (pipe_free dp) then begin
+                  hintf dp.busy;
+                  false
+                end
+                else begin
+                  let shared_ops = shared_src srcs in
+                  let collector = arch.Arch.shared_operand_collector in
+                  let shared_ok =
+                    shared_ops = [] || collector || pipe_free shared_pipe
+                  in
+                  if not shared_ok then begin
+                    hintf shared_pipe.busy;
+                    false
+                  end
+                  else if not (ccache_check srcs) then false
+                  else if not (fetch_ok ()) then false
+                  else begin
+                    let penalty =
+                      if
+                        const_srcs srcs
+                        || ((op = Isa.Exp || op = Isa.Log)
+                           && not p.Isa.exp_consts_in_registers)
+                      then arch.Arch.const_operand_penalty
+                      else 1.0
+                    in
+                    pipe_issue dp (Isa.fop_dp_slots op *. penalty);
+                    c.dp_warp_instrs <- c.dp_warp_instrs + 1;
+                    let lat_mult =
+                      match op with
+                      | Isa.Div | Isa.Sqrt -> 3
+                      | Isa.Exp | Isa.Log -> 5
+                      | _ -> 1
+                    in
+                    let extra = ref 0 in
+                    List.iter
+                      (fun a ->
+                        let ways = conflict_ways a w pred in
+                        c.shared_accesses <- c.shared_accesses + 1;
+                        c.bank_conflict_slots <- c.bank_conflict_slots + ways - 1;
+                        if not collector then
+                          pipe_issue shared_pipe (float_of_int ways);
+                        extra := arch.Arch.shared_latency)
+                      shared_ops;
+                    w.freg_ready.(dst) <-
+                      !now + (arch.Arch.arith_latency * lat_mult) + !extra;
+                    (* Functional execution at issue. *)
+                    let n_src = Array.length srcs in
+                    let vals = Array.make n_src 0.0 in
+                    for lane = 0 to 31 do
+                      if lane_active pred lane then begin
+                        for k = 0 to n_src - 1 do
+                          vals.(k) <- src_value w lane srcs.(k)
+                        done;
+                        w.fregs.(dst).(lane) <- apply_fop op vals
+                      end
+                    done;
+                    c.flops <- c.flops + (Isa.fop_flops op * active_lanes pred);
+                    finish_issue ();
+                    true
+                  end
+                end
+            | Isa.Mov { dst; src; pred } ->
+                let srcs = [| src |] in
+                let ready = regs_ready srcs in
+                if ready > !now then begin
+                  hint ready;
+                  false
+                end
+                else if not (pipe_free alu) then begin
+                  hintf alu.busy;
+                  false
+                end
+                else if not (ccache_check srcs) then false
+                else if not (fetch_ok ()) then false
+                else begin
+                  pipe_issue alu 1.0;
+                  let extra = ref 0 in
+                  (match src with
+                  | Isa.Sshared a ->
+                      let ways = conflict_ways a w pred in
+                      c.shared_accesses <- c.shared_accesses + 1;
+                      c.bank_conflict_slots <- c.bank_conflict_slots + ways - 1;
+                      pipe_issue shared_pipe (float_of_int ways);
+                      extra := arch.Arch.shared_latency
+                  | _ -> ());
+                  w.freg_ready.(dst) <- !now + arch.Arch.arith_latency + !extra;
+                  for lane = 0 to 31 do
+                    if lane_active pred lane then
+                      w.fregs.(dst).(lane) <- src_value w lane src
+                  done;
+                  finish_issue ();
+                  true
+                end
+            | Isa.Ld_global { dst; group; field; via_tex; pred } ->
+                if not (pipe_free lsu) then begin
+                  hintf lsu.busy;
+                  false
+                end
+                else if not (fetch_ok ()) then false
+                else begin
+                  pipe_issue lsu 1.0;
+                  let path = if via_tex && arch.Arch.has_ldg then tex else globalp in
+                  let bytes = 8 * 32 in
+                  (if via_tex && arch.Arch.has_ldg then
+                     c.tex_bytes <- c.tex_bytes + bytes
+                   else c.global_bytes <- c.global_bytes + bytes);
+                  let done_in = path_transfer path bytes in
+                  w.freg_ready.(dst) <-
+                    !now + arch.Arch.global_latency + done_in;
+                  for lane = 0 to 31 do
+                    if lane_active pred lane then begin
+                      let f = field_of w lane field in
+                      let pt = point_of w lane batch in
+                      w.fregs.(dst).(lane) <-
+                        mem.Memstate.globals.(group).(f).(pt)
+                    end
+                  done;
+                  finish_issue ();
+                  true
+                end
+            | Isa.St_global { src; group; field; pred } ->
+                let srcs = [| src |] in
+                let ready = regs_ready srcs in
+                if ready > !now then begin
+                  hint ready;
+                  false
+                end
+                else if not (pipe_free lsu) then begin
+                  hintf lsu.busy;
+                  false
+                end
+                else if not (fetch_ok ()) then false
+                else begin
+                  pipe_issue lsu 1.0;
+                  let bytes = 8 * active_lanes pred in
+                  c.global_bytes <- c.global_bytes + bytes;
+                  ignore (path_transfer globalp bytes);
+                  for lane = 0 to 31 do
+                    if lane_active pred lane then begin
+                      let f = field_of w lane field in
+                      let pt = point_of w lane batch in
+                      mem.Memstate.globals.(group).(f).(pt) <-
+                        src_value w lane src
+                    end
+                  done;
+                  finish_issue ();
+                  true
+                end
+            | Isa.Ld_shared { dst; addr; pred } ->
+                let ready =
+                  match addr.Isa.s_ireg with
+                  | Some r -> w.ireg_ready.(r)
+                  | None -> 0
+                in
+                if ready > !now then begin
+                  hint ready;
+                  false
+                end
+                else if not (pipe_free lsu && pipe_free shared_pipe) then begin
+                  hintf (Float.max lsu.busy shared_pipe.busy);
+                  false
+                end
+                else if not (fetch_ok ()) then false
+                else begin
+                  pipe_issue lsu 1.0;
+                  let ways = conflict_ways addr w pred in
+                  c.shared_accesses <- c.shared_accesses + 1;
+                  c.bank_conflict_slots <- c.bank_conflict_slots + ways - 1;
+                  pipe_issue shared_pipe (float_of_int ways);
+                  w.freg_ready.(dst) <- !now + arch.Arch.shared_latency;
+                  for lane = 0 to 31 do
+                    if lane_active pred lane then
+                      w.fregs.(dst).(lane) <-
+                        mem.Memstate.shared.(w.cta).(saddr_eval addr w lane)
+                  done;
+                  finish_issue ();
+                  true
+                end
+            | Isa.St_shared { src; addr; pred } ->
+                let srcs = [| src |] in
+                let ready =
+                  max (regs_ready srcs)
+                    (match addr.Isa.s_ireg with
+                    | Some r -> w.ireg_ready.(r)
+                    | None -> 0)
+                in
+                if ready > !now then begin
+                  hint ready;
+                  false
+                end
+                else if not (pipe_free lsu && pipe_free shared_pipe) then begin
+                  hintf (Float.max lsu.busy shared_pipe.busy);
+                  false
+                end
+                else if not (fetch_ok ()) then false
+                else begin
+                  pipe_issue lsu 1.0;
+                  let ways = conflict_ways addr w pred in
+                  c.shared_accesses <- c.shared_accesses + 1;
+                  c.bank_conflict_slots <- c.bank_conflict_slots + ways - 1;
+                  pipe_issue shared_pipe (float_of_int ways);
+                  for lane = 0 to 31 do
+                    if lane_active pred lane then
+                      mem.Memstate.shared.(w.cta).(saddr_eval addr w lane) <-
+                        src_value w lane src
+                  done;
+                  finish_issue ();
+                  true
+                end
+            | Isa.Ld_local { dst; slot } ->
+                if not (pipe_free lsu) then begin
+                  hintf lsu.busy;
+                  false
+                end
+                else if not (fetch_ok ()) then false
+                else begin
+                  pipe_issue lsu 1.0;
+                  let bytes = 8 * 32 in
+                  c.local_bytes <- c.local_bytes + bytes;
+                  let done_in = path_transfer localp bytes in
+                  w.freg_ready.(dst) <- !now + arch.Arch.global_latency + done_in;
+                  for lane = 0 to 31 do
+                    let idx =
+                      (((w.wid * 32) + lane) * p.Isa.local_doubles) + slot
+                    in
+                    w.fregs.(dst).(lane) <- mem.Memstate.local.(w.cta).(idx)
+                  done;
+                  finish_issue ();
+                  true
+                end
+            | Isa.St_local { src; slot } ->
+                if w.freg_ready.(src) > !now then begin
+                  hint w.freg_ready.(src);
+                  false
+                end
+                else if not (pipe_free lsu) then begin
+                  hintf lsu.busy;
+                  false
+                end
+                else if not (fetch_ok ()) then false
+                else begin
+                  pipe_issue lsu 1.0;
+                  let bytes = 8 * 32 in
+                  c.local_bytes <- c.local_bytes + bytes;
+                  ignore (path_transfer localp bytes);
+                  for lane = 0 to 31 do
+                    let idx =
+                      (((w.wid * 32) + lane) * p.Isa.local_doubles) + slot
+                    in
+                    mem.Memstate.local.(w.cta).(idx) <- w.fregs.(src).(lane)
+                  done;
+                  finish_issue ();
+                  true
+                end
+            | Isa.Ld_const_bank { dst; slot } ->
+                if not (pipe_free lsu) then begin
+                  hintf lsu.busy;
+                  false
+                end
+                else if not (fetch_ok ()) then false
+                else begin
+                  pipe_issue lsu 1.0;
+                  let path = if arch.Arch.has_ldg then tex else globalp in
+                  let bytes = 8 * 32 in
+                  (if arch.Arch.has_ldg then c.tex_bytes <- c.tex_bytes + bytes
+                   else c.global_bytes <- c.global_bytes + bytes);
+                  let done_in = path_transfer path bytes in
+                  w.freg_ready.(dst) <- !now + arch.Arch.global_latency + done_in;
+                  for lane = 0 to 31 do
+                    w.fregs.(dst).(lane) <- p.Isa.const_bank.(w.wid).(lane).(slot)
+                  done;
+                  finish_issue ();
+                  true
+                end
+            | Isa.Ld_param { dst_i; slot } ->
+                if not (pipe_free lsu) then begin
+                  hintf lsu.busy;
+                  false
+                end
+                else if not (fetch_ok ()) then false
+                else begin
+                  pipe_issue lsu 1.0;
+                  let path = if arch.Arch.has_ldg then tex else globalp in
+                  let bytes = 4 * 32 in
+                  (if arch.Arch.has_ldg then c.tex_bytes <- c.tex_bytes + bytes
+                   else c.global_bytes <- c.global_bytes + bytes);
+                  let done_in = path_transfer path bytes in
+                  w.ireg_ready.(dst_i) <- !now + arch.Arch.global_latency + done_in;
+                  for lane = 0 to 31 do
+                    w.iregs.(dst_i).(lane) <- p.Isa.param_bank.(w.wid).(lane).(slot)
+                  done;
+                  finish_issue ();
+                  true
+                end
+            | Isa.Shfl { dst; src; lane } ->
+                if w.freg_ready.(src) > !now then begin
+                  hint w.freg_ready.(src);
+                  false
+                end
+                else if not (pipe_free alu) then begin
+                  hintf alu.busy;
+                  false
+                end
+                else if not (fetch_ok ()) then false
+                else begin
+                  pipe_issue alu 2.0 (* two 32-bit shuffles per double *);
+                  w.freg_ready.(dst) <- !now + arch.Arch.arith_latency;
+                  let v = w.fregs.(src).(lane) in
+                  for l = 0 to 31 do
+                    w.fregs.(dst).(l) <- v
+                  done;
+                  finish_issue ();
+                  true
+                end
+            | Isa.Ishfl { dst_i; src_i; lane } ->
+                if w.ireg_ready.(src_i) > !now then begin
+                  hint w.ireg_ready.(src_i);
+                  false
+                end
+                else if not (pipe_free alu) then begin
+                  hintf alu.busy;
+                  false
+                end
+                else if not (fetch_ok ()) then false
+                else begin
+                  pipe_issue alu 1.0;
+                  w.ireg_ready.(dst_i) <- !now + arch.Arch.arith_latency;
+                  let v = w.iregs.(src_i).(lane) in
+                  for l = 0 to 31 do
+                    w.iregs.(dst_i).(l) <- v
+                  done;
+                  finish_issue ();
+                  true
+                end
+            | Isa.Bar_arrive { bar; count } ->
+                if not (pipe_free alu) then begin
+                  hintf alu.busy;
+                  false
+                end
+                else if not (fetch_ok ()) then false
+                else begin
+                  pipe_issue alu 1.0;
+                  let b = bars.(w.cta).(bar) in
+                  b.arrived <- b.arrived + 1;
+                  if b.arrived >= count then begin
+                    b.arrived <- b.arrived - count;
+                    release_waiters b.waiters `Named;
+                    b.waiters <- []
+                  end;
+                  finish_issue ();
+                  true
+                end
+            | Isa.Bar_sync { bar; count } ->
+                if not (pipe_free alu) then begin
+                  hintf alu.busy;
+                  false
+                end
+                else if not (fetch_ok ()) then false
+                else begin
+                  pipe_issue alu 1.0;
+                  let b = bars.(w.cta).(bar) in
+                  b.arrived <- b.arrived + 1;
+                  finish_issue ();
+                  if b.arrived >= count then begin
+                    b.arrived <- b.arrived - count;
+                    release_waiters b.waiters `Named;
+                    b.waiters <- []
+                  end
+                  else begin
+                    w.st <- Waiting_bar bar;
+                    w.wait_since <- !now;
+                    b.waiters <- w :: b.waiters
+                  end;
+                  true
+                end
+            | Isa.Bar_cta ->
+                if not (pipe_free alu) then begin
+                  hintf alu.busy;
+                  false
+                end
+                else if not (fetch_ok ()) then false
+                else begin
+                  pipe_issue alu 1.0;
+                  let b = cta_bars.(w.cta) in
+                  b.arrived <- b.arrived + 1;
+                  finish_issue ();
+                  if b.arrived >= p.Isa.n_warps then begin
+                    b.arrived <- 0;
+                    release_waiters b.waiters `Cta;
+                    b.waiters <- []
+                  end
+                  else begin
+                    w.st <- Waiting_cta;
+                    w.wait_since <- !now;
+                    b.waiters <- w :: b.waiters
+                  end;
+                  true
+                end))
+  in
+  (* --- main scheduling loop --- *)
+  let rr = ref 0 in
+  let idle_streak = ref 0 in
+  while !live > 0 do
+    min_hint := max_int;
+    let issued_this_cycle = ref 0 in
+    let k = ref 0 in
+    while !issued_this_cycle < arch.Arch.schedulers && !k < n_warps_total do
+      let w = warps.((!rr + !k) mod n_warps_total) in
+      (match w.st with
+      | Stalled -> if w.stall_until <= !now then w.st <- Ready else hint w.stall_until
+      | Ready | Waiting_bar _ | Waiting_cta | Retired -> ());
+      (match w.st with
+      | Ready ->
+          if try_issue w then begin
+            incr issued_this_cycle;
+            rr := w.index + 1
+          end
+      | Stalled | Waiting_bar _ | Waiting_cta | Retired -> ());
+      incr k
+    done;
+    if !issued_this_cycle = 0 then begin
+      incr idle_streak;
+      (* Deadlock: every live warp is parked on a barrier with no pending
+         releases possible. *)
+      let all_on_barriers =
+        Array.for_all
+          (fun w ->
+            match w.st with
+            | Waiting_bar _ | Waiting_cta | Retired -> true
+            | Ready | Stalled -> false)
+          warps
+      in
+      if all_on_barriers && !live > 0 then begin
+        let buf = Buffer.create 256 in
+        Array.iter
+          (fun w ->
+            match w.st with
+            | Waiting_bar b ->
+                Buffer.add_string buf
+                  (Printf.sprintf "cta %d warp %d waits on named barrier %d\n"
+                     w.cta w.wid b)
+            | Waiting_cta ->
+                Buffer.add_string buf
+                  (Printf.sprintf "cta %d warp %d waits on the CTA barrier\n"
+                     w.cta w.wid)
+            | Ready | Stalled | Retired -> ())
+          warps;
+        raise (Deadlock (Buffer.contents buf))
+      end;
+      if !idle_streak > 1_000_000 then begin
+        let buf = Buffer.create 256 in
+        Buffer.add_string buf
+          (Printf.sprintf "simulator made no progress for 1M cycles (now=%d, hint=%d)\n"
+             !now !min_hint);
+        Array.iter
+          (fun w ->
+            Buffer.add_string buf
+              (Printf.sprintf "cta %d warp %d: %s stall_until=%d pos=%d/%d batch=%d\n"
+                 w.cta w.wid
+                 (match w.st with
+                 | Ready -> "ready" | Stalled -> "stalled"
+                 | Waiting_bar b -> Printf.sprintf "bar%d" b
+                 | Waiting_cta -> "cta" | Retired -> "retired")
+                 w.stall_until w.cur.Trace.pos
+                 (Array.length tr.Trace.body.(w.wid))
+                 w.cur.Trace.batch))
+          warps;
+        raise (Deadlock (Buffer.contents buf))
+      end;
+      now := if !min_hint = max_int then !now + 1 else max (!now + 1) !min_hint
+    end
+    else begin
+      idle_streak := 0;
+      incr now
+    end
+  done;
+  {
+    cycles = !now;
+    counters = c;
+    icache = Caches.Icache.stats icache;
+    ccache = Caches.Ccache.stats ccache;
+  }

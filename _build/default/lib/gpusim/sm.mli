@@ -1,0 +1,57 @@
+(** Cycle-level simulation of one streaming multiprocessor.
+
+    Executes the per-warp traces of every resident CTA under a
+    greedy-then-oldest multi-warp scheduler with:
+    {ul
+    {- a register scoreboard (per-register availability cycles);}
+    {- throughput-limited pipes: double-precision (0.5 or 2 warp
+       instructions per cycle), ALU/branch/shuffle, load-store, shared
+       memory with bank-conflict serialization;}
+    {- bandwidth-limited memory paths (texture, global, local/spill), each
+       a drain-rate queue plus latency;}
+    {- the instruction cache and constant cache of {!Caches};}
+    {- 16 named barriers per CTA with arrive/sync semantics and exact
+       deadlock detection (a cycle in which every live warp waits on a
+       barrier raises {!Deadlock}).}}
+
+    Instructions are executed functionally at issue; the scoreboard
+    prevents premature reads, so results equal a sequential execution. *)
+
+exception Deadlock of string
+
+type counters = {
+  mutable issued : int;
+  mutable branch_instrs : int;
+  mutable flops : int;  (** per-lane FLOPs, SASS-style counting *)
+  mutable dp_warp_instrs : int;
+  mutable tex_bytes : int;
+  mutable global_bytes : int;
+  mutable local_bytes : int;  (** spill traffic *)
+  mutable shared_accesses : int;
+  mutable bank_conflict_slots : int;
+  mutable barrier_stalls : int;  (** warp-cycles blocked on named barriers *)
+  mutable cta_barrier_stalls : int;
+  mutable icache_stall_cycles : int;
+  mutable ccache_stall_cycles : int;
+}
+
+type result = {
+  cycles : int;
+  counters : counters;
+  icache : Caches.Icache.stats;
+  ccache : Caches.Ccache.stats;
+}
+
+type job = {
+  arch : Arch.t;
+  program : Isa.program;
+  trace : Trace.t;
+  mem : Memstate.t;
+  resident_ctas : int;
+  batches : int;  (** point batches per CTA *)
+  cta_point_base : int array;  (** first grid point of each resident CTA *)
+}
+
+val run : job -> result
+(** Simulates until every warp of every resident CTA retires; [job.mem] is
+    mutated with the kernel's global stores. *)

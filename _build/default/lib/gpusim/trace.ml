@@ -1,0 +1,118 @@
+type entry = { instr : Isa.instr option; addr : int }
+
+type t = {
+  entries : entry array;
+  prologue : int array array;
+  body : int array array;
+  code_bytes : int;
+}
+
+let flatten (arch : Arch.t) (p : Isa.program) =
+  let entries = ref [] in
+  let n_entries = ref 0 in
+  let addr = ref 0 in
+  let push instr bytes =
+    let id = !n_entries in
+    entries := { instr; addr = !addr } :: !entries;
+    incr n_entries;
+    addr := !addr + bytes;
+    id
+  in
+  let traces = Array.make p.Isa.n_warps [] in
+  let add_to warps id =
+    List.iter (fun w -> traces.(w) <- id :: traces.(w)) warps
+  in
+  let rec walk warps block =
+    match block with
+    | Isa.Instrs l ->
+        List.iter
+          (fun i -> add_to warps (push (Some i) (Isa.static_bytes arch i)))
+          l
+    | Isa.Seq bs -> List.iter (walk warps) bs
+    | Isa.If_warps { mask; body } ->
+        (* Every arriving warp executes the branch test. *)
+        add_to warps (push None arch.Arch.instr_bytes);
+        let inside = List.filter (fun w -> mask land (1 lsl w) <> 0) warps in
+        walk inside body
+    | Isa.Switch_warp bodies ->
+        add_to warps (push None arch.Arch.instr_bytes);
+        Array.iteri
+          (fun w b ->
+            if List.mem w warps then walk [ w ] b
+            else
+              (* Code for absent warps still occupies address space. *)
+              walk [] b)
+          bodies
+  in
+  let all = List.init p.Isa.n_warps Fun.id in
+  walk all p.Isa.prologue;
+  let pro_marks = Array.map List.length traces in
+  walk all p.Isa.body;
+  let entries = Array.of_list (List.rev !entries) in
+  let split w =
+    let full = Array.of_list (List.rev traces.(w)) in
+    let n_pro = pro_marks.(w) in
+    ( Array.sub full 0 n_pro,
+      Array.sub full n_pro (Array.length full - n_pro) )
+  in
+  let per_warp = Array.init p.Isa.n_warps split in
+  {
+    entries;
+    prologue = Array.map fst per_warp;
+    body = Array.map snd per_warp;
+    code_bytes = !addr;
+  }
+
+let body_footprint_bytes t ~warp =
+  let lines = Hashtbl.create 64 in
+  let bytes = ref 0 in
+  Array.iter
+    (fun id ->
+      let e = t.entries.(id) in
+      if not (Hashtbl.mem lines e.addr) then begin
+        Hashtbl.add lines e.addr ();
+        let next =
+          if id + 1 < Array.length t.entries then t.entries.(id + 1).addr
+          else e.addr + 8
+        in
+        bytes := !bytes + (next - e.addr)
+      end)
+    t.body.(warp);
+  !bytes
+
+type cursor = { mutable phase : int; mutable pos : int; mutable batch : int }
+
+let cursor () = { phase = 0; pos = 0; batch = 0 }
+
+let rec peek t ~warp ~batches c =
+  match c.phase with
+  | 0 ->
+      if c.pos < Array.length t.prologue.(warp) then
+        Some t.prologue.(warp).(c.pos)
+      else begin
+        c.phase <- 1;
+        c.pos <- 0;
+        c.batch <- 0;
+        peek t ~warp ~batches c
+      end
+  | 1 ->
+      if batches = 0 then begin
+        c.phase <- 2;
+        None
+      end
+      else if c.pos < Array.length t.body.(warp) then Some t.body.(warp).(c.pos)
+      else if c.batch + 1 < batches then begin
+        c.batch <- c.batch + 1;
+        c.pos <- 0;
+        peek t ~warp ~batches c
+      end
+      else begin
+        c.phase <- 2;
+        None
+      end
+  | _ -> None
+
+let advance t ~warp ~batches c =
+  match peek t ~warp ~batches c with
+  | Some _ -> c.pos <- c.pos + 1
+  | None -> ()

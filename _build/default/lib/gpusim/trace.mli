@@ -1,0 +1,41 @@
+(** Static flattening of a structured program into per-warp instruction
+    traces.
+
+    Because all control flow depends only on the warp id (and the implicit
+    batch loop), each warp's dynamic instruction sequence is statically
+    known. The flattener lays code out in program order, assigning every
+    instruction a byte address for the instruction-cache model, and emits a
+    synthetic {e branch} entry (executed by every warp that reaches it) for
+    each [If_warps] / [Switch_warp] construct — the "warp-specific branch
+    instructions" whose cost §2 mentions. *)
+
+type entry = {
+  instr : Isa.instr option;  (** [None] for a synthetic branch *)
+  addr : int;  (** code byte address *)
+}
+
+type t = {
+  entries : entry array;
+  prologue : int array array;  (** per warp: entry indices *)
+  body : int array array;  (** per warp: entry indices, one batch *)
+  code_bytes : int;
+}
+
+val flatten : Arch.t -> Isa.program -> t
+
+val body_footprint_bytes : t -> warp:int -> int
+(** Total code bytes the given warp touches in one batch (the per-warp
+    instruction-stream footprint that drives Fig. 9). *)
+
+type cursor = {
+  mutable phase : int;  (** 0 = prologue, 1 = body, 2 = done *)
+  mutable pos : int;
+  mutable batch : int;
+}
+
+val cursor : unit -> cursor
+
+val peek : t -> warp:int -> batches:int -> cursor -> int option
+(** Entry index the cursor points at, or [None] when the warp is done. *)
+
+val advance : t -> warp:int -> batches:int -> cursor -> unit

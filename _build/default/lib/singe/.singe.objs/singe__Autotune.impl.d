@@ -1,0 +1,1 @@
+lib/singe/autotune.ml: Array Chem Compile Gpusim Kernel_abi List Printf

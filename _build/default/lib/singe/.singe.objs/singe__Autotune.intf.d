@@ -1,0 +1,1 @@
+lib/singe/autotune.mli: Chem Compile Gpusim Kernel_abi

@@ -1,0 +1,1 @@
+lib/singe/chemistry_dfg.ml: Array Chem Dfg Fun List Option Printf Sexpr

@@ -1,0 +1,1 @@
+lib/singe/chemistry_dfg.mli: Chem Dfg

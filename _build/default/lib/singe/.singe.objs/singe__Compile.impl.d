@@ -1,0 +1,1 @@
+lib/singe/compile.ml: Array Chem Chemistry_dfg Conductivity_dfg Dfg Diffusion_dfg Float Gpusim Kernel_abi Lower Mapping Option Printf Schedule Viscosity_dfg

@@ -1,0 +1,1 @@
+lib/singe/compile.mli: Chem Dfg Gpusim Kernel_abi Lower Mapping Schedule

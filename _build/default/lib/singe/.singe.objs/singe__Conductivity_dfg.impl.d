@@ -1,0 +1,1 @@
+lib/singe/conductivity_dfg.ml: Array Chem Dfg Fun List Printf Sexpr Viscosity_dfg

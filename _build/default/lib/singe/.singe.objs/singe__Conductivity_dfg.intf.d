@@ -1,0 +1,1 @@
+lib/singe/conductivity_dfg.mli: Chem Dfg

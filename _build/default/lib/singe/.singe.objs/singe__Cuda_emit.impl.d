@@ -1,0 +1,1 @@
+lib/singe/cuda_emit.ml: Array Buffer Float Gpusim List Printf String

@@ -1,0 +1,1 @@
+lib/singe/cuda_emit.mli: Gpusim

@@ -1,0 +1,1 @@
+lib/singe/dfg.ml: Array Format Int List Printf Set Sexpr

@@ -1,0 +1,1 @@
+lib/singe/dfg.mli: Format Sexpr

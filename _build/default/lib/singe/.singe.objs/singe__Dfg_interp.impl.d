@@ -1,0 +1,1 @@
+lib/singe/dfg_interp.ml: Array Chem Dfg Hashtbl Option Sexpr

@@ -1,0 +1,1 @@
+lib/singe/dfg_interp.mli: Chem Dfg Hashtbl

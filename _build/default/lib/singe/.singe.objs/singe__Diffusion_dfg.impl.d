@@ -1,0 +1,1 @@
+lib/singe/diffusion_dfg.ml: Array Chem Dfg Fun Hashtbl List Printf Sexpr

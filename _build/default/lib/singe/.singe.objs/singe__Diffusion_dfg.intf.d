@@ -1,0 +1,1 @@
+lib/singe/diffusion_dfg.mli: Chem Dfg

@@ -1,0 +1,1 @@
+lib/singe/kernel_abi.ml: Array Chem Gpusim List String

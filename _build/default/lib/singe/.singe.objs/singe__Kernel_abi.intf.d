@@ -1,0 +1,1 @@
+lib/singe/kernel_abi.mli: Chem Gpusim

@@ -1,0 +1,1 @@
+lib/singe/lower.ml: Array Dfg Fun Gpusim Hashtbl List Mapping Option Printf Schedule Set Sexpr String Sys

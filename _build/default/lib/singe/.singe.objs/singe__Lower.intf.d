@@ -1,0 +1,1 @@
+lib/singe/lower.mli: Dfg Gpusim Mapping Schedule

@@ -1,0 +1,1 @@
+lib/singe/mapping.ml: Array Dfg List

@@ -1,0 +1,1 @@
+lib/singe/schedule.ml: Array Dfg Hashtbl List Mapping Printf String Sys

@@ -1,0 +1,1 @@
+lib/singe/schedule.mli: Dfg Mapping

@@ -1,0 +1,1 @@
+lib/singe/sexpr.ml: Array Buffer Float Format Gpusim List Printf

@@ -1,0 +1,1 @@
+lib/singe/sexpr.mli: Format Gpusim

@@ -1,0 +1,1 @@
+lib/singe/viscosity_dfg.ml: Array Chem Dfg Fun List Printf Sexpr

@@ -1,0 +1,1 @@
+lib/singe/viscosity_dfg.mli: Chem Dfg

@@ -1,0 +1,106 @@
+type candidate = {
+  options : Compile.options;
+  throughput : float;
+  compiled : Compile.t;
+  result : Compile.run_result;
+}
+
+type outcome = {
+  best : candidate;
+  tried : int;
+  skipped : int;
+}
+
+let default_warp_candidates mech kernel version =
+  match version with
+  | Compile.Baseline -> [ 4; 8; 16 ]
+  | Compile.Warp_specialized | Compile.Naive_warp_specialized -> (
+      let n = Array.length (Chem.Mechanism.computed_species mech) in
+      let divisors =
+        List.filter (fun w -> n mod w = 0) (List.init 17 (fun i -> i + 2))
+      in
+      let extras = [ 4; 8; 16 ] in
+      let all = List.sort_uniq compare (divisors @ extras) in
+      let all = List.filter (fun w -> w >= 2 && w <= 20) all in
+      match kernel with
+      | Kernel_abi.Chemistry ->
+          (* Chemistry gains both from many warps (rates stay resident) and
+             from few warps with several resident CTAs (its long dependence
+             chains hide behind cross-CTA parallelism), so search both ends. *)
+          List.sort_uniq compare (all @ [ 20 ])
+      | Kernel_abi.Viscosity | Kernel_abi.Conductivity | Kernel_abi.Diffusion
+        -> all)
+
+let tune ?(points = 32768) ?warp_candidates ?(cta_targets = [ 1; 2 ])
+    mech kernel version arch =
+  let warp_candidates =
+    match warp_candidates with
+    | Some l -> l
+    | None -> default_warp_candidates mech kernel version
+  in
+  let tried = ref 0 and skipped = ref 0 in
+  let best = ref None in
+  List.iter
+    (fun n_warps ->
+      List.iter
+        (fun ctas_per_sm_target ->
+          (* The baseline launches one thread per point: its CTA size must
+             divide the problem. *)
+          if
+            version = Compile.Baseline
+            && points mod (n_warps * 32) <> 0
+          then ()
+          else
+            (* Chemistry also searches its communication policy (staged vs
+               mixed); pure recomputation never won end-to-end. *)
+            let comm_candidates =
+              if kernel = Kernel_abi.Chemistry && version <> Compile.Baseline
+              then [ Some Compile.Chem_staged; Some Compile.Chem_mixed ]
+              else [ None ]
+            in
+            List.iter
+              (fun chem_comm ->
+                incr tried;
+                let options =
+                  {
+                    (Compile.default_options arch) with
+                    Compile.n_warps;
+                    ctas_per_sm_target;
+                    chem_comm;
+                    max_barriers =
+                      (if kernel = Kernel_abi.Chemistry then
+                         16 / ctas_per_sm_target
+                       else 8);
+                  }
+                in
+                match
+                  let compiled = Compile.compile mech kernel version options in
+                  let result = Compile.run compiled ~total_points:points in
+                  (compiled, result)
+                with
+                | compiled, result ->
+                    if result.Compile.max_rel_err > 1e-6 then
+                      failwith
+                        (Printf.sprintf
+                           "autotune: config warps=%d ctas=%d produced wrong \
+                            results (rel err %.2g)"
+                           n_warps ctas_per_sm_target result.Compile.max_rel_err);
+                    let throughput =
+                      result.Compile.machine.Gpusim.Machine.points_per_sec
+                    in
+                    let cand = { options; throughput; compiled; result } in
+                    (match !best with
+                    | Some b when b.throughput >= throughput -> ()
+                    | Some _ | None -> best := Some cand)
+                | exception Failure _ -> incr skipped
+                | exception Invalid_argument _ -> incr skipped)
+              comm_candidates)
+        cta_targets)
+    warp_candidates;
+  match !best with
+  | Some best -> { best; tried = !tried; skipped = !skipped }
+  | None ->
+      failwith
+        (Printf.sprintf "autotune: no %s configuration of %s fits on %s"
+           (Kernel_abi.kernel_name kernel)
+           mech.Chem.Mechanism.name arch.Gpusim.Arch.name)

@@ -1,0 +1,40 @@
+(** Brute-force exhaustive autotuning (§4).
+
+    The paper: "we used a brute-force exhaustive autotuning script to drive
+    Singe"; the searchable dimensions are deliberately coarse (warps per
+    CTA, target CTAs per SM, mapping weights, shared-memory strategy), so
+    the space stays at a few hundred points. Configurations that do not
+    compile or fit (register file, shared memory, barrier budget) are
+    skipped, exactly as a failing [nvcc] invocation would be. *)
+
+type candidate = {
+  options : Compile.options;
+  throughput : float;  (** points per second at the tuning problem size *)
+  compiled : Compile.t;
+  result : Compile.run_result;
+}
+
+type outcome = {
+  best : candidate;
+  tried : int;
+  skipped : int;  (** configurations that failed to compile or fit *)
+}
+
+val default_warp_candidates :
+  Chem.Mechanism.t -> Kernel_abi.kernel -> Compile.version -> int list
+(** Warp counts worth trying: divisors and near-divisors of the computed
+    species count for warp-specialized kernels (Fig. 9's peaks), powers of
+    two for the data-parallel baseline. *)
+
+val tune :
+  ?points:int ->
+  ?warp_candidates:int list ->
+  ?cta_targets:int list ->
+  Chem.Mechanism.t ->
+  Kernel_abi.kernel ->
+  Compile.version ->
+  Gpusim.Arch.t ->
+  outcome
+(** Exhaustively evaluates the candidate grid at the (small) tuning size
+    (default 32768 points = 32^3) and returns the fastest configuration.
+    Raises [Failure] if no candidate ran. *)

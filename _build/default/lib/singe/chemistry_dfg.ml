@@ -1,0 +1,968 @@
+module S = Sexpr
+
+let n_qssa_warps ~n_warps ~n_qssa =
+  if n_qssa = 0 || n_warps < 2 then 0
+  else max 1 (min (n_warps - 1) (n_warps / 4))
+
+(* Cost proxy for balancing reaction assignments across warps. *)
+let reaction_cost (r : Chem.Reaction.t) =
+  let exp_cost = 24 in
+  (match r.Chem.Reaction.rate with
+  | Chem.Reaction.Simple _ -> 6 + exp_cost
+  | Chem.Reaction.Landau_teller _ -> 10 + exp_cost
+  | Chem.Reaction.Falloff { kind = Chem.Reaction.Lindemann; _ } ->
+      (2 * exp_cost) + 20
+  | Chem.Reaction.Falloff { kind = Chem.Reaction.Troe _; _ } ->
+      (5 * exp_cost) + 40
+  | Chem.Reaction.Falloff { kind = Chem.Reaction.Sri _; _ } ->
+      (6 * exp_cost) + 30
+  | Chem.Reaction.Plog table -> (10 * List.length table) + exp_cost + 8)
+  +
+  match r.Chem.Reaction.reverse with
+  | Chem.Reaction.Irreversible -> 0
+  | Chem.Reaction.Explicit _ -> 6 + exp_cost
+  | Chem.Reaction.From_equilibrium -> 16 + exp_cost
+
+type partition = {
+  n_qssa_warps : int;
+  reaction_warp : int array;  (* reaction index -> owning warp *)
+  qssa_node_warp : int array;  (* QSSA graph node -> owning warp *)
+  warp_cost : int array;  (* per-warp FLOP-proxy load *)
+}
+
+(* Warp partitioning (Fig. 6): reactions needed by QSSA go first, over all
+   warps; the rest over the non-QSSA ("rate") warps only; QSSA nodes across
+   the trailing warps by greedy flop balance with a locality bonus toward
+   the warp holding dependences (Fig. 7). *)
+let partition (mech : Chem.Mechanism.t) ~n_warps =
+  let reactions = mech.Chem.Mechanism.reactions in
+  let nr = Array.length reactions in
+  let qssa_graph = Chem.Qssa.build mech in
+  let qssa_touched = Chem.Qssa.reactions_touched qssa_graph in
+  let nq = n_qssa_warps ~n_warps ~n_qssa:(Array.length qssa_graph.Chem.Qssa.nodes) in
+  let rate_warps = n_warps - nq in
+  let all_warp_load = Array.make n_warps 0 in
+  let pick_warp ~among_first cost =
+    let best = ref 0 in
+    for w = 1 to among_first - 1 do
+      if all_warp_load.(w) < all_warp_load.(!best) then best := w
+    done;
+    all_warp_load.(!best) <- all_warp_load.(!best) + cost;
+    !best
+  in
+  let reaction_warp = Array.make nr (-1) in
+  List.iter
+    (fun r ->
+      reaction_warp.(r) <-
+        pick_warp ~among_first:n_warps (reaction_cost reactions.(r)))
+    qssa_touched;
+  for r = 0 to nr - 1 do
+    if reaction_warp.(r) < 0 then
+      reaction_warp.(r) <-
+        pick_warp ~among_first:(max 1 rate_warps) (reaction_cost reactions.(r))
+  done;
+  let qssa_node_warp =
+    Array.make (max 1 (Array.length qssa_graph.Chem.Qssa.nodes)) 0
+  in
+  (if nq > 0 then begin
+     let load = Array.make nq 0 in
+     Array.iteri
+       (fun k (node : Chem.Qssa.node) ->
+         let bonus = Array.make nq 0 in
+         List.iter
+           (fun d ->
+             let dw = qssa_node_warp.(d) - (n_warps - nq) in
+             if dw >= 0 then bonus.(dw) <- bonus.(dw) + 20)
+           node.Chem.Qssa.deps;
+         let best = ref 0 in
+         for w = 1 to nq - 1 do
+           if load.(w) - bonus.(w) < load.(!best) - bonus.(!best) then best := w
+         done;
+         load.(!best) <- load.(!best) + node.Chem.Qssa.flops;
+         all_warp_load.(n_warps - nq + !best) <-
+           all_warp_load.(n_warps - nq + !best) + node.Chem.Qssa.flops;
+         qssa_node_warp.(k) <- n_warps - nq + !best)
+       qssa_graph.Chem.Qssa.nodes
+   end);
+  {
+    n_qssa_warps = nq;
+    reaction_warp;
+    qssa_node_warp;
+    warp_cost = all_warp_load;
+  }
+
+let build ?(recompute_conc = true) ?(recompute_gibbs = true)
+    ?(full_range_thermo = false) (mech : Chem.Mechanism.t) ~n_warps =
+  let reactions = mech.Chem.Mechanism.reactions in
+  let nr = Array.length reactions in
+  let n_species = Chem.Mechanism.n_species mech in
+  let computed = Chem.Mechanism.computed_species mech in
+  let n = Array.length computed in
+  let pos_of = Array.make n_species (-1) in
+  Array.iteri (fun k sp -> pos_of.(sp) <- k) computed;
+  let is_qssa sp = Chem.Mechanism.is_qssa mech sp in
+  let qssa_graph = Chem.Qssa.build mech in
+  let stiff_nodes = Chem.Stiffness.build mech in
+  let b = Dfg.Builder.create "chemistry" in
+
+  (* ---- warp partitioning (Fig. 6) ---- *)
+  let part = partition mech ~n_warps in
+  let reaction_warp = part.reaction_warp in
+  let qssa_node_warp = part.qssa_node_warp in
+  (* Per-warp reaction lists in source order: emission is round-robin by
+     ordinal so the per-warp streams advance together. *)
+  let warp_reactions = Array.make n_warps [] in
+  for ri = nr - 1 downto 0 do
+    let w = reaction_warp.(ri) in
+    warp_reactions.(w) <- ri :: warp_reactions.(w)
+  done;
+  let max_rxn = Array.fold_left (fun a l -> max a (List.length l)) 0 warp_reactions in
+  let stiff_node_warp = Array.mapi (fun k _ -> k mod n_warps) stiff_nodes in
+
+  (* ---- per-warp scalar loads and helper values ---- *)
+  let temp_of =
+    Array.init n_warps (fun w ->
+        Dfg.Builder.load b ~hint:w ~align:"T" ~name:(Printf.sprintf "T_w%d" w)
+          ~group:"temperature" ~field:0 ())
+  in
+  let pres_of =
+    Array.init n_warps (fun w ->
+        Dfg.Builder.load b ~hint:w ~align:"P" ~name:(Printf.sprintf "P_w%d" w)
+          ~group:"pressure" ~field:0 ())
+  in
+  let helper align name expr inputs =
+    Array.init n_warps (fun w ->
+        Dfg.Builder.compute b ~hint:w ~align
+          ~name:(Printf.sprintf "%s_w%d" name w)
+          ~inputs:(inputs w) expr)
+  in
+  let vlntemp_of =
+    helper "vlnt" "vlntemp" (S.log_ (S.In 0)) (fun w -> [| temp_of.(w) |])
+  in
+  (* ortc = 1 / (R_cal T): caloric activation-energy scaling. *)
+  let ortc_of =
+    helper "ortc" "ortc"
+      (S.div (S.Imm 1.0) (S.mul (S.Imm Chem.Rates.r_cal) (S.In 0)))
+      (fun w -> [| temp_of.(w) |])
+  in
+  (* c0 = P_atm / (R T): equilibrium pressure scaling. *)
+  let c0_of =
+    helper "c0" "c0"
+      (S.div (S.Imm Chem.Rates.p_atm)
+         (S.mul (S.Imm Chem.Thermo.gas_constant) (S.In 0)))
+      (fun w -> [| temp_of.(w) |])
+  in
+  let cfac_of =
+    helper "cfac" "cfac"
+      (S.div (S.In 0) (S.mul (S.Imm Chem.Thermo.gas_constant) (S.In 1)))
+      (fun w -> [| pres_of.(w); temp_of.(w) |])
+  in
+  let rcp_t_of =
+    helper "rcpt" "rcp_t" (S.div (S.Imm 1.0) (S.In 0))
+      (fun w -> [| temp_of.(w) |])
+  in
+  (* ln(P / P_atm), needed only by PLOG interpolation; emitted lazily so
+     mechanisms without PLOG reactions compile to identical code. *)
+  let has_plog =
+    Array.exists
+      (fun (r : Chem.Reaction.t) ->
+        match r.Chem.Reaction.rate with Chem.Reaction.Plog _ -> true | _ -> false)
+      reactions
+  in
+  let lnp_of =
+    if not has_plog then [||]
+    else
+      helper "lnp" "lnp"
+        (S.log_ (S.mul (S.Imm (1.0 /. Chem.Rates.p_atm)) (S.In 0)))
+        (fun w -> [| pres_of.(w) |])
+  in
+  (* Consumer warps of each computed species' effective concentration:
+     the reaction warps that read it in a rate product or third-body sum,
+     plus (in staged mode) the stiffness warps that read it through gamma. *)
+  let conc_consumers = Array.make_matrix n n_warps false in
+  Array.iteri
+    (fun ri (r : Chem.Reaction.t) ->
+      let w = reaction_warp.(ri) in
+      let mark sp = if not (is_qssa sp) then conc_consumers.(pos_of.(sp)).(w) <- true in
+      List.iter (fun (sp, _) -> mark sp) r.Chem.Reaction.reactants;
+      List.iter (fun (sp, _) -> mark sp) r.Chem.Reaction.products;
+      match r.Chem.Reaction.third_body with
+      | Some tb -> List.iter (fun (sp, _) -> mark sp) tb.Chem.Reaction.enhanced
+      | None -> ())
+    reactions;
+  if not recompute_conc then
+    Array.iteri
+      (fun knode (node : Chem.Stiffness.node) ->
+        let sp = node.Chem.Stiffness.species in
+        conc_consumers.(pos_of.(sp)).(stiff_node_warp.(knode)) <- true)
+      stiff_nodes;
+  let conc_consumer_list k =
+    List.filter (fun w -> conc_consumers.(k).(w)) (List.init n_warps Fun.id)
+  in
+  (* Home warp of each species: with staging, a value consumed by exactly
+     one warp is loaded and computed there and never crosses warps — only
+     genuinely multi-consumer values cost a shared slot and a sync. *)
+  let home =
+    Array.init n (fun k ->
+        if recompute_conc then k mod n_warps
+        else match conc_consumer_list k with [ w ] -> w | _ -> k mod n_warps)
+  in
+  (* Species loads; QSSA species enter rate products with effective
+     concentration 1. *)
+  let x = Array.make n (-1) in
+  for k = 0 to n - 1 do
+    x.(k) <-
+      Dfg.Builder.load b ~hint:home.(k) ~shared_hint:recompute_conc
+        ~align:(Printf.sprintf "x:%d" (k / n_warps))
+        ~name:(Printf.sprintf "x%d" k) ~group:"mole_frac" ~field:k ()
+  done;
+  let conc_at = Array.make_matrix n_warps n (-1) in
+  if recompute_conc then begin
+    (* Every consumer warp recomputes conc_k = x_k * P/(RT) from the shared
+       mole fractions (redundant FLOPs for zero communication). *)
+    for k = 0 to n - 1 do
+      List.iter
+        (fun w ->
+          conc_at.(w).(k) <-
+            Dfg.Builder.compute b ~hint:w
+              ~align:(Printf.sprintf "conc:%d" k)
+              ~name:(Printf.sprintf "conc%d_w%d" k w)
+              ~inputs:[| x.(k); cfac_of.(w) |]
+              (S.mul (S.In 0) (S.In 1)))
+        (conc_consumer_list k)
+    done
+  end
+  else
+    (* One copy in the home warp; the shared hint stages it if (and only
+       if) some consumer lives elsewhere. *)
+    for k = 0 to n - 1 do
+      let hw = home.(k) in
+      let v =
+        Dfg.Builder.compute b ~hint:hw ~shared_hint:true
+          ~align:(Printf.sprintf "conc:%d" (k / n_warps))
+          ~name:(Printf.sprintf "conc%d_w%d" k hw)
+          ~inputs:[| x.(k); cfac_of.(hw) |]
+          (S.mul (S.In 0) (S.In 1))
+      in
+      for w' = 0 to n_warps - 1 do
+        conc_at.(w').(k) <- v
+      done
+    done;
+  let conc_of_species ~w sp =
+    if is_qssa sp then None else Some conc_at.(w).(pos_of.(sp))
+  in
+  let n_qssa_species = Chem.Mechanism.n_qssa mech in
+  (* Total concentration, per warp (QSSA species contribute their
+     effective 1.0 like the reference). With staging the mole fractions are
+     warp-local, so each warp stages one partial sum and every warp folds
+     the n_warps partials — n_warps shared slots instead of n. *)
+  let staged_xsums =
+    if recompute_conc then [||]
+    else begin
+      let groups = Array.make n_warps [] in
+      for k = n - 1 downto 0 do
+        groups.(home.(k)) <- x.(k) :: groups.(home.(k))
+      done;
+      Array.init n_warps (fun w ->
+          let g = groups.(w) in
+          Dfg.Builder.compute b ~hint:w ~shared_hint:true ~align:"xsum"
+            ~name:(Printf.sprintf "xsum_w%d" w)
+            ~inputs:(Array.of_list g)
+            (if g = [] then S.Imm 0.0
+             else S.sum (List.init (List.length g) (fun i -> S.In i))))
+    end
+  in
+  let total_conc_of =
+    Array.init n_warps (fun w ->
+        if recompute_conc then
+          Dfg.Builder.compute b ~hint:w ~align:"mtot"
+            ~name:(Printf.sprintf "total_conc_w%d" w)
+            ~inputs:(Array.append x [| cfac_of.(w) |])
+            (S.add
+               (S.mul (S.In n) (S.sum (List.init n (fun k -> S.In k))))
+               (S.Imm (float_of_int n_qssa_species)))
+        else
+          Dfg.Builder.compute b ~hint:w ~align:"mtot"
+            ~name:(Printf.sprintf "total_conc_w%d" w)
+            ~inputs:(Array.append staged_xsums [| cfac_of.(w) |])
+            (S.add
+               (S.mul (S.In n_warps)
+                  (S.sum (List.init n_warps (fun i -> S.In i))))
+               (S.Imm (float_of_int n_qssa_species))))
+  in
+  (* Per-species Gibbs energies (high-range NASA polynomial). The
+     polynomial reads only a warp's own temperature helpers, so a
+     single-consumer (or recomputed) copy costs FLOPs but no shared slots
+     or synchronization. *)
+  let gibbs_consumers = Array.make_matrix n_species n_warps false in
+  Array.iteri
+    (fun ri (r : Chem.Reaction.t) ->
+      if r.Chem.Reaction.reverse = Chem.Reaction.From_equilibrium then
+        List.iter
+          (fun sp -> gibbs_consumers.(sp).(reaction_warp.(ri)) <- true)
+          (Chem.Reaction.species_involved r))
+    reactions;
+  let gibbs_consumer_list sp =
+    List.filter (fun w -> gibbs_consumers.(sp).(w)) (List.init n_warps Fun.id)
+  in
+  let gibbs_species =
+    List.filter
+      (fun sp -> gibbs_consumer_list sp <> [])
+      (List.init n_species Fun.id)
+  in
+  let gibbs_at = Array.make_matrix n_warps n_species (-1) in
+  let emit_gibbs ~hw ~align ~shared sp =
+    (* g/RT = h/RT - s/R, in the reference's two polynomial forms. *)
+    let t = S.In 0 and lnt = S.In 1 and rcpt = S.In 2 in
+    let gibbs_expr a =
+      let h_over_rt =
+        S.add
+          (S.add (S.C a.(0))
+             (S.mul t
+                (S.add (S.C (a.(1) /. 2.0))
+                   (S.mul t
+                      (S.add (S.C (a.(2) /. 3.0))
+                         (S.mul t
+                            (S.add (S.C (a.(3) /. 4.0))
+                               (S.mul t (S.C (a.(4) /. 5.0))))))))))
+          (S.mul (S.C a.(5)) rcpt)
+      in
+      let s_over_r =
+        S.add
+          (S.add (S.mul (S.C a.(0)) lnt)
+             (S.mul t
+                (S.add (S.C a.(1))
+                   (S.mul t
+                      (S.add (S.C (a.(2) /. 2.0))
+                         (S.mul t
+                            (S.add (S.C (a.(3) /. 3.0))
+                               (S.mul t (S.C (a.(4) /. 4.0))))))))))
+          (S.C a.(6))
+      in
+      S.sub h_over_rt s_over_r
+    in
+    let entry = mech.Chem.Mechanism.thermo.(sp) in
+    let expr =
+      if not full_range_thermo then gibbs_expr entry.Chem.Thermo.high
+      else
+        (* Branchless range selection: sel = 1 when T >= t_mid, else 0;
+           g = sel*g_high + (1-sel)*g_low is exact at both ends (no
+           blend error where one side's weight is zero). *)
+        let sel =
+          S.min_ (S.Imm 1.0)
+            (S.max_ (S.Imm 0.0)
+               (S.fma
+                  (S.sub t (S.C entry.Chem.Thermo.t_mid))
+                  (S.Imm 1e30) (S.Imm 1.0)))
+        in
+        S.let_ sel
+          (S.fma (S.Var 0)
+             (gibbs_expr entry.Chem.Thermo.high)
+             (S.mul
+                (S.sub (S.Imm 1.0) (S.Var 0))
+                (gibbs_expr entry.Chem.Thermo.low)))
+    in
+    Dfg.Builder.compute b ~hint:hw ~shared_hint:shared ~align
+      ~name:(Printf.sprintf "g%d_w%d" sp hw)
+      ~inputs:[| temp_of.(hw); vlntemp_of.(hw); rcp_t_of.(hw) |]
+      expr
+  in
+  List.iteri
+    (fun ordinal sp ->
+      if recompute_gibbs then
+        List.iter
+          (fun w ->
+            gibbs_at.(w).(sp) <-
+              emit_gibbs ~hw:w ~align:(Printf.sprintf "g:%d" sp) ~shared:false
+                sp)
+          (gibbs_consumer_list sp)
+      else begin
+        let hw =
+          match gibbs_consumer_list sp with
+          | [ w ] -> w
+          | _ -> ordinal mod n_warps
+        in
+        let v =
+          emit_gibbs ~hw
+            ~align:(Printf.sprintf "g:%d" (ordinal / n_warps))
+            ~shared:true sp
+        in
+        for w' = 0 to n_warps - 1 do
+          gibbs_at.(w').(sp) <- v
+        done
+      end)
+    gibbs_species;
+  (* Staged values become visible to every warp past this barrier; anything
+     warp-local (recomputed or single-consumer) needs no fence. *)
+  let multi k = match conc_consumer_list k with [] | [ _ ] -> false | _ -> true in
+  let gibbs_multi sp =
+    match gibbs_consumer_list sp with [] | [ _ ] -> false | _ -> true
+  in
+  let staged = ref [] in
+  if recompute_conc then staged := Array.to_list x
+  else begin
+    Array.iter (fun v -> staged := v :: !staged) staged_xsums;
+    for k = 0 to n - 1 do
+      if multi k then staged := conc_at.(0).(k) :: !staged
+    done
+  end;
+  if not recompute_gibbs then
+    List.iter
+      (fun sp -> if gibbs_multi sp then staged := gibbs_at.(0).(sp) :: !staged)
+      gibbs_species;
+  Dfg.Builder.fence b ~inputs:(Array.of_list (List.rev !staged));
+
+  (* ---- phase 1: rates of progress (Listing 1) ---- *)
+  let third_body_value ri (r : Chem.Reaction.t) =
+    let w = reaction_warp.(ri) in
+    match r.Chem.Reaction.third_body with
+    | None -> None
+    | Some tb ->
+        let terms =
+          List.filter_map
+            (fun (sp, eff) ->
+              match conc_of_species ~w sp with
+              | Some v -> Some (eff -. 1.0, v)
+              | None -> None)
+            tb.Chem.Reaction.enhanced
+        in
+        let qssa_extra =
+          List.fold_left
+            (fun acc (sp, eff) -> if is_qssa sp then acc +. (eff -. 1.0) else acc)
+            0.0 tb.Chem.Reaction.enhanced
+        in
+        let inputs = Array.of_list (total_conc_of.(w) :: List.map snd terms) in
+        let expr =
+          let base = S.In 0 in
+          let with_terms =
+            List.fold_left
+              (fun acc (k, (eff1, _)) -> S.fma (S.C eff1) (S.In (k + 1)) acc)
+              base
+              (List.mapi (fun k t -> (k, t)) terms)
+          in
+          if qssa_extra = 0.0 then with_terms
+          else S.add with_terms (S.C qssa_extra)
+        in
+        Some
+          (Dfg.Builder.compute b ~hint:w
+             ~name:(Printf.sprintf "m%d" ri)
+             ~inputs expr)
+  in
+  let arrhenius_expr (a : Chem.Reaction.arrhenius) ~lnt ~ortc_in =
+    S.exp_
+      (S.fma (S.C a.Chem.Reaction.temp_exp) lnt
+         (S.fma (S.C (-.a.Chem.Reaction.activation)) ortc_in
+            (S.C (log a.Chem.Reaction.pre_exp))))
+  in
+  let kf = Array.make nr (-1) in
+  let tb = Array.make nr None in
+  let emit_kf ri =
+    let r = reactions.(ri) in
+    let w = reaction_warp.(ri) in
+    tb.(ri) <- third_body_value ri r;
+    let lnt = S.In 0 and ortc_in = S.In 1 in
+    match r.Chem.Reaction.rate with
+    | Chem.Reaction.Simple a ->
+        kf.(ri) <-
+          Dfg.Builder.compute b ~hint:w
+            ~name:(Printf.sprintf "kf%d" ri)
+            ~inputs:[| vlntemp_of.(w); ortc_of.(w) |]
+            (arrhenius_expr a ~lnt ~ortc_in)
+    | Chem.Reaction.Landau_teller { arr; b = bb; c = cc } ->
+        (* k = exp(lnA + beta lnT - E ortc) * exp(b T^-1/3 + c T^-2/3) *)
+        kf.(ri) <-
+          Dfg.Builder.compute b ~hint:w
+            ~name:(Printf.sprintf "kf%d" ri)
+            ~inputs:[| vlntemp_of.(w); ortc_of.(w); temp_of.(w) |]
+            (S.let_
+               (S.exp_ (S.mul (S.Imm (-1.0 /. 3.0)) (S.log_ (S.In 2))))
+               (S.mul
+                  (arrhenius_expr arr ~lnt:(S.In 0) ~ortc_in:(S.In 1))
+                  (S.exp_
+                     (S.fma (S.C bb) (S.Var 0)
+                        (S.mul (S.C cc) (S.mul (S.Var 0) (S.Var 0)))))))
+    | Chem.Reaction.Plog table ->
+        (* ln k interpolates linearly in ln P between the table entries and
+           clamps outside (telescoping-clamp identity — branch-free, exactly
+           the reference's arithmetic). Inputs: lnT, ortc, ln(P/Patm). *)
+        let lnt = S.In 0 and ortc_in = S.In 1 and lnp = S.In 2 in
+        let lnk (a : Chem.Reaction.arrhenius) =
+          S.fma (S.C a.Chem.Reaction.temp_exp) lnt
+            (S.fma
+               (S.C (-.a.Chem.Reaction.activation))
+               ortc_in
+               (S.C (log a.Chem.Reaction.pre_exp)))
+        in
+        let expr =
+          match table with
+          | [] -> invalid_arg "PLOG table empty"
+          | (p0, a0) :: rest ->
+              let acc = ref (lnk a0) in
+              let prev = ref (log p0, a0) in
+              List.iter
+                (fun (p, a) ->
+                  let lp = log p in
+                  let lp0, a_prev = !prev in
+                  if lp > lp0 then begin
+                    let w =
+                      S.min_ (S.Imm 1.0)
+                        (S.max_ (S.Imm 0.0)
+                           (S.div (S.sub lnp (S.C lp0)) (S.C (lp -. lp0))))
+                    in
+                    acc := S.fma w (S.sub (lnk a) (lnk a_prev)) !acc;
+                    prev := (lp, a)
+                  end)
+                rest;
+              S.exp_ !acc
+        in
+        kf.(ri) <-
+          Dfg.Builder.compute b ~hint:w
+            ~name:(Printf.sprintf "kf%d" ri)
+            ~inputs:[| vlntemp_of.(w); ortc_of.(w); lnp_of.(w) |]
+            expr
+    | Chem.Reaction.Falloff { high; low; kind } ->
+        (* Listing 1's temporaries as dataflow values. *)
+        let m = match tb.(ri) with Some v -> v | None -> total_conc_of.(w) in
+        let kinf_v =
+          Dfg.Builder.compute b ~hint:w
+            ~name:(Printf.sprintf "kinf%d" ri)
+            ~inputs:[| vlntemp_of.(w); ortc_of.(w) |]
+            (arrhenius_expr high ~lnt ~ortc_in)
+        in
+        let pr_v =
+          Dfg.Builder.compute b ~hint:w
+            ~name:(Printf.sprintf "pr%d" ri)
+            ~inputs:[| vlntemp_of.(w); ortc_of.(w); m; kinf_v |]
+            (S.div
+               (S.mul (arrhenius_expr low ~lnt ~ortc_in) (S.In 2))
+               (S.max_ (S.In 3) (S.Imm 1e-300)))
+        in
+        let kinf_in = S.In 0 and pr_in = S.In 1 and t_in = S.In 2 in
+        let base = S.mul kinf_in (S.div pr_in (S.add (S.Imm 1.0) pr_in)) in
+        let expr =
+          match kind with
+          | Chem.Reaction.Lindemann -> base
+          | Chem.Reaction.Troe p ->
+              let fcent =
+                S.max_
+                  (S.add
+                     (S.add
+                        (S.mul
+                           (S.C (1.0 -. p.Chem.Reaction.alpha))
+                           (S.exp_ (S.mul (S.C (-1.0 /. p.Chem.Reaction.t3)) t_in)))
+                        (S.mul (S.C p.Chem.Reaction.alpha)
+                           (S.exp_ (S.mul (S.C (-1.0 /. p.Chem.Reaction.t1)) t_in))))
+                     (if p.Chem.Reaction.t2 = 0.0 then S.Imm 0.0
+                      else
+                        S.exp_
+                          (S.mul (S.C (-.p.Chem.Reaction.t2))
+                             (S.div (S.Imm 1.0) t_in))))
+                  (S.Imm 1e-30)
+              in
+              let ln10inv = 1.0 /. log 10.0 in
+              S.let_ (S.mul (S.Imm ln10inv) (S.log_ fcent)) (* v0 = lfc *)
+                (S.let_
+                   (S.mul (S.Imm ln10inv)
+                      (S.log_ (S.max_ pr_in (S.Imm 1e-300))))
+                   (* v0 = lpr, v1 = lfc *)
+                   (S.let_
+                      (S.add (S.Var 0)
+                         (S.fma (S.Imm (-0.67)) (S.Var 1) (S.Imm (-0.4))))
+                      (* v0 = lpr + c, v1 = lpr, v2 = lfc *)
+                      (S.let_
+                         (S.div (S.Var 0)
+                            (S.sub
+                               (S.fma (S.Imm (-1.27)) (S.Var 2) (S.Imm 0.75))
+                               (S.mul (S.Imm 0.14) (S.Var 0))))
+                         (* v0 = f1, v3 = lfc *)
+                         (S.mul base
+                            (S.exp_
+                               (S.mul (S.Imm (log 10.0))
+                                  (S.div (S.Var 3)
+                                     (S.add (S.Imm 1.0)
+                                        (S.mul (S.Var 0) (S.Var 0))))))))))
+          | Chem.Reaction.Sri p ->
+              (* F = d (a exp(-b/T) + exp(-T/c))^X T^e,
+                 X = 1/(1 + log10(Pr)^2); the power goes through
+                 exp(X log inner) like the reference. *)
+              let ln10inv = 1.0 /. log 10.0 in
+              S.let_
+                (S.mul (S.Imm ln10inv)
+                   (S.log_ (S.max_ pr_in (S.Imm 1e-300))))
+                (* v0 = lpr *)
+                (S.let_
+                   (S.div (S.Imm 1.0)
+                      (S.fma (S.Var 0) (S.Var 0) (S.Imm 1.0)))
+                   (* v0 = X, v1 = lpr *)
+                   (let inner =
+                      S.max_
+                        (S.add
+                           (S.mul (S.C p.Chem.Reaction.sa)
+                              (S.exp_
+                                 (S.div (S.C (-.p.Chem.Reaction.sb)) t_in)))
+                           (S.exp_
+                              (S.mul (S.Imm (-1.0 /. p.Chem.Reaction.sc)) t_in)))
+                        (S.Imm 1e-300)
+                    in
+                    let pow = S.exp_ (S.mul (S.Var 0) (S.log_ inner)) in
+                    let f =
+                      if p.Chem.Reaction.se = 0.0 then
+                        S.mul (S.C p.Chem.Reaction.sd) pow
+                      else
+                        S.mul (S.C p.Chem.Reaction.sd)
+                          (S.mul pow
+                             (S.exp_
+                                (S.mul (S.C p.Chem.Reaction.se) (S.log_ t_in))))
+                    in
+                    S.mul base f))
+        in
+        kf.(ri) <-
+          Dfg.Builder.compute b ~hint:w
+            ~name:(Printf.sprintf "kf%d" ri)
+            ~inputs:[| kinf_v; pr_v; temp_of.(w) |]
+            expr
+  in
+  (* Rate of progress: concentration product mirrors the reference's
+     left-fold from 1.0 (exact under multiplication by one). *)
+  let progress_op ~name ~w ~coeff_value ~side ~tb_value =
+    let factors =
+      List.concat_map
+        (fun (sp, nu) ->
+          match conc_of_species ~w sp with
+          | Some v -> List.init nu (fun _ -> v)
+          | None -> [])
+        side
+    in
+    let inputs =
+      Array.of_list
+        ((coeff_value :: factors) @ match tb_value with Some v -> [ v ] | None -> [])
+    in
+    let prod_expr =
+      match List.length factors with
+      | 0 -> S.Imm 1.0
+      | nf ->
+          List.fold_left
+            (fun acc k -> S.mul acc (S.In (1 + k)))
+            (S.In 1)
+            (List.init (nf - 1) (fun k -> k + 1))
+    in
+    let expr =
+      let base = S.mul (S.In 0) prod_expr in
+      match tb_value with
+      | Some _ -> S.mul base (S.In (Array.length inputs - 1))
+      | None -> base
+    in
+    Dfg.Builder.compute b ~hint:w ~name ~inputs expr
+  in
+  let rr_f = Array.make nr (-1) in
+  let rr_r = Array.make nr None in
+  let emit_rates ri =
+    let r = reactions.(ri) in
+    let w = reaction_warp.(ri) in
+    let tbv =
+      match (r.Chem.Reaction.rate, tb.(ri)) with
+      | (Chem.Reaction.Simple _ | Chem.Reaction.Landau_teller _), Some v -> Some v
+      | _ -> None
+    in
+    rr_f.(ri) <-
+      progress_op
+        ~name:(Printf.sprintf "rrf%d" ri)
+        ~w ~coeff_value:kf.(ri) ~side:r.Chem.Reaction.reactants ~tb_value:tbv;
+    match r.Chem.Reaction.reverse with
+    | Chem.Reaction.Irreversible -> ()
+    | Chem.Reaction.Explicit a ->
+        let kr =
+          Dfg.Builder.compute b ~hint:w
+            ~name:(Printf.sprintf "kr%d" ri)
+            ~inputs:[| vlntemp_of.(w); ortc_of.(w) |]
+            (arrhenius_expr a ~lnt:(S.In 0) ~ortc_in:(S.In 1))
+        in
+        rr_r.(ri) <-
+          Some
+            (progress_op
+               ~name:(Printf.sprintf "rrr%d" ri)
+               ~w ~coeff_value:kr ~side:r.Chem.Reaction.products ~tb_value:tbv)
+    | Chem.Reaction.From_equilibrium ->
+        (* Kc = exp(clamp(-dG)) * c0^dnu; kr = kf / max(Kc, tiny). *)
+        let participants = Chem.Reaction.species_involved r in
+        let g_inputs = List.map (fun sp -> gibbs_at.(w).(sp)) participants in
+        let g_index sp =
+          let rec go k = function
+            | [] -> assert false
+            | s :: rest -> if s = sp then k else go (k + 1) rest
+          in
+          go 0 participants
+        in
+        let side_sum side =
+          S.sum
+            (List.map
+               (fun (sp, nu) ->
+                 let g = S.In (2 + g_index sp) in
+                 if nu = 1 then g else S.mul (S.Imm (float_of_int nu)) g)
+               side)
+        in
+        let delta_g =
+          S.sub (side_sum r.Chem.Reaction.products) (side_sum r.Chem.Reaction.reactants)
+        in
+        let dnu = Chem.Reaction.net_molecularity r in
+        let c0_in = S.In 1 in
+        let rec c0_pow k = if k = 1 then c0_in else S.mul (c0_pow (k - 1)) c0_in in
+        let kc_expr =
+          let e =
+            S.exp_ (S.max_ (S.Imm (-250.0)) (S.min_ (S.Imm 250.0) (S.neg delta_g)))
+          in
+          if dnu = 0 then e
+          else if dnu > 0 then S.mul e (c0_pow dnu)
+          else S.div e (c0_pow (-dnu))
+        in
+        let kr =
+          Dfg.Builder.compute b ~hint:w
+            ~name:(Printf.sprintf "kr%d" ri)
+            ~inputs:(Array.of_list (kf.(ri) :: c0_of.(w) :: g_inputs))
+            (S.div (S.In 0) (S.max_ kc_expr (S.Imm 1e-300)))
+        in
+        rr_r.(ri) <-
+          Some
+            (progress_op
+               ~name:(Printf.sprintf "rrr%d" ri)
+               ~w ~coeff_value:kr ~side:r.Chem.Reaction.products ~tb_value:tbv)
+  in
+  (* Accumulation chain: one term consumed per link so received copies die
+     immediately (the paper's exchange-in-passes through the buffer). *)
+  let chain ~w ~name_prefix terms =
+    match terms with
+    | [] ->
+        Dfg.Builder.compute b ~hint:w ~name:(name_prefix ^ "_0") ~inputs:[||]
+          (S.Imm 0.0)
+    | _ ->
+        let acc = ref (-1) in
+        List.iteri
+          (fun t (nu, v) ->
+            let name = Printf.sprintf "%s_%d" name_prefix t in
+            acc :=
+              (if !acc < 0 then
+                 Dfg.Builder.compute b ~hint:w ~name ~inputs:[| v |]
+                   (S.fma (S.Imm (float_of_int nu)) (S.In 0) (S.Imm 0.0))
+               else
+                 Dfg.Builder.compute b ~hint:w ~name
+                   ~inputs:[| v; !acc |]
+                   (S.fma (S.Imm (float_of_int nu)) (S.In 0) (S.In 1))))
+          terms;
+        !acc
+  in
+
+  (* Early folding (the paper's accumulation in passes): a reaction's
+     contribution enters each affected species' wdot accumulator as soon as
+     its rates are final — right at production for untouched reactions,
+     otherwise at its last QSSA/stiffness rescale. Rates then die at their
+     last use instead of staying live across every later phase, which is
+     what keeps warp-specialized spills near zero (Â§6.3). *)
+  let pending = Array.make nr 0 in
+  let has_rev ri =
+    reactions.(ri).Chem.Reaction.reverse <> Chem.Reaction.Irreversible
+  in
+  Array.iter
+    (fun (node : Chem.Qssa.node) ->
+      List.iter (fun (r, _) -> pending.(r) <- pending.(r) + 1) node.Chem.Qssa.consumed_by;
+      List.iter
+        (fun (r, _) -> if has_rev r then pending.(r) <- pending.(r) + 1)
+        node.Chem.Qssa.produced_by)
+    qssa_graph.Chem.Qssa.nodes;
+  Array.iter
+    (fun (node : Chem.Stiffness.node) ->
+      List.iter (fun (r, _) -> pending.(r) <- pending.(r) + 1) node.Chem.Stiffness.consumed_by;
+      List.iter
+        (fun (r, _) -> if has_rev r then pending.(r) <- pending.(r) + 1)
+        node.Chem.Stiffness.produced_by)
+    stiff_nodes;
+  let wdot_acc = Array.make n (-1) in
+  let wdot_terms = Array.make n 0 in
+  let fold_reaction ri =
+    let r = reactions.(ri) in
+    List.iter
+      (fun sp ->
+        if not (is_qssa sp) then begin
+          let k = pos_of.(sp) in
+          let dnu = Chem.Reaction.delta_stoich r sp in
+          if dnu <> 0 then begin
+            let w = k mod n_warps in
+            let t = wdot_terms.(k) in
+            wdot_terms.(k) <- t + 1;
+            let name = Printf.sprintf "wd%d_%d" k t in
+            let diff_inputs, diff_expr =
+              match rr_r.(ri) with
+              | Some rv -> ([ rr_f.(ri); rv ], S.sub (S.In 0) (S.In 1))
+              | None -> ([ rr_f.(ri) ], S.In 0)
+            in
+            let inputs, term_expr =
+              if wdot_acc.(k) < 0 then
+                (diff_inputs, S.fma (S.Imm (float_of_int dnu)) diff_expr (S.Imm 0.0))
+              else
+                ( diff_inputs @ [ wdot_acc.(k) ],
+                  S.fma
+                    (S.Imm (float_of_int dnu))
+                    diff_expr
+                    (S.In (List.length diff_inputs)) )
+            in
+            wdot_acc.(k) <-
+              Dfg.Builder.compute b ~hint:w ~name
+                ~inputs:(Array.of_list inputs)
+                term_expr
+          end
+        end)
+      (Chem.Reaction.species_involved r)
+  in
+  let maybe_fold ri = if pending.(ri) = 0 then fold_reaction ri in
+  let rescaled ri =
+    pending.(ri) <- pending.(ri) - 1;
+    maybe_fold ri
+  in
+  (* Emission is round-robin by per-warp reaction ordinal. *)
+  for o = 0 to max_rxn - 1 do
+    for w = 0 to n_warps - 1 do
+      match List.nth_opt warp_reactions.(w) o with
+      | Some ri ->
+          emit_kf ri;
+          emit_rates ri;
+          maybe_fold ri
+      | None -> ()
+    done
+  done;
+
+  (* ---- phase 2: QSSA scaling (SSA versions thread Fig. 7's DAG) ---- *)
+  Array.iteri
+    (fun k (node : Chem.Qssa.node) ->
+      let w = qssa_node_warp.(k) in
+      let sp = node.Chem.Qssa.species in
+      let fwd_terms side = List.map (fun (r, nu) -> (nu, rr_f.(r))) side in
+      let rev_terms side =
+        List.filter_map
+          (fun (r, nu) -> Option.map (fun v -> (nu, v)) rr_r.(r))
+          side
+      in
+      let prod_v =
+        chain ~w
+          ~name_prefix:(Printf.sprintf "qp%d" sp)
+          (fwd_terms node.Chem.Qssa.produced_by
+          @ rev_terms node.Chem.Qssa.consumed_by)
+      in
+      let cons_v =
+        chain ~w
+          ~name_prefix:(Printf.sprintf "qc%d" sp)
+          (fwd_terms node.Chem.Qssa.consumed_by
+          @ rev_terms node.Chem.Qssa.produced_by)
+      in
+      let scale =
+        Dfg.Builder.compute b ~hint:w
+          ~name:(Printf.sprintf "qssa_scale%d" sp)
+          ~inputs:[| prod_v; cons_v |]
+          (S.div (S.In 0) (S.add (S.In 1) (S.Imm Chem.Qssa.eps)))
+      in
+      List.iter
+        (fun (r, _) ->
+          rr_f.(r) <-
+            Dfg.Builder.compute b ~hint:w
+              ~name:(Printf.sprintf "rrf%d_q%d" r sp)
+              ~inputs:[| rr_f.(r); scale |]
+              (S.mul (S.In 0) (S.In 1));
+          rescaled r)
+        node.Chem.Qssa.consumed_by;
+      List.iter
+        (fun (r, _) ->
+          match rr_r.(r) with
+          | Some v ->
+              rr_r.(r) <-
+                Some
+                  (Dfg.Builder.compute b ~hint:w
+                     ~name:(Printf.sprintf "rrr%d_q%d" r sp)
+                     ~inputs:[| v; scale |]
+                     (S.mul (S.In 0) (S.In 1)));
+              rescaled r
+          | None -> ())
+        node.Chem.Qssa.produced_by)
+    qssa_graph.Chem.Qssa.nodes;
+
+  (* ---- phase 3: stiffness damping (Listing 4's indexed loads) ---- *)
+  let gammas =
+    Array.mapi
+      (fun k (node : Chem.Stiffness.node) ->
+        let w = stiff_node_warp.(k) in
+        let sp = node.Chem.Stiffness.species in
+        let d =
+          Dfg.Builder.load b ~hint:w
+            ~align:(Printf.sprintf "D:%d" (k / n_warps))
+            ~name:(Printf.sprintf "D%d" sp)
+            ~group:"diffusion_in" ~field:pos_of.(sp) ()
+        in
+        let cons_v =
+          chain ~w
+            ~name_prefix:(Printf.sprintf "sc%d" sp)
+            (List.map (fun (r, nu) -> (nu, rr_f.(r))) node.Chem.Stiffness.consumed_by)
+        in
+        (* gamma = x / (x + tau (cons + d)); in staged mode x is warp-local,
+           so read the staged concentration instead — multiplying numerator
+           and denominator by cfac leaves gamma unchanged. *)
+        if recompute_conc then
+          Dfg.Builder.compute b ~hint:w
+            ~name:(Printf.sprintf "gamma%d" sp)
+            ~inputs:[| x.(pos_of.(sp)); cons_v; d |]
+            (S.div (S.In 0)
+               (S.fma (S.Imm Chem.Stiffness.tau)
+                  (S.add (S.In 1) (S.In 2))
+                  (S.In 0)))
+        else
+          Dfg.Builder.compute b ~hint:w
+            ~name:(Printf.sprintf "gamma%d" sp)
+            ~inputs:[| conc_at.(w).(pos_of.(sp)); cons_v; d; cfac_of.(w) |]
+            (S.div (S.In 0)
+               (S.fma
+                  (S.mul (S.Imm Chem.Stiffness.tau) (S.In 3))
+                  (S.add (S.In 1) (S.In 2))
+                  (S.In 0))))
+      stiff_nodes
+  in
+  Array.iteri
+    (fun k (node : Chem.Stiffness.node) ->
+      let w = stiff_node_warp.(k) in
+      let sp = node.Chem.Stiffness.species in
+      List.iter
+        (fun (r, _) ->
+          rr_f.(r) <-
+            Dfg.Builder.compute b ~hint:w
+              ~name:(Printf.sprintf "rrf%d_s%d" r sp)
+              ~inputs:[| rr_f.(r); gammas.(k) |]
+              (S.mul (S.In 0) (S.In 1));
+          rescaled r)
+        node.Chem.Stiffness.consumed_by;
+      List.iter
+        (fun (r, _) ->
+          match rr_r.(r) with
+          | Some v ->
+              rr_r.(r) <-
+                Some
+                  (Dfg.Builder.compute b ~hint:w
+                     ~name:(Printf.sprintf "rrr%d_s%d" r sp)
+                     ~inputs:[| v; gammas.(k) |]
+                     (S.mul (S.In 0) (S.In 1)));
+              rescaled r
+          | None -> ())
+        node.Chem.Stiffness.produced_by)
+    stiff_nodes;
+
+  (* ---- output phase: the accumulators already hold
+     wdot_k = sum_r dnu (rr_f - rr_r); just store them ---- *)
+  Array.iteri
+    (fun k _sp ->
+      let w = k mod n_warps in
+      let wdot =
+        if wdot_acc.(k) >= 0 then wdot_acc.(k)
+        else
+          Dfg.Builder.compute b ~hint:w
+            ~name:(Printf.sprintf "wd%d_none" k)
+            ~inputs:[||] (S.Imm 0.0)
+      in
+      Dfg.Builder.store b ~hint:w
+        ~name:(Printf.sprintf "store%d" k)
+        ~group:"out" ~field:k wdot)
+    computed;
+  Dfg.Builder.finish b

@@ -1,0 +1,55 @@
+(** Dataflow graph of the chemistry kernel (§3.4): four phases —
+
+    {ol
+    {- forward and reverse rates of progress for every reaction
+       (Arrhenius / Lindemann / Troe / Landau-Teller models, evaluated in
+       log space; reverse rates from explicit REV lines or from the
+       equilibrium constant via per-species Gibbs energies);}
+    {- QSSA scaling ({!Chem.Qssa}'s graph, threaded through SSA value
+       versions so the species dependence DAG of Fig. 7 appears as real
+       dataflow);}
+    {- stiffness damping ({!Chem.Stiffness}; the per-species diffusion
+       inputs are the warp-indexed loads of Listing 4);}
+    {- per-species net production rates (the output sums).}}
+
+    Warp partitioning follows Fig. 6: reactions the QSSA phase needs are
+    assigned first, across {e all} warps; a trailing group of warps is then
+    siphoned off for the QSSA computation (its nodes partitioned by a
+    greedy balance/locality heuristic) while the remaining warps complete
+    the rest of the reactions. The Buffer strategy keeps every rate in its
+    producer's registers, exchanged through shared memory in passes. *)
+
+val n_qssa_warps : n_warps:int -> n_qssa:int -> int
+(** Warps siphoned off for QSSA: ~a quarter of the CTA, at least 1 when
+    QSSA species exist, never all warps. *)
+
+type partition = {
+  n_qssa_warps : int;
+  reaction_warp : int array;  (** reaction index -> owning warp *)
+  qssa_node_warp : int array;  (** QSSA graph node -> owning warp *)
+  warp_cost : int array;  (** per-warp FLOP-proxy load *)
+}
+
+val partition : Chem.Mechanism.t -> n_warps:int -> partition
+(** The Fig. 6 warp assignment by itself (used by [singe_cli partition]
+    and the balance tests). *)
+
+val build :
+  ?recompute_conc:bool ->
+  ?recompute_gibbs:bool ->
+  ?full_range_thermo:bool ->
+  Chem.Mechanism.t ->
+  n_warps:int ->
+  Dfg.t
+(** [recompute_conc]/[recompute_gibbs] choose redundant per-consumer-warp
+    recomputation over shared-memory staging for the effective
+    concentrations and Gibbs energies ({!Compile.chem_comm} picks them).
+    Recomputation trades registers and FLOPs for shared-memory slots and
+    synchronization; with staging, values consumed by a single warp are
+    still computed directly in that warp and never touch shared memory.
+
+    [full_range_thermo] (default [false]) evaluates both NASA-7 coefficient
+    ranges and selects branchlessly on T vs t_mid, supporting grids below
+    the polynomial mid temperature at roughly twice the Gibbs-polynomial
+    cost; the default single-range form assumes T >= t_mid everywhere (the
+    combustion-relevant regime the evaluation grids use). *)

@@ -1,0 +1,275 @@
+type version = Warp_specialized | Baseline | Naive_warp_specialized
+
+type chem_comm = Chem_staged | Chem_recompute | Chem_mixed
+
+type options = {
+  arch : Gpusim.Arch.t;
+  n_warps : int;
+  weights : Mapping.weights;
+  strategy : Mapping.strategy option;
+  respect_hints : bool;
+  group_syncs : bool;
+  buffer_slots : int;
+  exp_consts_in_registers : bool;
+  freg_budget : int option;
+  param_stripe_threshold : int;
+  max_barriers : int;
+  ctas_per_sm_target : int;
+  chem_comm : chem_comm option;
+  full_range_thermo : bool;
+}
+
+let default_options arch =
+  {
+    arch;
+    n_warps = 8;
+    weights = Mapping.default_weights;
+    strategy = None;
+    respect_hints = true;
+    group_syncs = true;
+    buffer_slots = 48;
+    exp_consts_in_registers = false;
+    freg_budget = None;
+    param_stripe_threshold = 8;
+    max_barriers = 8;
+    ctas_per_sm_target = 2;
+    chem_comm = None;
+    full_range_thermo = false;
+  }
+
+let default_strategy = function
+  | Kernel_abi.Viscosity | Kernel_abi.Conductivity -> Mapping.Store
+  | Kernel_abi.Diffusion -> Mapping.Mixed
+  | Kernel_abi.Chemistry -> Mapping.Buffer
+
+type t = {
+  mech : Chem.Mechanism.t;
+  kernel : Kernel_abi.kernel;
+  version : version;
+  options : options;
+  dfg : Dfg.t;
+  mapping : Mapping.t;
+  schedule : Schedule.t;
+  lowered : Lower.output;
+}
+
+let build_dfg ?(chem_comm = Chem_staged) ?(full_range_thermo = false) mech
+    kernel ~n_warps =
+  match kernel with
+  | Kernel_abi.Viscosity -> Viscosity_dfg.build mech ~n_warps
+  | Kernel_abi.Conductivity -> Conductivity_dfg.build mech ~n_warps
+  | Kernel_abi.Diffusion -> Diffusion_dfg.build mech ~n_warps
+  | Kernel_abi.Chemistry ->
+      let recompute_conc, recompute_gibbs =
+        match chem_comm with
+        | Chem_staged -> (false, false)
+        | Chem_recompute -> (true, true)
+        | Chem_mixed -> (false, true)
+      in
+      Chemistry_dfg.build ~recompute_conc ~recompute_gibbs ~full_range_thermo
+        mech ~n_warps
+
+let freg_budget options =
+  match options.freg_budget with
+  | Some b -> b
+  | None ->
+      (* Per-thread 32-bit budget so the target CTAs per SM stay resident:
+         the register file divided over the resident threads, capped by the
+         per-thread architectural maximum, minus headroom for integer
+         parameter registers and addressing overhead. *)
+      let threads =
+        options.ctas_per_sm_target * options.n_warps * 32
+      in
+      let budget32 =
+        min options.arch.Gpusim.Arch.max_regs_per_thread
+          (options.arch.Gpusim.Arch.regfile_per_sm / threads)
+      in
+      max 8 ((budget32 - 16) / 2)
+
+let compile mech kernel version options =
+  let groups = Kernel_abi.groups mech kernel in
+  let strategy =
+    match options.strategy with
+    | Some s -> s
+    | None -> default_strategy kernel
+  in
+  match version with
+  | Warp_specialized | Naive_warp_specialized ->
+      (* Staging through shared memory wins on end-to-end throughput in
+         most measured configurations; redundant recomputation trades the
+         staged vectors for registers and FLOPs, raising achieved GFLOPS
+         more than points per second. The explicit knob remains for the
+         ablation benchmark and for shared-memory-starved configurations. *)
+      let chem_comm = Option.value options.chem_comm ~default:Chem_staged in
+      let dfg =
+        build_dfg ~chem_comm ~full_range_thermo:options.full_range_thermo
+          mech kernel ~n_warps:options.n_warps
+      in
+      let mapping =
+        Mapping.map dfg ~n_warps:options.n_warps ~weights:options.weights
+          ~strategy ~respect_hints:options.respect_hints
+      in
+      let cfg =
+        {
+          Lower.arch = options.arch;
+          overlay = (version = Warp_specialized);
+          const_policy =
+            (if version = Warp_specialized then Lower.Bank else Lower.Immediate);
+          exp_consts_in_registers = options.exp_consts_in_registers;
+          param_stripe_threshold = options.param_stripe_threshold;
+          freg_budget = freg_budget options;
+        }
+      in
+      let name =
+        Printf.sprintf "%s-%s-ws%d" mech.Chem.Mechanism.name
+          (Kernel_abi.kernel_name kernel) options.n_warps
+      in
+      (* The integer-parameter register demand is only known after
+         lowering; shrink the floating budget and retry if the 32-bit
+         total overshoots the architectural cap. *)
+      let cap32 =
+        min options.arch.Gpusim.Arch.max_regs_per_thread
+          (options.arch.Gpusim.Arch.regfile_per_sm
+          / (options.ctas_per_sm_target * options.n_warps * 32))
+      in
+      let rec fit schedule cfg tries =
+        let lowered =
+          Lower.lower cfg ~point_map:Gpusim.Isa.Coop ~name
+            ~out_warps:options.n_warps ~groups dfg mapping schedule
+        in
+        let used = Gpusim.Isa.regs32_per_thread lowered.Lower.program in
+        if used <= cap32 || tries = 0 then lowered
+        else
+          fit schedule
+            { cfg with
+              Lower.freg_budget =
+                cfg.Lower.freg_budget - (((used - cap32) + 1) / 2) - 1 }
+            (tries - 1)
+      in
+      (* Shared memory must leave room for the target CTAs per SM. If the
+         store slots plus the buffer ring overshoot, rebuild the schedule
+         with a smaller ring (more ring reuse costs barrier waits, not
+         correctness) before giving up. *)
+      let shared_cap =
+        options.arch.Gpusim.Arch.shared_bytes_per_sm
+        / max 1 options.ctas_per_sm_target
+      in
+      let rec fit_shared buffer_slots tries =
+        let schedule =
+          Schedule.build ~buffer_slots ~group_syncs:options.group_syncs
+            ~max_barriers:options.max_barriers dfg mapping
+        in
+        let lowered = fit schedule cfg 3 in
+        let bytes = lowered.Lower.program.Gpusim.Isa.shared_doubles * 8 in
+        if bytes <= shared_cap || tries = 0 || buffer_slots <= 8 then
+          (schedule, lowered)
+        else
+          let overshoot_slots = ((bytes - shared_cap) + 255) / 256 in
+          fit_shared (max 8 (buffer_slots - overshoot_slots)) (tries - 1)
+      in
+      let schedule, lowered = fit_shared options.buffer_slots 3 in
+      { mech; kernel; version; options; dfg; mapping; schedule; lowered }
+  | Baseline ->
+      (* One thread per point: every thread runs the whole dataflow graph,
+         so map onto a single logical warp and emit warp-independent code. *)
+      let dfg =
+        build_dfg ~full_range_thermo:options.full_range_thermo mech kernel
+          ~n_warps:1
+      in
+      let mapping =
+        Mapping.map dfg ~n_warps:1 ~weights:options.weights
+          ~strategy:Mapping.Buffer ~respect_hints:false
+      in
+      let schedule =
+        Schedule.build ~buffer_slots:options.buffer_slots ~group_syncs:true dfg
+          mapping
+      in
+      let cfg =
+        {
+          Lower.arch = options.arch;
+          overlay = true;
+          const_policy = Lower.Const_mem;
+          exp_consts_in_registers = options.exp_consts_in_registers;
+          param_stripe_threshold = options.param_stripe_threshold;
+          freg_budget = freg_budget options;
+        }
+      in
+      let lowered =
+        Lower.lower cfg
+          ~name:
+            (Printf.sprintf "%s-%s-baseline" mech.Chem.Mechanism.name
+               (Kernel_abi.kernel_name kernel))
+          ~point_map:Gpusim.Isa.Thread_per_point ~out_warps:options.n_warps
+          ~groups dfg mapping schedule
+      in
+      { mech; kernel; version; options; dfg; mapping; schedule; lowered }
+
+let default_ctas t ~total_points =
+  match t.version with
+  | Baseline ->
+      let per_cta = t.options.n_warps * 32 in
+      assert (total_points mod per_cta = 0);
+      total_points / per_cta
+  | Warp_specialized | Naive_warp_specialized ->
+      min 1024 (total_points / 32)
+
+type run_result = {
+  machine : Gpusim.Machine.result;
+  max_rel_err : float;
+  outputs : float array array;
+}
+
+let run ?ctas ?(check = true) ?(seed = 0x5EEDL) ?t_range t ~total_points =
+  let ctas =
+    match ctas with Some c -> c | None -> default_ctas t ~total_points
+  in
+  let launch =
+    {
+      Gpusim.Machine.program = t.lowered.Lower.program;
+      total_points;
+      ctas;
+    }
+  in
+  let grid = ref None in
+  (* The machine model may simulate twice (batch extrapolation); keep the
+     grid matching the run whose outputs are checked (the largest). *)
+  let fill mem n =
+    let g = Chem.Grid.create ?t_range t.mech ~points:n ~seed in
+    (match !grid with
+    | Some g0 when g0.Chem.Grid.points >= n -> ()
+    | Some _ | None -> grid := Some g);
+    Kernel_abi.fill_inputs t.mech g t.lowered.Lower.program mem n
+  in
+  let machine = Gpusim.Machine.run ~fill_inputs:fill t.options.arch launch in
+  let outputs =
+    Kernel_abi.read_outputs t.lowered.Lower.program machine.Gpusim.Machine.mem
+  in
+  let max_rel_err =
+    if not check then nan
+    else begin
+      let g = Option.get !grid in
+      let n = machine.Gpusim.Machine.simulated_points in
+      let reference = Kernel_abi.reference_outputs t.mech g t.kernel ~points:n in
+      let worst = ref 0.0 in
+      (* Output sums can cancel (wdot is a difference of large rates), so
+         the tolerance floor scales with the field's magnitude. *)
+      let field_max =
+        Array.fold_left
+          (fun acc f ->
+            Array.fold_left (fun a v -> Float.max a (abs_float v)) acc f)
+          1e-300 reference
+      in
+      Array.iteri
+        (fun f expect ->
+          Array.iteri
+            (fun p e ->
+              let got = outputs.(f).(p) in
+              let denom = Float.max (abs_float e) (1e-9 *. field_max) in
+              let err = abs_float (got -. e) /. denom in
+              if err > !worst then worst := err)
+            expect)
+        reference;
+      !worst
+    end
+  in
+  { machine; max_rel_err; outputs }

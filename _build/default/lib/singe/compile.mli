@@ -1,0 +1,102 @@
+(** End-to-end compilation driver: mechanism x kernel x architecture x
+    options -> executable program (Fig. 8's pipeline), plus launch and
+    verification helpers.
+
+    Three code-generation versions reproduce the paper's comparisons:
+    {ul
+    {- [Warp_specialized]: the full Singe pipeline — domain partitioning,
+       greedy mapping, named-barrier scheduling, overlaid code with
+       constant banks;}
+    {- [Baseline]: the optimized data-parallel version of §6 — one thread
+       per point, constants through the constant cache, LDG texture loads
+       on Kepler, spilling to local memory;}
+    {- [Naive_warp_specialized]: warp specialization without overlaying
+       (top-level warp switch, inline constants) — Fig. 9's strawman.}} *)
+
+type version = Warp_specialized | Baseline | Naive_warp_specialized
+
+type chem_comm = Chem_staged | Chem_recompute | Chem_mixed
+(** How chemistry's species vectors reach their consumer warps: staged
+    through shared memory ([Chem_staged]), redundantly recomputed per warp
+    ([Chem_recompute]), or concentrations staged with Gibbs energies
+    recomputed ([Chem_mixed]). *)
+
+type options = {
+  arch : Gpusim.Arch.t;
+  n_warps : int;  (** warps per CTA *)
+  weights : Mapping.weights;
+  strategy : Mapping.strategy option;  (** [None]: the kernel's default *)
+  respect_hints : bool;
+  group_syncs : bool;
+  buffer_slots : int;
+  exp_consts_in_registers : bool;  (** §6.1 ablation *)
+  freg_budget : int option;
+      (** double registers per thread; [None]: the architecture maximum *)
+  param_stripe_threshold : int;
+  max_barriers : int;
+      (** named-barrier ids per CTA (16 / target CTAs-per-SM, §4.2
+          footnote) *)
+  ctas_per_sm_target : int;
+      (** desired occupancy; bounds the default register budget (§4.1's
+          "command line flag specifies the target number of CTAs per SM") *)
+  chem_comm : chem_comm option;
+      (** chemistry only — communication policy for the species vectors;
+          [None] (default) stages everything through shared memory, which
+          measured fastest end-to-end (kept as a knob for the ablation
+          benchmark) *)
+  full_range_thermo : bool;
+      (** chemistry only — evaluate both NASA-7 ranges with branchless
+          selection on T vs t_mid, so grids below the polynomial mid
+          temperature are handled (default [false]: single high range, the
+          combustion regime) *)
+}
+
+val default_options : Gpusim.Arch.t -> options
+
+val default_strategy : Kernel_abi.kernel -> Mapping.strategy
+(** Store for viscosity, Mixed for diffusion, Buffer for chemistry: its
+    reaction rates stay in registers and exchange through the shared
+    buffer; only the explicitly staged species vectors (Listing 4's
+    [scratch]) live in shared memory (§4.1). *)
+
+type t = {
+  mech : Chem.Mechanism.t;
+  kernel : Kernel_abi.kernel;
+  version : version;
+  options : options;
+  dfg : Dfg.t;
+  mapping : Mapping.t;
+  schedule : Schedule.t;
+  lowered : Lower.output;
+}
+
+val compile :
+  Chem.Mechanism.t -> Kernel_abi.kernel -> version -> options -> t
+
+val default_ctas : t -> total_points:int -> int
+(** Launch-grid size: warp-specialized kernels use a fixed CTA grid (1024,
+    capped so each CTA gets at least one 32-point batch) so larger problems
+    amortize the constant-loading prologue over more batches (§6.2);
+    the baseline launches one thread per point. *)
+
+type run_result = {
+  machine : Gpusim.Machine.result;
+  max_rel_err : float;
+      (** worst relative error of the simulated points' outputs against the
+          host reference *)
+  outputs : float array array;
+}
+
+val run :
+  ?ctas:int ->
+  ?check:bool ->
+  ?seed:int64 ->
+  ?t_range:float * float ->
+  t ->
+  total_points:int ->
+  run_result
+(** Simulates the kernel on a reproducible random grid; when [check] (the
+    default) the functional outputs of all simulated points are compared
+    against {!Chem.Ref_kernels}. [t_range] overrides the grid's temperature
+    interval (pair it with {!options.full_range_thermo} when going below
+    the NASA mid temperature). *)

@@ -1,0 +1,101 @@
+module S = Sexpr
+
+let species_warp ~n ~n_warps k = Viscosity_dfg.species_warp ~n ~n_warps k
+
+let build (mech : Chem.Mechanism.t) ~n_warps =
+  let computed = Chem.Mechanism.computed_species mech in
+  let n = Array.length computed in
+  let b = Dfg.Builder.create "conductivity" in
+  let warp_of = species_warp ~n ~n_warps in
+  let mine =
+    Array.init n_warps (fun w ->
+        List.filter (fun k -> warp_of k = w) (List.init n Fun.id))
+  in
+  let max_mine = Array.fold_left (fun a l -> max a (List.length l)) 0 mine in
+  let nth_mine w o = List.nth_opt mine.(w) o in
+  (* Round-robin emission keeps the per-warp streams aligned (same
+     discipline as the other kernels). *)
+  let temp_of =
+    Array.init n_warps (fun w ->
+        Dfg.Builder.load b ~hint:w ~align:"T" ~name:(Printf.sprintf "T_w%d" w)
+          ~group:"temperature" ~field:0 ())
+  in
+  (* Per-species work is entirely warp-local: load x_k, evaluate the fitted
+     log conductivity, and fold x*lambda and x/lambda into two running
+     accumulators per warp. Nothing crosses warps until the partials. *)
+  let acc1 = Array.make n_warps (-1) in
+  let acc2 = Array.make n_warps (-1) in
+  for o = 0 to max_mine - 1 do
+    for w = 0 to n_warps - 1 do
+      match nth_mine w o with
+      | None -> ()
+      | Some k ->
+          let xk =
+            Dfg.Builder.load b ~hint:w
+              ~align:(Printf.sprintf "x:%d" o)
+              ~name:(Printf.sprintf "x%d" k) ~group:"mole_frac" ~field:k ()
+          in
+          let c =
+            mech.Chem.Mechanism.transport.Chem.Transport.cond_fit.(computed.(k))
+          in
+          let lam =
+            Dfg.Builder.compute b ~hint:w
+              ~align:(Printf.sprintf "lam:%d" o)
+              ~name:(Printf.sprintf "lam%d" k)
+              ~inputs:[| temp_of.(w) |]
+              (S.exp_
+                 (S.poly3 (S.In 0) ~c0:c.(0) ~c1:c.(1) ~c2:c.(2) ~c3:c.(3)))
+          in
+          acc1.(w) <-
+            (if acc1.(w) < 0 then
+               Dfg.Builder.compute b ~hint:w
+                 ~align:(Printf.sprintf "s1:%d" o)
+                 ~name:(Printf.sprintf "s1_%d" k)
+                 ~inputs:[| xk; lam |]
+                 (S.mul (S.In 0) (S.In 1))
+             else
+               Dfg.Builder.compute b ~hint:w
+                 ~align:(Printf.sprintf "s1:%d" o)
+                 ~name:(Printf.sprintf "s1_%d" k)
+                 ~inputs:[| xk; lam; acc1.(w) |]
+                 (S.fma (S.In 0) (S.In 1) (S.In 2)));
+          acc2.(w) <-
+            (if acc2.(w) < 0 then
+               Dfg.Builder.compute b ~hint:w
+                 ~align:(Printf.sprintf "s2:%d" o)
+                 ~name:(Printf.sprintf "s2_%d" k)
+                 ~inputs:[| xk; lam |]
+                 (S.div (S.In 0) (S.In 1))
+             else
+               Dfg.Builder.compute b ~hint:w
+                 ~align:(Printf.sprintf "s2:%d" o)
+                 ~name:(Printf.sprintf "s2_%d" k)
+                 ~inputs:[| xk; lam; acc2.(w) |]
+                 (S.add (S.div (S.In 0) (S.In 1)) (S.In 2)))
+    done
+  done;
+  (* Cross-warp combination: each warp's two partials travel once; warp 0
+     folds them and stores. A warp with no species contributes zeros. *)
+  let zero w name =
+    Dfg.Builder.compute b ~hint:w ~name ~inputs:[||] (S.Imm 0.0)
+  in
+  for w = 0 to n_warps - 1 do
+    if acc1.(w) < 0 then begin
+      acc1.(w) <- zero w (Printf.sprintf "s1_none_w%d" w);
+      acc2.(w) <- zero w (Printf.sprintf "s2_none_w%d" w)
+    end
+  done;
+  let s1 =
+    Dfg.Builder.compute b ~hint:0 ~name:"sum_xlam" ~inputs:acc1
+      (S.sum (List.init n_warps (fun i -> S.In i)))
+  in
+  let s2 =
+    Dfg.Builder.compute b ~hint:0 ~name:"sum_xinv" ~inputs:acc2
+      (S.sum (List.init n_warps (fun i -> S.In i)))
+  in
+  let out =
+    Dfg.Builder.compute b ~hint:0 ~name:"lambda_mix" ~inputs:[| s1; s2 |]
+      (S.mul (S.Imm 0.5) (S.add (S.In 0) (S.div (S.Imm 1.0) (S.In 1))))
+  in
+  Dfg.Builder.store b ~hint:0 ~name:"store" ~group:"out" ~field:0 out;
+  Dfg.Builder.finish b

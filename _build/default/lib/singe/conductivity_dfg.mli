@@ -1,0 +1,18 @@
+(** Dataflow graph of the thermal-conductivity kernel (transport-suite
+    extension — S3D's getcoeffs computes it alongside viscosity and
+    diffusion; the paper's evaluation does not include it).
+
+    Mathur's combination-averaging formula
+    [lambda = 1/2 (sum_k x_k lambda_k + 1 / sum_k x_k / lambda_k)] is
+    per-species-local: unlike viscosity's Wilke double sum there is no
+    cross-species pair term, so each warp reduces its own contiguous
+    species range in registers and only the two per-warp partial sums cross
+    warps. The per-species [lambda_k(T)] are cubic log-space fits like the
+    viscosities (§3.2's constant-heavy pattern, at 4 constants per
+    species). *)
+
+val species_warp : n:int -> n_warps:int -> int -> int
+(** Owning warp of a species: contiguous ranges (same scheme as
+    viscosity). *)
+
+val build : Chem.Mechanism.t -> n_warps:int -> Dfg.t

@@ -1,0 +1,23 @@
+(** CUDA C source emission — what the real Singe compiler produced.
+
+    The simulator executes {!Gpusim.Isa} programs directly, but the paper's
+    compiler emitted CUDA source with inline-PTX named barriers (Listing 2)
+    and shuffle-based broadcasts (Listing 3). This module renders a lowered
+    program as equivalent, human-readable CUDA C:
+
+    {ul
+    {- one kernel per program, one grid-stride batch loop per CTA;}
+    {- [bar.arrive]/[bar.sync] named barriers via [asm volatile];}
+    {- striped constants as [__constant__] banks indexed by warp and lane,
+       with the warp-strided overflow region;}
+    {- double-precision shuffles via two 32-bit [__shfl_sync]s (Kepler) or
+       the shared-memory mirror (Fermi-era devices without shuffle);}
+    {- warp-masked regions as mask tests, naive mode as a warp switch;}
+    {- explicit per-thread spill arrays for local memory.}}
+
+    The output cannot be compiled here (no CUDA toolchain in this
+    repository), but it is valid CUDA C by construction and the emission
+    tests check its structural invariants. *)
+
+val emit : arch:Gpusim.Arch.t -> Gpusim.Isa.program -> string
+(** Render the program as a self-contained [.cu] translation unit. *)

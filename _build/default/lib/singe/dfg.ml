@@ -1,0 +1,191 @@
+type op_kind =
+  | Load of { group : string; field : int; via_tex : bool }
+  | Store of { group : string; field : int }
+  | Compute of Sexpr.t
+  | Fence
+
+type op = {
+  id : int;
+  name : string;
+  kind : op_kind;
+  inputs : int array;
+  output : int option;
+  hint : int option;
+  shared_hint : bool;
+  align : string option;
+}
+
+type value = {
+  vid : int;
+  vname : string;
+  producer : int;
+  consumers : int list;
+}
+
+type t = { graph_name : string; ops : op array; values : value array }
+
+module Builder = struct
+  type b = {
+    bname : string;
+    mutable ops_rev : op list;
+    mutable n_ops : int;
+    mutable vals_rev : (string * int) list;  (** name, producer *)
+    mutable n_vals : int;
+  }
+
+  let create bname =
+    { bname; ops_rev = []; n_ops = 0; vals_rev = []; n_vals = 0 }
+
+  let new_value b name producer =
+    let vid = b.n_vals in
+    b.vals_rev <- (name, producer) :: b.vals_rev;
+    b.n_vals <- b.n_vals + 1;
+    vid
+
+  let add_op b op =
+    b.ops_rev <- op :: b.ops_rev;
+    b.n_ops <- b.n_ops + 1
+
+  let load b ?hint ?align ?(shared_hint = false) ?(via_tex = true) ~name
+      ~group ~field () =
+    let id = b.n_ops in
+    let vid = new_value b name id in
+    add_op b
+      { id; name; kind = Load { group; field; via_tex }; inputs = [||];
+        output = Some vid; hint; shared_hint; align };
+    vid
+
+  let compute b ?hint ?align ?(shared_hint = false) ~name ~inputs expr =
+    if Sexpr.n_inputs expr > Array.length inputs then
+      invalid_arg
+        (Printf.sprintf "compute %s: expression uses %d inputs, %d given" name
+           (Sexpr.n_inputs expr) (Array.length inputs));
+    let id = b.n_ops in
+    let vid = new_value b name id in
+    add_op b
+      { id; name; kind = Compute expr; inputs; output = Some vid; hint;
+        shared_hint; align };
+    vid
+
+  let fence b ~inputs =
+    let id = b.n_ops in
+    add_op b
+      { id; name = Printf.sprintf "fence%d" id; kind = Fence; inputs;
+        output = None; hint = Some 0; shared_hint = false; align = None }
+
+  let store b ?hint ?align ~name ~group ~field input =
+    let id = b.n_ops in
+    add_op b
+      { id; name; kind = Store { group; field }; inputs = [| input |];
+        output = None; hint; shared_hint = false; align }
+
+  let finish b =
+    let ops = Array.of_list (List.rev b.ops_rev) in
+    let vals = Array.of_list (List.rev b.vals_rev) in
+    let consumers = Array.make b.n_vals [] in
+    Array.iter
+      (fun op ->
+        Array.iter
+          (fun v -> consumers.(v) <- op.id :: consumers.(v))
+          op.inputs)
+      ops;
+    let values =
+      Array.mapi
+        (fun vid (vname, producer) ->
+          { vid; vname; producer; consumers = List.sort_uniq compare consumers.(vid) })
+        vals
+    in
+    { graph_name = b.bname; ops; values }
+end
+
+let op_flops op =
+  match op.kind with
+  | Compute e -> Sexpr.flops e
+  | Load _ | Store _ | Fence -> 0
+
+let total_flops t = Array.fold_left (fun acc op -> acc + op_flops op) 0 t.ops
+
+let op_constants op =
+  match op.kind with
+  | Compute e -> Sexpr.constants e
+  | Load _ | Store _ | Fence -> []
+
+let topo_order t =
+  let n = Array.length t.ops in
+  let indegree = Array.make n 0 in
+  let succs = Array.make n [] in
+  Array.iter
+    (fun op ->
+      Array.iter
+        (fun v ->
+          let p = t.values.(v).producer in
+          succs.(p) <- op.id :: succs.(p);
+          indegree.(op.id) <- indegree.(op.id) + 1)
+        op.inputs)
+    t.ops;
+  (* Priority queue on op id: the walk follows the builder's emission
+     order whenever dependences allow, which keeps the per-warp streams of
+     round-robin-emitted graphs symmetric (fences land between rounds). *)
+  let module IS = Set.Make (Int) in
+  let ready = ref IS.empty in
+  Array.iteri (fun i d -> if d = 0 then ready := IS.add i !ready) indegree;
+  let order = Array.make n (-1) in
+  let k = ref 0 in
+  while not (IS.is_empty !ready) do
+    let i = IS.min_elt !ready in
+    ready := IS.remove i !ready;
+    order.(!k) <- i;
+    incr k;
+    List.iter
+      (fun s ->
+        indegree.(s) <- indegree.(s) - 1;
+        if indegree.(s) = 0 then ready := IS.add s !ready)
+      (List.rev succs.(i))
+  done;
+  if !k <> n then failwith (t.graph_name ^ ": dataflow graph has a cycle");
+  order
+
+let validate t =
+  let problems = ref [] in
+  let err fmt = Printf.ksprintf (fun s -> problems := s :: !problems) fmt in
+  let nv = Array.length t.values in
+  Array.iteri
+    (fun i op ->
+      if op.id <> i then err "op %d has id %d" i op.id;
+      Array.iter
+        (fun v -> if v < 0 || v >= nv then err "op %s: bad value id %d" op.name v)
+        op.inputs;
+      match op.kind with
+      | Compute e ->
+          if Sexpr.n_inputs e > Array.length op.inputs then
+            err "op %s: arity mismatch" op.name;
+          if op.output = None then err "op %s: compute without output" op.name
+      | Load _ -> if op.output = None then err "op %s: load without output" op.name
+      | Fence -> if op.output <> None then err "op %s: fence with output" op.name
+      | Store _ ->
+          if Array.length op.inputs <> 1 then err "op %s: store arity" op.name)
+    t.ops;
+  Array.iteri
+    (fun vid v ->
+      if v.vid <> vid then err "value %d has id %d" vid v.vid;
+      match t.ops.(v.producer).output with
+      | Some o when o = vid -> ()
+      | _ -> err "value %s: producer mismatch" v.vname)
+    t.values;
+  (try ignore (topo_order t) with Failure m -> err "%s" m);
+  match !problems with [] -> Ok () | l -> Error (List.rev l)
+
+let pp_stats ppf t =
+  let loads = ref 0 and stores = ref 0 and computes = ref 0 in
+  Array.iter
+    (fun op ->
+      match op.kind with
+      | Load _ -> incr loads
+      | Store _ -> incr stores
+      | Fence -> ()
+      | Compute _ -> incr computes)
+    t.ops;
+  Format.fprintf ppf
+    "%s: %d ops (%d loads, %d computes, %d stores), %d values, %d flops/point"
+    t.graph_name (Array.length t.ops) !loads !computes !stores
+    (Array.length t.values) (total_flops t)

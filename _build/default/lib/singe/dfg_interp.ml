@@ -1,0 +1,53 @@
+type inputs = {
+  temp : float;
+  pressure : float;
+  mole_frac : float array;
+  diffusion : float array;
+}
+
+let point_inputs mech grid p =
+  let computed = Chem.Mechanism.computed_species mech in
+  let full = Chem.Grid.point_mole_fracs grid mech p in
+  let diff = Chem.Grid.point_diffusion grid p in
+  {
+    temp = Chem.Grid.point_temperature grid p;
+    pressure = Chem.Grid.point_pressure grid p;
+    mole_frac = Array.map (fun sp -> full.(sp)) computed;
+    diffusion = Array.map (fun sp -> diff.(sp)) computed;
+  }
+
+let eval (dfg : Dfg.t) inputs =
+  let values = Array.make (max 1 (Array.length dfg.Dfg.values)) 0.0 in
+  let out = Hashtbl.create 8 in
+  Array.iter
+    (fun op_id ->
+      let op = dfg.Dfg.ops.(op_id) in
+      match op.Dfg.kind with
+      | Dfg.Load { group; field; _ } ->
+          let v =
+            match group with
+            | "temperature" -> inputs.temp
+            | "pressure" -> inputs.pressure
+            | "mole_frac" -> inputs.mole_frac.(field)
+            | "diffusion_in" -> inputs.diffusion.(field)
+            | other -> invalid_arg ("dfg_interp: unknown input group " ^ other)
+          in
+          values.(Option.get op.Dfg.output) <- v
+      | Dfg.Compute e ->
+          let consts = Array.of_list (Sexpr.constants e) in
+          let v =
+            Sexpr.eval e ~consts ~input:(fun i -> values.(op.Dfg.inputs.(i)))
+          in
+          values.(Option.get op.Dfg.output) <- v
+      | Dfg.Fence -> ()
+      | Dfg.Store { group; field } ->
+          if group = "out" then Hashtbl.replace out field values.(op.Dfg.inputs.(0))
+          else invalid_arg ("dfg_interp: store to unknown group " ^ group))
+    (Dfg.topo_order dfg);
+  out
+
+let eval_field dfg inputs f =
+  let out = eval dfg inputs in
+  match Hashtbl.find_opt out f with
+  | Some v -> v
+  | None -> raise Not_found

@@ -1,0 +1,22 @@
+(** Direct (scalar, host-side) interpretation of a dataflow graph for one
+    grid point. This gives a third, independent evaluation of every kernel
+    — used by tests to pin the DFG-construction stage against
+    {!Chem.Ref_kernels}, separating partitioning bugs from code-generation
+    bugs. *)
+
+type inputs = {
+  temp : float;
+  pressure : float;
+  mole_frac : float array;  (** indexed by computed-species position *)
+  diffusion : float array;  (** indexed by computed-species position *)
+}
+
+val point_inputs : Chem.Mechanism.t -> Chem.Grid.t -> int -> inputs
+
+val eval : Dfg.t -> inputs -> (int, float) Hashtbl.t
+(** Evaluates every operation in topological order; the result maps the
+    [out] group's field index to the stored value. *)
+
+val eval_field : Dfg.t -> inputs -> int -> float
+(** Value stored to [out] field [f]. Raises [Not_found] if the graph never
+    stores it. *)

@@ -1,0 +1,260 @@
+let n_cells ~n i =
+  if n mod 2 = 1 then n / 2
+  else if i < n / 2 then n / 2
+  else (n / 2) - 1
+
+let cells ~n i = List.init (n_cells ~n i) (fun t -> (i + t + 1) mod n)
+
+let in_cells ~n i r =
+  let d = (((r - i) mod n) + n) mod n in
+  d >= 1 && d <= n_cells ~n i
+
+let column_warp ~n ~n_warps i = min (n_warps - 1) (i * n_warps / n)
+
+let covers_all_pairs ~n =
+  let seen = Hashtbl.create 64 in
+  let ok = ref true in
+  for i = 0 to n - 1 do
+    List.iter
+      (fun j ->
+        let key = (min i j, max i j) in
+        if i = j || Hashtbl.mem seen key then ok := false
+        else Hashtbl.add seen key ())
+      (cells ~n i)
+  done;
+  !ok && Hashtbl.length seen = n * (n - 1) / 2
+
+let build (mech : Chem.Mechanism.t) ~n_warps =
+  let computed = Chem.Mechanism.computed_species mech in
+  let n = Array.length computed in
+  let masses = Chem.Mechanism.molecular_masses mech in
+  let m k = masses.(computed.(k)) in
+  let b = Dfg.Builder.create "diffusion" in
+  let warp_of = column_warp ~n ~n_warps in
+  let mine =
+    Array.init n_warps (fun w ->
+        List.filter (fun k -> warp_of k = w) (List.init n Fun.id))
+  in
+  let max_mine = Array.fold_left (fun a l -> max a (List.length l)) 0 mine in
+  let nth_mine w o = List.nth_opt mine.(w) o in
+  (* Round-robin warp emission throughout keeps the streams symmetric (see
+     Viscosity_dfg); scalar inputs are loaded redundantly per warp. *)
+  let temp_of =
+    Array.init n_warps (fun w ->
+        Dfg.Builder.load b ~hint:w ~align:"T" ~name:(Printf.sprintf "T_w%d" w)
+          ~group:"temperature" ~field:0 ())
+  in
+  let pres_of =
+    Array.init n_warps (fun w ->
+        Dfg.Builder.load b ~hint:w ~align:"P" ~name:(Printf.sprintf "P_w%d" w)
+          ~group:"pressure" ~field:0 ())
+  in
+  let x = Array.make n (-1) in
+  for o = 0 to max_mine - 1 do
+    for w = 0 to n_warps - 1 do
+      match nth_mine w o with
+      | None -> ()
+      | Some k ->
+          x.(k) <-
+            Dfg.Builder.load b ~hint:w
+              ~align:(Printf.sprintf "x:%d" o)
+              ~name:(Printf.sprintf "x%d" k) ~group:"mole_frac" ~field:k ()
+    done
+  done;
+  (* The mole fractions are staged in shared memory past this barrier.
+     Clamps are recomputed wherever needed ([max] is exact), which halves
+     the shared store region. *)
+  Dfg.Builder.fence b ~inputs:x;
+  let clamp_expr e = Sexpr.max_ (Sexpr.Imm Chem.Ref_kernels.eps_mole_frac) e in
+  (* The three whole-mixture sums are cheap; every warp computes its own
+     copies rather than synchronizing on a single producer. *)
+  let mass_of = Array.make n_warps (-1) in
+  let clamped_mass_of = Array.make n_warps (-1) in
+  let pscale_of = Array.make n_warps (-1) in
+  for w = 0 to n_warps - 1 do
+    mass_of.(w) <-
+      Dfg.Builder.compute b ~hint:w ~align:"mass"
+        ~name:(Printf.sprintf "mass_w%d" w)
+        ~inputs:x
+        (Sexpr.dot (List.init n (fun k -> (m k, Sexpr.In k))))
+  done;
+  for w = 0 to n_warps - 1 do
+    clamped_mass_of.(w) <-
+      Dfg.Builder.compute b ~hint:w ~align:"cmass"
+        ~name:(Printf.sprintf "cmass_w%d" w)
+        ~inputs:x
+        (match List.init n (fun k -> k) with
+        | [] -> Sexpr.Imm 0.0
+        | k0 :: rest ->
+            List.fold_left
+              (fun acc k ->
+                Sexpr.fma (Sexpr.C (m k)) (clamp_expr (Sexpr.In k)) acc)
+              (Sexpr.mul (Sexpr.C (m k0)) (clamp_expr (Sexpr.In k0)))
+              rest)
+  done;
+  for w = 0 to n_warps - 1 do
+    pscale_of.(w) <-
+      Dfg.Builder.compute b ~hint:w ~align:"pscale"
+        ~name:(Printf.sprintf "pscale_w%d" w)
+        ~inputs:[| pres_of.(w) |]
+        (Sexpr.div (Sexpr.Imm Chem.Rates.p_atm) (Sexpr.In 0))
+  done;
+  (* Each warp keeps its own columns' clamps register resident. *)
+  let col_clamp = Array.make_matrix n_warps max_mine (-1) in
+  for o = 0 to max_mine - 1 do
+    for w = 0 to n_warps - 1 do
+      match nth_mine w o with
+      | None -> ()
+      | Some i ->
+          col_clamp.(w).(o) <-
+            Dfg.Builder.compute b ~hint:w
+              ~align:(Printf.sprintf "cc:%d" o)
+              ~name:(Printf.sprintf "cc%d_w%d" i w)
+              ~inputs:[| x.(i) |]
+              (clamp_expr (Sexpr.In 0))
+    done
+  done;
+  (* Row-major traversal (Fig. 5): a cell d_ir is computed once and folded
+     into the column partial (kept in the owning warp's registers) and the
+     warp's row partial. Row partials are reduced every few rows so they
+     stay register-resident only briefly; the reductions ship through the
+     shared-memory buffer under named barriers — the paper's
+     barrier-protected shared partial sums. *)
+  (* Large mechanisms shrink the tile so two epochs of shared row partials stay within shared memory. *)
+  let row_tile = if n > 40 then 2 else 4 in
+  let colsum = Array.make n (-1) in
+  let rowsum = Array.make n (-1) in
+  let rowpart_final : int option array array =
+    Array.init n (fun _ -> Array.make n_warps None)
+  in
+  let emit_rowsums r_lo r_hi =
+    (* A fence publishes the tile's shared row partials; the reductions
+       after it need no further synchronization, and the slots recycle for
+       the next tile. *)
+    let tile_parts =
+      List.concat
+        (List.init (r_hi - r_lo + 1) (fun t ->
+             Array.to_list rowpart_final.(r_lo + t) |> List.filter_map Fun.id))
+    in
+    if tile_parts <> [] then Dfg.Builder.fence b ~inputs:(Array.of_list tile_parts);
+    for r = r_lo to r_hi do
+      let parts =
+        Array.to_list rowpart_final.(r) |> List.filter_map Fun.id
+      in
+      if parts <> [] then
+        rowsum.(r) <-
+          Dfg.Builder.compute b ~hint:(warp_of r)
+            ~align:(Printf.sprintf "rs:%d" (r - r_lo))
+            ~name:(Printf.sprintf "rowsum%d" r)
+            ~inputs:(Array.of_list parts)
+            (Sexpr.sum (List.init (List.length parts) (fun t -> Sexpr.In t)))
+    done
+  in
+  for r = 0 to n - 1 do
+    (* Stage clamp_r into each participating warp's registers. *)
+    let row_clamp = Array.make n_warps (-1) in
+    for w = 0 to n_warps - 1 do
+      let participates =
+        List.exists (fun i -> in_cells ~n i r) mine.(w)
+      in
+      if participates then
+        row_clamp.(w) <-
+          Dfg.Builder.compute b ~hint:w
+            ~align:(Printf.sprintf "cr:%d" r)
+            ~name:(Printf.sprintf "cr%d_w%d" r w)
+            ~inputs:[| x.(r) |]
+            (clamp_expr (Sexpr.In 0))
+    done;
+    let rowacc = Array.make n_warps (-1) in
+    for o = 0 to max_mine - 1 do
+      for w = 0 to n_warps - 1 do
+        match nth_mine w o with
+        | Some i when in_cells ~n i r ->
+            let d =
+              mech.Chem.Mechanism.transport.Chem.Transport.diff_fit.(computed.(i)).(computed.(r))
+            in
+            let cell =
+              Dfg.Builder.compute b ~hint:w
+                ~align:(Printf.sprintf "d:%d:%d" o r)
+                ~name:(Printf.sprintf "d_%d_%d" i r)
+                ~inputs:[| temp_of.(w) |]
+                (Sexpr.exp_
+                   (Sexpr.poly3 (Sexpr.In 0) ~c0:d.(0) ~c1:d.(1) ~c2:d.(2)
+                      ~c3:d.(3)))
+            in
+            colsum.(i) <-
+              (if colsum.(i) < 0 then
+                 Dfg.Builder.compute b ~hint:w
+                   ~align:(Printf.sprintf "col:%d:%d" o r)
+                   ~name:(Printf.sprintf "col%d@%d" i r)
+                   ~inputs:[| row_clamp.(w); cell |]
+                   (Sexpr.mul (Sexpr.In 0) (Sexpr.In 1))
+               else
+                 Dfg.Builder.compute b ~hint:w
+                   ~align:(Printf.sprintf "col:%d:%d" o r)
+                   ~name:(Printf.sprintf "col%d@%d" i r)
+                   ~inputs:[| row_clamp.(w); cell; colsum.(i) |]
+                   (Sexpr.fma (Sexpr.In 0) (Sexpr.In 1) (Sexpr.In 2)));
+            let is_last =
+              not (List.exists (fun i' -> i' > i && in_cells ~n i' r) mine.(w))
+            in
+            rowacc.(w) <-
+              (if rowacc.(w) < 0 then
+                 Dfg.Builder.compute b ~hint:w ~shared_hint:is_last
+                   ~align:(Printf.sprintf "rp:%d:%d" o r)
+                   ~name:(Printf.sprintf "rp%d_w%d@%d" r w i)
+                   ~inputs:[| col_clamp.(w).(o); cell |]
+                   (Sexpr.mul (Sexpr.In 0) (Sexpr.In 1))
+               else
+                 Dfg.Builder.compute b ~hint:w ~shared_hint:is_last
+                   ~align:(Printf.sprintf "rp:%d:%d" o r)
+                   ~name:(Printf.sprintf "rp%d_w%d@%d" r w i)
+                   ~inputs:[| col_clamp.(w).(o); cell; rowacc.(w) |]
+                   (Sexpr.fma (Sexpr.In 0) (Sexpr.In 1) (Sexpr.In 2)))
+        | Some _ | None -> ()
+      done
+    done;
+    for w = 0 to n_warps - 1 do
+      if rowacc.(w) >= 0 then
+        rowpart_final.(r).(w) <- Some rowacc.(w)
+    done;
+    if (r + 1) mod row_tile = 0 then emit_rowsums (r + 1 - row_tile) r
+  done;
+  emit_rowsums (n / row_tile * row_tile) (n - 1);
+  (* Per-species outputs, round-robin by column ordinal. *)
+  for o = 0 to max_mine - 1 do
+    for w = 0 to n_warps - 1 do
+      match nth_mine w o with
+      | None -> ()
+      | Some i ->
+          let denom_parts =
+            (if colsum.(i) >= 0 then [ colsum.(i) ] else [])
+            @ (if rowsum.(i) >= 0 then [ rowsum.(i) ] else [])
+          in
+          assert (denom_parts <> []);
+          let fixed =
+            [| pscale_of.(w); clamped_mass_of.(w); x.(i); mass_of.(w) |]
+          in
+          let inputs = Array.append fixed (Array.of_list denom_parts) in
+          let denom_expr =
+            Sexpr.sum
+              (List.init (List.length denom_parts) (fun t -> Sexpr.In (4 + t)))
+          in
+          let delta =
+            Dfg.Builder.compute b ~hint:w
+              ~align:(Printf.sprintf "delta:%d" o)
+              ~name:(Printf.sprintf "delta%d" i)
+              ~inputs
+              (Sexpr.div
+                 (Sexpr.mul (Sexpr.In 0)
+                    (Sexpr.sub (Sexpr.In 1)
+                       (Sexpr.mul (clamp_expr (Sexpr.In 2)) (Sexpr.C (m i)))))
+                 (Sexpr.mul (Sexpr.In 3) denom_expr))
+          in
+          Dfg.Builder.store b ~hint:w
+            ~align:(Printf.sprintf "stor:%d" o)
+            ~name:(Printf.sprintf "store%d" i)
+            ~group:"out" ~field:i delta
+    done
+  done;
+  Dfg.Builder.finish b

@@ -1,0 +1,26 @@
+(** Dataflow graph of the diffusion kernel with the column partitioning of
+    §3.3 / Fig. 5.
+
+    The symmetric NxN pair matrix is covered exactly once by assigning each
+    column [i] the rows [i+1 .. i+floor(N/2)] (mod N); for even N the second
+    half of the columns computes one row fewer. Warps own contiguous column
+    ranges (locality), encoded as mapping hints.
+
+    Each warp traverses its columns {e by row}: a cell [d_ij] is computed
+    once and folded into two accumulators — the column partial sum (a
+    register chain private to the warp) and the per-row partial sum, which
+    crosses warps and is reduced through shared memory under named-barrier
+    protection. This is the register/shared {e hybrid} working set the
+    paper calls the Mixed strategy. *)
+
+val cells : n:int -> int -> int list
+(** [cells ~n i]: rows assigned to column [i] (Fig. 5 scheme). *)
+
+val column_warp : n:int -> n_warps:int -> int -> int
+(** Owning warp of a column: contiguous ranges. *)
+
+val covers_all_pairs : n:int -> bool
+(** Every unordered pair appears in exactly one column's cell list (used by
+    property tests). *)
+
+val build : Chem.Mechanism.t -> n_warps:int -> Dfg.t

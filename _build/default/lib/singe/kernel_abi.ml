@@ -1,0 +1,103 @@
+type kernel = Viscosity | Conductivity | Diffusion | Chemistry
+
+let kernel_name = function
+  | Viscosity -> "viscosity"
+  | Conductivity -> "conductivity"
+  | Diffusion -> "diffusion"
+  | Chemistry -> "chemistry"
+
+let kernel_of_string s =
+  match String.lowercase_ascii s with
+  | "viscosity" -> Some Viscosity
+  | "conductivity" -> Some Conductivity
+  | "diffusion" -> Some Diffusion
+  | "chemistry" -> Some Chemistry
+  | _ -> None
+
+let out_fields mech = function
+  | Viscosity | Conductivity -> 1
+  | Diffusion | Chemistry -> Array.length (Chem.Mechanism.computed_species mech)
+
+let groups mech kernel =
+  let n = Array.length (Chem.Mechanism.computed_species mech) in
+  [|
+    { Gpusim.Isa.group_name = "temperature"; fields = 1 };
+    { Gpusim.Isa.group_name = "pressure"; fields = 1 };
+    { Gpusim.Isa.group_name = "mole_frac"; fields = n };
+    { Gpusim.Isa.group_name = "diffusion_in"; fields = n };
+    { Gpusim.Isa.group_name = "out"; fields = out_fields mech kernel };
+  |]
+
+let group_id program name = Gpusim.Memstate.group_index program name
+
+let fill_inputs mech (grid : Chem.Grid.t) program mem n =
+  assert (grid.Chem.Grid.points >= n);
+  let take arr = Array.sub arr 0 n in
+  let set name field data =
+    Gpusim.Memstate.set_field mem ~group:(group_id program name) ~field data
+  in
+  set "temperature" 0 (take grid.Chem.Grid.temperature);
+  set "pressure" 0 (take grid.Chem.Grid.pressure);
+  let computed = Chem.Mechanism.computed_species mech in
+  Array.iteri
+    (fun pos sp ->
+      set "mole_frac" pos (take grid.Chem.Grid.mole_frac.(sp));
+      set "diffusion_in" pos (take grid.Chem.Grid.diffusion_in.(sp)))
+    computed
+
+let read_outputs program mem =
+  let g = group_id program "out" in
+  let fields =
+    (Array.to_list program.Gpusim.Isa.groups
+    |> List.find (fun (gi : Gpusim.Isa.group_info) -> gi.Gpusim.Isa.group_name = "out"))
+      .Gpusim.Isa.fields
+  in
+  Array.init fields (fun f -> Gpusim.Memstate.get_field mem ~group:g ~field:f)
+
+let reference_outputs mech grid kernel ~points =
+  let computed = Chem.Mechanism.computed_species mech in
+  let n = Array.length computed in
+  match kernel with
+  | Viscosity ->
+      let out = Array.make points 0.0 in
+      for p = 0 to points - 1 do
+        out.(p) <-
+          Chem.Ref_kernels.viscosity_point mech
+            ~temp:(Chem.Grid.point_temperature grid p)
+            ~mole_frac:(Chem.Grid.point_mole_fracs grid mech p)
+      done;
+      [| out |]
+  | Conductivity ->
+      let out = Array.make points 0.0 in
+      for p = 0 to points - 1 do
+        out.(p) <-
+          Chem.Ref_kernels.conductivity_point mech
+            ~temp:(Chem.Grid.point_temperature grid p)
+            ~mole_frac:(Chem.Grid.point_mole_fracs grid mech p)
+      done;
+      [| out |]
+  | Diffusion ->
+      let out = Array.init n (fun _ -> Array.make points 0.0) in
+      for p = 0 to points - 1 do
+        let d =
+          Chem.Ref_kernels.diffusion_point mech
+            ~temp:(Chem.Grid.point_temperature grid p)
+            ~pressure:(Chem.Grid.point_pressure grid p)
+            ~mole_frac:(Chem.Grid.point_mole_fracs grid mech p)
+        in
+        Array.iteri (fun i v -> out.(i).(p) <- v) d
+      done;
+      out
+  | Chemistry ->
+      let out = Array.init n (fun _ -> Array.make points 0.0) in
+      for p = 0 to points - 1 do
+        let r =
+          Chem.Ref_kernels.chemistry_point mech
+            ~temp:(Chem.Grid.point_temperature grid p)
+            ~pressure:(Chem.Grid.point_pressure grid p)
+            ~mole_frac:(Chem.Grid.point_mole_fracs grid mech p)
+            ~diffusion:(Chem.Grid.point_diffusion grid p)
+        in
+        Array.iteri (fun i v -> out.(i).(p) <- v) r.Chem.Ref_kernels.wdot
+      done;
+      out

@@ -1,0 +1,36 @@
+(** The memory interface shared by all generated kernels.
+
+    Global field groups (SoA, §3.1):
+    {ul
+    {- ["temperature"], ["pressure"]: one field each;}
+    {- ["mole_frac"]: one field per {e computed} species, indexed by
+       position in [Mechanism.computed_species];}
+    {- ["diffusion_in"]: per computed species, the diffusion outputs
+       consumed by the chemistry stiffness phase (Listing 4);}
+    {- ["out"]: kernel outputs — 1 field for viscosity and conductivity,
+       N for diffusion (Delta_i), N for chemistry (wdot).}} *)
+
+type kernel = Viscosity | Conductivity | Diffusion | Chemistry
+(** [Conductivity] is the transport-suite extension kernel (Mathur mixture
+    conductivity) — not one of the paper's three evaluation kernels, but
+    S3D's getcoeffs computes it alongside viscosity and diffusion. *)
+
+val kernel_name : kernel -> string
+val kernel_of_string : string -> kernel option
+
+val out_fields : Chem.Mechanism.t -> kernel -> int
+
+val groups : Chem.Mechanism.t -> kernel -> Gpusim.Isa.group_info array
+
+val fill_inputs :
+  Chem.Mechanism.t -> Chem.Grid.t -> Gpusim.Isa.program ->
+  Gpusim.Memstate.t -> int -> unit
+(** Copies the first [n] points of the grid into the input groups.
+    Requires the grid to hold at least [n] points. *)
+
+val read_outputs : Gpusim.Isa.program -> Gpusim.Memstate.t -> float array array
+(** [out] group contents, one array per field. *)
+
+val reference_outputs :
+  Chem.Mechanism.t -> Chem.Grid.t -> kernel -> points:int -> float array array
+(** Host-reference results in the same field layout, for comparison. *)

@@ -1,0 +1,1270 @@
+type const_policy = Bank | Const_mem | Immediate
+
+type config = {
+  arch : Gpusim.Arch.t;
+  overlay : bool;
+  const_policy : const_policy;
+  exp_consts_in_registers : bool;
+  param_stripe_threshold : int;
+  freg_budget : int;
+}
+
+type output = {
+  program : Gpusim.Isa.program;
+  n_spill_slots : int;
+  spill_bytes_per_thread : int;
+  n_bank_regs : int;
+  n_params : int;
+  n_logical_consts : int;
+}
+
+module Isa = Gpusim.Isa
+
+(* ---- virtual IR ---- *)
+
+type vshaddr = {
+  vs_base : int;
+  vs_lane : bool;
+  vs_warp : bool;  (** add the warp id (broadcast mirror) *)
+  vs_param : int option;  (** logical parameter id *)
+}
+
+type vsrc =
+  | Vreg of int
+  | Vimm of float
+  | Vconst_mem of int
+  | Vconst_warp of int  (** warp-strided constant memory base *)
+  | Vshared of vshaddr
+  | Vbank of int  (** logical constant id, read from its bank register *)
+
+type vfield = VF_static of int | VF_param of int
+
+type vinstr =
+  | VArith of { op : Isa.fop; dst : int; srcs : vsrc array; pred : Isa.pred option }
+  | VLdG of { dst : int; group : int; field : vfield; via_tex : bool }
+  | VStG of { src : vsrc; group : int; field : vfield }
+  | VLdS of { dst : int; addr : vshaddr }
+  | VStS of { src : vsrc; addr : vshaddr; pred : Isa.pred option }
+  | VBcast of { dst : int; logical : int }
+      (** Kepler: shuffle broadcast of a banked constant into a register *)
+  | VBarA of { bar : int; count : int }
+  | VBarW of { bar : int; count : int }
+  | VBarCta
+
+(* ---- growable tables for logical constants and parameters ---- *)
+
+type tables = {
+  mutable consts : float array list;  (** newest first; per-warp values *)
+  mutable n_consts : int;
+  const_cache : (string, int) Hashtbl.t;
+  mutable params : int array list;
+  mutable n_params : int;
+  param_cache : (string, int * int array) Hashtbl.t;
+  mutable const_mem_rev : float list;
+  mutable n_const_mem : int;
+  const_mem_cache : (float, int) Hashtbl.t;
+  n_warps : int;
+}
+
+let fresh_tables n_warps =
+  {
+    consts = [];
+    n_consts = 0;
+    const_cache = Hashtbl.create 64;
+    params = [];
+    n_params = 0;
+    param_cache = Hashtbl.create 64;
+    const_mem_rev = [];
+    n_const_mem = 0;
+    const_mem_cache = Hashtbl.create 64;
+    n_warps;
+  }
+
+let vector_key v =
+  String.concat "," (Array.to_list (Array.map (Printf.sprintf "%h") v))
+
+let alloc_const tables (values : float array) =
+  let key = vector_key values in
+  match Hashtbl.find_opt tables.const_cache key with
+  | Some id -> id
+  | None ->
+      let id = tables.n_consts in
+      tables.consts <- values :: tables.consts;
+      tables.n_consts <- id + 1;
+      Hashtbl.add tables.const_cache key id;
+      id
+
+(* Parameter with per-warp integer values; vectors equal up to a constant
+   offset share one slot (the offset folds into the static base). Returns
+   (logical id, base offset). [exact] forbids offset folding — global field
+   selectors have no place to carry a base. *)
+let alloc_param ?(exact = false) tables ~mask (values : int array) =
+  let ws =
+    List.filter (fun w -> mask land (1 lsl w) <> 0)
+      (List.init tables.n_warps Fun.id)
+  in
+  let w0 = List.hd ws in
+  let norm =
+    List.map (fun w -> values.(w) - values.(w0)) ws
+    |> List.map string_of_int |> String.concat ","
+  in
+  let key =
+    if exact then Printf.sprintf "x%x|%d|%s" mask values.(w0) norm
+    else Printf.sprintf "%x|%s" mask norm
+  in
+  match Hashtbl.find_opt tables.param_cache key with
+  | Some (id, base_values) ->
+      let offset = values.(w0) - base_values.(w0) in
+      assert ((not exact) || offset = 0);
+      (id, offset)
+  | None ->
+      let id = tables.n_params in
+      tables.params <- Array.copy values :: tables.params;
+      tables.n_params <- id + 1;
+      Hashtbl.add tables.param_cache key (id, Array.copy values);
+      (id, 0)
+
+let alloc_const_mem tables v =
+  match Hashtbl.find_opt tables.const_mem_cache v with
+  | Some s -> s
+  | None ->
+      let s = tables.n_const_mem in
+      tables.const_mem_rev <- v :: tables.const_mem_rev;
+      tables.n_const_mem <- s + 1;
+      Hashtbl.add tables.const_mem_cache v s;
+      s
+
+(* ---- statement shapes for overlay grouping ---- *)
+
+type ctx = {
+  cfg : config;
+  dfg : Dfg.t;
+  mapping : Mapping.t;
+  tables : tables;
+  groups : Isa.group_info array;
+  vreg_of : (int * int, int) Hashtbl.t;  (** (warp, value) -> vreg *)
+  mutable next_vreg : int;
+  mutable out_rev : (int * vinstr) list;  (** (mask, instr), newest first *)
+  full_mask : int;
+  buffer_base : int;
+  mirror_base : int;
+  mutable mirror_rot : int;
+      (** rotating mirror slot so several broadcast constants can be live
+          in one instruction (up to the 3-operand maximum) *)
+  bank_cap : int;
+      (** logical constants that fit the register bank; the rest overflow
+          to a per-warp shared-memory constant region *)
+  overflow_base : int;  (** shared address of that region *)
+}
+
+let ctx_group ctx name =
+  let found = ref (-1) in
+  Array.iteri
+    (fun i (g : Isa.group_info) ->
+      if !found < 0 && g.Isa.group_name = name then found := i)
+    ctx.groups;
+  if !found < 0 then invalid_arg ("lower: unknown field group " ^ name);
+  !found
+
+let fresh_vreg ctx =
+  let v = ctx.next_vreg in
+  ctx.next_vreg <- v + 1;
+  v
+
+let emit ctx mask i = ctx.out_rev <- (mask, i) :: ctx.out_rev
+
+(* Source class of an op input as seen by one warp: shared-placed values
+   are always read from shared memory (uniform across warps); register
+   values must already have a local copy. *)
+let src_class ctx warp v =
+  match ctx.mapping.Mapping.value_place.(v) with
+  | Mapping.P_shared -> "S"
+  | Mapping.P_reg -> (
+      match Hashtbl.find_opt ctx.vreg_of (warp, v) with
+      | Some r -> Printf.sprintf "R%d" r
+      | None ->
+          invalid_arg
+            (Printf.sprintf "lower: warp %d reads value %s with no copy" warp
+               ctx.dfg.Dfg.values.(v).Dfg.vname))
+
+let action_key ctx warp (a : Schedule.action) =
+  match a with
+  | Schedule.A_op op_id -> (
+      let op = ctx.dfg.Dfg.ops.(op_id) in
+      (* The destination's placement is part of the shape: a group must
+         either store its results to shared memory or keep them in
+         registers uniformly. *)
+      let out_place =
+        match op.Dfg.output with
+        | None -> "-"
+        | Some v -> (
+            match ctx.mapping.Mapping.value_place.(v) with
+            | Mapping.P_shared -> "S"
+            | Mapping.P_reg -> "R")
+      in
+      let tag = match op.Dfg.align with Some a -> a ^ "|" | None -> "" in
+      match op.Dfg.kind with
+      | Dfg.Fence -> "fence"
+      | Dfg.Load { group; via_tex; _ } ->
+          Printf.sprintf "%sld:%s:%b:%s" tag group via_tex out_place
+      | Dfg.Store { group; _ } ->
+          Printf.sprintf "%sst:%s:%s" tag group (src_class ctx warp op.Dfg.inputs.(0))
+      | Dfg.Compute e ->
+          let sig_ =
+            Array.to_list op.Dfg.inputs
+            |> List.map (src_class ctx warp)
+            |> String.concat ","
+          in
+          Printf.sprintf "%sc:%s:%s:%s" tag (Sexpr.shape e) sig_ out_place)
+  | Schedule.A_send { value; _ } ->
+      Printf.sprintf "snd:%s" (src_class ctx warp value)
+  | Schedule.A_recv _ -> "rcv"
+  | Schedule.A_arrive { bar; count } -> Printf.sprintf "ba:%d:%d" bar count
+  | Schedule.A_wait { bar; count } -> Printf.sprintf "bw:%d:%d" bar count
+  | Schedule.A_cta_barrier -> "cta"
+
+(* ---- constant materialization ---- *)
+
+(* Emit whatever is needed to use a bankable constant whose per-warp values
+   are [values] (entries of warps outside [ws] are padding); returns the
+   operand. *)
+let const_operand ctx ~mask ~ws (values : float array) =
+  let w0 = List.hd ws in
+  let all_equal = List.for_all (fun w -> values.(w) = values.(w0)) ws in
+  match ctx.cfg.const_policy with
+  | Immediate -> Vimm values.(w0) (* naive mode lowers warps one at a time *)
+  | Const_mem ->
+      if not all_equal then
+        invalid_arg "lower: per-warp constants under the Const_mem policy";
+      Vconst_mem (alloc_const_mem ctx.tables values.(w0))
+  | Bank ->
+      if all_equal then Vimm values.(w0)
+      else begin
+        let logical = alloc_const ctx.tables values in
+        if logical >= ctx.bank_cap then
+          (* Register bank exhausted: the constant overflows to constant
+             memory, one slot per warp, reached by dynamic (warp-strided)
+             constant addressing through the constant cache. *)
+          Vconst_warp ((logical - ctx.bank_cap) * ctx.mapping.Mapping.n_warps)
+        else
+        match ctx.cfg.arch.Gpusim.Arch.broadcast with
+        | Gpusim.Arch.Shuffle ->
+            let dst = fresh_vreg ctx in
+            emit ctx mask (VBcast { dst; logical });
+            Vreg dst
+        | Gpusim.Arch.Shared_mirror ->
+            (* Listing 2: the owning lane writes the warp's mirror slot and
+               the whole warp reads it back. The value is materialized into
+               a register at once — an expression may hold many broadcast
+               constants live, more than the small mirror rotation could
+               keep distinct as raw operands. *)
+            let rot = ctx.mirror_rot in
+            ctx.mirror_rot <- (rot + 1) mod 4;
+            let addr =
+              { vs_base = ctx.mirror_base + (rot * ctx.mapping.Mapping.n_warps);
+                vs_lane = false; vs_warp = true; vs_param = None }
+            in
+            emit ctx mask
+              (VStS
+                 { src = Vbank logical; addr;
+                   pred = Some (Isa.Lane_eq (logical mod 32)) });
+            let dst = fresh_vreg ctx in
+            emit ctx mask (VLdS { dst; addr });
+            Vreg dst
+      end
+
+(* Shared address whose base may differ per warp: returns a vshaddr using a
+   parameter when needed. [addrs] gives the base per warp (entries of warps
+   outside [mask] are ignored). *)
+let shared_operand ctx ~mask ~(addrs : int array) ~lane =
+  let ws =
+    List.filter (fun w -> mask land (1 lsl w) <> 0)
+      (List.init ctx.mapping.Mapping.n_warps Fun.id)
+  in
+  let w0 = List.hd ws in
+  let uniform = List.for_all (fun w -> addrs.(w) = addrs.(w0)) ws in
+  if uniform then
+    { vs_base = addrs.(w0); vs_lane = lane; vs_warp = false; vs_param = None }
+  else begin
+    let id, base = alloc_param ctx.tables ~mask addrs in
+    { vs_base = base; vs_lane = lane; vs_warp = false; vs_param = Some id }
+  end
+
+(* ---- expression lowering for a group of warps ---- *)
+
+let lower_compute ctx ~mask ~(ws : int list) ~(ops : Dfg.op array) =
+  (* ops.(k) is the op of ws.(k); all share one expression shape. *)
+  let w0_op = ops.(0) in
+  let expr = match w0_op.Dfg.kind with Dfg.Compute e -> e | _ -> assert false in
+  let n_warps = ctx.mapping.Mapping.n_warps in
+  (* Per-warp constant queues, in canonical traversal order. *)
+  let const_queues =
+    Array.map (fun (op : Dfg.op) -> ref (Dfg.op_constants op)) ops
+  in
+  let pop_consts () =
+    let values = Array.make n_warps 0.0 in
+    List.iteri
+      (fun k w ->
+        match !(const_queues.(k)) with
+        | v :: rest ->
+            values.(w) <- v;
+            const_queues.(k) := rest
+        | [] -> assert false)
+      ws;
+    values
+  in
+  (* Resolve input position [i] to an operand. *)
+  let input_operand i =
+    let v0 = ops.(0).Dfg.inputs.(i) in
+    match ctx.mapping.Mapping.value_place.(v0) with
+    | Mapping.P_reg ->
+        (* Same vreg across the group by the grouping key. *)
+        Vreg (Hashtbl.find ctx.vreg_of (List.hd ws, v0))
+    | Mapping.P_shared ->
+        let addrs = Array.make n_warps 0 in
+        List.iteri
+          (fun k w ->
+            addrs.(w) <- Mapping.store_addr ctx.mapping ops.(k).Dfg.inputs.(i))
+          ws;
+        Vshared (shared_operand ctx ~mask ~addrs ~lane:true)
+  in
+  let rec go env (e : Sexpr.t) =
+    match e with
+    | Sexpr.Imm v -> Vimm v
+    | Sexpr.C _ -> const_operand ctx ~mask ~ws (pop_consts ())
+    | Sexpr.In i -> input_operand i
+    | Sexpr.Var i -> List.nth env i
+    | Sexpr.Let (d, b) ->
+        let sd = go env d in
+        go (sd :: env) b
+    | Sexpr.Un (op, a) ->
+        let sa = go env a in
+        let dst = fresh_vreg ctx in
+        emit ctx mask (VArith { op; dst; srcs = [| sa |]; pred = None });
+        Vreg dst
+    | Sexpr.Bin (op, a, b) ->
+        let sa = go env a in
+        let sb = go env b in
+        let dst = fresh_vreg ctx in
+        emit ctx mask (VArith { op; dst; srcs = [| sa; sb |]; pred = None });
+        Vreg dst
+    | Sexpr.Fma3 (a, b, c) ->
+        let sa = go env a in
+        let sb = go env b in
+        let sc = go env c in
+        let dst = fresh_vreg ctx in
+        emit ctx mask
+          (VArith { op = Isa.Fma; dst; srcs = [| sa; sb; sc |]; pred = None });
+        Vreg dst
+  in
+  let result = go [] expr in
+  (* Normalize the result into a register. *)
+  let result_reg =
+    match result with
+    | Vreg r -> r
+    | other ->
+        let dst = fresh_vreg ctx in
+        emit ctx mask
+          (VArith { op = Isa.Add; dst; srcs = [| other; Vimm 0.0 |]; pred = None });
+        dst
+  in
+  let out_v k = match ops.(k).Dfg.output with Some v -> v | None -> assert false in
+  (match ctx.mapping.Mapping.value_place.(out_v 0) with
+  | Mapping.P_shared ->
+      let addrs = Array.make n_warps 0 in
+      List.iteri
+        (fun k w -> addrs.(w) <- Mapping.store_addr ctx.mapping (out_v k))
+        ws;
+      let addr = shared_operand ctx ~mask ~addrs ~lane:true in
+      emit ctx mask (VStS { src = Vreg result_reg; addr; pred = None })
+  | Mapping.P_reg ->
+      List.iteri
+        (fun k w -> Hashtbl.replace ctx.vreg_of (w, out_v k) result_reg)
+        ws)
+
+let lower_action_group ctx ~mask ~(ws : int list)
+    ~(actions : Schedule.action array) =
+  let n_warps = ctx.mapping.Mapping.n_warps in
+  match actions.(0) with
+  | Schedule.A_op _ -> (
+      let ops =
+        Array.map
+          (function Schedule.A_op id -> ctx.dfg.Dfg.ops.(id) | _ -> assert false)
+          actions
+      in
+      match ops.(0).Dfg.kind with
+      | Dfg.Fence -> ()
+      | Dfg.Compute _ -> lower_compute ctx ~mask ~ws ~ops
+      | Dfg.Load { group = _; via_tex; _ } ->
+          let fields = Array.make n_warps 0 in
+          let group_id = ref 0 in
+          List.iteri
+            (fun k w ->
+              match ops.(k).Dfg.kind with
+              | Dfg.Load { field; group = _; _ } ->
+                  fields.(w) <- field;
+                  ignore group_id
+              | _ -> assert false)
+            ws;
+          let group_name =
+            match ops.(0).Dfg.kind with
+            | Dfg.Load { group; _ } -> group
+            | _ -> assert false
+          in
+          let group = ctx_group ctx group_name in
+          let w0 = List.hd ws in
+          let uniform = List.for_all (fun w -> fields.(w) = fields.(w0)) ws in
+          let field =
+            if uniform then VF_static fields.(w0)
+            else VF_param (fst (alloc_param ~exact:true ctx.tables ~mask fields))
+          in
+          let dst = fresh_vreg ctx in
+          emit ctx mask (VLdG { dst; group; field; via_tex });
+          let out_v k =
+            match ops.(k).Dfg.output with Some v -> v | None -> assert false
+          in
+          (match ctx.mapping.Mapping.value_place.(out_v 0) with
+          | Mapping.P_shared ->
+              let addrs = Array.make n_warps 0 in
+              List.iteri
+                (fun k w -> addrs.(w) <- Mapping.store_addr ctx.mapping (out_v k))
+                ws;
+              let addr = shared_operand ctx ~mask ~addrs ~lane:true in
+              emit ctx mask (VStS { src = Vreg dst; addr; pred = None })
+          | Mapping.P_reg ->
+              List.iteri
+                (fun k w -> Hashtbl.replace ctx.vreg_of (w, out_v k) dst)
+                ws)
+      | Dfg.Store { group = group_name; _ } ->
+          let fields = Array.make n_warps 0 in
+          List.iteri
+            (fun k w ->
+              match ops.(k).Dfg.kind with
+              | Dfg.Store { field; _ } -> fields.(w) <- field
+              | _ -> assert false)
+            ws;
+          let group = ctx_group ctx group_name in
+          let w0 = List.hd ws in
+          let uniform = List.for_all (fun w -> fields.(w) = fields.(w0)) ws in
+          let field =
+            if uniform then VF_static fields.(w0)
+            else VF_param (fst (alloc_param ~exact:true ctx.tables ~mask fields))
+          in
+          let src =
+            let v0 = ops.(0).Dfg.inputs.(0) in
+            match ctx.mapping.Mapping.value_place.(v0) with
+            | Mapping.P_reg -> Vreg (Hashtbl.find ctx.vreg_of (w0, v0))
+            | Mapping.P_shared ->
+                let addrs = Array.make n_warps 0 in
+                List.iteri
+                  (fun k w ->
+                    addrs.(w) <-
+                      Mapping.store_addr ctx.mapping ops.(k).Dfg.inputs.(0))
+                  ws;
+                Vshared (shared_operand ctx ~mask ~addrs ~lane:true)
+          in
+          emit ctx mask (VStG { src; group; field }))
+  | Schedule.A_send _ ->
+      let addrs = Array.make n_warps 0 in
+      let src = ref (Vimm 0.0) in
+      List.iteri
+        (fun k w ->
+          match actions.(k) with
+          | Schedule.A_send { value; slot } ->
+              addrs.(w) <- ctx.buffer_base + (slot * 32);
+              src := Vreg (Hashtbl.find ctx.vreg_of (w, value))
+          | _ -> assert false)
+        ws;
+      let addr = shared_operand ctx ~mask ~addrs ~lane:true in
+      emit ctx mask (VStS { src = !src; addr; pred = None })
+  | Schedule.A_recv _ ->
+      let addrs = Array.make n_warps 0 in
+      List.iteri
+        (fun k w ->
+          match actions.(k) with
+          | Schedule.A_recv { slot; _ } -> addrs.(w) <- ctx.buffer_base + (slot * 32)
+          | _ -> assert false)
+        ws;
+      let addr = shared_operand ctx ~mask ~addrs ~lane:true in
+      let dst = fresh_vreg ctx in
+      emit ctx mask (VLdS { dst; addr });
+      List.iteri
+        (fun k w ->
+          match actions.(k) with
+          | Schedule.A_recv { value; _ } ->
+              Hashtbl.replace ctx.vreg_of (w, value) dst
+          | _ -> assert false)
+        ws
+  | Schedule.A_arrive { bar; count } -> emit ctx mask (VBarA { bar; count })
+  | Schedule.A_wait { bar; count } -> emit ctx mask (VBarW { bar; count })
+  | Schedule.A_cta_barrier -> emit ctx mask VBarCta
+
+(* ---- overlay driver: simultaneous traversal of the per-warp streams ---- *)
+
+let is_sync_action = function
+  | Schedule.A_op _ | Schedule.A_cta_barrier -> false
+  | Schedule.A_send _ | Schedule.A_recv _ | Schedule.A_arrive _
+  | Schedule.A_wait _ ->
+      true
+
+let run_overlay ctx (sched : Schedule.t) =
+  let n = ctx.mapping.Mapping.n_warps in
+  let ptr = Array.make n 0 in
+  let remaining w = ptr.(w) < Array.length sched.Schedule.per_warp.(w) in
+  let next w = sched.Schedule.per_warp.(w).(ptr.(w)) in
+  let continue = ref true in
+  while !continue do
+    (* Priorities keep the simultaneous traversal aligned (the paper's
+       footnote on standardizing names to avoid false AST differences):
+       named-barrier traffic is drained eagerly, and CTA barriers are
+       rendezvous points — a warp parked on one waits until every live
+       warp reaches its own, producing a single unmasked bar.cta. *)
+    let at_cta w = remaining w && next w = Schedule.A_cta_barrier in
+    let live w = remaining w && not (at_cta w) in
+    let best = ref (-1) in
+    for w = 0 to n - 1 do
+      if live w && is_sync_action (next w) then
+        if
+          !best < 0
+          || sched.Schedule.stamps.(w).(ptr.(w))
+             < sched.Schedule.stamps.(!best).(ptr.(!best))
+        then best := w
+    done;
+    if !best < 0 then begin
+      for w = 0 to n - 1 do
+        if
+          live w
+          && (!best < 0
+             || sched.Schedule.stamps.(w).(ptr.(w))
+                < sched.Schedule.stamps.(!best).(ptr.(!best)))
+        then best := w
+      done
+    end;
+    if !best < 0 then begin
+      (* No warp can proceed without crossing a CTA barrier. *)
+      let parked = List.filter at_cta (List.init n Fun.id) in
+      match parked with
+      | [] -> continue := false
+      | ws ->
+          let mask = List.fold_left (fun m w -> m lor (1 lsl w)) 0 ws in
+          emit ctx mask VBarCta;
+          List.iter (fun w -> ptr.(w) <- ptr.(w) + 1) ws
+    end
+    else begin
+      let w0 = !best in
+      let key0 = action_key ctx w0 (next w0) in
+      let ws =
+        List.filter
+          (fun w -> live w && action_key ctx w (next w) = key0)
+          (List.init n Fun.id)
+      in
+      let mask = List.fold_left (fun m w -> m lor (1 lsl w)) 0 ws in
+      let actions = Array.of_list (List.map next ws) in
+      (match Sys.getenv_opt "SINGE_DEBUG_OVERLAY" with
+      | Some _ ->
+          let fronts =
+            String.concat " "
+              (List.map
+                 (fun w ->
+                   if not (remaining w) then "-"
+                   else
+                     match next w with
+                     | Schedule.A_op o -> "o" ^ string_of_int o
+                     | Schedule.A_send _ -> "s"
+                     | Schedule.A_recv _ -> "r"
+                     | Schedule.A_arrive { bar; _ } -> "a" ^ string_of_int bar
+                     | Schedule.A_wait { bar; _ } -> "w" ^ string_of_int bar
+                     | Schedule.A_cta_barrier -> "C")
+                 (List.init n Fun.id))
+          in
+          Printf.eprintf "group mask=%x key=%s fronts=[%s]\n" mask (String.sub key0 0 (min 30 (String.length key0))) fronts
+      | None -> ());
+      lower_action_group ctx ~mask ~ws ~actions;
+      List.iter (fun w -> ptr.(w) <- ptr.(w) + 1) ws
+    end
+  done
+
+(* ---- register allocation (Belady furthest-next-use with spilling) ---- *)
+
+let src_vregs srcs =
+  Array.to_list srcs
+  |> List.filter_map (function Vreg v -> Some v | _ -> None)
+
+let instr_src_vregs = function
+  | VArith { srcs; _ } -> src_vregs srcs
+  | VStG { src; _ } | VStS { src; _ } -> src_vregs [| src |]
+  | VLdG _ | VLdS _ | VBcast _ | VBarA _ | VBarW _ | VBarCta -> []
+
+let instr_dst = function
+  | VArith { dst; _ } | VLdG { dst; _ } | VLdS { dst; _ } | VBcast { dst; _ } ->
+      Some dst
+  | VStG _ | VStS _ | VBarA _ | VBarW _ | VBarCta -> None
+
+(* ---- static instruction scheduling (the ptxas role of §4) ----
+
+   The expression lowerer emits accumulation chains in source order, which
+   an in-order machine would serialize on each chain's latency. Real
+   builds lean on the PTX assembler to reorder scalar code; this pass is
+   that scheduler: within each same-mask, fence-free segment, instructions
+   are list-scheduled by earliest ready time (latency-aware), interleaving
+   independent chains while preserving exact dataflow (results are
+   bit-identical: no reassociation, only reordering of independent
+   operations). *)
+
+let sched_latency = function
+  | VArith { op; _ } -> (
+      match op with
+      | Isa.Exp | Isa.Log -> 50
+      | Isa.Div | Isa.Sqrt -> 30
+      | _ -> 10)
+  | VLdG _ -> 400
+  | VLdS _ -> 30
+  | VBcast _ -> 10
+  | _ -> 5
+
+let reads_shared srcs =
+  Array.exists (function Vshared _ -> true | _ -> false) srcs
+
+let schedule_segment (seg : (int * vinstr) array) =
+  let n = Array.length seg in
+  if n <= 2 then seg
+  else begin
+    let preds = Array.make n [] in
+    let add_dep d u = if d <> u then preds.(u) <- d :: preds.(u) in
+    let last_def : (int, int) Hashtbl.t = Hashtbl.create 64 in
+    let last_shared_write = ref (-1) in
+    let shared_reads_since = ref [] in
+    let last_global_store = ref (-1) in
+    let global_reads_since = ref [] in
+    Array.iteri
+      (fun i (_, ins) ->
+        let dep_on_vreg v =
+          match Hashtbl.find_opt last_def v with
+          | Some d -> add_dep d i
+          | None -> ()
+        in
+        List.iter dep_on_vreg (instr_src_vregs ins);
+        let shared_read () =
+          if !last_shared_write >= 0 then add_dep !last_shared_write i;
+          shared_reads_since := i :: !shared_reads_since
+        in
+        let shared_write () =
+          if !last_shared_write >= 0 then add_dep !last_shared_write i;
+          List.iter (fun r -> add_dep r i) !shared_reads_since;
+          last_shared_write := i;
+          shared_reads_since := []
+        in
+        (match ins with
+        | VArith { srcs; _ } -> if reads_shared srcs then shared_read ()
+        | VLdS _ -> shared_read ()
+        | VStS _ -> shared_write ()
+        | VLdG _ ->
+            if !last_global_store >= 0 then add_dep !last_global_store i;
+            global_reads_since := i :: !global_reads_since
+        | VStG _ ->
+            if !last_global_store >= 0 then add_dep !last_global_store i;
+            List.iter (fun r -> add_dep r i) !global_reads_since;
+            last_global_store := i;
+            global_reads_since := []
+        | VBcast _ | VBarA _ | VBarW _ | VBarCta -> ());
+        match instr_dst ins with
+        | Some v -> Hashtbl.replace last_def v i
+        | None -> ())
+      seg;
+    (* Earliest-ready list scheduling, stable on ties. *)
+    let succs = Array.make n [] in
+    Array.iteri
+      (fun i ps -> List.iter (fun p -> succs.(p) <- i :: succs.(p)) ps)
+      preds;
+    let remaining = Array.map List.length preds in
+    let ready_at = Array.make n 0 in
+    let module H = Set.Make (struct
+      type t = int * int
+      let compare = compare
+    end) in
+    let ready = ref H.empty in
+    Array.iteri
+      (fun i r -> if r = 0 then ready := H.add (ready_at.(i), i) !ready)
+      remaining;
+    let out = ref [] in
+    let n_done = ref 0 in
+    (* Reorder window: an instruction may not overtake more than [window]
+       program-order predecessors — the register-pressure discipline a real
+       scheduler applies. *)
+    let window = 48 in
+    let scheduled = Array.make n false in
+    let min_unsched = ref 0 in
+    while !n_done < n do
+      let limit = !min_unsched + window in
+      let pick =
+        H.fold
+          (fun ((t, i) as key) acc ->
+            match acc with
+            | Some _ -> acc
+            | None -> if i < limit then Some (t, i, key) else None)
+          !ready None
+      in
+      let pick =
+        match pick with
+        | Some p -> Some p
+        | None -> (
+            (* Nothing inside the window is ready: fall back to the oldest
+               ready instruction. *)
+            match H.min_elt_opt !ready with
+            | Some ((t, i) as key) -> Some (t, i, key)
+            | None -> None)
+      in
+      match pick with
+      | None -> failwith "schedule_segment: dependency cycle"
+      | Some (t, i, key) ->
+          ready := H.remove key !ready;
+          out := seg.(i) :: !out;
+          scheduled.(i) <- true;
+          while !min_unsched < n && scheduled.(!min_unsched) do
+            incr min_unsched
+          done;
+          incr n_done;
+          let (_, ins) = seg.(i) in
+          let fin = t + sched_latency ins in
+          List.iter
+            (fun s ->
+              remaining.(s) <- remaining.(s) - 1;
+              ready_at.(s) <- max ready_at.(s) fin;
+              if remaining.(s) = 0 then ready := H.add (ready_at.(s), s) !ready)
+            succs.(i)
+    done;
+    Array.of_list (List.rev !out)
+  end
+
+let list_schedule (code : (int * vinstr) list) =
+  if Sys.getenv_opt "SINGE_NO_SCHED" <> None then code else
+  (* Split at mask changes and barrier fences; schedule each segment. *)
+  let out = ref [] in
+  let seg = ref [] in
+  let seg_mask = ref min_int in
+  let flush () =
+    let arr = Array.of_list (List.rev !seg) in
+    Array.iter (fun x -> out := x :: !out) (schedule_segment arr);
+    seg := []
+  in
+  List.iter
+    (fun ((mask, ins) as x) ->
+      let fence =
+        match ins with VBarA _ | VBarW _ | VBarCta -> true | _ -> false
+      in
+      if fence then begin
+        if !seg <> [] then flush ();
+        out := x :: !out;
+        seg_mask := min_int
+      end
+      else begin
+        if mask <> !seg_mask && !seg <> [] then flush ();
+        seg_mask := mask;
+        seg := x :: !seg
+      end)
+    code;
+  if !seg <> [] then flush ();
+  List.rev !out
+
+type ra_stats = { high_water : int; spill_slots : int }
+
+(* Pseudo-instructions inserted by the allocator are expressed with the
+   dedicated local-memory ops at finalization; internally we tag them with
+   negative "groups" to reuse the vinstr type minimally. Instead we emit a
+   small sum type. *)
+type rinstr =
+  | R of vinstr  (** register fields now hold physical indices *)
+  | R_spill_st of int * int  (** phys, slot *)
+  | R_spill_ld of int * int
+
+let rewrite_regs ins ~src_phys ~dst_phys =
+  let rw = function Vreg v -> Vreg (src_phys v) | other -> other in
+  match ins with
+  | VArith r -> VArith { r with dst = dst_phys r.dst; srcs = Array.map rw r.srcs }
+  | VLdG r -> VLdG { r with dst = dst_phys r.dst }
+  | VLdS r -> VLdS { r with dst = dst_phys r.dst }
+  | VBcast r -> VBcast { r with dst = dst_phys r.dst }
+  | VStG r -> VStG { r with src = rw r.src }
+  | VStS r -> VStS { r with src = rw r.src }
+  | (VBarA _ | VBarW _ | VBarCta) as b -> b
+
+let regalloc ~first_phys ~budget ~spill_mask (code : (int * vinstr) array) =
+  if budget < first_phys + 6 then
+    failwith
+      (Printf.sprintf "regalloc: budget of %d double registers is too small"
+         budget);
+  (* Registers are per thread: two virtual registers whose warp masks are
+     disjoint may occupy the same physical register (each warp's lanes see
+     their own value). Liveness and Belady eviction therefore track, per
+     physical register, the set of resident vregs and the union of their
+     masks. *)
+  let use_positions : (int, int list ref) Hashtbl.t = Hashtbl.create 512 in
+  let vmask : (int, int) Hashtbl.t = Hashtbl.create 512 in
+  let add_mask v m =
+    Hashtbl.replace vmask v (m lor (Option.value ~default:0 (Hashtbl.find_opt vmask v)))
+  in
+  Array.iteri
+    (fun pos (mask, ins) ->
+      List.iter
+        (fun v ->
+          add_mask v mask;
+          match Hashtbl.find_opt use_positions v with
+          | Some l -> l := pos :: !l
+          | None -> Hashtbl.add use_positions v (ref [ pos ]))
+        (instr_src_vregs ins);
+      match instr_dst ins with Some v -> add_mask v mask | None -> ())
+    code;
+  let mask_of v = Option.value ~default:spill_mask (Hashtbl.find_opt vmask v) in
+  let use_arr : (int, int array * int ref) Hashtbl.t = Hashtbl.create 512 in
+  Hashtbl.iter
+    (fun v l -> Hashtbl.add use_arr v (Array.of_list (List.rev !l), ref 0))
+    use_positions;
+  let next_use v ~after =
+    match Hashtbl.find_opt use_arr v with
+    | None -> max_int
+    | Some (arr, p) ->
+        while !p < Array.length arr && arr.(!p) < after do
+          incr p
+        done;
+        if !p < Array.length arr then arr.(!p) else max_int
+  in
+  (* Physical register state. *)
+  let n_phys = budget - first_phys in
+  let residents = Array.make n_phys [] in (* (vreg, mask) list *)
+  let used_mask = Array.make n_phys 0 in
+  let loc : (int, [ `Reg of int | `Spill of int ]) Hashtbl.t =
+    Hashtbl.create 512
+  in
+  let dirty : (int, bool) Hashtbl.t = Hashtbl.create 512 in
+  let slot_of : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  let n_slots = ref 0 in
+  let high = ref 0 in
+  let out = ref [] in
+  let emit mask i = out := (mask, i) :: !out in
+  let get_slot v =
+    match Hashtbl.find_opt slot_of v with
+    | Some s -> s
+    | None ->
+        let s = !n_slots in
+        incr n_slots;
+        Hashtbl.add slot_of v s;
+        s
+  in
+  let detach v p =
+    residents.(p) <- List.filter (fun (v', _) -> v' <> v) residents.(p);
+    used_mask.(p) <-
+      List.fold_left (fun acc (_, m) -> acc lor m) 0 residents.(p);
+    Hashtbl.remove loc v;
+    Hashtbl.remove dirty v
+  in
+  let attach v p =
+    let m = mask_of v in
+    residents.(p) <- (v, m) :: residents.(p);
+    used_mask.(p) <- used_mask.(p) lor m;
+    Hashtbl.replace loc v (`Reg p);
+    if p + 1 > !high then high := p + 1
+  in
+  (* Find a physical register able to host mask [m]: free space first,
+     then evict the conflicting resident(s) with the furthest next use. *)
+  let acquire ~pos ~pinned m =
+    let candidate = ref (-1) in
+    for p = 0 to n_phys - 1 do
+      if !candidate < 0 && used_mask.(p) land m = 0 then candidate := p
+    done;
+    match !candidate with
+    | p when p >= 0 -> p
+    | _ ->
+        (* Eviction: score each unpinned register by the *nearest* next use
+           among residents conflicting with [m]; evict from the register
+           whose nearest use is furthest away. *)
+        let best_p = ref (-1) and best_score = ref (-1) in
+        for p = 0 to n_phys - 1 do
+          if not (List.mem p pinned) then begin
+            let score =
+              List.fold_left
+                (fun acc (v, vm) ->
+                  if vm land m <> 0 then min acc (next_use v ~after:pos)
+                  else acc)
+                max_int residents.(p)
+            in
+            if score > !best_score then begin
+              best_score := score;
+              best_p := p
+            end
+          end
+        done;
+        if !best_p < 0 then failwith "regalloc: all registers pinned";
+        let p = !best_p in
+        List.iter
+          (fun (v, vm) ->
+            if vm land m <> 0 then begin
+              let nu = next_use v ~after:pos in
+              if nu <> max_int then begin
+                if Option.value ~default:false (Hashtbl.find_opt dirty v) then
+                  emit vm (R_spill_st (p + first_phys, get_slot v));
+                detach v p;
+                Hashtbl.replace loc v (`Spill (get_slot v))
+              end
+              else detach v p
+            end)
+          residents.(p);
+        p
+  in
+  Array.iteri
+    (fun pos (mask, ins) ->
+      let srcs = List.sort_uniq compare (instr_src_vregs ins) in
+      let pinned = ref [] in
+      List.iter
+        (fun v ->
+          match Hashtbl.find_opt loc v with
+          | Some (`Reg p) -> pinned := p :: !pinned
+          | Some (`Spill s) ->
+              let p = acquire ~pos ~pinned:!pinned (mask_of v) in
+              emit (mask_of v) (R_spill_ld (p + first_phys, s));
+              attach v p;
+              Hashtbl.replace dirty v false;
+              pinned := p :: !pinned
+          | None ->
+              failwith
+                (Printf.sprintf "regalloc: vreg %d read before definition" v))
+        srcs;
+      let src_phys v =
+        match Hashtbl.find loc v with
+        | `Reg p -> p + first_phys
+        | `Spill _ -> assert false
+      in
+      let resolved = List.map (fun v -> (v, src_phys v)) srcs in
+      (* Retire dead sources so the destination may reuse their space. *)
+      List.iter
+        (fun (v, _) ->
+          if next_use v ~after:(pos + 1) = max_int then
+            match Hashtbl.find_opt loc v with
+            | Some (`Reg p) -> detach v p
+            | Some (`Spill _) | None -> ())
+        resolved;
+      let lookup_phys v = List.assoc v resolved in
+      match instr_dst ins with
+      | None -> emit mask (R (rewrite_regs ins ~src_phys:lookup_phys ~dst_phys:Fun.id))
+      | Some vd ->
+          let still_pinned =
+            List.filter_map
+              (fun (v, p) -> if Hashtbl.mem loc v then Some (p - first_phys) else None)
+              resolved
+          in
+          let p = acquire ~pos ~pinned:still_pinned (mask_of vd) in
+          attach vd p;
+          Hashtbl.replace dirty vd true;
+          emit mask
+            (R (rewrite_regs ins ~src_phys:lookup_phys
+                  ~dst_phys:(fun _ -> p + first_phys)));
+          if next_use vd ~after:(pos + 1) = max_int then detach vd p)
+    code;
+  ( List.rev !out,
+    { high_water = first_phys + !high; spill_slots = !n_slots } )
+
+(* ---- final emission to the ISA ---- *)
+
+type finalize_env = {
+  f_striped : bool;
+  f_param_regs : int;  (** integer registers holding (possibly striped) params *)
+}
+
+let finalize_stream env (code : (int * rinstr) list) =
+  (* Returns (mask, Isa.instr) list; striped parameter reads insert an
+     Ishfl into a temporary integer register before the consumer. *)
+  let out = ref [] in
+  let emit mask i = out := (mask, i) :: !out in
+  let tmp_counter = ref 0 in
+  let resolve_param mask logical =
+    if env.f_striped then begin
+      let tmp = env.f_param_regs + !tmp_counter in
+      incr tmp_counter;
+      emit mask
+        (Isa.Ishfl { dst_i = tmp; src_i = logical / 32; lane = logical mod 32 });
+      tmp
+    end
+    else logical
+  in
+  let resolve_addr mask (a : vshaddr) =
+    let ireg = Option.map (resolve_param mask) a.vs_param in
+    {
+      Isa.s_base = a.vs_base;
+      s_warp_mul = (if a.vs_warp then 1 else 0);
+      s_lane_mul = (if a.vs_lane then 1 else 0);
+      s_ireg = ireg;
+      s_ireg_mul = 1;
+    }
+  in
+  let resolve_src mask = function
+    | Vreg p -> Isa.Sreg p
+    | Vimm v -> Isa.Simm v
+    | Vconst_mem s -> Isa.Sconst s
+    | Vconst_warp base -> Isa.Sconst_warp base
+    | Vshared a -> Isa.Sshared (resolve_addr mask a)
+    | Vbank logical -> Isa.Sreg (logical / 32)
+  in
+  let resolve_field mask = function
+    | VF_static f -> Isa.F_static f
+    | VF_param logical -> Isa.F_ireg (resolve_param mask logical)
+  in
+  List.iter
+    (fun (mask, ri) ->
+      tmp_counter := 0;
+      match ri with
+      | R_spill_st (p, slot) -> emit mask (Isa.St_local { src = p; slot })
+      | R_spill_ld (p, slot) -> emit mask (Isa.Ld_local { dst = p; slot })
+      | R ins -> (
+          match ins with
+          | VArith { op; dst; srcs; pred } ->
+              let srcs = Array.map (resolve_src mask) srcs in
+              emit mask (Isa.Arith { op; dst; srcs; pred })
+          | VLdG { dst; group; field; via_tex } ->
+              let field = resolve_field mask field in
+              emit mask (Isa.Ld_global { dst; group; field; via_tex; pred = None })
+          | VStG { src; group; field } ->
+              let src = resolve_src mask src in
+              let field = resolve_field mask field in
+              emit mask (Isa.St_global { src; group; field; pred = None })
+          | VLdS { dst; addr } ->
+              let addr = resolve_addr mask addr in
+              emit mask (Isa.Ld_shared { dst; addr; pred = None })
+          | VStS { src; addr; pred } ->
+              let src = resolve_src mask src in
+              let addr = resolve_addr mask addr in
+              emit mask (Isa.St_shared { src; addr; pred })
+          | VBcast { dst; logical } ->
+              emit mask
+                (Isa.Shfl { dst; src = logical / 32; lane = logical mod 32 })
+          | VBarA { bar; count } -> emit mask (Isa.Bar_arrive { bar; count })
+          | VBarW { bar; count } -> emit mask (Isa.Bar_sync { bar; count })
+          | VBarCta -> emit mask Isa.Bar_cta))
+    code;
+  List.rev !out
+
+(* Group consecutive same-mask instructions into blocks. *)
+let assemble_blocks ~full_mask (code : (int * Isa.instr) list) =
+  let blocks = ref [] in
+  let current_mask = ref full_mask in
+  let current = ref [] in
+  let flush () =
+    match !current with
+    | [] -> ()
+    | l ->
+        let instrs = Isa.Instrs (List.rev l) in
+        let b =
+          if !current_mask = full_mask then instrs
+          else Isa.If_warps { mask = !current_mask; body = instrs }
+        in
+        blocks := b :: !blocks;
+        current := []
+  in
+  List.iter
+    (fun (mask, i) ->
+      if mask <> !current_mask then begin
+        flush ();
+        current_mask := mask
+      end;
+      current := i :: !current)
+    code;
+  flush ();
+  Isa.Seq (List.rev !blocks)
+
+(* ---- bank materialization ---- *)
+
+let build_const_bank tables ~n_warps ~bank_cap =
+  let consts = Array.of_list (List.rev tables.consts) in
+  let n = Array.length consts in
+  let n_banked = min n bank_cap in
+  let n_regs = (n_banked + 31) / 32 in
+  let n_overflow = max 0 (n - bank_cap) in
+  (* Banked constants are lane-striped across the warp (§5.2). *)
+  let bank =
+    Array.init n_warps (fun w ->
+        Array.init 32 (fun lane ->
+            Array.init n_regs (fun k ->
+                let logical = (k * 32) + lane in
+                if logical < n_banked then consts.(logical).(w) else 0.0)))
+  in
+  (* Overflow constants live in constant memory, warp-strided. *)
+  let overflow_mem =
+    Array.init (n_overflow * n_warps) (fun i ->
+        consts.(bank_cap + (i / n_warps)).(i mod n_warps))
+  in
+  (bank, n_regs, n_overflow, overflow_mem)
+
+let build_param_bank tables ~n_warps ~striped =
+  let params = Array.of_list (List.rev tables.params) in
+  let n = Array.length params in
+  if striped then begin
+    let n_regs = (n + 31) / 32 in
+    let bank =
+      Array.init n_warps (fun w ->
+          Array.init 32 (fun lane ->
+              Array.init n_regs (fun k ->
+                  let logical = (k * 32) + lane in
+                  if logical < n then params.(logical).(w) else 0)))
+    in
+    (bank, n_regs)
+  end
+  else
+    let bank =
+      Array.init n_warps (fun w ->
+          Array.init 32 (fun _lane -> Array.init n (fun p -> params.(p).(w))))
+    in
+    (bank, n)
+
+(* ---- entry point ---- *)
+
+let lower cfg ~name ~point_map ~out_warps ~groups (dfg : Dfg.t)
+    (mapping : Mapping.t) (sched : Schedule.t) =
+  let n_mapped = mapping.Mapping.n_warps in
+  let buffer_base = Schedule.shared_buffer_base mapping in
+  let mirror_base = buffer_base + (sched.Schedule.buffer_slots * 32) in
+  let needs_mirror =
+    cfg.const_policy = Bank
+    && cfg.arch.Gpusim.Arch.broadcast = Gpusim.Arch.Shared_mirror
+  in
+  (* A bit over half the register budget may hold banked constants; the
+     rest overflow to shared memory (kept after the broadcast mirror). *)
+  let bank_reg_cap = max 1 (cfg.freg_budget * 11 / 20) in
+  let bank_cap = bank_reg_cap * 32 in
+  let overflow_base = mirror_base + (4 * n_mapped) in
+  let full_mask = (1 lsl n_mapped) - 1 in
+  let tables = fresh_tables n_mapped in
+  let lower_stream ~policy ~masks_full =
+    (* Lower either the overlaid forest (masks_full = None) or a single
+       warp's stream (Some w, naive mode). *)
+    let ctx =
+      {
+        cfg = { cfg with const_policy = policy };
+        dfg;
+        mapping;
+        tables;
+        groups;
+        vreg_of = Hashtbl.create 512;
+        next_vreg = 0;
+        out_rev = [];
+        full_mask;
+        buffer_base;
+        mirror_base;
+        mirror_rot = 0;
+        bank_cap;
+        overflow_base;
+      }
+    in
+    (match masks_full with
+    | None -> run_overlay ctx sched
+    | Some w ->
+        Array.iter
+          (fun a ->
+            lower_action_group ctx ~mask:(1 lsl w) ~ws:[ w ]
+              ~actions:[| a |])
+          sched.Schedule.per_warp.(w));
+    List.rev ctx.out_rev
+  in
+  let spill_stats = ref { high_water = 0; spill_slots = 0 } in
+  let max_stats a b =
+    {
+      high_water = max a.high_water b.high_water;
+      spill_slots = max a.spill_slots b.spill_slots;
+    }
+  in
+  let striped = ref false in
+  let body, n_param_regs =
+    if cfg.overlay then begin
+      let vcode =
+        Array.of_list
+          (list_schedule (lower_stream ~policy:cfg.const_policy ~masks_full:None))
+      in
+      let _, n_bank_regs, _, _ = build_const_bank tables ~n_warps:n_mapped ~bank_cap in
+      let code, stats =
+        regalloc ~first_phys:n_bank_regs ~budget:cfg.freg_budget
+          ~spill_mask:full_mask vcode
+      in
+      spill_stats := stats;
+      striped := tables.n_params > cfg.param_stripe_threshold;
+      let _, n_param_regs =
+        build_param_bank tables ~n_warps:n_mapped ~striped:!striped
+      in
+      let env = { f_striped = !striped; f_param_regs = n_param_regs } in
+      (assemble_blocks ~full_mask (finalize_stream env code), n_param_regs)
+    end
+    else begin
+      (* Naive §5.1 code generation: a top-level switch on the warp id with
+         each warp's complete code inline and constants as immediates. *)
+      let per_warp =
+        Array.init n_mapped (fun w ->
+            let vcode =
+              Array.of_list
+                (list_schedule (lower_stream ~policy:Immediate ~masks_full:(Some w)))
+            in
+            let code, stats =
+              regalloc ~first_phys:0 ~budget:cfg.freg_budget
+                ~spill_mask:(1 lsl w) vcode
+            in
+            spill_stats := max_stats !spill_stats stats;
+            let env = { f_striped = false; f_param_regs = 0 } in
+            let instrs =
+              List.map snd (finalize_stream env code)
+            in
+            Isa.Instrs instrs)
+      in
+      (Isa.Switch_warp per_warp, 0)
+    end
+  in
+  let const_bank, n_bank_regs, n_overflow, overflow_mem =
+    if cfg.overlay then build_const_bank tables ~n_warps:n_mapped ~bank_cap
+    else (Array.init n_mapped (fun _ -> Array.init 32 (fun _ -> [||])), 0, 0, [||])
+  in
+  let param_bank, _ =
+    if cfg.overlay then build_param_bank tables ~n_warps:n_mapped ~striped:!striped
+    else (Array.init n_mapped (fun _ -> Array.init 32 (fun _ -> [||])), 0)
+  in
+  ignore n_overflow;
+  let prologue_instrs =
+    List.init n_bank_regs (fun k -> Isa.Ld_const_bank { dst = k; slot = k })
+    @ List.init n_param_regs (fun k -> Isa.Ld_param { dst_i = k; slot = k })
+  in
+  let n_fregs = max n_bank_regs !spill_stats.high_water in
+  let n_iregs = n_param_regs + (if !striped then 2 else 0) in
+  let shared_doubles =
+    (mapping.Mapping.store_slots + sched.Schedule.buffer_slots) * 32
+    + if needs_mirror then 4 * n_mapped else 0
+  in
+  let const_mem =
+    if cfg.overlay && Array.length overflow_mem > 0 then overflow_mem
+    else Array.of_list (List.rev tables.const_mem_rev)
+  in
+  (* The emitted code is identical for every warp in the baseline case
+     (mapping over one warp); replicate banks to the output warp count. *)
+  let replicate bank =
+    if out_warps = n_mapped then bank
+    else Array.init out_warps (fun _ -> bank.(0))
+  in
+  let program =
+    {
+      Isa.name;
+      n_warps = out_warps;
+      n_fregs = max 1 n_fregs;
+      n_iregs = max 1 n_iregs;
+      shared_doubles;
+      local_doubles = !spill_stats.spill_slots;
+      barriers_used = sched.Schedule.barriers_used;
+      point_map;
+      prologue = Isa.Instrs prologue_instrs;
+      body;
+      const_bank = replicate const_bank;
+      param_bank = replicate param_bank;
+      const_mem;
+      groups;
+      exp_consts_in_registers = cfg.exp_consts_in_registers;
+    }
+  in
+  {
+    program;
+    n_spill_slots = !spill_stats.spill_slots;
+    spill_bytes_per_thread = !spill_stats.spill_slots * 8;
+    n_bank_regs;
+    n_params = tables.n_params;
+    n_logical_consts = tables.n_consts;
+  }

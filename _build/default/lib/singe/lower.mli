@@ -1,0 +1,67 @@
+(** Warp-specialized code generation (§5, the final compiler stage).
+
+    The per-warp schedules form a forest of per-warp instruction streams;
+    lowering traverses all of them simultaneously ({e overlaying}, §5.1):
+    at each step the warps whose next statements share a structural shape
+    are emitted as a single instruction sequence, guarded by a bit-mask
+    warp filter when the group is partial. Statement shapes differ only in
+    constant values and addresses, which are abstracted by:
+
+    {ul
+    {- {e constant arrays} (§5.2): bankable constants become slots in a
+       per-(warp, lane) constant bank loaded into registers by prologue
+       code and broadcast from the owning lane at each use — shuffles on
+       Kepler (Listing 3), a shared-memory mirror on Fermi (Listing 2).
+       Constant vectors equal across all warps collapse to immediates, and
+       repeated vectors share one slot (deduplication);}
+    {- {e warp indexing} (§5.3): per-warp shared-memory bases, buffer
+       slots, and global field selectors become integer parameters; when a
+       kernel needs many, they are striped across lanes and shuffled at
+       use (Listing 4).}}
+
+    Registers are allocated per thread over the overlaid stream with
+    Belady's furthest-next-use policy; demand beyond the budget spills to
+    local memory (the paper's spill-byte statistics come from here).
+
+    With [overlay = false] the generator instead emits the naive top-level
+    warp switch with inline immediate constants — the code Fig. 9 shows
+    thrashing the instruction cache. *)
+
+type const_policy =
+  | Bank  (** §5.2 constant arrays + lane striping (warp-specialized path) *)
+  | Const_mem  (** constant memory through the 8 KB cache (baseline path) *)
+  | Immediate  (** constants inline in the instruction stream (naive path) *)
+
+type config = {
+  arch : Gpusim.Arch.t;
+  overlay : bool;
+  const_policy : const_policy;
+  exp_consts_in_registers : bool;
+  param_stripe_threshold : int;
+      (** replicate warp parameters across lanes when at most this many;
+          stripe + shuffle beyond (Listing 4) *)
+  freg_budget : int;  (** double registers per thread before spilling *)
+}
+
+type output = {
+  program : Gpusim.Isa.program;
+  n_spill_slots : int;
+  spill_bytes_per_thread : int;
+  n_bank_regs : int;  (** constant registers per thread (Fig. 10) *)
+  n_params : int;
+  n_logical_consts : int;
+}
+
+val lower :
+  config ->
+  name:string ->
+  point_map:Gpusim.Isa.point_map ->
+  out_warps:int ->
+  groups:Gpusim.Isa.group_info array ->
+  Dfg.t ->
+  Mapping.t ->
+  Schedule.t ->
+  output
+(** [out_warps] is the warp count of the emitted program; it equals the
+    mapping's warp count for warp-specialized kernels and is free for the
+    single-"warp" baseline mapping (whose code is warp-independent). *)

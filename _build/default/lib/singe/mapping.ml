@@ -1,0 +1,202 @@
+type strategy = Store | Buffer | Mixed
+
+type weights = { w_flops : float; w_regs : float; w_locality : float }
+
+let default_weights = { w_flops = 1.0; w_regs = 0.25; w_locality = 0.5 }
+
+type placement = P_reg | P_shared
+
+type t = {
+  n_warps : int;
+  op_warp : int array;
+  value_place : placement array;
+  shared_slot : int array;
+  store_slots : int;
+  strategy : strategy;
+}
+
+(* Register demand proxy: an op's output occupies one register in its warp
+   for as long as it is live (§4.1: intermediates are free, op results are
+   not). *)
+let op_reg_need (op : Dfg.op) = match op.Dfg.output with Some _ -> 1 | None -> 0
+
+let map (dfg : Dfg.t) ~n_warps ~weights ~strategy ~respect_hints =
+  let n_ops = Array.length dfg.Dfg.ops in
+  let op_warp = Array.make n_ops (-1) in
+  let flops = Array.make n_warps 0.0 in
+  let regs = Array.make n_warps 0.0 in
+  (* Pinned operations first. *)
+  if respect_hints then
+    Array.iter
+      (fun (op : Dfg.op) ->
+        match op.Dfg.hint with
+        | Some w when w >= 0 && w < n_warps ->
+            op_warp.(op.Dfg.id) <- w;
+            flops.(w) <- flops.(w) +. float_of_int (Dfg.op_flops op);
+            regs.(w) <- regs.(w) +. float_of_int (op_reg_need op)
+        | Some _ | None -> ())
+      dfg.Dfg.ops;
+  (* Remaining ops in decreasing cost order; each goes to the warp that
+     locally minimizes the weighted cost. *)
+  let remaining =
+    Array.to_list dfg.Dfg.ops
+    |> List.filter (fun (op : Dfg.op) -> op_warp.(op.Dfg.id) < 0)
+    |> List.sort (fun a b -> compare (Dfg.op_flops b) (Dfg.op_flops a))
+  in
+  let neighbors (op : Dfg.op) =
+    (* Warps already holding a producer of an input or a consumer of the
+       output. *)
+    let acc = ref [] in
+    Array.iter
+      (fun v ->
+        let p = op_warp.(dfg.Dfg.values.(v).Dfg.producer) in
+        if p >= 0 then acc := p :: !acc)
+      op.Dfg.inputs;
+    (match op.Dfg.output with
+    | Some v ->
+        List.iter
+          (fun c -> if op_warp.(c) >= 0 then acc := op_warp.(c) :: !acc)
+          dfg.Dfg.values.(v).Dfg.consumers
+    | None -> ());
+    !acc
+  in
+  List.iter
+    (fun (op : Dfg.op) ->
+      let near = neighbors op in
+      let op_f = float_of_int (Dfg.op_flops op) in
+      let op_r = float_of_int (op_reg_need op) in
+      let best = ref 0 and best_cost = ref infinity in
+      for w = 0 to n_warps - 1 do
+        let locality_penalty =
+          float_of_int (List.length (List.filter (fun x -> x <> w) near))
+        in
+        let cost =
+          (weights.w_flops *. (flops.(w) +. op_f))
+          +. (weights.w_regs *. (regs.(w) +. op_r))
+          +. (weights.w_locality *. locality_penalty)
+        in
+        if cost < !best_cost then begin
+          best_cost := cost;
+          best := w
+        end
+      done;
+      op_warp.(op.Dfg.id) <- !best;
+      flops.(!best) <- flops.(!best) +. op_f;
+      regs.(!best) <- regs.(!best) +. op_r)
+    remaining;
+  (* Data placement. Store-region slots are recycled across fence
+     boundaries: a value occupying segments [a, b] (producer's segment to
+     last consumer's) may share a slot with one occupying [a', b'] when
+     b < a' — the CTA barrier between orders all reads of the first before
+     any write of the second. *)
+  let n_vals = Array.length dfg.Dfg.values in
+  let value_place = Array.make n_vals P_reg in
+  let shared_slot = Array.make n_vals (-1) in
+  let segment_of =
+    let seg = Array.make n_ops 0 in
+    let current = ref 0 in
+    Array.iteri
+      (fun i (op : Dfg.op) ->
+        if op.Dfg.kind = Dfg.Fence then incr current;
+        seg.(i) <- !current)
+      dfg.Dfg.ops;
+    fun op_id -> seg.(op_id)
+  in
+  let shared_vals = ref [] in
+  Array.iter
+    (fun (v : Dfg.value) ->
+      let pw = op_warp.(v.Dfg.producer) in
+      let consumer_warps =
+        List.map (fun c -> op_warp.(c)) v.Dfg.consumers
+        |> List.sort_uniq compare
+      in
+      let cross = List.exists (fun w -> w <> pw) consumer_warps in
+      let widely_shared =
+        List.length consumer_warps >= 3 || List.length v.Dfg.consumers >= 4
+      in
+      let to_shared =
+        let hinted = dfg.Dfg.ops.(v.Dfg.producer).Dfg.shared_hint in
+        match strategy with
+        | Store -> cross
+        | Buffer -> cross && hinted
+        | Mixed -> cross && (widely_shared || hinted)
+      in
+      if to_shared then begin
+        value_place.(v.Dfg.vid) <- P_shared;
+        let a = segment_of v.Dfg.producer in
+        let b =
+          List.fold_left (fun acc c -> max acc (segment_of c)) a v.Dfg.consumers
+        in
+        shared_vals := (a, b, v.Dfg.vid) :: !shared_vals
+      end)
+    dfg.Dfg.values;
+  let sorted =
+    List.sort (fun (a1, _, v1) (a2, _, v2) -> compare (a1, v1) (a2, v2))
+      !shared_vals
+  in
+  (* Greedy interval coloring: free slots carry the segment after which
+     they may be rewritten. *)
+  let free : (int * int) list ref = ref [] in (* (available_from_seg, slot) *)
+  let n_slots = ref 0 in
+  List.iter
+    (fun (a, b, vid) ->
+      let rec take acc = function
+        | [] -> None
+        | (avail, slot) :: rest when avail <= a ->
+            free := List.rev_append acc rest;
+            Some slot
+        | entry :: rest -> take (entry :: acc) rest
+      in
+      let slot =
+        match take [] !free with
+        | Some s -> s
+        | None ->
+            let s = !n_slots in
+            incr n_slots;
+            s
+      in
+      shared_slot.(vid) <- slot;
+      free := (b + 1, slot) :: !free)
+    sorted;
+  {
+    n_warps;
+    op_warp;
+    value_place;
+    shared_slot;
+    store_slots = !n_slots;
+    strategy;
+  }
+
+let warp_flops dfg t =
+  let acc = Array.make t.n_warps 0 in
+  Array.iter
+    (fun (op : Dfg.op) ->
+      let w = t.op_warp.(op.Dfg.id) in
+      acc.(w) <- acc.(w) + Dfg.op_flops op)
+    dfg.Dfg.ops;
+  acc
+
+let warp_values dfg t =
+  let acc = Array.make t.n_warps 0 in
+  Array.iter
+    (fun (v : Dfg.value) ->
+      let w = t.op_warp.(v.Dfg.producer) in
+      acc.(w) <- acc.(w) + 1)
+    dfg.Dfg.values;
+  acc
+
+let cross_warp_edges dfg t =
+  let n = ref 0 in
+  Array.iter
+    (fun (op : Dfg.op) ->
+      Array.iter
+        (fun v ->
+          let p = t.op_warp.(dfg.Dfg.values.(v).Dfg.producer) in
+          if p <> t.op_warp.(op.Dfg.id) then incr n)
+        op.Dfg.inputs)
+    dfg.Dfg.ops;
+  !n
+
+let store_addr t vid =
+  assert (t.shared_slot.(vid) >= 0);
+  t.shared_slot.(vid) * 32

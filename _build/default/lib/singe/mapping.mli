@@ -1,0 +1,64 @@
+(** Computation and data mapping (§4.1, the second compiler stage).
+
+    Operations are assigned to warps by a greedy algorithm that weighs
+    three (often conflicting) metrics — FLOP balance, register balance,
+    and locality — with autotunable weights. Values are then placed in
+    registers or shared memory according to one of the three shared-memory
+    strategies the paper identifies:
+
+    {ul
+    {- [Store] (viscosity): every cross-warp value lives in shared memory;}
+    {- [Buffer] (chemistry): values stay in the producing warp's registers
+       and shared memory is only a communication buffer, except where the
+       partitioner explicitly stages a vector there (the mole-fraction /
+       concentration scratch of Listing 4);}
+    {- [Mixed] (diffusion): widely shared values go to shared memory, the
+       rest communicate through the buffer.}} *)
+
+type strategy = Store | Buffer | Mixed
+
+type weights = {
+  w_flops : float;
+  w_regs : float;
+  w_locality : float;
+}
+
+val default_weights : weights
+
+type placement = P_reg | P_shared
+
+type t = {
+  n_warps : int;
+  op_warp : int array;  (** op id -> warp *)
+  value_place : placement array;
+  shared_slot : int array;
+      (** value id -> slot index in the store region (slot = 32 doubles),
+          or -1 *)
+  store_slots : int;  (** size of the store region, in 32-double slots *)
+  strategy : strategy;
+}
+
+val map :
+  Dfg.t ->
+  n_warps:int ->
+  weights:weights ->
+  strategy:strategy ->
+  respect_hints:bool ->
+  t
+(** Hints (from domain-specific partitioning) are honored when
+    [respect_hints]; remaining operations are placed greedily in order of
+    decreasing cost. *)
+
+val warp_flops : Dfg.t -> t -> int array
+(** Per-warp FLOP totals (balance diagnostics). *)
+
+val warp_values : Dfg.t -> t -> int array
+(** Values produced (and so registers demanded) per warp. *)
+
+val cross_warp_edges : Dfg.t -> t -> int
+(** Dataflow edges whose producer and consumer warps differ (the locality
+    metric). *)
+
+val store_addr : t -> int -> int
+(** Shared-memory base address (in doubles) of a [P_shared] value: its slot
+    times 32. *)

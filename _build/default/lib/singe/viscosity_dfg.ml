@@ -1,0 +1,183 @@
+let species_warp ~n ~n_warps k = min (n_warps - 1) (k * n_warps / n)
+
+let tile_size = 8
+
+let build (mech : Chem.Mechanism.t) ~n_warps =
+  let computed = Chem.Mechanism.computed_species mech in
+  let n = Array.length computed in
+  let b = Dfg.Builder.create "viscosity" in
+  let warp_of = species_warp ~n ~n_warps in
+  let mine =
+    Array.init n_warps (fun w ->
+        List.filter (fun k -> warp_of k = w) (List.init n Fun.id))
+  in
+  let max_mine = Array.fold_left (fun a l -> max a (List.length l)) 0 mine in
+  let nth_mine w o = List.nth_opt mine.(w) o in
+  (* Operations are emitted in round-robin warp order throughout, so the
+     scheduler's walk advances all warps together and epoch boundaries land
+     between symmetric rounds (keeping the overlaid streams aligned). *)
+  let temp_of =
+    Array.init n_warps (fun w ->
+        Dfg.Builder.load b ~hint:w ~align:"T" ~name:(Printf.sprintf "T_w%d" w)
+          ~group:"temperature" ~field:0 ())
+  in
+  let x = Array.make n (-1) in
+  let lvis = Array.make n (-1) in
+  for o = 0 to max_mine - 1 do
+    for w = 0 to n_warps - 1 do
+      match nth_mine w o with
+      | None -> ()
+      | Some k ->
+          x.(k) <-
+            Dfg.Builder.load b ~hint:w
+              ~align:(Printf.sprintf "x:%d" o)
+              ~name:(Printf.sprintf "x%d" k) ~group:"mole_frac" ~field:k ()
+    done
+  done;
+  for o = 0 to max_mine - 1 do
+    for w = 0 to n_warps - 1 do
+      match nth_mine w o with
+      | None -> ()
+      | Some k ->
+          let c = mech.Chem.Mechanism.transport.Chem.Transport.visc_fit.(computed.(k)) in
+          lvis.(k) <-
+            Dfg.Builder.compute b ~hint:w
+              ~align:(Printf.sprintf "lv:%d" o)
+              ~name:(Printf.sprintf "lvis%d" k)
+              ~inputs:[| temp_of.(w) |]
+              (Sexpr.poly3 (Sexpr.In 0) ~c0:c.(0) ~c1:c.(1) ~c2:c.(2) ~c3:c.(3))
+    done
+  done;
+  let a_const, b_const = Chem.Ref_kernels.pair_constants mech in
+  (* Phase boundary: the species vectors are now staged in shared memory;
+     one CTA barrier makes them visible everywhere. *)
+  Dfg.Builder.fence b ~inputs:(Array.append x lvis);
+  (* Exact register copy of a shared value: shared traffic happens once per
+     warp per batch instead of once per pair — the restructuring that makes
+     the double sum math-limited rather than shared-memory-limited. *)
+  let local w align name v =
+    Dfg.Builder.compute b ~hint:w ~align ~name ~inputs:[| v |]
+      (Sexpr.mul (Sexpr.In 0) (Sexpr.Imm 1.0))
+  in
+  (* This warp's own log-viscosities stay register resident. *)
+  let clk = Array.make_matrix n_warps max_mine (-1) in
+  for o = 0 to max_mine - 1 do
+    for w = 0 to n_warps - 1 do
+      match nth_mine w o with
+      | None -> ()
+      | Some k ->
+          clk.(w).(o) <-
+            local w (Printf.sprintf "lk:%d" o)
+              (Printf.sprintf "lk%d_w%d" k w)
+              lvis.(k)
+    done
+  done;
+  let acc = Array.make n (-1) in
+  let j0 = ref 0 in
+  while !j0 < n do
+    let jend = min n (!j0 + tile_size) in
+    (* Tile of cross-species values, staged through registers per warp. *)
+    let tile_x = Array.make_matrix n_warps (jend - !j0) (-1) in
+    let tile_l = Array.make_matrix n_warps (jend - !j0) (-1) in
+    for t = 0 to jend - !j0 - 1 do
+      let j = !j0 + t in
+      for w = 0 to n_warps - 1 do
+        tile_x.(w).(t) <-
+          local w (Printf.sprintf "tx:%d" j) (Printf.sprintf "lx%d_w%d" j w) x.(j);
+        tile_l.(w).(t) <-
+          local w (Printf.sprintf "tl:%d" j) (Printf.sprintf "ll%d_w%d" j w) lvis.(j)
+      done
+    done;
+    for t = 0 to jend - !j0 - 1 do
+      let j = !j0 + t in
+      for o = 0 to max_mine - 1 do
+        for w = 0 to n_warps - 1 do
+          match nth_mine w o with
+          | None -> ()
+          | Some k ->
+              let lk = clk.(w).(o) in
+              let xj = tile_x.(w).(t) and lj = tile_l.(w).(t) in
+              (* contribution = (1 + t)^2 * b_kj * x_j,
+                 t = exp((lk - lj)/2 + a_kj) *)
+              let t_expr lk lj =
+                Sexpr.exp_
+                  (Sexpr.fma (Sexpr.sub lk lj) (Sexpr.Imm 0.5)
+                     (Sexpr.C a_const.(k).(j)))
+              in
+              let contrib u xj =
+                Sexpr.mul (Sexpr.mul u u)
+                  (Sexpr.mul (Sexpr.C b_const.(k).(j)) xj)
+              in
+              acc.(k) <-
+                (if acc.(k) < 0 then
+                   Dfg.Builder.compute b ~hint:w
+                     ~align:(Printf.sprintf "ch:%d:%d" o j)
+                     ~name:(Printf.sprintf "inner%d@%d" k j)
+                     ~inputs:[| lk; lj; xj |]
+                     (Sexpr.let_
+                        (t_expr (Sexpr.In 0) (Sexpr.In 1))
+                        (Sexpr.let_
+                           (Sexpr.add (Sexpr.Imm 1.0) (Sexpr.Var 0))
+                           (contrib (Sexpr.Var 0) (Sexpr.In 2))))
+                 else
+                   Dfg.Builder.compute b ~hint:w
+                     ~align:(Printf.sprintf "ch:%d:%d" o j)
+                     ~name:(Printf.sprintf "inner%d@%d" k j)
+                     ~inputs:[| lk; lj; xj; acc.(k) |]
+                     (Sexpr.let_
+                        (t_expr (Sexpr.In 0) (Sexpr.In 1))
+                        (Sexpr.let_
+                           (Sexpr.add (Sexpr.Imm 1.0) (Sexpr.Var 0))
+                           (Sexpr.add
+                              (contrib (Sexpr.Var 0) (Sexpr.In 2))
+                              (Sexpr.In 3)))))
+        done
+      done
+    done;
+    j0 := jend
+  done;
+  (* term_k = x_k e^{lvis_k} / inner_k *)
+  let terms = Array.make n (-1) in
+  for o = 0 to max_mine - 1 do
+    for w = 0 to n_warps - 1 do
+      match nth_mine w o with
+      | None -> ()
+      | Some k ->
+          let xk =
+            local w (Printf.sprintf "xk:%d" o) (Printf.sprintf "xk%d_w%d" k w) x.(k)
+          in
+          terms.(k) <-
+            Dfg.Builder.compute b ~hint:w
+              ~align:(Printf.sprintf "tm:%d" o)
+              ~name:(Printf.sprintf "term%d" k)
+              ~inputs:[| xk; clk.(w).(o); acc.(k) |]
+              (Sexpr.div
+                 (Sexpr.mul (Sexpr.In 0) (Sexpr.exp_ (Sexpr.In 1)))
+                 (Sexpr.In 2))
+    done
+  done;
+  (* Each warp pre-reduces its own terms in registers; only the per-warp
+     partials go through shared memory ("all the warps reduce their values
+     through shared memory and the threads in warp 0 perform the write"). *)
+  let partials =
+    Array.init n_warps (fun w ->
+        let mine_terms = List.map (fun k -> terms.(k)) mine.(w) in
+        match mine_terms with
+        | [] -> None
+        | _ ->
+            Some
+              (Dfg.Builder.compute b ~hint:w ~align:"wpart"
+                 ~name:(Printf.sprintf "partial_w%d" w)
+                 ~inputs:(Array.of_list mine_terms)
+                 (Sexpr.sum
+                    (List.init (List.length mine_terms) (fun t -> Sexpr.In t)))))
+  in
+  let parts = Array.to_list partials |> List.filter_map Fun.id in
+  let nu =
+    Dfg.Builder.compute b ~hint:0 ~name:"nu"
+      ~inputs:(Array.of_list parts)
+      (Sexpr.mul (Sexpr.Imm (sqrt 8.0))
+         (Sexpr.sum (List.init (List.length parts) (fun t -> Sexpr.In t))))
+  in
+  Dfg.Builder.store b ~hint:0 ~name:"store_nu" ~group:"out" ~field:0 nu;
+  Dfg.Builder.finish b

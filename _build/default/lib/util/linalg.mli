@@ -1,0 +1,25 @@
+(** Small dense linear algebra used for transport-coefficient fitting.
+
+    Sizes here are tiny (order 4-10), so numerical sophistication beyond
+    partial pivoting is unnecessary. *)
+
+exception Singular
+(** Raised when a solve encounters a (numerically) singular matrix. *)
+
+val solve : float array array -> float array -> float array
+(** [solve a b] solves [a x = b] by Gaussian elimination with partial
+    pivoting. [a] and [b] are not modified. Raises {!Singular} if no pivot
+    exceeds 1e-300 in magnitude. *)
+
+val polyfit : degree:int -> (float * float) list -> float array
+(** [polyfit ~degree pts] least-squares fits a polynomial
+    [c0 + c1 x + ... + c_degree x^degree] to the sample points and returns
+    the coefficients lowest order first. Requires at least [degree + 1]
+    points. *)
+
+val polyval : float array -> float -> float
+(** [polyval coeffs x] evaluates a polynomial given coefficients lowest order
+    first (Horner). *)
+
+val max_abs_residual : float array -> (float * float) list -> float
+(** Largest absolute error of the fitted polynomial over the sample points. *)

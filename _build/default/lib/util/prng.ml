@@ -1,0 +1,63 @@
+type t = { mutable state : int64 }
+
+let create seed = { state = seed }
+
+let copy t = { state = t.state }
+
+let golden = 0x9E3779B97F4A7C15L
+
+(* splitmix64 step: advance by the 64-bit golden ratio, then mix. *)
+let int64 t =
+  let open Int64 in
+  t.state <- add t.state golden;
+  let z = t.state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let int t n =
+  assert (n > 0);
+  (* Keep 62 bits so the value fits OCaml's 63-bit int without wrapping. *)
+  let v = Int64.to_int (Int64.shift_right_logical (int64 t) 2) in
+  v mod n
+
+let float t x =
+  (* 53 random bits scaled to [0,1). *)
+  let bits = Int64.shift_right_logical (int64 t) 11 in
+  Int64.to_float bits /. 9007199254740992.0 *. x
+
+let range t lo hi = lo +. float t (hi -. lo)
+
+let log_range t lo hi =
+  assert (lo > 0.0 && hi > lo);
+  exp (range t (log lo) (log hi))
+
+let bool t = Int64.logand (int64 t) 1L = 1L
+
+let chance t p = float t 1.0 < p
+
+let pick t arr =
+  assert (Array.length arr > 0);
+  arr.(int t (Array.length arr))
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+let sample t k n =
+  assert (k <= n);
+  let arr = Array.init n (fun i -> i) in
+  shuffle t arr;
+  Array.to_list (Array.sub arr 0 k)
+
+let split t label =
+  let h = ref (int64 t) in
+  String.iter
+    (fun c ->
+      h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) 0x100000001B3L)
+    label;
+  create !h

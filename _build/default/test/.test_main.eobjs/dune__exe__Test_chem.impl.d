@@ -1,0 +1,1 @@
+test/test_chem.ml: Alcotest Array Chem Float List Printf QCheck QCheck_alcotest String

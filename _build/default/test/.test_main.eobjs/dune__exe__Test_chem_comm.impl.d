@@ -1,0 +1,1 @@
+test/test_chem_comm.ml: Alcotest Array Chem Float Gpusim List Printf Singe

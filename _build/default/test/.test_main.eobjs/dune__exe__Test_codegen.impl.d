@@ -1,0 +1,1 @@
+test/test_codegen.ml: Alcotest Array Chem Gpusim List Printf Singe Unix

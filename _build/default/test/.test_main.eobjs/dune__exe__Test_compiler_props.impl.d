@@ -1,0 +1,1 @@
+test/test_compiler_props.ml: Alcotest Chem Gpusim List Printf Singe String

@@ -1,0 +1,1 @@
+test/test_conductivity.ml: Alcotest Array Chem Float Fun Gpusim List Printf Singe

@@ -1,0 +1,1 @@
+test/test_cuda_emit.ml: Alcotest Chem Gpusim List Singe String

@@ -1,0 +1,1 @@
+test/test_full_range.ml: Alcotest Array Chem Float Gpusim Printf Singe

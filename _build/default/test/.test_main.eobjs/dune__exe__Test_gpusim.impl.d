@@ -1,0 +1,1 @@
+test/test_gpusim.ml: Alcotest Arch Array Caches Float Gpusim Isa List Machine Memstate Sm

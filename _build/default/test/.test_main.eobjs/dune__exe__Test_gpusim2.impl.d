@@ -1,0 +1,1 @@
+test/test_gpusim2.ml: Alcotest Arch Array Gpusim Isa Machine Memstate Printf Sm Trace

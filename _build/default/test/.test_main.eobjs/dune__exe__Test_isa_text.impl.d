@@ -1,0 +1,1 @@
+test/test_isa_text.ml: Alcotest Chem Gpusim List Printf Singe String

@@ -1,0 +1,1 @@
+test/test_methane.ml: Alcotest Array Chem Gpusim List Printf Singe

@@ -1,0 +1,1 @@
+test/test_properties.ml: Array Chem Float Format Fun Gpusim Int64 List QCheck QCheck_alcotest Singe Sutil

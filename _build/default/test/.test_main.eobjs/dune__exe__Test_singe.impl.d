@@ -1,0 +1,1 @@
+test/test_singe.ml: Alcotest Array Chem Float Gpusim Hashtbl List Printf QCheck QCheck_alcotest Singe String

@@ -1,0 +1,1 @@
+test/test_sri.ml: Alcotest Array Chem Float Gpusim List Printf Singe Sutil

@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Array Chem Gpusim List Printf Singe

@@ -1,0 +1,264 @@
+(* Second gpusim batch: memory state, predication, shuffles, shared-memory
+   bank conflicts, local-memory spill path, warp-strided constants, the
+   trace cursor, and per-lane functional semantics. *)
+
+open Gpusim
+
+let empty_banks n_warps = Array.init n_warps (fun _ -> Array.init 32 (fun _ -> [||]))
+
+let base_program ?(n_warps = 2) ?(fregs = 8) ?(iregs = 1) ?(shared = 128)
+    ?(local = 0) ?(barriers = 2) ?(const_mem = [| 3.5 |])
+    ?(param_bank = None) ~body () =
+  {
+    Isa.name = "test2";
+    n_warps;
+    n_fregs = fregs;
+    n_iregs = iregs;
+    shared_doubles = shared;
+    local_doubles = local;
+    barriers_used = barriers;
+    point_map = Isa.Thread_per_point;
+    prologue = Isa.Instrs [];
+    body;
+    const_bank = empty_banks n_warps;
+    param_bank =
+      (match param_bank with
+      | Some b -> b
+      | None -> Array.init n_warps (fun _ -> Array.init 32 (fun _ -> [||])));
+    const_mem;
+    groups =
+      [|
+        { Isa.group_name = "a"; fields = 2 };
+        { Isa.group_name = "out"; fields = 2 };
+      |];
+    exp_consts_in_registers = false;
+  }
+
+(* Returns (Sm counters-bearing result, memory). [fill] takes the memory
+   only; the point count is fixed by the caller. *)
+let run_program ?(points = 128) p ~fill =
+  let ctas = points / (p.Isa.n_warps * 32) in
+  let r =
+    Machine.run
+      ~fill_inputs:(fun mem _n -> fill mem)
+      Arch.kepler_k20c
+      { Machine.program = p; total_points = points; ctas }
+  in
+  (r.Machine.sim, r.Machine.mem)
+
+let input_a = Array.init 128 (fun i -> float_of_int i)
+
+let fill p mem =
+  Memstate.set_field mem ~group:(Memstate.group_index p "a") ~field:0 input_a
+
+let out p mem field =
+  Memstate.get_field mem ~group:(Memstate.group_index p "out") ~field
+
+let test_predicated_store () =
+  (* @l==3: only lane 3 of each warp writes; other points stay zero. *)
+  let p =
+    base_program
+      ~body:
+        (Isa.Instrs
+           [
+             Isa.Ld_global { dst = 0; group = 0; field = Isa.F_static 0; via_tex = false; pred = None };
+             Isa.St_global { src = Isa.Sreg 0; group = 1; field = Isa.F_static 0;
+                             pred = Some (Isa.Lane_eq 3) };
+           ])
+      ()
+  in
+  let _, mem = run_program p ~fill:(fill p) in
+  let o = out p mem 0 in
+  Array.iteri
+    (fun i v ->
+      if i mod 32 = 3 then Alcotest.(check (float 0.0)) "lane 3 wrote" (float_of_int i) v
+      else Alcotest.(check (float 0.0)) "others zero" 0.0 v)
+    o
+
+let test_shuffle_broadcast () =
+  (* Lane 5's value broadcast to the whole warp. *)
+  let p =
+    base_program
+      ~body:
+        (Isa.Instrs
+           [
+             Isa.Ld_global { dst = 0; group = 0; field = Isa.F_static 0; via_tex = false; pred = None };
+             Isa.Shfl { dst = 1; src = 0; lane = 5 };
+             Isa.St_global { src = Isa.Sreg 1; group = 1; field = Isa.F_static 0; pred = None };
+           ])
+      ()
+  in
+  let _, mem = run_program p ~fill:(fill p) in
+  let o = out p mem 0 in
+  Array.iteri
+    (fun i v ->
+      let base = i / 32 * 32 in
+      Alcotest.(check (float 0.0)) "broadcast of lane 5" (float_of_int (base + 5)) v)
+    o
+
+let test_local_spill_roundtrip_and_traffic () =
+  let p =
+    base_program ~local:2
+      ~body:
+        (Isa.Instrs
+           [
+             Isa.Ld_global { dst = 0; group = 0; field = Isa.F_static 0; via_tex = false; pred = None };
+             Isa.St_local { src = 0; slot = 1 };
+             Isa.Arith { op = Isa.Add; dst = 0; srcs = [| Isa.Simm 0.0; Isa.Simm 0.0 |]; pred = None };
+             Isa.Ld_local { dst = 2; slot = 1 };
+             Isa.St_global { src = Isa.Sreg 2; group = 1; field = Isa.F_static 0; pred = None };
+           ])
+      ()
+  in
+  let r, mem = run_program p ~fill:(fill p) in
+  let o = out p mem 0 in
+  Array.iteri
+    (fun i v -> Alcotest.(check (float 0.0)) "spill round-trip" (float_of_int i) v)
+    o;
+  (* 2 local accesses x 128 threads x 8 bytes *)
+  Alcotest.(check int) "local traffic counted" (2 * 128 * 8)
+    r.Sm.counters.Sm.local_bytes
+
+let test_bank_conflicts_charged () =
+  (* lane stride 2 in doubles = two lanes per 8-byte-pair bank group ->
+     serialization slots appear; stride 1 has none. *)
+  let mk stride =
+    base_program ~shared:2048
+      ~body:
+        (Isa.Instrs
+           [
+             Isa.St_shared { src = Isa.Simm 1.0; addr = Isa.sh_lane ~mul:stride 0; pred = None };
+           ])
+      ()
+  in
+  let conflicts stride =
+    let r, _ = run_program (mk stride) ~fill:(fun _ -> ()) in
+    r.Sm.counters.Sm.bank_conflict_slots
+  in
+  Alcotest.(check int) "stride 1 conflict-free" 0 (conflicts 1);
+  Alcotest.(check bool) "stride 4 serializes" true (conflicts 4 > 0)
+
+let test_warp_strided_constant () =
+  (* cw[base]: warp w reads const_mem.(base + w). *)
+  let p =
+    base_program ~const_mem:[| 10.0; 20.0; 30.0 |]
+      ~body:
+        (Isa.Instrs
+           [
+             Isa.Mov { dst = 0; src = Isa.Sconst_warp 1; pred = None };
+             Isa.St_global { src = Isa.Sreg 0; group = 1; field = Isa.F_static 0; pred = None };
+           ])
+      ()
+  in
+  let _, mem = run_program p ~fill:(fun _ -> ()) in
+  let o = out p mem 0 in
+  Array.iteri
+    (fun i v ->
+      let w = i / 32 mod 2 in
+      Alcotest.(check (float 0.0)) "per-warp slot"
+        (if w = 0 then 20.0 else 30.0)
+        v)
+    o
+
+let test_param_bank_striping () =
+  (* ld.p loads per-(warp,lane) integers; use as field selector. *)
+  let n_warps = 2 in
+  let param_bank =
+    Array.init n_warps (fun w -> Array.init 32 (fun _ -> [| w |]))
+  in
+  let p =
+    base_program ~param_bank:(Some param_bank)
+      ~body:
+        (Isa.Instrs
+           [
+             Isa.Ld_param { dst_i = 0; slot = 0 };
+             Isa.Ld_global { dst = 0; group = 0; field = Isa.F_ireg 0; via_tex = false; pred = None };
+             Isa.St_global { src = Isa.Sreg 0; group = 1; field = Isa.F_ireg 0; pred = None };
+           ])
+      ()
+  in
+  let fill mem =
+    Memstate.set_field mem ~group:(Memstate.group_index p "a") ~field:0 input_a;
+    Memstate.set_field mem ~group:(Memstate.group_index p "a") ~field:1
+      (Array.map (fun v -> v +. 1000.0) input_a)
+  in
+  let _, mem = run_program p ~fill in
+  let o0 = out p mem 0 and o1 = out p mem 1 in
+  (* warp 0 (points 0-31, 64-95) copies field 0; warp 1 copies field 1 *)
+  Alcotest.(check (float 0.0)) "w0 field0" 5.0 o0.(5);
+  Alcotest.(check (float 0.0)) "w1 field1" 1037.0 o1.(37);
+  Alcotest.(check (float 0.0)) "w0 leaves field1 alone" 0.0 o1.(5)
+
+let test_memstate_isolation () =
+  (* Two resident CTAs must have isolated shared memory. *)
+  let p =
+    base_program ~n_warps:2
+      ~body:
+        (Isa.Instrs
+           [
+             Isa.Ld_global { dst = 0; group = 0; field = Isa.F_static 0; via_tex = false; pred = None };
+             Isa.St_shared { src = Isa.Sreg 0; addr = Isa.sh_lane 0; pred = None };
+             Isa.Ld_shared { dst = 1; addr = Isa.sh_lane 0; pred = None };
+             Isa.St_global { src = Isa.Sreg 1; group = 1; field = Isa.F_static 0; pred = None };
+           ])
+      ()
+  in
+  let _, mem = run_program ~points:256 p ~fill:(fun mem ->
+      Memstate.set_field mem ~group:(Memstate.group_index p "a") ~field:0
+        (Array.init 256 float_of_int))
+  in
+  let o = out p mem 0 in
+  (* both warps of each CTA write the same shared slots; the LAST writer in
+     warp order wins within a CTA, but CTA 1's points must see CTA 1 data,
+     not CTA 0's. *)
+  Alcotest.(check bool) "cta isolation" true (o.(128 + 5) >= 128.0)
+
+let test_trace_cursor () =
+  let p =
+    base_program
+      ~body:
+        (Isa.Seq
+           [
+             Isa.Instrs
+               [ Isa.Arith { op = Isa.Add; dst = 0; srcs = [| Isa.Simm 1.0; Isa.Simm 2.0 |]; pred = None } ];
+             Isa.If_warps
+               { mask = 1;
+                 body = Isa.Instrs
+                     [ Isa.Arith { op = Isa.Mul; dst = 1; srcs = [| Isa.Sreg 0; Isa.Sreg 0 |]; pred = None } ] };
+           ])
+      ()
+  in
+  let t = Trace.flatten Arch.kepler_k20c p in
+  (* warp 1 skips the If body: fewer executed slots than warp 0 *)
+  let count w =
+    let cur = Trace.cursor () in
+    let n = ref 0 in
+    let rec go () =
+      match Trace.peek t ~warp:w ~batches:1 cur with
+      | Some _ ->
+          incr n;
+          Trace.advance t ~warp:w ~batches:1 cur;
+          go ()
+      | None -> ()
+    in
+    go ();
+    !n
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "warp 0 executes more (%d vs %d)" (count 0) (count 1))
+    true
+    (count 0 > count 1);
+  Alcotest.(check bool) "footprints positive" true
+    (Trace.body_footprint_bytes t ~warp:0 > 0)
+
+let tests =
+  [
+    Alcotest.test_case "predicated store" `Quick test_predicated_store;
+    Alcotest.test_case "shuffle broadcast" `Quick test_shuffle_broadcast;
+    Alcotest.test_case "local spill path" `Quick test_local_spill_roundtrip_and_traffic;
+    Alcotest.test_case "bank conflicts" `Quick test_bank_conflicts_charged;
+    Alcotest.test_case "warp-strided constants" `Quick test_warp_strided_constant;
+    Alcotest.test_case "param-bank striping" `Quick test_param_bank_striping;
+    Alcotest.test_case "memstate CTA isolation" `Quick test_memstate_isolation;
+    Alcotest.test_case "trace cursor" `Quick test_trace_cursor;
+  ]

@@ -1,0 +1,21 @@
+let () =
+  Alcotest.run "singe"
+    [
+      ("util", Test_util.tests);
+      ("chem", Test_chem.tests);
+      ("gpusim", Test_gpusim.tests);
+      ("singe", Test_singe.tests);
+      ("codegen", Test_codegen.tests);
+      ("chem-comm", Test_chem_comm.tests);
+      ("stats", Test_stats.tests);
+      ("full-range", Test_full_range.tests);
+      ("properties", Test_properties.tests);
+      ("sri", Test_sri.tests);
+      ("conductivity", Test_conductivity.tests);
+      ("isa-text", Test_isa_text.tests);
+      ("methane", Test_methane.tests);
+      ("gpusim2", Test_gpusim2.tests);
+      ("cuda-emit", Test_cuda_emit.tests);
+      ("plog", Test_plog.tests);
+      ("compiler-props", Test_compiler_props.tests);
+    ]

@@ -1,0 +1,357 @@
+(* Property-based tests (QCheck) over the foundations: the PRNG, scalar
+   expressions, thermodynamics, rate laws, QSSA structure, the grid
+   generator, and ISA validation. *)
+
+let qtest ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest ~verbose:false
+    (QCheck.Test.make ~count ~name gen prop)
+
+(* ---------- PRNG ---------- *)
+
+let test_prng_determinism =
+  qtest "prng: same seed, same stream"
+    QCheck.(int64)
+    (fun seed ->
+      let a = Sutil.Prng.create seed and b = Sutil.Prng.create seed in
+      List.for_all
+        (fun _ -> Sutil.Prng.int64 a = Sutil.Prng.int64 b)
+        (List.init 16 Fun.id))
+
+let test_prng_range =
+  qtest "prng: range stays in bounds"
+    QCheck.(pair int64 (pair (float_bound_exclusive 1000.0) pos_float))
+    (fun (seed, (lo, w)) ->
+      QCheck.assume (Float.is_finite (lo +. w) && w > 0.0);
+      let rng = Sutil.Prng.create seed in
+      let v = Sutil.Prng.range rng lo (lo +. w) in
+      v >= lo && v <= lo +. w)
+
+let test_prng_int_bounds =
+  qtest "prng: int in [0, n)"
+    QCheck.(pair int64 (int_range 1 1_000_000))
+    (fun (seed, n) ->
+      let rng = Sutil.Prng.create seed in
+      let v = Sutil.Prng.int rng n in
+      v >= 0 && v < n)
+
+let test_prng_split_independent =
+  qtest "prng: split streams differ from parent"
+    QCheck.(int64)
+    (fun seed ->
+      let rng = Sutil.Prng.create seed in
+      let s = Sutil.Prng.split rng "child" in
+      (* not a strong statistical claim — just that the derived stream is
+         not the identical stream *)
+      List.exists
+        (fun _ -> Sutil.Prng.int64 s <> Sutil.Prng.int64 rng)
+        (List.init 4 Fun.id))
+
+(* ---------- Sexpr ---------- *)
+
+let gen_expr =
+  let open QCheck.Gen in
+  let leaf =
+    oneof
+      [
+        map (fun f -> Singe.Sexpr.Imm f) (float_range (-4.0) 4.0);
+        map (fun f -> Singe.Sexpr.C f) (float_range (-4.0) 4.0);
+        map (fun i -> Singe.Sexpr.In i) (int_range 0 3);
+      ]
+  in
+  let rec go n =
+    if n <= 0 then leaf
+    else
+      frequency
+        [
+          (2, leaf);
+          ( 3,
+            map2
+              (fun op (a, b) -> Singe.Sexpr.Bin (op, a, b))
+              (oneofl Gpusim.Isa.[ Add; Sub; Mul; Max; Min ])
+              (pair (go (n - 1)) (go (n - 1))) );
+          ( 1,
+            map
+              (fun (a, (b, c)) -> Singe.Sexpr.Fma3 (a, b, c))
+              (pair (go (n - 1)) (pair (go (n - 1)) (go (n - 1)))) );
+          ( 1,
+            map
+              (fun (d, b) -> Singe.Sexpr.Let (d, b))
+              (pair (go (n - 1)) (go (n - 1))) );
+          (1, map (fun a -> Singe.Sexpr.Un (Gpusim.Isa.Neg, a)) (go (n - 1)));
+        ]
+  in
+  QCheck.make ~print:(Format.asprintf "%a" Singe.Sexpr.pp) (go 4)
+
+let test_shape_blind_to_constants =
+  qtest "sexpr: shape ignores C values only"
+    (QCheck.pair gen_expr (QCheck.float_range (-9.0) 9.0))
+    (fun (e, delta) ->
+      let rec bump = function
+        | Singe.Sexpr.C v -> Singe.Sexpr.C (v +. delta)
+        | Singe.Sexpr.Imm v -> Singe.Sexpr.Imm v
+        | Singe.Sexpr.In i -> Singe.Sexpr.In i
+        | Singe.Sexpr.Var i -> Singe.Sexpr.Var i
+        | Singe.Sexpr.Un (op, a) -> Singe.Sexpr.Un (op, bump a)
+        | Singe.Sexpr.Bin (op, a, b) -> Singe.Sexpr.Bin (op, bump a, bump b)
+        | Singe.Sexpr.Fma3 (a, b, c) -> Singe.Sexpr.Fma3 (bump a, bump b, bump c)
+        | Singe.Sexpr.Let (d, b) -> Singe.Sexpr.Let (bump d, bump b)
+      in
+      Singe.Sexpr.shape e = Singe.Sexpr.shape (bump e))
+
+let test_constants_count =
+  qtest "sexpr: n_constants = length (constants)" gen_expr (fun e ->
+      Singe.Sexpr.n_constants e = List.length (Singe.Sexpr.constants e))
+
+let test_eval_matches_naive =
+  qtest "sexpr: eval equals a naive interpreter" gen_expr (fun e ->
+      let input i = float_of_int (i + 1) *. 0.37 in
+      let rec naive env = function
+        | Singe.Sexpr.Imm v | Singe.Sexpr.C v -> v
+        | Singe.Sexpr.In i -> input i
+        | Singe.Sexpr.Var i -> List.nth env i
+        | Singe.Sexpr.Un (Gpusim.Isa.Neg, a) -> -.naive env a
+        | Singe.Sexpr.Un (Gpusim.Isa.Sqrt, a) -> Float.sqrt (naive env a)
+        | Singe.Sexpr.Un (Gpusim.Isa.Exp, a) -> Float.exp (naive env a)
+        | Singe.Sexpr.Un (Gpusim.Isa.Log, a) -> Float.log (naive env a)
+        | Singe.Sexpr.Un (_, _) -> assert false
+        | Singe.Sexpr.Bin (op, a, b) -> (
+            let x = naive env a and y = naive env b in
+            match op with
+            | Gpusim.Isa.Add -> x +. y
+            | Gpusim.Isa.Sub -> x -. y
+            | Gpusim.Isa.Mul -> x *. y
+            | Gpusim.Isa.Div -> x /. y
+            | Gpusim.Isa.Max -> Float.max x y
+            | Gpusim.Isa.Min -> Float.min x y
+            | _ -> assert false)
+        | Singe.Sexpr.Fma3 (a, b, c) ->
+            Float.fma (naive env a) (naive env b) (naive env c)
+        | Singe.Sexpr.Let (d, b) -> naive (naive env d :: env) b
+      in
+      let consts = Array.of_list (Singe.Sexpr.constants e) in
+      let got = Singe.Sexpr.eval e ~consts ~input in
+      let want = naive [] e in
+      (Float.is_nan got && Float.is_nan want) || got = want)
+
+let test_flops_positive_on_ops =
+  qtest "sexpr: flops consistent with depth" gen_expr (fun e ->
+      Singe.Sexpr.flops e >= 0 && Singe.Sexpr.depth e >= 0)
+
+(* ---------- thermodynamics ---------- *)
+
+let gen_entry =
+  QCheck.make
+    QCheck.Gen.(
+      map
+        (fun seed ->
+          let rng = Sutil.Prng.create (Int64.of_int seed) in
+          let arr () =
+            [|
+              Sutil.Prng.range rng 1.0 5.0;
+              Sutil.Prng.range rng (-1e-3) 1e-3;
+              Sutil.Prng.range rng (-1e-6) 1e-6;
+              Sutil.Prng.range rng (-1e-9) 1e-9;
+              Sutil.Prng.range rng (-1e-13) 1e-13;
+              Sutil.Prng.range rng (-5e4) 5e4;
+              Sutil.Prng.range rng (-5.0) 15.0;
+            |]
+          in
+          {
+            Chem.Thermo.t_low = 300.0;
+            t_mid = 1000.0;
+            t_high = 5000.0;
+            low = arr ();
+            high = arr ();
+          })
+        (int_range 0 100000))
+
+let test_gibbs_is_h_minus_s =
+  qtest "thermo: g = h - s at any T"
+    (QCheck.pair gen_entry (QCheck.float_range 300.0 4500.0))
+    (fun (e, t) ->
+      Float.abs
+        (Chem.Thermo.gibbs_over_rt e t
+        -. (Chem.Thermo.h_over_rt e t -. Chem.Thermo.s_over_r e t))
+      < 1e-9)
+
+let test_generated_tables_continuous =
+  QCheck_alcotest.to_alcotest ~verbose:false
+    (QCheck.Test.make ~count:1 ~name:"thermo: generated tables continuous"
+       QCheck.unit
+       (fun () ->
+         List.for_all
+           (fun mech ->
+             Array.for_all
+               (fun (e : Chem.Thermo.entry) ->
+                 let tm = e.Chem.Thermo.t_mid in
+                 Float.abs
+                   (Chem.Thermo.gibbs_over_rt e (tm -. 1e-9)
+                   -. Chem.Thermo.gibbs_over_rt e (tm +. 1e-9))
+                 < 1e-6
+                 && Float.abs
+                      (Chem.Thermo.h_over_rt e (tm -. 1e-9)
+                      -. Chem.Thermo.h_over_rt e (tm +. 1e-9))
+                    < 1e-6)
+               mech.Chem.Mechanism.thermo)
+           [ Chem.Mech_gen.hydrogen (); Chem.Mech_gen.dme (); Chem.Mech_gen.heptane () ]))
+
+(* ---------- rate laws ---------- *)
+
+let test_arrhenius_positive =
+  qtest "rates: arrhenius positive and increasing in A"
+    QCheck.(pair (float_range 500.0 3000.0) (float_range 0.1 10.0))
+    (fun (t, scale) ->
+      let a =
+        { Chem.Reaction.pre_exp = 1e10; temp_exp = 0.5; activation = 15000.0 }
+      in
+      let a2 = { a with Chem.Reaction.pre_exp = a.Chem.Reaction.pre_exp *. scale } in
+      let k1 = Chem.Rates.arrhenius a t and k2 = Chem.Rates.arrhenius a2 t in
+      k1 > 0.0 && Float.abs ((k2 /. k1) -. scale) < 1e-9 *. scale)
+
+let test_troe_blending_bounded =
+  qtest "rates: Troe blending factor in (0, 1]"
+    QCheck.(pair (float_range 600.0 2500.0) (float_range (-6.0) 6.0))
+    (fun (t, logpr) ->
+      let p =
+        { Chem.Reaction.alpha = 0.7; t3 = 100.0; t1 = 1500.0; t2 = 5000.0 }
+      in
+      let f = Chem.Rates.troe_blending p ~temp:t ~pr:(10.0 ** logpr) in
+      f > 0.0 && f <= 1.0)
+
+let test_equilibrium_detailed_balance =
+  qtest "rates: kr = kf / Kc for equilibrium reverses"
+    QCheck.(float_range 1000.0 2400.0)
+    (fun t ->
+      let mech = Chem.Mech_gen.hydrogen () in
+      let n = Chem.Mechanism.n_species mech in
+      let conc = Array.make n 1e-5 in
+      Array.for_all
+        (fun (r : Chem.Reaction.t) ->
+          match r.Chem.Reaction.reverse with
+          | Chem.Reaction.From_equilibrium ->
+              let kf = Chem.Rates.forward_coeff r ~temp:t ~conc in
+              let kc =
+                Chem.Rates.equilibrium_constant mech.Chem.Mechanism.thermo r t
+              in
+              let kr =
+                Chem.Rates.reverse_coeff mech.Chem.Mechanism.thermo r ~temp:t
+                  ~forward:kf ~conc
+              in
+              kr = 0.0 || Float.abs ((kr *. kc /. kf) -. 1.0) < 1e-9
+          | _ -> true)
+        mech.Chem.Mechanism.reactions)
+
+(* ---------- QSSA / stiffness structure ---------- *)
+
+let test_qssa_well_ordered =
+  QCheck_alcotest.to_alcotest ~verbose:false
+    (QCheck.Test.make ~count:1 ~name:"qssa: dependency DAG is well ordered"
+       QCheck.unit
+       (fun () ->
+         List.for_all
+           (fun mech -> Chem.Qssa.well_ordered (Chem.Qssa.build mech))
+           [ Chem.Mech_gen.hydrogen (); Chem.Mech_gen.dme (); Chem.Mech_gen.heptane () ]))
+
+let test_qssa_eval_scales_bounded =
+  qtest "qssa: eval produces finite nonnegative scalings" ~count:50
+    QCheck.(int_range 0 10000)
+    (fun seed ->
+      let mech = Chem.Mech_gen.dme () in
+      let g = Chem.Qssa.build mech in
+      let rng = Sutil.Prng.create (Int64.of_int seed) in
+      let nr = Chem.Mechanism.n_reactions mech in
+      let rr_f = Array.init nr (fun _ -> Sutil.Prng.log_range rng 1e-12 1e3) in
+      let rr_r = Array.init nr (fun _ -> Sutil.Prng.log_range rng 1e-12 1e3) in
+      let scales = Chem.Qssa.eval g ~rr_f ~rr_r in
+      Array.for_all (fun s -> Float.is_finite s && s >= 0.0) scales
+      && Array.for_all (fun v -> Float.is_finite v && v >= 0.0) rr_f)
+
+(* ---------- grid ---------- *)
+
+let test_grid_mole_fractions_normalized =
+  qtest "grid: computed mole fractions sum to 1" ~count:20
+    QCheck.(int_range 0 1000)
+    (fun seed ->
+      let mech = Chem.Mech_gen.hydrogen () in
+      let g = Chem.Grid.create mech ~points:32 ~seed:(Int64.of_int seed) in
+      List.for_all
+        (fun p ->
+          let x = Chem.Grid.point_mole_fracs g mech p in
+          Float.abs (Array.fold_left ( +. ) 0.0 x -. 1.0) < 1e-9)
+        (List.init 32 Fun.id))
+
+let test_grid_range_respected =
+  qtest "grid: temperatures stay in the requested range" ~count:20
+    QCheck.(int_range 0 1000)
+    (fun seed ->
+      let mech = Chem.Mech_gen.hydrogen () in
+      let g =
+        Chem.Grid.create ~t_range:(500.0, 800.0) mech ~points:64
+          ~seed:(Int64.of_int seed)
+      in
+      List.for_all
+        (fun p ->
+          let t = Chem.Grid.point_temperature g p in
+          t >= 500.0 && t <= 800.0)
+        (List.init 64 Fun.id))
+
+(* ---------- ISA validation ---------- *)
+
+let valid_base_program () =
+  let c =
+    Singe.Compile.compile (Chem.Mech_gen.hydrogen ()) Singe.Kernel_abi.Viscosity
+      Singe.Compile.Warp_specialized
+      { (Singe.Compile.default_options Gpusim.Arch.kepler_k20c) with
+        Singe.Compile.n_warps = 4 }
+  in
+  c.Singe.Compile.lowered.Singe.Lower.program
+
+let test_validate_accepts_generated =
+  QCheck_alcotest.to_alcotest ~verbose:false
+    (QCheck.Test.make ~count:1 ~name:"isa: validate accepts generated code"
+       QCheck.unit
+       (fun () -> Gpusim.Isa.validate (valid_base_program ()) = Ok ()))
+
+let test_validate_rejects_corruption =
+  qtest "isa: validate rejects corrupted programs" ~count:20
+    QCheck.(int_range 0 3)
+    (fun kind ->
+      let p = valid_base_program () in
+      let bad_instr =
+        match kind with
+        | 0 -> Gpusim.Isa.Arith { op = Gpusim.Isa.Add; dst = p.Gpusim.Isa.n_fregs + 7;
+                                  srcs = [| Gpusim.Isa.Simm 1.0; Gpusim.Isa.Simm 2.0 |]; pred = None }
+        | 1 -> Gpusim.Isa.Bar_sync { bar = 99; count = 2 }
+        | 2 -> Gpusim.Isa.Ld_local { dst = 0; slot = p.Gpusim.Isa.local_doubles + 5 }
+        | _ -> Gpusim.Isa.St_shared { src = Gpusim.Isa.Sreg 0;
+                                      addr = Gpusim.Isa.sh (p.Gpusim.Isa.shared_doubles + 3);
+                                      pred = None }
+      in
+      let corrupted =
+        { p with Gpusim.Isa.body =
+            Gpusim.Isa.Seq [ p.Gpusim.Isa.body; Gpusim.Isa.Instrs [ bad_instr ] ] }
+      in
+      match Gpusim.Isa.validate corrupted with Ok () -> false | Error _ -> true)
+
+let tests =
+  [
+    test_prng_determinism;
+    test_prng_range;
+    test_prng_int_bounds;
+    test_prng_split_independent;
+    test_shape_blind_to_constants;
+    test_constants_count;
+    test_eval_matches_naive;
+    test_flops_positive_on_ops;
+    test_gibbs_is_h_minus_s;
+    test_generated_tables_continuous;
+    test_arrhenius_positive;
+    test_troe_blending_bounded;
+    test_equilibrium_detailed_balance;
+    test_qssa_well_ordered;
+    test_qssa_eval_scales_bounded;
+    test_grid_mole_fractions_normalized;
+    test_grid_range_respected;
+    test_validate_accepts_generated;
+    test_validate_rejects_corruption;
+  ]
