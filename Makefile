@@ -1,0 +1,27 @@
+.PHONY: all build test fmt fmt-check check perf clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+# dune formats its own files natively (ocamlformat is not a dependency);
+# `make fmt` promotes, `make fmt-check` fails on drift.
+fmt:
+	dune fmt
+
+fmt-check:
+	dune build @fmt
+
+# The full local gate: everything builds, formatting is clean, tests pass.
+check: build fmt-check test
+
+# Machine-readable performance snapshot (see bench/main.ml).
+perf:
+	dune exec bench/main.exe -- perf
+
+clean:
+	dune clean

@@ -1,6 +1,11 @@
 (* Benchmark harness: regenerates every table and figure of the paper's
    evaluation (pass a figure name, or nothing for all), then runs a few
-   Bechamel microbenchmarks of the toolchain itself. *)
+   Bechamel microbenchmarks of the toolchain itself.
+
+   `main.exe perf [--out FILE]` instead emits one machine-readable JSON
+   document — per-kernel simulated throughput plus the compiler's per-pass
+   wall-clock timings — so successive PRs can track a performance
+   trajectory without scraping the human-readable tables. *)
 
 let figures =
   [
@@ -97,11 +102,83 @@ let microbenchmarks () =
         results)
     tests
 
+(* ---- machine-readable perf snapshot (the `perf` mode) ---- *)
+
+let perf_configs () =
+  let mech = Chem.Mech_gen.dme () in
+  let arch = Gpusim.Arch.kepler_k20c in
+  let kernels =
+    [ Singe.Kernel_abi.Viscosity; Singe.Kernel_abi.Conductivity;
+      Singe.Kernel_abi.Diffusion; Singe.Kernel_abi.Chemistry ]
+  in
+  List.concat_map
+    (fun kernel ->
+      List.map
+        (fun version ->
+          let options =
+            { (Singe.Compile.default_options arch) with
+              Singe.Compile.n_warps = 8;
+              max_barriers =
+                (if kernel = Singe.Kernel_abi.Chemistry then 16 else 8);
+              ctas_per_sm_target =
+                (if kernel = Singe.Kernel_abi.Chemistry then 1 else 2) }
+          in
+          (mech, kernel, version, options))
+        [ Singe.Compile.Warp_specialized; Singe.Compile.Baseline ])
+    kernels
+
+let perf ~out () =
+  let points = 8192 in
+  let entry (mech, kernel, version, options) =
+    match
+      Singe.Compile.compile_checked ~validate:true mech kernel version options
+    with
+    | Error d ->
+        Printf.eprintf "perf: skipping %s %s: %s\n"
+          (Singe.Kernel_abi.kernel_name kernel)
+          (Singe.Compile.version_name version)
+          (Singe.Diagnostics.to_string d);
+        None
+    | Ok (c, report) ->
+        let r = Singe.Compile.run c ~total_points:points in
+        Some
+          (Printf.sprintf
+             "{\"mech\": \"%s\", \"kernel\": \"%s\", \"version\": \"%s\", \
+              \"arch\": \"%s\", \"points\": %d, \"points_per_sec\": %.6g, \
+              \"gflops\": %.6g, \"dram_gbs\": %.6g, \"sm_cycles\": %d, \
+              \"max_rel_err\": %.3g, \"report\": %s}"
+             mech.Chem.Mechanism.name
+             (Singe.Kernel_abi.kernel_name kernel)
+             (Singe.Compile.version_name version)
+             c.Singe.Compile.options.Singe.Compile.arch.Gpusim.Arch.name
+             points
+             r.Singe.Compile.machine.Gpusim.Machine.points_per_sec
+             r.Singe.Compile.machine.Gpusim.Machine.gflops
+             r.Singe.Compile.machine.Gpusim.Machine.dram_gbs
+             r.Singe.Compile.machine.Gpusim.Machine.sm_cycles
+             r.Singe.Compile.max_rel_err
+             (Singe.Pass.report_to_json report))
+  in
+  let entries = List.filter_map entry (perf_configs ()) in
+  let json =
+    Printf.sprintf "{\"schema\": \"singe-perf-v1\", \"results\": [\n%s\n]}\n"
+      (String.concat ",\n" entries)
+  in
+  match out with
+  | None -> print_string json
+  | Some file ->
+      let oc = open_out file in
+      output_string oc json;
+      close_out oc;
+      Printf.eprintf "perf snapshot written to %s\n" file
+
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   (match args with
   | [] | [ "all" ] -> Experiments.Figures.all ()
   | [ "microbench" ] -> microbenchmarks ()
+  | [ "perf" ] -> perf ~out:None ()
+  | [ "perf"; "--out"; file ] -> perf ~out:(Some file) ()
   | names ->
       List.iter
         (fun name ->

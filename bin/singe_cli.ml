@@ -26,19 +26,21 @@ let mech_term =
           Chem.Mech_io.load_files ?species_sets_path:sets ~chemkin_path:c
             ~thermo_path:th ~transport_path:tr ~name:"user" ()
         with
-        | Ok m -> m
-        | Error e -> failwith e)
+        | Ok m -> Ok m
+        | Error e -> Error (`Msg e))
     | None, None, None -> (
         match String.lowercase_ascii name with
-        | "dme" -> Chem.Mech_gen.dme ()
-        | "heptane" -> Chem.Mech_gen.heptane ()
-        | "methane" -> Chem.Mech_gen.methane ()
-        | "hydrogen" -> Chem.Mech_gen.hydrogen ()
-        | other -> failwith ("unknown mechanism " ^ other))
-    | _ -> failwith "--chemkin, --thermo and --transport must be given together"
+        | "dme" -> Ok (Chem.Mech_gen.dme ())
+        | "heptane" -> Ok (Chem.Mech_gen.heptane ())
+        | "methane" -> Ok (Chem.Mech_gen.methane ())
+        | "hydrogen" -> Ok (Chem.Mech_gen.hydrogen ())
+        | other -> Error (`Msg ("unknown mechanism " ^ other)))
+    | _ ->
+        Error (`Msg "--chemkin, --thermo and --transport must be given together")
   in
-  Term.(const build $ mech_name $ file "chemkin" $ file "thermo"
-        $ file "transport" $ file "sets")
+  Term.term_result
+    Term.(const build $ mech_name $ file "chemkin" $ file "thermo"
+          $ file "transport" $ file "sets")
 
 let kernel_term =
   let parse s =
@@ -64,21 +66,65 @@ let warps_term =
   Arg.(value & opt int 8 & info [ "warps" ] ~docv:"N" ~doc:"Warps per CTA.")
 
 let version_term =
-  let parse = function
-    | "ws" | "warp-specialized" -> Ok Singe.Compile.Warp_specialized
-    | "baseline" | "base" -> Ok Singe.Compile.Baseline
-    | "naive" -> Ok Singe.Compile.Naive_warp_specialized
-    | s -> Error (`Msg ("unknown version " ^ s))
+  let parse s =
+    match Singe.Compile.version_of_string s with
+    | Some v -> Ok v
+    | None -> Error (`Msg ("unknown version " ^ s))
   in
   let printer ppf v =
-    Format.pp_print_string ppf
-      (match v with
-      | Singe.Compile.Warp_specialized -> "ws"
-      | Singe.Compile.Baseline -> "baseline"
-      | Singe.Compile.Naive_warp_specialized -> "naive")
+    Format.pp_print_string ppf (Singe.Compile.version_name v)
   in
   Arg.(value & opt (Arg.conv (parse, printer)) Singe.Compile.Warp_specialized
        & info [ "version" ] ~docv:"V" ~doc:"ws, baseline or naive.")
+
+(* Pipeline-introspection flags shared by the compile and run commands. *)
+let timings_term =
+  Arg.(value & flag & info [ "timings" ]
+       ~doc:"Print per-pass wall-clock timings and artifact statistics.")
+
+let validate_term =
+  Arg.(value & flag & info [ "validate" ]
+       ~doc:"Run the inter-pass validation passes (DFG well-formedness, \
+             mapping invariants, schedule safety, lower consistency).")
+
+(* Parse the stage name up front so a typo is rejected before the (possibly
+   long) compile runs. *)
+let ir_stage_conv =
+  let parse s =
+    match Singe.Compile.ir_stage_of_string s with
+    | Some stage -> Ok stage
+    | None ->
+        Error
+          (`Msg
+            (Printf.sprintf
+               "unknown IR stage %s (expected dfg, mapping, schedule or lower)"
+               s))
+  in
+  let print ppf stage =
+    Format.pp_print_string ppf (Singe.Compile.ir_stage_name stage)
+  in
+  Arg.conv (parse, print)
+
+let dump_ir_term =
+  Arg.(value & opt (some ir_stage_conv) None & info [ "dump-ir" ] ~docv:"PASS"
+       ~doc:"Dump the intermediate artifact after PASS: dfg, mapping, \
+             schedule or lower.")
+
+(* Typed pipeline entry: every user-reachable failure prints one readable
+   diagnostic line instead of an exception backtrace. *)
+let compile_or_die ~validate mech kernel version options =
+  match Singe.Compile.compile_checked ~validate mech kernel version options with
+  | Ok (c, report) -> (c, report)
+  | Error d ->
+      Printf.eprintf "singe: %s\n" (Singe.Diagnostics.to_string d);
+      exit 1
+
+let print_report report =
+  Format.printf "@[<v>%a@]@." Singe.Pass.pp_report report
+
+let dump_ir c = function
+  | None -> ()
+  | Some stage -> Singe.Compile.dump_ir Format.std_formatter c stage
 
 let info_cmd =
   let run mech =
@@ -108,8 +154,11 @@ let compile_cmd =
                  ~doc:"Write the program's textual assembly to FILE ('-' for stdout).") in
   let cuda = Arg.(value & opt (some string) None & info [ "emit-cuda" ] ~docv:"FILE"
                   ~doc:"Write the kernel as CUDA C source to FILE ('-' for stdout).") in
-  let run mech kernel arch warps version dump asm cuda =
-    let c = Singe.Compile.compile mech kernel version (options_of arch warps kernel) in
+  let run mech kernel arch warps version dump asm cuda timings validate
+      dump_ir_stage =
+    let c, report =
+      compile_or_die ~validate mech kernel version (options_of arch warps kernel)
+    in
     let p = c.Singe.Compile.lowered.Singe.Lower.program in
     Printf.printf
       "%s: %d instrs, %d double regs/thread (%d of them constant bank), %d \
@@ -127,6 +176,8 @@ let compile_cmd =
     let occ = Gpusim.Machine.occupancy arch p in
     Printf.printf "occupancy: %d CTAs/SM (limited by %s)\n"
       occ.Gpusim.Machine.resident_ctas occ.Gpusim.Machine.limited_by;
+    if timings then print_report report;
+    dump_ir c dump_ir_stage;
     if dump then Format.printf "@.== prologue ==@.%a== body ==@.%a@."
         Gpusim.Isa.pp_block p.Gpusim.Isa.prologue
         Gpusim.Isa.pp_block p.Gpusim.Isa.body;
@@ -149,12 +200,15 @@ let compile_cmd =
   in
   Cmd.v (Cmd.info "compile" ~doc:"Compile a kernel and report its resources.")
     Term.(const run $ mech_term $ kernel_term $ arch_term $ warps_term
-          $ version_term $ dump $ asm $ cuda)
+          $ version_term $ dump $ asm $ cuda $ timings_term $ validate_term
+          $ dump_ir_term)
 
 let run_cmd =
   let points = Arg.(value & opt int 32768 & info [ "points" ] ~docv:"N") in
-  let run mech kernel arch warps version points =
-    let c = Singe.Compile.compile mech kernel version (options_of arch warps kernel) in
+  let run mech kernel arch warps version points timings validate =
+    let c, report =
+      compile_or_die ~validate mech kernel version (options_of arch warps kernel)
+    in
     let r = Singe.Compile.run c ~total_points:points in
     Printf.printf
       "%s on %s: %.4g points/s, %.1f GFLOPS, %.1f GB/s DRAM, worst rel. \
@@ -164,11 +218,12 @@ let run_cmd =
       r.Singe.Compile.machine.Gpusim.Machine.points_per_sec
       r.Singe.Compile.machine.Gpusim.Machine.gflops
       r.Singe.Compile.machine.Gpusim.Machine.dram_gbs
-      r.Singe.Compile.max_rel_err
+      r.Singe.Compile.max_rel_err;
+    if timings then print_report report
   in
   Cmd.v (Cmd.info "run" ~doc:"Compile, simulate and verify a kernel.")
     Term.(const run $ mech_term $ kernel_term $ arch_term $ warps_term
-          $ version_term $ points)
+          $ version_term $ points $ timings_term $ validate_term)
 
 let tune_cmd =
   let run mech kernel arch version =

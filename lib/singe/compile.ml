@@ -1,5 +1,17 @@
 type version = Warp_specialized | Baseline | Naive_warp_specialized
 
+let version_name = function
+  | Warp_specialized -> "ws"
+  | Baseline -> "baseline"
+  | Naive_warp_specialized -> "naive"
+
+let version_of_string s =
+  match String.lowercase_ascii s with
+  | "ws" | "warp-specialized" -> Some Warp_specialized
+  | "baseline" | "base" -> Some Baseline
+  | "naive" -> Some Naive_warp_specialized
+  | _ -> None
+
 type chem_comm = Chem_staged | Chem_recompute | Chem_mixed
 
 type options = {
@@ -53,6 +65,44 @@ type t = {
   lowered : Lower.output;
 }
 
+(* ---- typed option checking (the [options] pseudo-pass) ---- *)
+
+let check_options_exn mech kernel version o =
+  let fail fmt = Diagnostics.failf ~pass:"options" fmt in
+  let min_warps = match version with Baseline -> 1 | _ -> 2 in
+  if o.n_warps < min_warps then
+    fail
+      "%s %s of %s needs at least %d warp(s) per CTA, got %d (warp \
+       specialization pairs producer and consumer warps)"
+      (version_name version)
+      (Kernel_abi.kernel_name kernel)
+      mech.Chem.Mechanism.name min_warps o.n_warps;
+  let warp_cap = min 32 o.arch.Gpusim.Arch.max_warps_per_sm in
+  if o.n_warps > warp_cap then
+    fail "%d warps per CTA, but %s hosts at most %d" o.n_warps
+      o.arch.Gpusim.Arch.name warp_cap;
+  if o.buffer_slots < 1 then
+    fail "buffer_slots = %d: the transport ring needs at least one slot"
+      o.buffer_slots;
+  if o.max_barriers < 1 || o.max_barriers > 16 then
+    fail "max_barriers = %d outside the hardware's [1, 16]" o.max_barriers;
+  if o.ctas_per_sm_target < 1 then
+    fail "ctas_per_sm_target = %d: need at least one resident CTA"
+      o.ctas_per_sm_target;
+  if o.param_stripe_threshold < 0 then
+    fail "param_stripe_threshold = %d is negative" o.param_stripe_threshold;
+  match o.freg_budget with
+  | Some b when b < 4 ->
+      fail "freg_budget = %d: lowering needs at least 4 double registers" b
+  | Some _ | None -> ()
+
+let check_options mech kernel version o =
+  match check_options_exn mech kernel version o with
+  | () -> Ok ()
+  | exception Diagnostics.Fail d -> Error d
+
+(* ---- transform passes ---- *)
+
 let build_dfg ?(chem_comm = Chem_staged) ?(full_range_thermo = false) mech
     kernel ~n_warps =
   match kernel with
@@ -86,7 +136,50 @@ let freg_budget options =
       in
       max 8 ((budget32 - 16) / 2)
 
-let compile mech kernel version options =
+(* ---- artifact statistics attached to each pass record ---- *)
+
+let dfg_stats (dfg : Dfg.t) =
+  [
+    ("ops", float_of_int (Array.length dfg.Dfg.ops));
+    ("values", float_of_int (Array.length dfg.Dfg.values));
+    ("flops", float_of_int (Dfg.total_flops dfg));
+  ]
+
+let mapping_stats dfg (m : Mapping.t) =
+  let flops = Mapping.warp_flops dfg m in
+  [
+    ("warps", float_of_int m.Mapping.n_warps);
+    ("store_slots", float_of_int m.Mapping.store_slots);
+    ("cross_warp_edges", float_of_int (Mapping.cross_warp_edges dfg m));
+    ("max_warp_flops", float_of_int (Array.fold_left max 0 flops));
+  ]
+
+let schedule_stats (s : Schedule.t) =
+  [
+    ("sync_points", float_of_int s.Schedule.n_sync_points);
+    ("barriers", float_of_int s.Schedule.barriers_used);
+    ("ring_slots", float_of_int s.Schedule.buffer_slots);
+    ( "actions",
+      float_of_int
+        (Array.fold_left (fun a l -> a + Array.length l) 0 s.Schedule.per_warp)
+    );
+  ]
+
+let lower_stats (l : Lower.output) =
+  let p = l.Lower.program in
+  [
+    ("instrs", float_of_int (Gpusim.Isa.static_instr_count p.Gpusim.Isa.body));
+    ("fregs", float_of_int p.Gpusim.Isa.n_fregs);
+    ("iregs", float_of_int p.Gpusim.Isa.n_iregs);
+    ("shared_doubles", float_of_int p.Gpusim.Isa.shared_doubles);
+    ("spill_bytes", float_of_int l.Lower.spill_bytes_per_thread);
+    ("bank_regs", float_of_int l.Lower.n_bank_regs);
+    ("params", float_of_int l.Lower.n_params);
+  ]
+
+(* ---- the pipeline ---- *)
+
+let run_pipeline pm ~validate mech kernel version options =
   let groups = Kernel_abi.groups mech kernel in
   let strategy =
     match options.strategy with
@@ -102,13 +195,21 @@ let compile mech kernel version options =
          ablation benchmark and for shared-memory-starved configurations. *)
       let chem_comm = Option.value options.chem_comm ~default:Chem_staged in
       let dfg =
-        build_dfg ~chem_comm ~full_range_thermo:options.full_range_thermo
-          mech kernel ~n_warps:options.n_warps
+        Pass.run pm ~name:"dfg-build" ~stats:dfg_stats (fun () ->
+            build_dfg ~chem_comm ~full_range_thermo:options.full_range_thermo
+              mech kernel ~n_warps:options.n_warps)
       in
+      if validate then
+        Pass.validate pm ~name:"dfg-validate" (fun () ->
+            Dfg.validate ~n_warps:options.n_warps dfg);
       let mapping =
-        Mapping.map dfg ~n_warps:options.n_warps ~weights:options.weights
-          ~strategy ~respect_hints:options.respect_hints
+        Pass.run pm ~name:"mapping" ~stats:(mapping_stats dfg) (fun () ->
+            Mapping.map dfg ~n_warps:options.n_warps ~weights:options.weights
+              ~strategy ~respect_hints:options.respect_hints)
       in
+      if validate then
+        Pass.validate pm ~name:"mapping-validate" (fun () ->
+            Mapping.validate dfg mapping);
       let cfg =
         {
           Lower.arch = options.arch;
@@ -134,8 +235,9 @@ let compile mech kernel version options =
       in
       let rec fit schedule cfg tries =
         let lowered =
-          Lower.lower cfg ~point_map:Gpusim.Isa.Coop ~name
-            ~out_warps:options.n_warps ~groups dfg mapping schedule
+          Pass.run pm ~name:"lower" ~stats:lower_stats (fun () ->
+              Lower.lower cfg ~point_map:Gpusim.Isa.Coop ~name
+                ~out_warps:options.n_warps ~groups dfg mapping schedule)
         in
         let used = Gpusim.Isa.regs32_per_thread lowered.Lower.program in
         if used <= cap32 || tries = 0 then lowered
@@ -156,8 +258,9 @@ let compile mech kernel version options =
       in
       let rec fit_shared buffer_slots tries =
         let schedule =
-          Schedule.build ~buffer_slots ~group_syncs:options.group_syncs
-            ~max_barriers:options.max_barriers dfg mapping
+          Pass.run pm ~name:"schedule" ~stats:schedule_stats (fun () ->
+              Schedule.build ~buffer_slots ~group_syncs:options.group_syncs
+                ~max_barriers:options.max_barriers dfg mapping)
         in
         let lowered = fit schedule cfg 3 in
         let bytes = lowered.Lower.program.Gpusim.Isa.shared_doubles * 8 in
@@ -168,22 +271,43 @@ let compile mech kernel version options =
           fit_shared (max 8 (buffer_slots - overshoot_slots)) (tries - 1)
       in
       let schedule, lowered = fit_shared options.buffer_slots 3 in
+      if validate then begin
+        Pass.validate pm ~name:"schedule-validate" (fun () ->
+            Schedule.validate ~max_barriers:options.max_barriers schedule dfg
+              mapping);
+        Pass.validate pm ~name:"lower-validate" (fun () ->
+            Lower.validate_output ~arch:options.arch
+              ~max_barriers:options.max_barriers lowered)
+      end;
       { mech; kernel; version; options; dfg; mapping; schedule; lowered }
   | Baseline ->
       (* One thread per point: every thread runs the whole dataflow graph,
          so map onto a single logical warp and emit warp-independent code. *)
       let dfg =
-        build_dfg ~full_range_thermo:options.full_range_thermo mech kernel
-          ~n_warps:1
+        Pass.run pm ~name:"dfg-build" ~stats:dfg_stats (fun () ->
+            build_dfg ~full_range_thermo:options.full_range_thermo mech kernel
+              ~n_warps:1)
       in
+      if validate then
+        Pass.validate pm ~name:"dfg-validate" (fun () ->
+            Dfg.validate ~n_warps:1 dfg);
       let mapping =
-        Mapping.map dfg ~n_warps:1 ~weights:options.weights
-          ~strategy:Mapping.Buffer ~respect_hints:false
+        Pass.run pm ~name:"mapping" ~stats:(mapping_stats dfg) (fun () ->
+            Mapping.map dfg ~n_warps:1 ~weights:options.weights
+              ~strategy:Mapping.Buffer ~respect_hints:false)
       in
+      if validate then
+        Pass.validate pm ~name:"mapping-validate" (fun () ->
+            Mapping.validate dfg mapping);
       let schedule =
-        Schedule.build ~buffer_slots:options.buffer_slots ~group_syncs:true dfg
-          mapping
+        Pass.run pm ~name:"schedule" ~stats:schedule_stats (fun () ->
+            Schedule.build ~buffer_slots:options.buffer_slots ~group_syncs:true
+              dfg mapping)
       in
+      if validate then
+        Pass.validate pm ~name:"schedule-validate" (fun () ->
+            Schedule.validate ~max_barriers:options.max_barriers schedule dfg
+              mapping);
       let cfg =
         {
           Lower.arch = options.arch;
@@ -195,14 +319,73 @@ let compile mech kernel version options =
         }
       in
       let lowered =
-        Lower.lower cfg
-          ~name:
-            (Printf.sprintf "%s-%s-baseline" mech.Chem.Mechanism.name
-               (Kernel_abi.kernel_name kernel))
-          ~point_map:Gpusim.Isa.Thread_per_point ~out_warps:options.n_warps
-          ~groups dfg mapping schedule
+        Pass.run pm ~name:"lower" ~stats:lower_stats (fun () ->
+            Lower.lower cfg
+              ~name:
+                (Printf.sprintf "%s-%s-baseline" mech.Chem.Mechanism.name
+                   (Kernel_abi.kernel_name kernel))
+              ~point_map:Gpusim.Isa.Thread_per_point ~out_warps:options.n_warps
+              ~groups dfg mapping schedule)
       in
+      if validate then
+        Pass.validate pm ~name:"lower-validate" (fun () ->
+            Lower.validate_output ~arch:options.arch
+              ~max_barriers:options.max_barriers lowered);
       { mech; kernel; version; options; dfg; mapping; schedule; lowered }
+
+let pipeline_name mech kernel version options =
+  Printf.sprintf "%s/%s/%s/%s/ws%d" mech.Chem.Mechanism.name
+    (Kernel_abi.kernel_name kernel)
+    (version_name version) options.arch.Gpusim.Arch.name options.n_warps
+
+let compile_with_report ?(validate = true) mech kernel version options =
+  check_options_exn mech kernel version options;
+  let pm = Pass.create (pipeline_name mech kernel version options) in
+  let t = run_pipeline pm ~validate mech kernel version options in
+  (t, Pass.report pm)
+
+let compile mech kernel version options =
+  fst (compile_with_report ~validate:false mech kernel version options)
+
+let compile_checked ?validate mech kernel version options =
+  match compile_with_report ?validate mech kernel version options with
+  | v -> Ok v
+  | exception Diagnostics.Fail d -> Error d
+  | exception Failure msg -> Error (Diagnostics.error ~pass:"pipeline" msg)
+  | exception Invalid_argument msg ->
+      Error (Diagnostics.error ~pass:"pipeline" msg)
+
+(* ---- IR dumping (the CLI's --dump-ir) ---- *)
+
+type ir_stage = Ir_dfg | Ir_mapping | Ir_schedule | Ir_lower
+
+let ir_stage_of_string s =
+  match String.lowercase_ascii s with
+  | "dfg" | "dfg-build" -> Some Ir_dfg
+  | "mapping" | "map" -> Some Ir_mapping
+  | "schedule" | "sched" -> Some Ir_schedule
+  | "lower" | "isa" -> Some Ir_lower
+  | _ -> None
+
+let ir_stage_name = function
+  | Ir_dfg -> "dfg"
+  | Ir_mapping -> "mapping"
+  | Ir_schedule -> "schedule"
+  | Ir_lower -> "lower"
+
+let dump_ir ppf t stage =
+  Format.pp_open_vbox ppf 0;
+  (match stage with
+  | Ir_dfg -> Dfg.pp_dump ppf t.dfg
+  | Ir_mapping -> Mapping.pp_dump t.dfg ppf t.mapping
+  | Ir_schedule -> Schedule.pp_dump t.dfg ppf t.schedule
+  | Ir_lower ->
+      let p = t.lowered.Lower.program in
+      Format.fprintf ppf "== prologue ==@,%a== body ==@,%a"
+        Gpusim.Isa.pp_block p.Gpusim.Isa.prologue
+        Gpusim.Isa.pp_block p.Gpusim.Isa.body);
+  Format.pp_close_box ppf ();
+  Format.pp_print_newline ppf ()
 
 let default_ctas t ~total_points =
   match t.version with

@@ -2,6 +2,16 @@
     options -> executable program (Fig. 8's pipeline), plus launch and
     verification helpers.
 
+    The driver is structured as an explicit pass pipeline run through
+    {!Pass}: [dfg-build], [mapping], [schedule] and [lower] transform
+    passes (the latter two may run several times inside the register- and
+    shared-memory fitting loops), interleaved with validation passes
+    ([dfg-validate], [mapping-validate], [schedule-validate],
+    [lower-validate]) that re-check each stage's invariants on the
+    artifact actually handed to the next stage. {!compile_with_report}
+    exposes the resulting per-pass timings and artifact statistics;
+    {!compile} is a thin wrapper that discards them.
+
     Three code-generation versions reproduce the paper's comparisons:
     {ul
     {- [Warp_specialized]: the full Singe pipeline — domain partitioning,
@@ -14,6 +24,11 @@
        (top-level warp switch, inline constants) — Fig. 9's strawman.}} *)
 
 type version = Warp_specialized | Baseline | Naive_warp_specialized
+
+val version_name : version -> string
+(** ["ws"], ["baseline"] or ["naive"]. *)
+
+val version_of_string : string -> version option
 
 type chem_comm = Chem_staged | Chem_recompute | Chem_mixed
 (** How chemistry's species vectors reach their consumer warps: staged
@@ -53,6 +68,16 @@ type options = {
 
 val default_options : Gpusim.Arch.t -> options
 
+val check_options :
+  Chem.Mechanism.t -> Kernel_abi.kernel -> version -> options ->
+  (unit, Diagnostics.t) result
+(** Typed rejection of out-of-range options before the pipeline runs:
+    [n_warps] below the version's minimum (warp specialization needs at
+    least a producer and a consumer warp) or beyond what the architecture
+    can host in one CTA, an empty transport ring ([buffer_slots = 0]), a
+    barrier budget outside the 16 hardware ids, a zero occupancy target, or
+    a register budget too small to lower any expression. *)
+
 val default_strategy : Kernel_abi.kernel -> Mapping.strategy
 (** Store for viscosity, Mixed for diffusion, Buffer for chemistry: its
     reaction rates stay in registers and exchange through the shared
@@ -72,6 +97,40 @@ type t = {
 
 val compile :
   Chem.Mechanism.t -> Kernel_abi.kernel -> version -> options -> t
+(** Thin wrapper over {!compile_with_report} without validation passes.
+    Raises {!Diagnostics.Fail} on invalid options and [Failure] when a
+    stage cannot fit the configuration (as before the pass refactor). *)
+
+val compile_with_report :
+  ?validate:bool ->
+  Chem.Mechanism.t -> Kernel_abi.kernel -> version -> options ->
+  t * Pass.report
+(** Run the pipeline under the pass manager and return the artifact
+    together with per-pass wall-clock timings and artifact statistics.
+    With [validate] (default [true]) the four inter-pass validation passes
+    run after their producing stage; a failed validation raises
+    {!Diagnostics.Fail} carrying the pass name. *)
+
+val compile_checked :
+  ?validate:bool ->
+  Chem.Mechanism.t -> Kernel_abi.kernel -> version -> options ->
+  (t * Pass.report, Diagnostics.t) result
+(** {!compile_with_report} with every user-reachable failure — invalid
+    options, validation-pass rejections, and a stage's inability to fit
+    the configuration — returned as a typed diagnostic instead of an
+    exception. The entry point drivers should use. *)
+
+type ir_stage = Ir_dfg | Ir_mapping | Ir_schedule | Ir_lower
+
+val ir_stage_of_string : string -> ir_stage option
+(** ["dfg"], ["mapping"], ["schedule"] or ["lower"]. *)
+
+val ir_stage_name : ir_stage -> string
+
+val dump_ir : Format.formatter -> t -> ir_stage -> unit
+(** Print the intermediate artifact a pass produced ([--dump-ir]): the
+    dataflow graph with its expressions, the warp mapping, the per-warp
+    action schedule, or the lowered program. *)
 
 val default_ctas : t -> total_points:int -> int
 (** Launch-grid size: warp-specialized kernels use a fixed CTA grid (1024,

@@ -145,7 +145,7 @@ let topo_order t =
   if !k <> n then failwith (t.graph_name ^ ": dataflow graph has a cycle");
   order
 
-let validate t =
+let validate ?n_warps t =
   let problems = ref [] in
   let err fmt = Printf.ksprintf (fun s -> problems := s :: !problems) fmt in
   let nv = Array.length t.values in
@@ -155,6 +155,10 @@ let validate t =
       Array.iter
         (fun v -> if v < 0 || v >= nv then err "op %s: bad value id %d" op.name v)
         op.inputs;
+      (match (op.hint, n_warps) with
+      | Some h, Some nw when h < 0 || h >= nw ->
+          err "op %s: warp hint %d out of range [0, %d)" op.name h nw
+      | _ -> ());
       match op.kind with
       | Compute e ->
           if Sexpr.n_inputs e > Array.length op.inputs then
@@ -189,3 +193,34 @@ let pp_stats ppf t =
     "%s: %d ops (%d loads, %d computes, %d stores), %d values, %d flops/point"
     t.graph_name (Array.length t.ops) !loads !computes !stores
     (Array.length t.values) (total_flops t)
+
+let pp_dump ppf t =
+  Format.fprintf ppf "%a@," pp_stats t;
+  Array.iter
+    (fun op ->
+      let inputs =
+        String.concat ","
+          (Array.to_list (Array.map (fun v -> t.values.(v).vname) op.inputs))
+      in
+      let hint =
+        match op.hint with Some w -> Printf.sprintf " hint=w%d" w | None -> ""
+      in
+      let shared = if op.shared_hint then " shared" else "" in
+      let align =
+        match op.align with Some a -> Printf.sprintf " align=%s" a | None -> ""
+      in
+      (match op.kind with
+      | Load { group; field; via_tex } ->
+          Format.fprintf ppf "  %%%d %s = load %s.%d%s%s%s%s" op.id op.name
+            group field
+            (if via_tex then " tex" else "")
+            hint shared align
+      | Store { group; field } ->
+          Format.fprintf ppf "  %%%d %s: store %s.%d <- %s%s%s" op.id op.name
+            group field inputs hint align
+      | Fence -> Format.fprintf ppf "  %%%d fence [%s]" op.id inputs
+      | Compute e ->
+          Format.fprintf ppf "  %%%d %s = %a  (inputs %s)%s%s%s" op.id op.name
+            Sexpr.pp e inputs hint shared align);
+      Format.pp_print_cut ppf ())
+    t.ops

@@ -75,13 +75,19 @@ val total_flops : t -> int
 val op_constants : op -> float list
 (** Bankable constants of the op's expression (empty for loads/stores). *)
 
-val validate : t -> (unit, string list) result
+val validate : ?n_warps:int -> t -> (unit, string list) result
 (** Checks: acyclicity (producer id < consumer id is NOT required, real
     topological check is run), positional input arities, single producer
-    per value. *)
+    per value. With [n_warps], partitioner warp hints must also lie in
+    [\[0, n_warps)] (the mapper would silently ignore a stray one). *)
 
 val topo_order : t -> int array
 (** Operation ids in a dependency-respecting order. Raises [Failure] on a
     cycle. *)
 
 val pp_stats : Format.formatter -> t -> unit
+
+val pp_dump : Format.formatter -> t -> unit
+(** Full IR listing, one line per operation with its expression
+    ({!Sexpr.pp}), inputs, defined value and partitioning hints — the
+    [--dump-ir dfg] output. *)

@@ -1,0 +1,23 @@
+type severity = Error | Warning
+
+type t = { severity : severity; pass : string option; message : string }
+
+exception Fail of t
+
+let error ?pass message = { severity = Error; pass; message }
+
+let errorf ?pass fmt = Printf.ksprintf (fun message -> error ?pass message) fmt
+
+let warning ?pass message = { severity = Warning; pass; message }
+
+let fail ?pass message = raise (Fail (error ?pass message))
+
+let failf ?pass fmt = Printf.ksprintf (fun message -> fail ?pass message) fmt
+
+let to_string d =
+  let sev = match d.severity with Error -> "error" | Warning -> "warning" in
+  match d.pass with
+  | Some p -> Printf.sprintf "%s[%s]: %s" sev p d.message
+  | None -> Printf.sprintf "%s: %s" sev d.message
+
+let pp ppf d = Format.pp_print_string ppf (to_string d)

@@ -1,0 +1,35 @@
+(** Structured compiler diagnostics.
+
+    Every user-reachable failure of the compilation pipeline is reported as
+    a {!t} carrying the pass it originated from, instead of an ad-hoc
+    [failwith] backtrace. Drivers (the CLI, the benchmark harness,
+    autotuning) match on {!Fail} or use the [_checked] entry points of
+    {!Compile} and render the diagnostic with {!pp}. *)
+
+type severity = Error | Warning
+
+type t = {
+  severity : severity;
+  pass : string option;  (** originating pipeline pass, when known *)
+  message : string;
+}
+
+exception Fail of t
+(** Raised by validation passes and option checking; caught at the
+    [_checked] API boundary and converted into a [result]. *)
+
+val error : ?pass:string -> string -> t
+
+val errorf : ?pass:string -> ('a, unit, string, t) format4 -> 'a
+
+val warning : ?pass:string -> string -> t
+
+val fail : ?pass:string -> string -> 'b
+(** [fail msg] raises {!Fail} with an [Error] diagnostic. *)
+
+val failf : ?pass:string -> ('a, unit, string, 'b) format4 -> 'a
+
+val to_string : t -> string
+(** ["error: ..."] / ["warning[pass]: ..."] rendering, one line. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1268,3 +1268,42 @@ let lower cfg ~name ~point_map ~out_warps ~groups (dfg : Dfg.t)
     n_params = tables.n_params;
     n_logical_consts = tables.n_consts;
   }
+
+let validate_output ~arch ?(max_barriers = 16) (out : output) =
+  let problems = ref [] in
+  let err fmt = Printf.ksprintf (fun s -> problems := s :: !problems) fmt in
+  let p = out.program in
+  (match Isa.validate p with
+  | Ok () -> ()
+  | Error es -> List.iter (fun e -> err "%s" e) es);
+  let regs32 = Isa.regs32_per_thread p in
+  if regs32 > arch.Gpusim.Arch.max_regs_per_thread then
+    err "%d 32-bit registers per thread, architecture caps at %d" regs32
+      arch.Gpusim.Arch.max_regs_per_thread;
+  let shared_bytes = p.Isa.shared_doubles * 8 in
+  if shared_bytes > arch.Gpusim.Arch.shared_bytes_per_sm then
+    err "%d B shared per CTA, SM has %d" shared_bytes
+      arch.Gpusim.Arch.shared_bytes_per_sm;
+  if p.Isa.barriers_used > max_barriers then
+    err "%d named barriers, budget is %d" p.Isa.barriers_used max_barriers;
+  if out.n_bank_regs > p.Isa.n_fregs then
+    err "%d constant-bank registers exceed the %d allocated double registers"
+      out.n_bank_regs p.Isa.n_fregs;
+  if out.n_spill_slots <> p.Isa.local_doubles then
+    err "spill statistics claim %d slots, program reserves %d"
+      out.n_spill_slots p.Isa.local_doubles;
+  if out.spill_bytes_per_thread <> out.n_spill_slots * 8 then
+    err "spill bytes %d disagree with %d slots" out.spill_bytes_per_thread
+      out.n_spill_slots;
+  if Array.length p.Isa.const_bank <> p.Isa.n_warps then
+    err "constant bank covers %d warps, program has %d"
+      (Array.length p.Isa.const_bank) p.Isa.n_warps;
+  Array.iteri
+    (fun w lanes ->
+      if Array.length lanes <> 32 then
+        err "constant bank of warp %d has %d lanes" w (Array.length lanes))
+    p.Isa.const_bank;
+  if Array.length p.Isa.param_bank <> p.Isa.n_warps then
+    err "parameter bank covers %d warps, program has %d"
+      (Array.length p.Isa.param_bank) p.Isa.n_warps;
+  match List.rev !problems with [] -> Ok () | l -> Error l

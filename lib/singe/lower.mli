@@ -65,3 +65,12 @@ val lower :
 (** [out_warps] is the warp count of the emitted program; it equals the
     mapping's warp count for warp-specialized kernels and is free for the
     single-"warp" baseline mapping (whose code is warp-independent). *)
+
+val validate_output :
+  arch:Gpusim.Arch.t -> ?max_barriers:int -> output -> (unit, string list) result
+(** The lower-consistency validation pass: the program passes
+    {!Gpusim.Isa.validate}; 32-bit register demand and shared-memory bytes
+    fit the architecture's hard per-thread / per-SM caps; named-barrier ids
+    stay within [max_barriers]; the constant/parameter bank tables cover
+    every warp with full 32-lane stripes; and the spill statistics agree
+    with the program's local-memory footprint. *)

@@ -200,3 +200,142 @@ let cross_warp_edges dfg t =
 let store_addr t vid =
   assert (t.shared_slot.(vid) >= 0);
   t.shared_slot.(vid) * 32
+
+(* Fence segment of each op, as the placement logic in [map] computes it:
+   slot recycling is only sound across a segment boundary. *)
+let segments (dfg : Dfg.t) =
+  let seg = Array.make (Array.length dfg.Dfg.ops) 0 in
+  let current = ref 0 in
+  Array.iteri
+    (fun i (op : Dfg.op) ->
+      if op.Dfg.kind = Dfg.Fence then incr current;
+      seg.(i) <- !current)
+    dfg.Dfg.ops;
+  seg
+
+let validate ?(max_imbalance = 8.0) (dfg : Dfg.t) t =
+  let problems = ref [] in
+  let err fmt = Printf.ksprintf (fun s -> problems := s :: !problems) fmt in
+  let n_ops = Array.length dfg.Dfg.ops in
+  let n_vals = Array.length dfg.Dfg.values in
+  if Array.length t.op_warp <> n_ops then
+    err "op_warp covers %d ops, graph has %d" (Array.length t.op_warp) n_ops;
+  if Array.length t.value_place <> n_vals || Array.length t.shared_slot <> n_vals
+  then err "value tables cover %d/%d values, graph has %d"
+      (Array.length t.value_place) (Array.length t.shared_slot) n_vals;
+  if !problems <> [] then Error (List.rev !problems)
+  else begin
+    let warps_in_range = ref true in
+    Array.iter
+      (fun (op : Dfg.op) ->
+        let w = t.op_warp.(op.Dfg.id) in
+        if w < 0 || w >= t.n_warps then begin
+          warps_in_range := false;
+          err "op %s mapped to warp %d, out of range [0, %d)" op.Dfg.name w
+            t.n_warps
+        end)
+      dfg.Dfg.ops;
+    (* Placement consistency and slot-lifetime disjointness. *)
+    let seg = segments dfg in
+    let slot_intervals = Hashtbl.create 32 in
+    Array.iter
+      (fun (v : Dfg.value) ->
+        let place = t.value_place.(v.Dfg.vid) in
+        let slot = t.shared_slot.(v.Dfg.vid) in
+        (match (place, slot) with
+        | P_reg, s when s >= 0 ->
+            err "value %s: register-placed but holds store slot %d" v.Dfg.vname s
+        | P_shared, s when s < 0 ->
+            err "value %s: shared-placed without a store slot" v.Dfg.vname
+        | P_shared, s when s >= t.store_slots ->
+            err "value %s: slot %d beyond store region of %d" v.Dfg.vname s
+              t.store_slots
+        | _ -> ());
+        if place = P_shared && slot >= 0 && slot < t.store_slots then begin
+          let a = seg.(v.Dfg.producer) in
+          let b =
+            List.fold_left (fun acc c -> max acc seg.(c)) a v.Dfg.consumers
+          in
+          let prev = try Hashtbl.find slot_intervals slot with Not_found -> [] in
+          Hashtbl.replace slot_intervals slot ((a, b, v.Dfg.vname) :: prev)
+        end)
+      dfg.Dfg.values;
+    Hashtbl.iter
+      (fun slot intervals ->
+        let sorted =
+          List.sort (fun (a1, _, _) (a2, _, _) -> compare a1 a2) intervals
+        in
+        ignore
+          (List.fold_left
+             (fun prev (a, b, name) ->
+               (match prev with
+               | Some (pb, pname) when a <= pb ->
+                   err
+                     "store slot %d: values %s and %s have overlapping fence \
+                      segments"
+                     slot pname name
+               | _ -> ());
+               Some (b, name))
+             None sorted))
+      slot_intervals;
+    (* FLOP / register-demand budgets: the greedy mapper balances both, so
+       a warp loaded far beyond the mean means the mapping stage (or a
+       mutation of its output) is broken. One largest-op slack keeps the
+       bound meaningful for graphs whose total barely exceeds one op. *)
+    (* The balance bounds index per-warp accumulators, so they are only
+       meaningful (and safe) once every op's warp is in range. *)
+    if t.n_warps > 1 && !warps_in_range then begin
+      let flops = warp_flops dfg t in
+      let total = Array.fold_left ( + ) 0 flops in
+      let biggest =
+        Array.fold_left (fun acc op -> max acc (Dfg.op_flops op)) 0 dfg.Dfg.ops
+      in
+      let mean = float_of_int total /. float_of_int t.n_warps in
+      let cap = (max_imbalance *. mean) +. float_of_int biggest in
+      Array.iteri
+        (fun w f ->
+          if float_of_int f > cap then
+            err "warp %d holds %d flops, over budget %.0f (mean %.0f)" w f cap
+              mean)
+        flops;
+      let regs = warp_values dfg t in
+      let rtotal = Array.fold_left ( + ) 0 regs in
+      let rmean = float_of_int rtotal /. float_of_int t.n_warps in
+      let rcap = (max_imbalance *. rmean) +. 8.0 in
+      Array.iteri
+        (fun w r ->
+          if float_of_int r > rcap then
+            err "warp %d holds %d values, over register budget %.0f (mean %.0f)"
+              w r rcap rmean)
+        regs
+    end;
+    match List.rev !problems with [] -> Ok () | l -> Error l
+  end
+
+let pp_dump dfg ppf t =
+  let flops = warp_flops dfg t in
+  let regs = warp_values dfg t in
+  Format.fprintf ppf
+    "mapping: %d warps, strategy %s, %d store slots, %d cross-warp edges@,"
+    t.n_warps
+    (match t.strategy with Store -> "store" | Buffer -> "buffer" | Mixed -> "mixed")
+    t.store_slots
+    (cross_warp_edges dfg t);
+  for w = 0 to t.n_warps - 1 do
+    let owned =
+      Array.to_list dfg.Dfg.ops
+      |> List.filter (fun (op : Dfg.op) -> t.op_warp.(op.Dfg.id) = w)
+    in
+    Format.fprintf ppf "  warp %2d: %4d flops, %3d values, %3d ops:" w
+      flops.(w) regs.(w) (List.length owned);
+    List.iter
+      (fun (op : Dfg.op) -> Format.fprintf ppf " %s" op.Dfg.name)
+      owned;
+    Format.pp_print_cut ppf ()
+  done;
+  Array.iter
+    (fun (v : Dfg.value) ->
+      if t.value_place.(v.Dfg.vid) = P_shared then
+        Format.fprintf ppf "  shared %s -> slot %d@," v.Dfg.vname
+          t.shared_slot.(v.Dfg.vid))
+    dfg.Dfg.values

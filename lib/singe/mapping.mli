@@ -62,3 +62,21 @@ val cross_warp_edges : Dfg.t -> t -> int
 val store_addr : t -> int -> int
 (** Shared-memory base address (in doubles) of a [P_shared] value: its slot
     times 32. *)
+
+val validate :
+  ?max_imbalance:float -> Dfg.t -> t -> (unit, string list) result
+(** Inter-pass invariants of a computed mapping:
+    {ul
+    {- every operation is mapped to a warp in [\[0, n_warps)];}
+    {- placements and store slots are consistent ([P_shared] iff a slot is
+       assigned, slots within [store_slots]);}
+    {- two values sharing a recycled store slot live in disjoint fence
+       segments (the CTA barrier between them orders the reuse);}
+    {- FLOP and register-demand budgets: no warp carries more than
+       [max_imbalance] (default 8) times the mean per-warp load, with slack
+       of one largest operation — the greedy mapper with any positive
+       {!weights} never concentrates work beyond this.}} *)
+
+val pp_dump : Dfg.t -> Format.formatter -> t -> unit
+(** Per-warp operation assignment, FLOP/register balance, and shared-memory
+    placements — the [--dump-ir mapping] output. *)

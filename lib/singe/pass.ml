@@ -1,0 +1,160 @@
+type stat = string * float
+
+type kind = Transform | Validate
+
+type record = {
+  pass_name : string;
+  kind : kind;
+  runs : int;
+  wall_ns : float;
+  stats : stat list;
+  ok : bool;
+}
+
+type report = {
+  pipeline : string;
+  records : record list;
+  total_ns : float;
+  warnings : Diagnostics.t list;
+}
+
+type t = {
+  pipeline : string;
+  started_ns : float;
+  mutable records_rev : record list;  (* most recent first *)
+  mutable warnings_rev : Diagnostics.t list;
+}
+
+let now_ns () = Unix.gettimeofday () *. 1e9
+
+let create pipeline =
+  { pipeline; started_ns = now_ns (); records_rev = []; warnings_rev = [] }
+
+(* Merge a finished execution into the existing record of the same name, if
+   any: the fitting loops rerun schedule/lower several times and should
+   show up as one line with a run count, not one line per retry. *)
+let record t ~name ~kind ~wall_ns ~stats ~ok =
+  let rec merge acc = function
+    | [] ->
+        let r = { pass_name = name; kind; runs = 1; wall_ns; stats; ok } in
+        r :: List.rev acc
+    | r :: rest when r.pass_name = name ->
+        let r =
+          { r with runs = r.runs + 1; wall_ns = r.wall_ns +. wall_ns; stats;
+            ok = r.ok && ok }
+        in
+        List.rev_append acc (r :: rest)
+    | r :: rest -> merge (r :: acc) rest
+  in
+  t.records_rev <- merge [] t.records_rev
+
+let run t ~name ?(stats = fun _ -> []) f =
+  let t0 = now_ns () in
+  match f () with
+  | v ->
+      record t ~name ~kind:Transform ~wall_ns:(now_ns () -. t0)
+        ~stats:(stats v) ~ok:true;
+      v
+  | exception e ->
+      record t ~name ~kind:Transform ~wall_ns:(now_ns () -. t0) ~stats:[]
+        ~ok:true;
+      raise e
+
+let validate t ~name f =
+  let t0 = now_ns () in
+  let result = f () in
+  let wall_ns = now_ns () -. t0 in
+  match result with
+  | Ok () -> record t ~name ~kind:Validate ~wall_ns ~stats:[] ~ok:true
+  | Error problems ->
+      record t ~name ~kind:Validate ~wall_ns ~stats:[] ~ok:false;
+      let n = List.length problems in
+      let shown = List.filteri (fun i _ -> i < 4) problems in
+      let suffix = if n > 4 then Printf.sprintf " (and %d more)" (n - 4) else "" in
+      Diagnostics.failf ~pass:name "%s%s" (String.concat "; " shown) suffix
+
+let warn t ?pass message =
+  t.warnings_rev <- Diagnostics.warning ?pass message :: t.warnings_rev
+
+let report t =
+  {
+    pipeline = t.pipeline;
+    records = List.rev t.records_rev;
+    total_ns = now_ns () -. t.started_ns;
+    warnings = List.rev t.warnings_rev;
+  }
+
+let pp_report ppf (r : report) =
+  Format.fprintf ppf "pipeline %s: %.2f ms total@," r.pipeline
+    (r.total_ns /. 1e6);
+  List.iter
+    (fun rec_ ->
+      let kind = match rec_.kind with Transform -> "pass" | Validate -> "check" in
+      Format.fprintf ppf "  %-5s %-18s %8.3f ms" kind rec_.pass_name
+        (rec_.wall_ns /. 1e6);
+      if rec_.runs > 1 then Format.fprintf ppf "  (%d runs)" rec_.runs;
+      if not rec_.ok then Format.fprintf ppf "  FAILED";
+      (match rec_.stats with
+      | [] -> ()
+      | stats ->
+          Format.fprintf ppf "  [%s]"
+            (String.concat ", "
+               (List.map
+                  (fun (k, v) ->
+                    if Float.is_integer v && Float.abs v < 1e15 then
+                      Printf.sprintf "%s=%.0f" k v
+                    else Printf.sprintf "%s=%g" k v)
+                  stats)));
+      Format.pp_print_cut ppf ())
+    r.records;
+  List.iter
+    (fun w -> Format.fprintf ppf "  %a@," Diagnostics.pp w)
+    r.warnings
+
+(* Hand-rolled JSON: the values are controlled identifiers and numbers, so
+   escaping only needs the JSON string specials. *)
+let json_string s =
+  let b = Buffer.create (String.length s + 2) in
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"';
+  Buffer.contents b
+
+let json_float v =
+  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.6g" v
+
+let report_to_json (r : report) =
+  let pass_json rec_ =
+    Printf.sprintf
+      "{\"name\": %s, \"kind\": %s, \"runs\": %d, \"wall_ms\": %s, \"ok\": \
+       %b, \"stats\": {%s}}"
+      (json_string rec_.pass_name)
+      (json_string
+         (match rec_.kind with Transform -> "transform" | Validate -> "validate"))
+      rec_.runs
+      (json_float (rec_.wall_ns /. 1e6))
+      rec_.ok
+      (String.concat ", "
+         (List.map
+            (fun (k, v) -> Printf.sprintf "%s: %s" (json_string k) (json_float v))
+            rec_.stats))
+  in
+  Printf.sprintf
+    "{\"pipeline\": %s, \"total_ms\": %s, \"passes\": [%s], \"warnings\": \
+     [%s]}"
+    (json_string r.pipeline)
+    (json_float (r.total_ns /. 1e6))
+    (String.concat ", " (List.map pass_json r.records))
+    (String.concat ", "
+       (List.map (fun w -> json_string (Diagnostics.to_string w)) r.warnings))

@@ -442,3 +442,102 @@ let well_formed t (dfg : Dfg.t) (m : Mapping.t) =
   match !problems with
   | [] -> Ok ()
   | l -> Error (String.concat "; " l)
+
+let validate ?(max_barriers = 16) t (dfg : Dfg.t) (m : Mapping.t) =
+  let problems = ref [] in
+  let err fmt = Printf.ksprintf (fun s -> problems := s :: !problems) fmt in
+  (match well_formed t dfg m with Ok () -> () | Error e -> err "%s" e);
+  if t.barriers_used > max_barriers then
+    err "%d named barriers used, budget is %d" t.barriers_used max_barriers;
+  if t.barriers_used > 16 then
+    err "%d named barriers used, hardware has 16" t.barriers_used;
+  (* Per-epoch named-barrier pairing. A CTA-wide barrier provably drains
+     every arrival counter (all warps cross it), so within one epoch a
+     barrier id belongs to exactly one sync point: one waiter and
+     [count - 1] arrivers, every participant quoting the same count. The
+     epoch index of an action is the number of CTA barriers its warp has
+     crossed — identical across warps because boundaries are emitted on
+     every warp. *)
+  let pairing : (int * int, (int * [ `Arrive | `Wait ] * int) list ref) Hashtbl.t
+      =
+    Hashtbl.create 32
+  in
+  let attach epoch bar entry =
+    match Hashtbl.find_opt pairing (epoch, bar) with
+    | Some l -> l := entry :: !l
+    | None -> Hashtbl.add pairing (epoch, bar) (ref [ entry ])
+  in
+  Array.iteri
+    (fun warp actions ->
+      let epoch = ref 0 in
+      let stamps = t.stamps.(warp) in
+      if Array.length stamps <> Array.length actions then
+        err "warp %d: %d stamps for %d actions" warp (Array.length stamps)
+          (Array.length actions);
+      Array.iteri
+        (fun i a ->
+          if i > 0 && i < Array.length stamps && stamps.(i) <= stamps.(i - 1)
+          then err "warp %d: stamps not strictly increasing at action %d" warp i;
+          match a with
+          | A_cta_barrier -> incr epoch
+          | A_arrive { bar; count } -> attach !epoch bar (warp, `Arrive, count)
+          | A_wait { bar; count } -> attach !epoch bar (warp, `Wait, count)
+          | A_send { slot; _ } | A_recv { slot; _ } ->
+              if slot < 0 || slot >= t.buffer_slots then
+                err "warp %d: ring slot %d outside [0, %d)" warp slot
+                  t.buffer_slots
+          | A_op _ -> ())
+        actions)
+    t.per_warp;
+  Hashtbl.iter
+    (fun (epoch, bar) entries ->
+      let entries = !entries in
+      if bar < 0 || bar >= t.barriers_used then
+        err "epoch %d: barrier id %d outside [0, %d)" epoch bar t.barriers_used;
+      let counts =
+        List.sort_uniq compare (List.map (fun (_, _, c) -> c) entries)
+      in
+      match counts with
+      | [ count ] ->
+          let waits =
+            List.length (List.filter (fun (_, k, _) -> k = `Wait) entries)
+          in
+          let arrives = List.length entries - waits in
+          if waits <> 1 || arrives <> count - 1 then
+            err
+              "epoch %d barrier %d: %d waiter(s) and %d arriver(s) for count \
+               %d (want 1 + %d)"
+              epoch bar waits arrives count (count - 1)
+      | _ ->
+          err "epoch %d barrier %d: participants disagree on count (%s)" epoch
+            bar
+            (String.concat "," (List.map string_of_int counts)))
+    pairing;
+  match List.rev !problems with [] -> Ok () | l -> Error l
+
+let pp_dump (dfg : Dfg.t) ppf t =
+  Format.fprintf ppf
+    "schedule: %d sync points, %d named barriers, %d ring slots@,"
+    t.n_sync_points t.barriers_used t.buffer_slots;
+  Array.iteri
+    (fun warp actions ->
+      Format.fprintf ppf "  warp %d:@," warp;
+      Array.iteri
+        (fun i a ->
+          Format.fprintf ppf "    @@%-5d " t.stamps.(warp).(i);
+          (match a with
+          | A_op op -> Format.fprintf ppf "op %s" dfg.Dfg.ops.(op).Dfg.name
+          | A_send { value; slot } ->
+              Format.fprintf ppf "send %s -> slot %d"
+                dfg.Dfg.values.(value).Dfg.vname slot
+          | A_recv { value; slot } ->
+              Format.fprintf ppf "recv %s <- slot %d"
+                dfg.Dfg.values.(value).Dfg.vname slot
+          | A_arrive { bar; count } ->
+              Format.fprintf ppf "arrive bar%d (count %d)" bar count
+          | A_wait { bar; count } ->
+              Format.fprintf ppf "wait bar%d (count %d)" bar count
+          | A_cta_barrier -> Format.fprintf ppf "cta-barrier");
+          Format.pp_print_cut ppf ())
+        actions)
+    t.per_warp

@@ -79,3 +79,21 @@ val well_formed : t -> Dfg.t -> Mapping.t -> (unit, string) result
     warp, in a dependency-respecting order; every cross-warp register edge
     has a matching send/recv; arrive/wait counts per barrier id are
     consistent. *)
+
+val validate :
+  ?max_barriers:int -> t -> Dfg.t -> Mapping.t -> (unit, string list) result
+(** The schedule-safety validation pass: {!well_formed}, plus
+    {ul
+    {- named-barrier producer/consumer pairing — within each epoch
+       (delimited by CTA-wide barriers, which drain every arrival counter)
+       each used barrier id carries exactly one waiter and [count - 1]
+       arrivers, all agreeing on [count];}
+    {- the §4.2 coloring bound: [barriers_used] of at most [max_barriers]
+       (and never beyond the 16 hardware ids);}
+    {- transport sanity: send/recv ring slots within [buffer_slots], and
+       emission stamps strictly increasing per warp (the overlaying
+       invariant).}} *)
+
+val pp_dump : Dfg.t -> Format.formatter -> t -> unit
+(** Per-warp action streams with emission stamps — the
+    [--dump-ir schedule] output. *)

@@ -127,9 +127,47 @@ let test_generated_code_always_validates () =
       (Singe.Kernel_abi.Chemistry, 6, Some 14);
     ]
 
+(* Every kernel x version x architecture the evaluation touches must go
+   through the full pass pipeline with all four inter-pass validators
+   clean — the compile-time equivalent of `singe compile --validate`. *)
+let test_validation_clean_across_matrix () =
+  List.iter
+    (fun arch ->
+      List.iter
+        (fun version ->
+          List.iter
+            (fun kernel ->
+              let opts =
+                { (Singe.Compile.default_options arch) with
+                  Singe.Compile.n_warps =
+                    (if version = Singe.Compile.Baseline then 2 else 4);
+                  max_barriers =
+                    (if kernel = Singe.Kernel_abi.Chemistry then 16 else 8);
+                  ctas_per_sm_target = 1 }
+              in
+              match
+                Singe.Compile.compile_checked ~validate:true (hydrogen ())
+                  kernel version opts
+              with
+              | Ok _ -> ()
+              | Error d ->
+                  Alcotest.fail
+                    (Printf.sprintf "%s %s on %s: %s"
+                       (Singe.Compile.version_name version)
+                       (Singe.Kernel_abi.kernel_name kernel)
+                       arch.Gpusim.Arch.name
+                       (Singe.Diagnostics.to_string d)))
+            [ Singe.Kernel_abi.Viscosity; Singe.Kernel_abi.Conductivity;
+              Singe.Kernel_abi.Diffusion; Singe.Kernel_abi.Chemistry ])
+        [ Singe.Compile.Warp_specialized; Singe.Compile.Baseline;
+          Singe.Compile.Naive_warp_specialized ])
+    [ Gpusim.Arch.fermi_c2070; Gpusim.Arch.kepler_k20c ]
+
 let tests =
   [
     Alcotest.test_case "schedules well-formed" `Quick test_schedule_well_formed_everywhere;
+    Alcotest.test_case "validators clean across the matrix" `Quick
+      test_validation_clean_across_matrix;
     Alcotest.test_case "barrier budgets respected" `Quick test_barrier_budget_respected;
     Alcotest.test_case "spills monotone in budget" `Quick test_spills_monotone_in_budget;
     Alcotest.test_case "constant-bank cap" `Quick test_bank_cap_respected;

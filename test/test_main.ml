@@ -18,4 +18,5 @@ let () =
       ("cuda-emit", Test_cuda_emit.tests);
       ("plog", Test_plog.tests);
       ("compiler-props", Test_compiler_props.tests);
+      ("passes", Test_passes.tests);
     ]

@@ -1,0 +1,301 @@
+(* The pass-pipeline refactor: report structure (per-pass timings and
+   artifact statistics), typed diagnostics for invalid options, and
+   seeded-mutation negative tests proving each inter-pass validator catches
+   the breakage it is responsible for — not a generic crash elsewhere. *)
+
+let hydrogen = Chem.Mech_gen.hydrogen
+
+let all_kernels =
+  [ Singe.Kernel_abi.Viscosity; Singe.Kernel_abi.Conductivity;
+    Singe.Kernel_abi.Diffusion; Singe.Kernel_abi.Chemistry ]
+
+let options ?(arch = Gpusim.Arch.kepler_k20c) ?(nw = 4) kernel =
+  { (Singe.Compile.default_options arch) with
+    Singe.Compile.n_warps = nw;
+    max_barriers = (if kernel = Singe.Kernel_abi.Chemistry then 16 else 8);
+    ctas_per_sm_target = (if kernel = Singe.Kernel_abi.Chemistry then 1 else 2)
+  }
+
+let compile ?arch ?nw ?(mech = hydrogen ())
+    ?(version = Singe.Compile.Warp_specialized) kernel =
+  Singe.Compile.compile_with_report ~validate:true mech kernel version
+    (options ?arch ?nw kernel)
+
+(* ---- report structure ---- *)
+
+let expected_passes =
+  [ "dfg-build"; "dfg-validate"; "mapping"; "mapping-validate"; "schedule";
+    "schedule-validate"; "lower"; "lower-validate" ]
+
+let test_report_covers_pipeline () =
+  let mech = Chem.Mech_gen.dme () in
+  List.iter
+    (fun kernel ->
+      let _, report = compile ~mech kernel in
+      let names =
+        List.map
+          (fun (r : Singe.Pass.record) -> r.Singe.Pass.pass_name)
+          report.Singe.Pass.records
+      in
+      List.iter
+        (fun n ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s has pass %s"
+               (Singe.Kernel_abi.kernel_name kernel) n)
+            true (List.mem n names))
+        expected_passes;
+      List.iter
+        (fun (r : Singe.Pass.record) ->
+          Alcotest.(check bool)
+            (r.Singe.Pass.pass_name ^ " timing sane")
+            true
+            (r.Singe.Pass.wall_ns >= 0. && r.Singe.Pass.runs >= 1);
+          Alcotest.(check bool) (r.Singe.Pass.pass_name ^ " ok") true
+            r.Singe.Pass.ok;
+          if r.Singe.Pass.kind = Singe.Pass.Transform then
+            Alcotest.(check bool)
+              (r.Singe.Pass.pass_name ^ " has artifact stats")
+              true
+              (r.Singe.Pass.stats <> []))
+        report.Singe.Pass.records)
+    all_kernels
+
+let test_report_json () =
+  let _, report = compile Singe.Kernel_abi.Viscosity in
+  let json = Singe.Pass.report_to_json report in
+  Alcotest.(check bool) "object" true
+    (String.length json > 2 && json.[0] = '{');
+  List.iter
+    (fun needle ->
+      let contains hay needle =
+        let n = String.length needle and h = String.length hay in
+        let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+        go 0
+      in
+      Alcotest.(check bool) needle true (contains json needle))
+    [ "\"passes\""; "\"dfg-build\""; "\"wall_ms\""; "\"stats\"" ]
+
+(* ---- typed option diagnostics ---- *)
+
+let check_rejected name opts kernel version =
+  match
+    Singe.Compile.compile_checked (hydrogen ()) kernel version opts
+  with
+  | Ok _ -> Alcotest.fail (name ^ ": accepted invalid options")
+  | Error d ->
+      Alcotest.(check (option string))
+        (name ^ " provenance") (Some "options") d.Singe.Diagnostics.pass;
+      Alcotest.(check bool)
+        (name ^ " has a message") true
+        (String.length d.Singe.Diagnostics.message > 0)
+
+let test_invalid_options_are_typed () =
+  let k = Singe.Kernel_abi.Viscosity in
+  let base = options k in
+  check_rejected "n_warps below ws minimum"
+    { base with Singe.Compile.n_warps = 1 }
+    k Singe.Compile.Warp_specialized;
+  check_rejected "n_warps zero"
+    { base with Singe.Compile.n_warps = 0 }
+    k Singe.Compile.Baseline;
+  check_rejected "n_warps beyond the architecture"
+    { base with Singe.Compile.n_warps = 64 }
+    k Singe.Compile.Warp_specialized;
+  check_rejected "empty buffer ring"
+    { base with Singe.Compile.buffer_slots = 0 }
+    k Singe.Compile.Warp_specialized;
+  check_rejected "max_barriers zero"
+    { base with Singe.Compile.max_barriers = 0 }
+    k Singe.Compile.Warp_specialized;
+  check_rejected "max_barriers beyond hardware"
+    { base with Singe.Compile.max_barriers = 17 }
+    k Singe.Compile.Warp_specialized;
+  check_rejected "zero occupancy target"
+    { base with Singe.Compile.ctas_per_sm_target = 0 }
+    k Singe.Compile.Warp_specialized;
+  check_rejected "unloweable register budget"
+    { base with Singe.Compile.freg_budget = Some 2 }
+    k Singe.Compile.Warp_specialized;
+  (* The same options go through as an exception on the thin wrapper... *)
+  (match
+     Singe.Compile.compile (hydrogen ()) k Singe.Compile.Warp_specialized
+       { base with Singe.Compile.n_warps = 0 }
+   with
+  | _ -> Alcotest.fail "compile accepted n_warps = 0"
+  | exception Singe.Diagnostics.Fail _ -> ());
+  (* ...and valid options still compile. *)
+  match
+    Singe.Compile.compile_checked (hydrogen ()) k
+      Singe.Compile.Warp_specialized base
+  with
+  | Ok _ -> ()
+  | Error d -> Alcotest.fail (Singe.Diagnostics.to_string d)
+
+(* ---- seeded-mutation negative tests ---- *)
+
+let expect_rejected name = function
+  | Ok () -> Alcotest.fail (name ^ ": validator accepted the mutation")
+  | Error problems ->
+      Alcotest.(check bool)
+        (name ^ " reports problems") true (problems <> [])
+
+(* Breaking a dependence edge so the graph cycles must be caught by the
+   DFG well-formedness pass. *)
+let test_dfg_cycle_is_caught () =
+  let c, _ = compile Singe.Kernel_abi.Viscosity in
+  let dfg = c.Singe.Compile.dfg in
+  (* Find a compute op with an input and an output, and feed it its own
+     result. *)
+  let victim =
+    Array.to_list dfg.Singe.Dfg.ops
+    |> List.find (fun (op : Singe.Dfg.op) ->
+           Array.length op.Singe.Dfg.inputs > 0
+           && op.Singe.Dfg.output <> None)
+  in
+  let self = Option.get victim.Singe.Dfg.output in
+  let ops =
+    Array.map
+      (fun (op : Singe.Dfg.op) ->
+        if op.Singe.Dfg.id = victim.Singe.Dfg.id then
+          { op with
+            Singe.Dfg.inputs =
+              Array.mapi
+                (fun i v -> if i = 0 then self else v)
+                op.Singe.Dfg.inputs }
+        else op)
+      dfg.Singe.Dfg.ops
+  in
+  let mutant = { dfg with Singe.Dfg.ops } in
+  expect_rejected "self-cycle" (Singe.Dfg.validate mutant)
+
+let test_dfg_broken_producer_is_caught () =
+  let c, _ = compile Singe.Kernel_abi.Conductivity in
+  let dfg = c.Singe.Compile.dfg in
+  (* Rewire value 0 to claim a producer that defines a different value. *)
+  let wrong =
+    Array.to_list dfg.Singe.Dfg.ops
+    |> List.find (fun (op : Singe.Dfg.op) ->
+           match op.Singe.Dfg.output with
+           | Some v -> v <> 0
+           | None -> false)
+  in
+  let values =
+    Array.map
+      (fun (v : Singe.Dfg.value) ->
+        if v.Singe.Dfg.vid = 0 then
+          { v with Singe.Dfg.producer = wrong.Singe.Dfg.id }
+        else v)
+      dfg.Singe.Dfg.values
+  in
+  let mutant = { dfg with Singe.Dfg.values } in
+  expect_rejected "broken producer edge" (Singe.Dfg.validate mutant)
+
+let test_mapping_unmapped_op_is_caught () =
+  let c, _ = compile Singe.Kernel_abi.Viscosity in
+  let m = c.Singe.Compile.mapping in
+  let op_warp = Array.copy m.Singe.Mapping.op_warp in
+  op_warp.(Array.length op_warp / 2) <- m.Singe.Mapping.n_warps;
+  expect_rejected "op mapped out of range"
+    (Singe.Mapping.validate c.Singe.Compile.dfg
+       { m with Singe.Mapping.op_warp })
+
+(* Piling every operation onto one warp blows the FLOP and register-demand
+   budgets the mapping validator enforces. *)
+let test_mapping_overloaded_warp_is_caught () =
+  let c, _ = compile ~nw:16 Singe.Kernel_abi.Viscosity in
+  let m = c.Singe.Compile.mapping in
+  let mutant =
+    { m with
+      Singe.Mapping.op_warp = Array.map (fun _ -> 0) m.Singe.Mapping.op_warp }
+  in
+  expect_rejected "all ops on one warp"
+    (Singe.Mapping.validate c.Singe.Compile.dfg mutant)
+
+(* Dropping a barrier wait from one warp's stream breaks the per-epoch
+   producer/consumer pairing the schedule validator checks. *)
+let test_schedule_dropped_barrier_is_caught () =
+  let c, _ = compile Singe.Kernel_abi.Viscosity in
+  let s = c.Singe.Compile.schedule in
+  let victim = ref None in
+  Array.iteri
+    (fun w actions ->
+      if !victim = None then
+        Array.iteri
+          (fun i a ->
+            match a with
+            | Singe.Schedule.A_wait _ when !victim = None ->
+                victim := Some (w, i)
+            | _ -> ())
+          actions)
+    s.Singe.Schedule.per_warp;
+  match !victim with
+  | None -> Alcotest.fail "schedule has no barrier wait to drop"
+  | Some (w, i) ->
+      let drop arr =
+        Array.init
+          (Array.length arr - 1)
+          (fun j -> if j < i then arr.(j) else arr.(j + 1))
+      in
+      let per_warp = Array.copy s.Singe.Schedule.per_warp in
+      let stamps = Array.copy s.Singe.Schedule.stamps in
+      per_warp.(w) <- drop per_warp.(w);
+      stamps.(w) <- drop stamps.(w);
+      let mutant = { s with Singe.Schedule.per_warp; stamps } in
+      expect_rejected "dropped barrier wait"
+        (Singe.Schedule.validate mutant c.Singe.Compile.dfg
+           c.Singe.Compile.mapping)
+
+(* Over-assigning registers past the architectural cap must be caught by
+   the lower-consistency pass. *)
+let test_lower_overassigned_registers_is_caught () =
+  let c, _ = compile Singe.Kernel_abi.Viscosity in
+  let out = c.Singe.Compile.lowered in
+  let program =
+    { out.Singe.Lower.program with Gpusim.Isa.n_fregs = 200 }
+  in
+  expect_rejected "200 double registers per thread"
+    (Singe.Lower.validate_output ~arch:Gpusim.Arch.kepler_k20c
+       { out with Singe.Lower.program })
+
+(* The pipeline surfaces a validator rejection as a diagnostic carrying the
+   failing pass's name. *)
+let test_validator_failure_has_provenance () =
+  let pm = Singe.Pass.create "mutation-test" in
+  match
+    Singe.Pass.validate pm ~name:"dfg-validate" (fun () ->
+        Error [ "synthetic breakage" ])
+  with
+  | () -> Alcotest.fail "validation pass accepted an Error result"
+  | exception Singe.Diagnostics.Fail d ->
+      Alcotest.(check (option string))
+        "pass provenance" (Some "dfg-validate") d.Singe.Diagnostics.pass;
+      let report = Singe.Pass.report pm in
+      let rec_ =
+        List.find
+          (fun (r : Singe.Pass.record) ->
+            r.Singe.Pass.pass_name = "dfg-validate")
+          report.Singe.Pass.records
+      in
+      Alcotest.(check bool) "record marked failed" false rec_.Singe.Pass.ok
+
+let tests =
+  [
+    Alcotest.test_case "report covers the pipeline" `Quick
+      test_report_covers_pipeline;
+    Alcotest.test_case "report serializes to JSON" `Quick test_report_json;
+    Alcotest.test_case "invalid options are typed errors" `Quick
+      test_invalid_options_are_typed;
+    Alcotest.test_case "mutation: dfg cycle" `Quick test_dfg_cycle_is_caught;
+    Alcotest.test_case "mutation: broken producer edge" `Quick
+      test_dfg_broken_producer_is_caught;
+    Alcotest.test_case "mutation: unmapped op" `Quick
+      test_mapping_unmapped_op_is_caught;
+    Alcotest.test_case "mutation: overloaded warp" `Quick
+      test_mapping_overloaded_warp_is_caught;
+    Alcotest.test_case "mutation: dropped barrier" `Quick
+      test_schedule_dropped_barrier_is_caught;
+    Alcotest.test_case "mutation: over-assigned registers" `Quick
+      test_lower_overassigned_registers_is_caught;
+    Alcotest.test_case "validator failures carry provenance" `Quick
+      test_validator_failure_has_provenance;
+  ]
