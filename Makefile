@@ -1,4 +1,4 @@
-.PHONY: all build test fmt fmt-check check perf clean
+.PHONY: all build test fmt fmt-check check perf perf-quick clean
 
 all: build
 
@@ -16,12 +16,18 @@ fmt:
 fmt-check:
 	dune build @fmt
 
-# The full local gate: everything builds, formatting is clean, tests pass.
-check: build fmt-check test
+# The full local gate: everything builds, formatting is clean, tests pass,
+# and the quick perf snapshot still runs end to end on two domains.
+check: build fmt-check test perf-quick
 
 # Machine-readable performance snapshot (see bench/main.ml).
 perf:
 	dune exec bench/main.exe -- perf
+
+# Fast smoke version of the snapshot: small sweep sizes, a fixed two-domain
+# fan-out (results are identical at any --jobs value).
+perf-quick:
+	SINGE_FAST=1 dune exec bench/main.exe -- perf --jobs 2
 
 clean:
 	dune clean

@@ -4,8 +4,12 @@
 
    `main.exe perf [--out FILE]` instead emits one machine-readable JSON
    document — per-kernel simulated throughput plus the compiler's per-pass
-   wall-clock timings — so successive PRs can track a performance
-   trajectory without scraping the human-readable tables. *)
+   wall-clock timings and host-side sweep metrics — so successive PRs can
+   track a performance trajectory without scraping the human-readable
+   tables.
+
+   `--jobs N` (or SINGE_JOBS) bounds the domains used for the sweep
+   fan-out; simulated results are identical at every job count. *)
 
 let figures =
   [
@@ -53,13 +57,23 @@ let microbenchmarks () =
         Staged.stage (fun () -> ignore (Chem.Chemkin_parser.parse text)));
       Test.make ~name:"transport-fit-dme" (Staged.stage (fun () ->
           ignore (Chem.Transport.fit mech.Chem.Mechanism.species)));
+      (* Setup compiles below go through the memo cache — only the
+         compile-dme-viscosity-ws benchmark above measures compilation
+         itself, so it keeps calling the uncached entry point. *)
       Test.make ~name:"simulate-dme-viscosity-1batch" (
-        let c = Singe.Compile.compile mech Singe.Kernel_abi.Viscosity
+        let c = Singe.Compile.compile_cached mech Singe.Kernel_abi.Viscosity
                   Singe.Compile.Warp_specialized opts in
         Staged.stage (fun () ->
             ignore (Singe.Compile.run ~check:false c ~total_points:(13 * 3 * 32))));
+      Test.make ~name:"simulate-dme-chemistry-ws" (
+        let c = Singe.Compile.compile_cached mech Singe.Kernel_abi.Chemistry
+                  Singe.Compile.Warp_specialized
+                  { opts with Singe.Compile.n_warps = 4; max_barriers = 16;
+                    ctas_per_sm_target = 1 } in
+        Staged.stage (fun () ->
+            ignore (Singe.Compile.run ~check:false c ~total_points:(13 * 3 * 32))));
       Test.make ~name:"isa-text-roundtrip" (
-        let c = Singe.Compile.compile mech Singe.Kernel_abi.Viscosity
+        let c = Singe.Compile.compile_cached mech Singe.Kernel_abi.Viscosity
                   Singe.Compile.Warp_specialized opts in
         let p = c.Singe.Compile.lowered.Singe.Lower.program in
         Staged.stage (fun () ->
@@ -67,12 +81,12 @@ let microbenchmarks () =
             | Ok _ -> ()
             | Error e -> failwith e));
       Test.make ~name:"cuda-emit-viscosity" (
-        let c = Singe.Compile.compile mech Singe.Kernel_abi.Viscosity
+        let c = Singe.Compile.compile_cached mech Singe.Kernel_abi.Viscosity
                   Singe.Compile.Warp_specialized opts in
         let p = c.Singe.Compile.lowered.Singe.Lower.program in
         Staged.stage (fun () -> ignore (Singe.Cuda_emit.emit ~arch p)));
       Test.make ~name:"roofline-analysis" (
-        let c = Singe.Compile.compile mech Singe.Kernel_abi.Chemistry
+        let c = Singe.Compile.compile_cached mech Singe.Kernel_abi.Chemistry
                   Singe.Compile.Warp_specialized
                   { opts with Singe.Compile.n_warps = 4; max_barriers = 16;
                     ctas_per_sm_target = 1 } in
@@ -129,24 +143,33 @@ let perf_configs () =
 
 let perf ~out () =
   let points = 8192 in
+  let sweep_start = Unix.gettimeofday () in
+  (* Each config is an independent compile+simulate job: fan them out and
+     keep every print (stderr skips included) post-join so the output is
+     byte-identical at any job count. Host-side wall-clock fields are the
+     only thing allowed to vary across runs. *)
   let entry (mech, kernel, version, options) =
     match
       Singe.Compile.compile_checked ~validate:true mech kernel version options
     with
     | Error d ->
-        Printf.eprintf "perf: skipping %s %s: %s\n"
-          (Singe.Kernel_abi.kernel_name kernel)
-          (Singe.Compile.version_name version)
-          (Singe.Diagnostics.to_string d);
-        None
+        Error
+          (Printf.sprintf "perf: skipping %s %s: %s\n"
+             (Singe.Kernel_abi.kernel_name kernel)
+             (Singe.Compile.version_name version)
+             (Singe.Diagnostics.to_string d))
     | Ok (c, report) ->
+        let t0 = Unix.gettimeofday () in
         let r = Singe.Compile.run c ~total_points:points in
-        Some
+        let wall_s = Unix.gettimeofday () -. t0 in
+        let sm_cycles = r.Singe.Compile.machine.Gpusim.Machine.sm_cycles in
+        Ok
           (Printf.sprintf
              "{\"mech\": \"%s\", \"kernel\": \"%s\", \"version\": \"%s\", \
               \"arch\": \"%s\", \"points\": %d, \"points_per_sec\": %.6g, \
               \"gflops\": %.6g, \"dram_gbs\": %.6g, \"sm_cycles\": %d, \
-              \"max_rel_err\": %.3g, \"report\": %s}"
+              \"max_rel_err\": %.3g, \"host\": {\"wall_s\": %.4f, \
+              \"sim_cycles_per_host_sec\": %.6g}, \"report\": %s}"
              mech.Chem.Mechanism.name
              (Singe.Kernel_abi.kernel_name kernel)
              (Singe.Compile.version_name version)
@@ -155,13 +178,28 @@ let perf ~out () =
              r.Singe.Compile.machine.Gpusim.Machine.points_per_sec
              r.Singe.Compile.machine.Gpusim.Machine.gflops
              r.Singe.Compile.machine.Gpusim.Machine.dram_gbs
-             r.Singe.Compile.machine.Gpusim.Machine.sm_cycles
+             sm_cycles
              r.Singe.Compile.max_rel_err
+             wall_s
+             (float_of_int sm_cycles /. Float.max 1e-9 wall_s)
              (Singe.Pass.report_to_json report))
   in
-  let entries = List.filter_map entry (perf_configs ()) in
+  let outcomes = Sutil.Domain_pool.parallel_map entry (perf_configs ()) in
+  let entries =
+    List.filter_map
+      (function
+        | Ok e -> Some e
+        | Error msg ->
+            prerr_string msg;
+            None)
+      outcomes
+  in
   let json =
-    Printf.sprintf "{\"schema\": \"singe-perf-v1\", \"results\": [\n%s\n]}\n"
+    Printf.sprintf
+      "{\"schema\": \"singe-perf-v2\", \"jobs\": %d, \"sweep_wall_s\": %.4f, \
+       \"results\": [\n%s\n]}\n"
+      (Sutil.Domain_pool.default_jobs ())
+      (Unix.gettimeofday () -. sweep_start)
       (String.concat ",\n" entries)
   in
   match out with
@@ -172,8 +210,25 @@ let perf ~out () =
       close_out oc;
       Printf.eprintf "perf snapshot written to %s\n" file
 
+(* Strip a leading-anywhere [--jobs N] pair from the argument list and
+   install it as the process-wide domain budget before any figure runs. *)
+let rec extract_jobs = function
+  | "--jobs" :: n :: rest -> (
+      match int_of_string_opt n with
+      | Some jobs ->
+          Sutil.Domain_pool.set_jobs jobs;
+          extract_jobs rest
+      | None ->
+          prerr_endline "bench: --jobs expects an integer";
+          exit 2)
+  | [ "--jobs" ] ->
+      prerr_endline "bench: --jobs expects an integer";
+      exit 2
+  | arg :: rest -> arg :: extract_jobs rest
+  | [] -> []
+
 let () =
-  let args = Array.to_list Sys.argv |> List.tl in
+  let args = Array.to_list Sys.argv |> List.tl |> extract_jobs in
   (match args with
   | [] | [ "all" ] -> Experiments.Figures.all ()
   | [ "microbench" ] -> microbenchmarks ()

@@ -77,6 +77,25 @@ let version_term =
   Arg.(value & opt (Arg.conv (parse, printer)) Singe.Compile.Warp_specialized
        & info [ "version" ] ~docv:"V" ~doc:"ws, baseline or naive.")
 
+(* Domain budget for the parallel sweep commands (tune, figures). The
+   term's value is the side effect: it installs the override before the
+   command body runs. *)
+let jobs_term =
+  let set = function
+    | None -> ()
+    | Some n -> Sutil.Domain_pool.set_jobs n
+  in
+  Term.(
+    const set
+    $ Arg.(
+        value
+        & opt (some int) None
+        & info [ "jobs" ] ~docv:"N"
+            ~doc:
+              "Domains used for parallel sweeps (default: \\$(b,SINGE_JOBS) \
+               or the machine's recommended domain count). Simulated \
+               results are identical at every job count."))
+
 (* Pipeline-introspection flags shared by the compile and run commands. *)
 let timings_term =
   Arg.(value & flag & info [ "timings" ]
@@ -226,7 +245,7 @@ let run_cmd =
           $ version_term $ points $ timings_term $ validate_term)
 
 let tune_cmd =
-  let run mech kernel arch version =
+  let run mech kernel arch version () =
     let o = Singe.Autotune.tune mech kernel version arch in
     Printf.printf "tried %d configurations (%d skipped)\n"
       o.Singe.Autotune.tried o.Singe.Autotune.skipped;
@@ -236,7 +255,8 @@ let tune_cmd =
       o.Singe.Autotune.best.Singe.Autotune.throughput
   in
   Cmd.v (Cmd.info "tune" ~doc:"Brute-force autotune a kernel configuration.")
-    Term.(const run $ mech_term $ kernel_term $ arch_term $ version_term)
+    Term.(const run $ mech_term $ kernel_term $ arch_term $ version_term
+          $ jobs_term)
 
 let stats_cmd =
   let run mech kernel arch warps version =
@@ -323,7 +343,7 @@ let partition_cmd =
 
 let figures_cmd =
   let names = Arg.(value & pos_all string [ "all" ] & info [] ~docv:"FIGURE") in
-  let run names =
+  let run names () =
     List.iter
       (fun n ->
         match n with
@@ -346,7 +366,7 @@ let figures_cmd =
       names
   in
   Cmd.v (Cmd.info "figures" ~doc:"Regenerate the paper's tables and figures.")
-    Term.(const run $ names)
+    Term.(const run $ names $ jobs_term)
 
 let () =
   let doc = "Singe: a warp-specializing DSL compiler for combustion chemistry" in

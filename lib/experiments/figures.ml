@@ -22,8 +22,12 @@ let fig3 () =
     [ Chem.Mech_gen.dme (); Chem.Mech_gen.heptane () ];
   print_newline ()
 
-(* Tuned-configuration cache: figures share autotuning work. *)
+(* Tuned-configuration cache: figures share autotuning work. Guarded by
+   a mutex so figure code running inside a [Domain_pool.parallel_map]
+   worker can consult it safely; the tune itself runs outside the lock
+   (it fans out its own candidate evaluations). *)
 let tuned : (string, Singe.Autotune.candidate) Hashtbl.t = Hashtbl.create 32
+let tuned_mutex = Mutex.create ()
 
 let tune mech kernel version arch =
   let key =
@@ -35,7 +39,13 @@ let tune mech kernel version arch =
       | Singe.Compile.Naive_warp_specialized -> "naive")
       arch.Gpusim.Arch.name
   in
-  match Hashtbl.find_opt tuned key with
+  let cached =
+    Mutex.lock tuned_mutex;
+    let v = Hashtbl.find_opt tuned key in
+    Mutex.unlock tuned_mutex;
+    v
+  in
+  match cached with
   | Some c -> c
   | None ->
       let warp_candidates =
@@ -49,7 +59,9 @@ let tune mech kernel version arch =
       let outcome =
         Singe.Autotune.tune ?warp_candidates mech kernel version arch
       in
+      Mutex.lock tuned_mutex;
       Hashtbl.replace tuned key outcome.Singe.Autotune.best;
+      Mutex.unlock tuned_mutex;
       outcome.Singe.Autotune.best
 
 let fig9 () =
@@ -60,25 +72,31 @@ let fig9 () =
   let arch = Gpusim.Arch.kepler_k20c in
   Printf.printf "%-10s %14s %14s\n" "warps/CTA" "naive" "Singe";
   let warps = if fast () then [ 2; 4; 6; 8 ] else [ 2; 3; 4; 5; 6; 8; 10; 12; 15; 16 ] in
-  List.iter
-    (fun n_warps ->
-      let run version =
-        let options =
-          { (Singe.Compile.default_options arch) with Singe.Compile.n_warps }
+  (* One worker per warp count; each returns its fully formatted row and
+     the rows print post-join, so the table is byte-identical to the
+     serial sweep. *)
+  let rows =
+    Sutil.Domain_pool.parallel_map
+      (fun n_warps ->
+        let run version =
+          let options =
+            { (Singe.Compile.default_options arch) with Singe.Compile.n_warps }
+          in
+          match
+            let c = Singe.Compile.compile_cached mech Singe.Kernel_abi.Viscosity version options in
+            (* 8 point batches per CTA: the loop re-executes the kernel body,
+               so divergent instruction streams re-fetch every pass. *)
+            Singe.Compile.run c ~total_points:32768 ~ctas:128
+          with
+          | r -> Printf.sprintf "%14.3g" r.Singe.Compile.machine.Gpusim.Machine.points_per_sec
+          | exception Failure _ -> Printf.sprintf "%14s" "(won't fit)"
         in
-        match
-          let c = Singe.Compile.compile mech Singe.Kernel_abi.Viscosity version options in
-          (* 8 point batches per CTA: the loop re-executes the kernel body,
-             so divergent instruction streams re-fetch every pass. *)
-          Singe.Compile.run c ~total_points:32768 ~ctas:128
-        with
-        | r -> Printf.sprintf "%14.3g" r.Singe.Compile.machine.Gpusim.Machine.points_per_sec
-        | exception Failure _ -> Printf.sprintf "%14s" "(won't fit)"
-      in
-      Printf.printf "%-10d %s %s\n%!" n_warps
-        (run Singe.Compile.Naive_warp_specialized)
-        (run Singe.Compile.Warp_specialized))
-    warps;
+        Printf.sprintf "%-10d %s %s\n" n_warps
+          (run Singe.Compile.Naive_warp_specialized)
+          (run Singe.Compile.Warp_specialized))
+      warps
+  in
+  List.iter print_string rows;
   print_newline ()
 
 let fig10 () =
@@ -88,23 +106,26 @@ let fig10 () =
      diffusion, 16 for chemistry)";
   Printf.printf "%-10s %10s %10s %10s\n" "Mechanism" "Viscosity" "Diffusion"
     "Chemistry";
-  List.iter
-    (fun (mech, vis_warps) ->
-      let regs kernel n_warps =
-        let options =
-          { (Singe.Compile.default_options Gpusim.Arch.kepler_k20c) with
-            Singe.Compile.n_warps;
-            max_barriers = (if kernel = Singe.Kernel_abi.Chemistry then 16 else 8);
-            ctas_per_sm_target = (if kernel = Singe.Kernel_abi.Chemistry then 1 else 2) }
+  let rows =
+    Sutil.Domain_pool.parallel_map
+      (fun (mech, vis_warps) ->
+        let regs kernel n_warps =
+          let options =
+            { (Singe.Compile.default_options Gpusim.Arch.kepler_k20c) with
+              Singe.Compile.n_warps;
+              max_barriers = (if kernel = Singe.Kernel_abi.Chemistry then 16 else 8);
+              ctas_per_sm_target = (if kernel = Singe.Kernel_abi.Chemistry then 1 else 2) }
+          in
+          let c = Singe.Compile.compile_cached mech kernel Singe.Compile.Warp_specialized options in
+          c.Singe.Compile.lowered.Singe.Lower.n_bank_regs
         in
-        let c = Singe.Compile.compile mech kernel Singe.Compile.Warp_specialized options in
-        c.Singe.Compile.lowered.Singe.Lower.n_bank_regs
-      in
-      Printf.printf "%-10s %10d %10d %10d\n%!" mech.Chem.Mechanism.name
-        (regs Singe.Kernel_abi.Viscosity vis_warps)
-        (regs Singe.Kernel_abi.Diffusion vis_warps)
-        (regs Singe.Kernel_abi.Chemistry 16))
-    [ (Chem.Mech_gen.dme (), 6); (Chem.Mech_gen.heptane (), 13) ];
+        Printf.sprintf "%-10s %10d %10d %10d\n" mech.Chem.Mechanism.name
+          (regs Singe.Kernel_abi.Viscosity vis_warps)
+          (regs Singe.Kernel_abi.Diffusion vis_warps)
+          (regs Singe.Kernel_abi.Chemistry 16))
+      [ (Chem.Mech_gen.dme (), 6); (Chem.Mech_gen.heptane (), 13) ]
+  in
+  List.iter print_string rows;
   print_newline ()
 
 let perf_figure mech kernel =
@@ -126,19 +147,25 @@ let perf_figure mech kernel =
           .Gpusim.Machine.resident_ctas;
       Printf.printf "  %-8s %14s %14s %9s %10s %10s\n" "size" "baseline"
         "warp-spec" "speedup" "base-GF" "ws-GF";
-      List.iter
-        (fun (points, label) ->
-          let rerun (c : Singe.Autotune.candidate) =
-            Singe.Compile.run c.Singe.Autotune.compiled ~total_points:points
-          in
-          let rb = rerun base and rw = rerun ws in
-          let tb = rb.Singe.Compile.machine.Gpusim.Machine.points_per_sec in
-          let tw = rw.Singe.Compile.machine.Gpusim.Machine.points_per_sec in
-          Printf.printf "  %-8s %14.4g %14.4g %8.2fx %10.1f %10.1f\n%!" label tb
-            tw (tw /. tb)
-            rb.Singe.Compile.machine.Gpusim.Machine.gflops
-            rw.Singe.Compile.machine.Gpusim.Machine.gflops)
-        (sizes ());
+      (* Each size reruns the tuned programs on an already-compiled,
+         immutable artifact: the rows are independent simulations and fan
+         out; printing stays in size order after the join. *)
+      let rows =
+        Sutil.Domain_pool.parallel_map
+          (fun (points, label) ->
+            let rerun (c : Singe.Autotune.candidate) =
+              Singe.Compile.run c.Singe.Autotune.compiled ~total_points:points
+            in
+            let rb = rerun base and rw = rerun ws in
+            let tb = rb.Singe.Compile.machine.Gpusim.Machine.points_per_sec in
+            let tw = rw.Singe.Compile.machine.Gpusim.Machine.points_per_sec in
+            Printf.sprintf "  %-8s %14.4g %14.4g %8.2fx %10.1f %10.1f\n" label tb
+              tw (tw /. tb)
+              rb.Singe.Compile.machine.Gpusim.Machine.gflops
+              rw.Singe.Compile.machine.Gpusim.Machine.gflops)
+          (sizes ())
+      in
+      List.iter print_string rows;
       let spill (c : Singe.Autotune.candidate) =
         c.Singe.Autotune.compiled.Singe.Compile.lowered.Singe.Lower.spill_bytes_per_thread
       in
@@ -163,20 +190,25 @@ let ablation_barriers () =
   let mech = Chem.Mech_gen.dme () in
   List.iter
     (fun arch ->
-      let run ~group_syncs =
-        let best = tune mech Singe.Kernel_abi.Diffusion Singe.Compile.Warp_specialized arch in
+      (* Tune once (serial: the tuner fans out its own candidates), then
+         run both sync policies concurrently. *)
+      let best = tune mech Singe.Kernel_abi.Diffusion Singe.Compile.Warp_specialized arch in
+      let run group_syncs =
         let options =
           { best.Singe.Autotune.options with Singe.Compile.group_syncs }
         in
         let c =
-          Singe.Compile.compile mech Singe.Kernel_abi.Diffusion
+          Singe.Compile.compile_cached mech Singe.Kernel_abi.Diffusion
             Singe.Compile.Warp_specialized options
         in
         let r = Singe.Compile.run c ~total_points:32768 in
         (r, c)
       in
-      let grouped, cg = run ~group_syncs:true in
-      let ungrouped, cu = run ~group_syncs:false in
+      let (grouped, cg), (ungrouped, cu) =
+        match Sutil.Domain_pool.parallel_map run [ true; false ] with
+        | [ g; u ] -> (g, u)
+        | _ -> assert false
+      in
       let stalls (r : Singe.Compile.run_result) =
         let s = r.Singe.Compile.machine.Gpusim.Machine.sim in
         s.Gpusim.Sm.counters.Gpusim.Sm.barrier_stalls
@@ -202,19 +234,22 @@ let ablation_exp_constants () =
   let mech = Chem.Mech_gen.dme () in
   let arch = Gpusim.Arch.kepler_k20c in
   let best = tune mech Singe.Kernel_abi.Viscosity Singe.Compile.Warp_specialized arch in
-  List.iter
-    (fun (flag, label) ->
-      let options =
-        { best.Singe.Autotune.options with Singe.Compile.exp_consts_in_registers = flag }
-      in
-      let c =
-        Singe.Compile.compile mech Singe.Kernel_abi.Viscosity
-          Singe.Compile.Warp_specialized options
-      in
-      let r = Singe.Compile.run c ~total_points:32768 in
-      Printf.printf "  %-22s %8.1f GFLOPS\n%!" label
-        r.Singe.Compile.machine.Gpusim.Machine.gflops)
-    [ (false, "constant-cache-fed"); (true, "register-fed") ];
+  let rows =
+    Sutil.Domain_pool.parallel_map
+      (fun (flag, label) ->
+        let options =
+          { best.Singe.Autotune.options with Singe.Compile.exp_consts_in_registers = flag }
+        in
+        let c =
+          Singe.Compile.compile_cached mech Singe.Kernel_abi.Viscosity
+            Singe.Compile.Warp_specialized options
+        in
+        let r = Singe.Compile.run c ~total_points:32768 in
+        Printf.sprintf "  %-22s %8.1f GFLOPS\n" label
+          r.Singe.Compile.machine.Gpusim.Machine.gflops)
+      [ (false, "constant-cache-fed"); (true, "register-fed") ]
+  in
+  List.iter print_string rows;
   print_newline ()
 
 
@@ -233,33 +268,36 @@ let ablation_chem_comm () =
           Printf.printf "%s chemistry on %s (autotuned: %d warps):\n" mech_name
             arch.Gpusim.Arch.name
             best.Singe.Autotune.options.Singe.Compile.n_warps;
-          List.iter
-            (fun (comm, label) ->
-              let options =
-                { best.Singe.Autotune.options with Singe.Compile.chem_comm = Some comm }
-              in
-              match
-                let c =
-                  Singe.Compile.compile mech Singe.Kernel_abi.Chemistry
-                    Singe.Compile.Warp_specialized options
+          let rows =
+            Sutil.Domain_pool.parallel_map
+              (fun (comm, label) ->
+                let options =
+                  { best.Singe.Autotune.options with Singe.Compile.chem_comm = Some comm }
                 in
-                (c, Singe.Compile.run c ~total_points:32768)
-              with
-              | c, r ->
-                  let p = c.Singe.Compile.lowered.Singe.Lower.program in
-                  Printf.printf
-                    "  %-10s %10.3e points/s, %5.1f KB shared, %5d B spilled\n%!"
-                    label
-                    r.Singe.Compile.machine.Gpusim.Machine.points_per_sec
-                    (float_of_int (p.Gpusim.Isa.shared_doubles * 8) /. 1024.)
-                    c.Singe.Compile.lowered.Singe.Lower.spill_bytes_per_thread
-              | exception Failure msg ->
-                  Printf.printf "  %-10s does not fit (%s)\n%!" label msg)
-            [
-              (Singe.Compile.Chem_staged, "staged");
-              (Singe.Compile.Chem_mixed, "mixed");
-              (Singe.Compile.Chem_recompute, "recompute");
-            ])
+                match
+                  let c =
+                    Singe.Compile.compile_cached mech Singe.Kernel_abi.Chemistry
+                      Singe.Compile.Warp_specialized options
+                  in
+                  (c, Singe.Compile.run c ~total_points:32768)
+                with
+                | c, r ->
+                    let p = c.Singe.Compile.lowered.Singe.Lower.program in
+                    Printf.sprintf
+                      "  %-10s %10.3e points/s, %5.1f KB shared, %5d B spilled\n"
+                      label
+                      r.Singe.Compile.machine.Gpusim.Machine.points_per_sec
+                      (float_of_int (p.Gpusim.Isa.shared_doubles * 8) /. 1024.)
+                      c.Singe.Compile.lowered.Singe.Lower.spill_bytes_per_thread
+                | exception Failure msg ->
+                    Printf.sprintf "  %-10s does not fit (%s)\n" label msg)
+              [
+                (Singe.Compile.Chem_staged, "staged");
+                (Singe.Compile.Chem_mixed, "mixed");
+                (Singe.Compile.Chem_recompute, "recompute");
+              ]
+          in
+          List.iter print_string rows)
         (archs ()))
     [ ("dme", Chem.Mech_gen.dme ()) ];
   print_newline ()
@@ -276,42 +314,45 @@ let ablation_weights () =
   (let r = Singe.Compile.run best.Singe.Autotune.compiled ~total_points:32768 in
    Printf.printf "  %-28s %8.3e points/s\n%!" "domain hints (the DSL)"
      r.Singe.Compile.machine.Gpusim.Machine.points_per_sec);
-  List.iter
-    (fun (weights, label) ->
-      (* Hints pin most of the viscosity mapping; drop them so the greedy
-         weights actually decide the assignment. *)
-      let options =
-        { best.Singe.Autotune.options with
-          Singe.Compile.weights;
-          respect_hints = false }
-      in
-      match
-        let c =
-          Singe.Compile.compile mech Singe.Kernel_abi.Viscosity
-            Singe.Compile.Warp_specialized options
+  let rows =
+    Sutil.Domain_pool.parallel_map
+      (fun (weights, label) ->
+        (* Hints pin most of the viscosity mapping; drop them so the greedy
+           weights actually decide the assignment. *)
+        let options =
+          { best.Singe.Autotune.options with
+            Singe.Compile.weights;
+            respect_hints = false }
         in
-        (c, Singe.Compile.run c ~total_points:32768)
-      with
-      | c, r ->
-          let imb =
-            let loads =
-              Singe.Mapping.warp_flops c.Singe.Compile.dfg c.Singe.Compile.mapping
-            in
-            let mx = Array.fold_left max 0 loads
-            and mn = Array.fold_left min max_int loads in
-            float_of_int mx /. float_of_int (max 1 mn)
+        match
+          let c =
+            Singe.Compile.compile_cached mech Singe.Kernel_abi.Viscosity
+              Singe.Compile.Warp_specialized options
           in
-          Printf.printf "  %-28s %8.3e points/s  (max/min warp FLOPs %.2f)\n%!"
-            label r.Singe.Compile.machine.Gpusim.Machine.points_per_sec imb
-      | exception Failure msg ->
-          Printf.printf "  %-28s does not fit (%s)\n%!" label msg)
-    [
+          (c, Singe.Compile.run c ~total_points:32768)
+        with
+        | c, r ->
+            let imb =
+              let loads =
+                Singe.Mapping.warp_flops c.Singe.Compile.dfg c.Singe.Compile.mapping
+              in
+              let mx = Array.fold_left max 0 loads
+              and mn = Array.fold_left min max_int loads in
+              float_of_int mx /. float_of_int (max 1 mn)
+            in
+            Printf.sprintf "  %-28s %8.3e points/s  (max/min warp FLOPs %.2f)\n"
+              label r.Singe.Compile.machine.Gpusim.Machine.points_per_sec imb
+        | exception Failure msg ->
+            Printf.sprintf "  %-28s does not fit (%s)\n" label msg)
+      [
       (Singe.Mapping.default_weights, "default (1.0/0.25/0.5)");
       ({ Singe.Mapping.w_flops = 1.0; w_regs = 0.0; w_locality = 0.0 }, "flops only");
       ({ Singe.Mapping.w_flops = 0.0; w_regs = 1.0; w_locality = 0.0 }, "registers only");
       ({ Singe.Mapping.w_flops = 0.0; w_regs = 0.0; w_locality = 1.0 }, "locality only");
       ({ Singe.Mapping.w_flops = 1.0; w_regs = 1.0; w_locality = 1.0 }, "uniform");
-    ];
+    ]
+  in
+  List.iter print_string rows;
   print_newline ()
 
 let ablation_batches () =
@@ -321,15 +362,18 @@ let ablation_batches () =
   let mech = Chem.Mech_gen.dme () in
   let arch = Gpusim.Arch.kepler_k20c in
   let best = tune mech Singe.Kernel_abi.Diffusion Singe.Compile.Warp_specialized arch in
-  List.iter
-    (fun points ->
-      let r =
-        Singe.Compile.run best.Singe.Autotune.compiled ~total_points:points
-      in
-      Printf.printf "  %8d points: %10.3e points/s (%5.1f GFLOPS)\n%!" points
-        r.Singe.Compile.machine.Gpusim.Machine.points_per_sec
-        r.Singe.Compile.machine.Gpusim.Machine.gflops)
-    [ 416; 832; 1664; 3328; 6656; 13312; 32768; 262144 ];
+  let rows =
+    Sutil.Domain_pool.parallel_map
+      (fun points ->
+        let r =
+          Singe.Compile.run best.Singe.Autotune.compiled ~total_points:points
+        in
+        Printf.sprintf "  %8d points: %10.3e points/s (%5.1f GFLOPS)\n" points
+          r.Singe.Compile.machine.Gpusim.Machine.points_per_sec
+          r.Singe.Compile.machine.Gpusim.Machine.gflops)
+      [ 416; 832; 1664; 3328; 6656; 13312; 32768; 262144 ]
+  in
+  List.iter print_string rows;
   print_newline ()
 
 let all () =

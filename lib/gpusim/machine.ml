@@ -101,6 +101,23 @@ let run ?(fill_inputs = fun _ _ -> ()) ?(max_sim_batches = 6) (arch : Arch.t)
     Memstate.create l.program ~n_points:simulated_points ~resident_ctas:resident
   in
   fill_inputs mem simulated_points;
+  (* The 1-batch pin run below reuses a prefix of the inputs just filled
+     instead of calling [fill_inputs] again: simulated cycles and
+     counters are independent of float memory contents (addresses and
+     stall times only ever derive from static program data), and the pin
+     run's functional outputs are discarded. Snapshot the prefix now,
+     before the main simulation overwrites output fields. *)
+  let pin_mem =
+    if batches <= max_sim_batches then None
+    else begin
+      let m =
+        Memstate.create l.program ~n_points:(resident * per_batch)
+          ~resident_ctas:resident
+      in
+      Memstate.copy_global_prefix ~src:mem ~dst:m;
+      Some m
+    end
+  in
   let trace = Trace.flatten arch l.program in
   let job =
     {
@@ -117,11 +134,7 @@ let run ?(fill_inputs = fun _ _ -> ()) ?(max_sim_batches = 6) (arch : Arch.t)
   let cycles_full =
     if batches = sim_batches then float_of_int sim.Sm.cycles
     else begin
-      let mem1 =
-        Memstate.create l.program ~n_points:(resident * per_batch)
-          ~resident_ctas:resident
-      in
-      fill_inputs mem1 (resident * per_batch);
+      let mem1 = Option.get pin_mem in
       let sim1 =
         Sm.run
           {

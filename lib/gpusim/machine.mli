@@ -58,4 +58,8 @@ val run :
     CTA (default 6) are extrapolated from two short simulations — cycle
     counts are linear in the batch count, so the prologue and per-batch
     cost are pinned exactly; functional outputs cover the simulated
-    batches. *)
+    batches. [fill_inputs] is called exactly once, for the main
+    simulation; the 1-batch pin run reuses a prefix of that data (its
+    outputs are discarded, and simulated cycles/counters never depend on
+    float memory contents — addresses and stall times derive only from
+    static program data). *)

@@ -53,7 +53,13 @@ type warp = {
   mutable paid_const : int;  (** likewise for a constant-cache stall *)
 }
 
-type barrier = { mutable arrived : int; mutable waiters : warp list }
+(* Waiters are warp indices in a preallocated array (capacity: every warp
+   of the CTA), so a barrier release conses nothing on the hot path. *)
+type barrier = {
+  mutable arrived : int;
+  waiters : int array;
+  mutable n_waiters : int;
+}
 
 type pipe = { mutable busy : float; rate : float }
 
@@ -87,6 +93,18 @@ let lane_active pred lane =
   | Some (Isa.Lane_eq k) -> lane = k
   | Some (Isa.Lane_lt k) -> lane < k
 
+(* Index of the lowest set bit of a non-zero 32-bit word. *)
+let lowest_bit_index m =
+  let m = m land -m in
+  let i = ref 0 in
+  let m = ref m in
+  if !m land 0xFFFF = 0 then begin i := 16; m := !m lsr 16 end;
+  if !m land 0xFF = 0 then begin i := !i + 8; m := !m lsr 8 end;
+  if !m land 0xF = 0 then begin i := !i + 4; m := !m lsr 4 end;
+  if !m land 0x3 = 0 then begin i := !i + 2; m := !m lsr 2 end;
+  if !m land 0x1 = 0 then incr i;
+  !i
+
 let run (job : job) =
   let arch = job.arch and p = job.program in
   let tr = job.trace and mem = job.mem in
@@ -109,14 +127,14 @@ let run (job : job) =
           paid_const = -1;
         })
   in
+  let fresh_barrier () =
+    { arrived = 0; waiters = Array.make (max 1 p.Isa.n_warps) (-1); n_waiters = 0 }
+  in
   let bars =
     Array.init job.resident_ctas (fun _ ->
-        Array.init arch.Arch.named_barriers_per_sm (fun _ ->
-            { arrived = 0; waiters = [] }))
+        Array.init arch.Arch.named_barriers_per_sm (fun _ -> fresh_barrier ()))
   in
-  let cta_bars =
-    Array.init job.resident_ctas (fun _ -> { arrived = 0; waiters = [] })
-  in
+  let cta_bars = Array.init job.resident_ctas (fun _ -> fresh_barrier ()) in
   let dp = { busy = 0.0; rate = arch.Arch.dp_issue_per_cycle } in
   let alu = { busy = 0.0; rate = arch.Arch.alu_issue_per_cycle } in
   let lsu = { busy = 0.0; rate = 1.0 } in
@@ -129,6 +147,113 @@ let run (job : job) =
   let c = fresh_counters () in
   let now = ref 0 in
   let live = ref n_warps_total in
+  (* --- ready set: one bit per warp, iterated in circular index order --- *)
+  let n_words = (n_warps_total + 31) / 32 in
+  let ready_bits = Array.make (max 1 n_words) 0 in
+  let ready_count = ref 0 in
+  let set_ready i =
+    let wd = i lsr 5 in
+    let m = 1 lsl (i land 31) in
+    if ready_bits.(wd) land m = 0 then begin
+      ready_bits.(wd) <- ready_bits.(wd) lor m;
+      incr ready_count
+    end
+  in
+  let clear_ready i =
+    let wd = i lsr 5 in
+    let m = 1 lsl (i land 31) in
+    if ready_bits.(wd) land m <> 0 then begin
+      ready_bits.(wd) <- ready_bits.(wd) land lnot m;
+      decr ready_count
+    end
+  in
+  (* Smallest ready warp index at or circularly after [pos]; -1 if none. *)
+  let next_ready pos =
+    if !ready_count = 0 then -1
+    else begin
+      let wd0 = pos lsr 5 and b0 = pos land 31 in
+      let m0 = ready_bits.(wd0) land ((-1) lsl b0) in
+      if m0 <> 0 then (wd0 lsl 5) + lowest_bit_index m0
+      else begin
+        let res = ref (-1) in
+        let step = ref 1 in
+        while !res < 0 && !step <= n_words do
+          let wi =
+            let wi = wd0 + !step in
+            if wi >= n_words then wi - n_words else wi
+          in
+          let m =
+            if !step = n_words then ready_bits.(wd0) land ((1 lsl b0) - 1)
+            else ready_bits.(wi)
+          in
+          if m <> 0 then res := (wi lsl 5) + lowest_bit_index m;
+          incr step
+        done;
+        !res
+      end
+    end
+  in
+  Array.iter (fun w -> set_ready w.index) warps;
+  (* --- stall-event queue: a binary min-heap on wake-up time ---
+     Invariant: heap entries are exactly the [Stalled] warps (a warp
+     leaves [Stalled] only by being popped here), so capacity is the warp
+     count and the heap minimum is the earliest [stall_until] — the
+     fast-forward target that the per-cycle scan used to rediscover. *)
+  let heap_t = Array.make (max 1 n_warps_total) max_int in
+  let heap_w = Array.make (max 1 n_warps_total) (-1) in
+  let heap_n = ref 0 in
+  let heap_swap i j =
+    let t = heap_t.(i) and w = heap_w.(i) in
+    heap_t.(i) <- heap_t.(j);
+    heap_w.(i) <- heap_w.(j);
+    heap_t.(j) <- t;
+    heap_w.(j) <- w
+  in
+  let heap_push t wi =
+    let i = ref !heap_n in
+    heap_t.(!i) <- t;
+    heap_w.(!i) <- wi;
+    incr heap_n;
+    let up = ref true in
+    while !up && !i > 0 do
+      let parent = (!i - 1) / 2 in
+      if heap_t.(parent) > heap_t.(!i) then begin
+        heap_swap parent !i;
+        i := parent
+      end
+      else up := false
+    done
+  in
+  let heap_pop () =
+    let top = heap_w.(0) in
+    decr heap_n;
+    let n = !heap_n in
+    heap_t.(0) <- heap_t.(n);
+    heap_w.(0) <- heap_w.(n);
+    heap_t.(n) <- max_int;
+    heap_w.(n) <- -1;
+    let i = ref 0 in
+    let down = ref true in
+    while !down do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let smallest = ref !i in
+      if l < n && heap_t.(l) < heap_t.(!smallest) then smallest := l;
+      if r < n && heap_t.(r) < heap_t.(!smallest) then smallest := r;
+      if !smallest <> !i then begin
+        heap_swap !i !smallest;
+        i := !smallest
+      end
+      else down := false
+    done;
+    top
+  in
+  (* Every Stalled transition goes through here so the heap invariant
+     holds. Callers run on Ready or Waiting_* warps (never re-stall). *)
+  let stall_warp w until =
+    w.st <- Stalled;
+    w.stall_until <- until;
+    heap_push until w.index
+  in
   (* --- functional helpers --- *)
   let point_of w lane batch =
     let base = job.cta_point_base.(w.cta) in
@@ -170,12 +295,16 @@ let run (job : job) =
     | Isa.Min -> Float.min s.(0) s.(1)
     | Isa.Neg -> -.s.(0)
   in
+  (* Issue-path scratch, allocated once per run (the issue loop itself
+     allocates nothing). *)
+  let vals = Array.make (max 1 tr.Trace.max_srcs) 0.0 in
+  let per_bank : int list array = Array.make arch.Arch.shared_banks [] in
   (* Shared bank-conflict serialization: number of distinct addresses that
      collide per bank (broadcast of one address is free). *)
   let conflict_ways (a : Isa.saddr) w pred =
     if a.Isa.s_lane_mul = 0 && a.Isa.s_ireg = None then 1
     else begin
-      let per_bank = Array.make arch.Arch.shared_banks [] in
+      Array.fill per_bank 0 arch.Arch.shared_banks [];
       for lane = 0 to 31 do
         if lane_active pred lane then begin
           let addr = saddr_eval a w lane in
@@ -199,20 +328,81 @@ let run (job : job) =
     int_of_float (Float.ceil (start +. transfer)) - !now
   in
   (* Warp-granularity barrier release. *)
-  let release_waiters waiters kind =
-    List.iter
-      (fun w ->
-        (match kind with
-        | `Named -> c.barrier_stalls <- c.barrier_stalls + (!now - w.wait_since)
-        | `Cta -> c.cta_barrier_stalls <- c.cta_barrier_stalls + (!now - w.wait_since));
-        w.st <- Stalled;
-        w.stall_until <- !now + 5)
-      waiters
+  let release_waiters b kind =
+    for i = 0 to b.n_waiters - 1 do
+      let w = warps.(b.waiters.(i)) in
+      (match kind with
+      | `Named -> c.barrier_stalls <- c.barrier_stalls + (!now - w.wait_since)
+      | `Cta -> c.cta_barrier_stalls <- c.cta_barrier_stalls + (!now - w.wait_since));
+      stall_warp w (!now + 5)
+    done;
+    b.n_waiters <- 0
   in
-  (* Hint for the fast-forward when nothing can issue. *)
+  (* Hint for the fast-forward when nothing can issue (pipe back-pressure
+     and scoreboard times; stall wake-ups come from the event queue). *)
   let min_hint = ref max_int in
   let hint t = if t > !now && t < !min_hint then min_hint := t in
   let hintf t = hint (int_of_float (Float.ceil t)) in
+  let finish_issue w =
+    Trace.advance tr ~warp:w.wid ~batches:job.batches w.cur;
+    c.issued <- c.issued + 1
+  in
+  let fetch_ok w entry_id (entry : Trace.entry) =
+    if w.paid_fetch = entry_id then true
+    else begin
+      let line = Caches.Icache.line_of_addr arch entry.Trace.addr in
+      let stall = Caches.Icache.access icache ~now:!now ~line in
+      if stall > 0 then begin
+        stall_warp w (!now + stall);
+        c.icache_stall_cycles <- c.icache_stall_cycles + stall;
+        (* The fill is delivered to this warp even if contention
+           evicts the line before the retry. *)
+        w.paid_fetch <- entry_id;
+        false
+      end
+      else true
+    end
+  in
+  let regs_ready w (srcs : Isa.src array) =
+    let t = ref 0 in
+    for i = 0 to Array.length srcs - 1 do
+      match Array.unsafe_get srcs i with
+      | Isa.Sreg r -> if w.freg_ready.(r) > !t then t := w.freg_ready.(r)
+      | Isa.Sshared a -> (
+          match a.Isa.s_ireg with
+          | Some r -> if w.ireg_ready.(r) > !t then t := w.ireg_ready.(r)
+          | None -> ())
+      | Isa.Simm _ | Isa.Sconst _ | Isa.Sconst_warp _ -> ()
+    done;
+    !t
+  in
+  let ccache_check w entry_id (entry : Trace.entry) =
+    (* Probe the constant cache for every constant operand; a miss
+       stalls the warp while the line fills (paid once per entry —
+       the fill is delivered even under eviction pressure). *)
+    if (not entry.Trace.has_const) || w.paid_const = entry_id then true
+    else begin
+      let srcs = entry.Trace.srcs in
+      let stall = ref 0 in
+      for i = 0 to Array.length srcs - 1 do
+        match srcs.(i) with
+        | Isa.Sconst slot ->
+            stall := max !stall (Caches.Ccache.access ccache ~now:!now ~slot)
+        | Isa.Sconst_warp base ->
+            stall :=
+              max !stall
+                (Caches.Ccache.access ccache ~now:!now ~slot:(base + w.wid))
+        | Isa.Sreg _ | Isa.Simm _ | Isa.Sshared _ -> ()
+      done;
+      if !stall > 0 then begin
+        stall_warp w (!now + !stall);
+        c.ccache_stall_cycles <- c.ccache_stall_cycles + !stall;
+        w.paid_const <- entry_id;
+        false
+      end
+      else true
+    end
+  in
   (* Attempt to issue the next instruction of warp [w]; true if issued. *)
   let try_issue w =
     match Trace.peek tr ~warp:w.wid ~batches:job.batches w.cur with
@@ -223,78 +413,6 @@ let run (job : job) =
     | Some entry_id -> (
         let entry = tr.Trace.entries.(entry_id) in
         let batch = w.cur.Trace.batch in
-        let finish_issue () =
-          Trace.advance tr ~warp:w.wid ~batches:job.batches w.cur;
-          c.issued <- c.issued + 1
-        in
-        let fetch_ok () =
-          if w.paid_fetch = entry_id then true
-          else begin
-            let line = Caches.Icache.line_of_addr arch entry.Trace.addr in
-            let stall = Caches.Icache.access icache ~now:!now ~line in
-            if stall > 0 then begin
-              w.st <- Stalled;
-              w.stall_until <- !now + stall;
-              c.icache_stall_cycles <- c.icache_stall_cycles + stall;
-              (* The fill is delivered to this warp even if contention
-                 evicts the line before the retry. *)
-              w.paid_fetch <- entry_id;
-              false
-            end
-            else true
-          end
-        in
-        let regs_ready srcs =
-          let t = ref 0 in
-          Array.iter
-            (fun s ->
-              match s with
-              | Isa.Sreg r -> t := max !t w.freg_ready.(r)
-              | Isa.Sshared a -> (
-                  match a.Isa.s_ireg with
-                  | Some r -> t := max !t w.ireg_ready.(r)
-                  | None -> ())
-              | Isa.Simm _ | Isa.Sconst _ | Isa.Sconst_warp _ -> ())
-            srcs;
-          !t
-        in
-        let const_srcs srcs =
-          Array.exists
-            (function Isa.Sconst _ | Isa.Sconst_warp _ -> true | _ -> false)
-            srcs
-        in
-        let shared_src srcs =
-          Array.to_list srcs
-          |> List.filter_map (function Isa.Sshared a -> Some a | _ -> None)
-        in
-        let ccache_check srcs =
-          (* Probe the constant cache for every constant operand; a miss
-             stalls the warp while the line fills (paid once per entry —
-             the fill is delivered even under eviction pressure). *)
-          if w.paid_const = entry_id then true
-          else begin
-            let stall = ref 0 in
-            Array.iter
-              (fun s ->
-                match s with
-                | Isa.Sconst slot ->
-                    stall := max !stall (Caches.Ccache.access ccache ~now:!now ~slot)
-                | Isa.Sconst_warp base ->
-                    stall :=
-                      max !stall
-                        (Caches.Ccache.access ccache ~now:!now ~slot:(base + w.wid))
-                | Isa.Sreg _ | Isa.Simm _ | Isa.Sshared _ -> ())
-              srcs;
-            if !stall > 0 then begin
-              w.st <- Stalled;
-              w.stall_until <- !now + !stall;
-              c.ccache_stall_cycles <- c.ccache_stall_cycles + !stall;
-              w.paid_const <- entry_id;
-              false
-            end
-            else true
-          end
-        in
         match entry.Trace.instr with
         | None ->
             (* Synthetic warp-ID branch. *)
@@ -302,17 +420,17 @@ let run (job : job) =
               hintf alu.busy;
               false
             end
-            else if not (fetch_ok ()) then false
+            else if not (fetch_ok w entry_id entry) then false
             else begin
               pipe_issue alu 1.0;
               c.branch_instrs <- c.branch_instrs + 1;
-              finish_issue ();
+              finish_issue w;
               true
             end
         | Some instr -> (
             match instr with
             | Isa.Arith { op; dst; srcs; pred } ->
-                let ready = regs_ready srcs in
+                let ready = regs_ready w srcs in
                 if ready > !now then begin
                   hint ready;
                   false
@@ -322,49 +440,44 @@ let run (job : job) =
                   false
                 end
                 else begin
-                  let shared_ops = shared_src srcs in
+                  let shared_ops = entry.Trace.shared_srcs in
+                  let n_shared = Array.length shared_ops in
                   let collector = arch.Arch.shared_operand_collector in
                   let shared_ok =
-                    shared_ops = [] || collector || pipe_free shared_pipe
+                    n_shared = 0 || collector || pipe_free shared_pipe
                   in
                   if not shared_ok then begin
                     hintf shared_pipe.busy;
                     false
                   end
-                  else if not (ccache_check srcs) then false
-                  else if not (fetch_ok ()) then false
+                  else if not (ccache_check w entry_id entry) then false
+                  else if not (fetch_ok w entry_id entry) then false
                   else begin
                     let penalty =
                       if
-                        const_srcs srcs
+                        entry.Trace.has_const
                         || ((op = Isa.Exp || op = Isa.Log)
                            && not p.Isa.exp_consts_in_registers)
                       then arch.Arch.const_operand_penalty
                       else 1.0
                     in
-                    pipe_issue dp (Isa.fop_dp_slots op *. penalty);
+                    pipe_issue dp (entry.Trace.dp_slots *. penalty);
                     c.dp_warp_instrs <- c.dp_warp_instrs + 1;
-                    let lat_mult =
-                      match op with
-                      | Isa.Div | Isa.Sqrt -> 3
-                      | Isa.Exp | Isa.Log -> 5
-                      | _ -> 1
-                    in
                     let extra = ref 0 in
-                    List.iter
-                      (fun a ->
-                        let ways = conflict_ways a w pred in
-                        c.shared_accesses <- c.shared_accesses + 1;
-                        c.bank_conflict_slots <- c.bank_conflict_slots + ways - 1;
-                        if not collector then
-                          pipe_issue shared_pipe (float_of_int ways);
-                        extra := arch.Arch.shared_latency)
-                      shared_ops;
+                    for i = 0 to n_shared - 1 do
+                      let a = shared_ops.(i) in
+                      let ways = conflict_ways a w pred in
+                      c.shared_accesses <- c.shared_accesses + 1;
+                      c.bank_conflict_slots <- c.bank_conflict_slots + ways - 1;
+                      if not collector then
+                        pipe_issue shared_pipe (float_of_int ways);
+                      extra := arch.Arch.shared_latency
+                    done;
                     w.freg_ready.(dst) <-
-                      !now + (arch.Arch.arith_latency * lat_mult) + !extra;
+                      !now + (arch.Arch.arith_latency * entry.Trace.lat_mult)
+                      + !extra;
                     (* Functional execution at issue. *)
                     let n_src = Array.length srcs in
-                    let vals = Array.make n_src 0.0 in
                     for lane = 0 to 31 do
                       if lane_active pred lane then begin
                         for k = 0 to n_src - 1 do
@@ -373,14 +486,13 @@ let run (job : job) =
                         w.fregs.(dst).(lane) <- apply_fop op vals
                       end
                     done;
-                    c.flops <- c.flops + (Isa.fop_flops op * active_lanes pred);
-                    finish_issue ();
+                    c.flops <- c.flops + (entry.Trace.flops * active_lanes pred);
+                    finish_issue w;
                     true
                   end
                 end
             | Isa.Mov { dst; src; pred } ->
-                let srcs = [| src |] in
-                let ready = regs_ready srcs in
+                let ready = regs_ready w entry.Trace.srcs in
                 if ready > !now then begin
                   hint ready;
                   false
@@ -389,8 +501,8 @@ let run (job : job) =
                   hintf alu.busy;
                   false
                 end
-                else if not (ccache_check srcs) then false
-                else if not (fetch_ok ()) then false
+                else if not (ccache_check w entry_id entry) then false
+                else if not (fetch_ok w entry_id entry) then false
                 else begin
                   pipe_issue alu 1.0;
                   let extra = ref 0 in
@@ -407,7 +519,7 @@ let run (job : job) =
                     if lane_active pred lane then
                       w.fregs.(dst).(lane) <- src_value w lane src
                   done;
-                  finish_issue ();
+                  finish_issue w;
                   true
                 end
             | Isa.Ld_global { dst; group; field; via_tex; pred } ->
@@ -415,7 +527,7 @@ let run (job : job) =
                   hintf lsu.busy;
                   false
                 end
-                else if not (fetch_ok ()) then false
+                else if not (fetch_ok w entry_id entry) then false
                 else begin
                   pipe_issue lsu 1.0;
                   let path = if via_tex && arch.Arch.has_ldg then tex else globalp in
@@ -434,12 +546,11 @@ let run (job : job) =
                         mem.Memstate.globals.(group).(f).(pt)
                     end
                   done;
-                  finish_issue ();
+                  finish_issue w;
                   true
                 end
             | Isa.St_global { src; group; field; pred } ->
-                let srcs = [| src |] in
-                let ready = regs_ready srcs in
+                let ready = regs_ready w entry.Trace.srcs in
                 if ready > !now then begin
                   hint ready;
                   false
@@ -448,7 +559,7 @@ let run (job : job) =
                   hintf lsu.busy;
                   false
                 end
-                else if not (fetch_ok ()) then false
+                else if not (fetch_ok w entry_id entry) then false
                 else begin
                   pipe_issue lsu 1.0;
                   let bytes = 8 * active_lanes pred in
@@ -462,7 +573,7 @@ let run (job : job) =
                         src_value w lane src
                     end
                   done;
-                  finish_issue ();
+                  finish_issue w;
                   true
                 end
             | Isa.Ld_shared { dst; addr; pred } ->
@@ -479,7 +590,7 @@ let run (job : job) =
                   hintf (Float.max lsu.busy shared_pipe.busy);
                   false
                 end
-                else if not (fetch_ok ()) then false
+                else if not (fetch_ok w entry_id entry) then false
                 else begin
                   pipe_issue lsu 1.0;
                   let ways = conflict_ways addr w pred in
@@ -492,13 +603,13 @@ let run (job : job) =
                       w.fregs.(dst).(lane) <-
                         mem.Memstate.shared.(w.cta).(saddr_eval addr w lane)
                   done;
-                  finish_issue ();
+                  finish_issue w;
                   true
                 end
             | Isa.St_shared { src; addr; pred } ->
-                let srcs = [| src |] in
                 let ready =
-                  max (regs_ready srcs)
+                  max
+                    (regs_ready w entry.Trace.srcs)
                     (match addr.Isa.s_ireg with
                     | Some r -> w.ireg_ready.(r)
                     | None -> 0)
@@ -511,7 +622,7 @@ let run (job : job) =
                   hintf (Float.max lsu.busy shared_pipe.busy);
                   false
                 end
-                else if not (fetch_ok ()) then false
+                else if not (fetch_ok w entry_id entry) then false
                 else begin
                   pipe_issue lsu 1.0;
                   let ways = conflict_ways addr w pred in
@@ -523,7 +634,7 @@ let run (job : job) =
                       mem.Memstate.shared.(w.cta).(saddr_eval addr w lane) <-
                         src_value w lane src
                   done;
-                  finish_issue ();
+                  finish_issue w;
                   true
                 end
             | Isa.Ld_local { dst; slot } ->
@@ -531,7 +642,7 @@ let run (job : job) =
                   hintf lsu.busy;
                   false
                 end
-                else if not (fetch_ok ()) then false
+                else if not (fetch_ok w entry_id entry) then false
                 else begin
                   pipe_issue lsu 1.0;
                   let bytes = 8 * 32 in
@@ -544,7 +655,7 @@ let run (job : job) =
                     in
                     w.fregs.(dst).(lane) <- mem.Memstate.local.(w.cta).(idx)
                   done;
-                  finish_issue ();
+                  finish_issue w;
                   true
                 end
             | Isa.St_local { src; slot } ->
@@ -556,7 +667,7 @@ let run (job : job) =
                   hintf lsu.busy;
                   false
                 end
-                else if not (fetch_ok ()) then false
+                else if not (fetch_ok w entry_id entry) then false
                 else begin
                   pipe_issue lsu 1.0;
                   let bytes = 8 * 32 in
@@ -568,7 +679,7 @@ let run (job : job) =
                     in
                     mem.Memstate.local.(w.cta).(idx) <- w.fregs.(src).(lane)
                   done;
-                  finish_issue ();
+                  finish_issue w;
                   true
                 end
             | Isa.Ld_const_bank { dst; slot } ->
@@ -576,7 +687,7 @@ let run (job : job) =
                   hintf lsu.busy;
                   false
                 end
-                else if not (fetch_ok ()) then false
+                else if not (fetch_ok w entry_id entry) then false
                 else begin
                   pipe_issue lsu 1.0;
                   let path = if arch.Arch.has_ldg then tex else globalp in
@@ -588,7 +699,7 @@ let run (job : job) =
                   for lane = 0 to 31 do
                     w.fregs.(dst).(lane) <- p.Isa.const_bank.(w.wid).(lane).(slot)
                   done;
-                  finish_issue ();
+                  finish_issue w;
                   true
                 end
             | Isa.Ld_param { dst_i; slot } ->
@@ -596,7 +707,7 @@ let run (job : job) =
                   hintf lsu.busy;
                   false
                 end
-                else if not (fetch_ok ()) then false
+                else if not (fetch_ok w entry_id entry) then false
                 else begin
                   pipe_issue lsu 1.0;
                   let path = if arch.Arch.has_ldg then tex else globalp in
@@ -608,7 +719,7 @@ let run (job : job) =
                   for lane = 0 to 31 do
                     w.iregs.(dst_i).(lane) <- p.Isa.param_bank.(w.wid).(lane).(slot)
                   done;
-                  finish_issue ();
+                  finish_issue w;
                   true
                 end
             | Isa.Shfl { dst; src; lane } ->
@@ -620,7 +731,7 @@ let run (job : job) =
                   hintf alu.busy;
                   false
                 end
-                else if not (fetch_ok ()) then false
+                else if not (fetch_ok w entry_id entry) then false
                 else begin
                   pipe_issue alu 2.0 (* two 32-bit shuffles per double *);
                   w.freg_ready.(dst) <- !now + arch.Arch.arith_latency;
@@ -628,7 +739,7 @@ let run (job : job) =
                   for l = 0 to 31 do
                     w.fregs.(dst).(l) <- v
                   done;
-                  finish_issue ();
+                  finish_issue w;
                   true
                 end
             | Isa.Ishfl { dst_i; src_i; lane } ->
@@ -640,7 +751,7 @@ let run (job : job) =
                   hintf alu.busy;
                   false
                 end
-                else if not (fetch_ok ()) then false
+                else if not (fetch_ok w entry_id entry) then false
                 else begin
                   pipe_issue alu 1.0;
                   w.ireg_ready.(dst_i) <- !now + arch.Arch.arith_latency;
@@ -648,7 +759,7 @@ let run (job : job) =
                   for l = 0 to 31 do
                     w.iregs.(dst_i).(l) <- v
                   done;
-                  finish_issue ();
+                  finish_issue w;
                   true
                 end
             | Isa.Bar_arrive { bar; count } ->
@@ -656,17 +767,16 @@ let run (job : job) =
                   hintf alu.busy;
                   false
                 end
-                else if not (fetch_ok ()) then false
+                else if not (fetch_ok w entry_id entry) then false
                 else begin
                   pipe_issue alu 1.0;
                   let b = bars.(w.cta).(bar) in
                   b.arrived <- b.arrived + 1;
                   if b.arrived >= count then begin
                     b.arrived <- b.arrived - count;
-                    release_waiters b.waiters `Named;
-                    b.waiters <- []
+                    release_waiters b `Named
                   end;
-                  finish_issue ();
+                  finish_issue w;
                   true
                 end
             | Isa.Bar_sync { bar; count } ->
@@ -674,21 +784,21 @@ let run (job : job) =
                   hintf alu.busy;
                   false
                 end
-                else if not (fetch_ok ()) then false
+                else if not (fetch_ok w entry_id entry) then false
                 else begin
                   pipe_issue alu 1.0;
                   let b = bars.(w.cta).(bar) in
                   b.arrived <- b.arrived + 1;
-                  finish_issue ();
+                  finish_issue w;
                   if b.arrived >= count then begin
                     b.arrived <- b.arrived - count;
-                    release_waiters b.waiters `Named;
-                    b.waiters <- []
+                    release_waiters b `Named
                   end
                   else begin
                     w.st <- Waiting_bar bar;
                     w.wait_since <- !now;
-                    b.waiters <- w :: b.waiters
+                    b.waiters.(b.n_waiters) <- w.index;
+                    b.n_waiters <- b.n_waiters + 1
                   end;
                   true
                 end
@@ -697,59 +807,83 @@ let run (job : job) =
                   hintf alu.busy;
                   false
                 end
-                else if not (fetch_ok ()) then false
+                else if not (fetch_ok w entry_id entry) then false
                 else begin
                   pipe_issue alu 1.0;
                   let b = cta_bars.(w.cta) in
                   b.arrived <- b.arrived + 1;
-                  finish_issue ();
+                  finish_issue w;
                   if b.arrived >= p.Isa.n_warps then begin
                     b.arrived <- 0;
-                    release_waiters b.waiters `Cta;
-                    b.waiters <- []
+                    release_waiters b `Cta
                   end
                   else begin
                     w.st <- Waiting_cta;
                     w.wait_since <- !now;
-                    b.waiters <- w :: b.waiters
+                    b.waiters.(b.n_waiters) <- w.index;
+                    b.n_waiters <- b.n_waiters + 1
                   end;
                   true
                 end))
   in
-  (* --- main scheduling loop --- *)
+  (* --- main scheduling loop ---
+     The scan visits the same position sequence as the original
+     full-array round-robin — positions [(rr + k) mod n] for k = 0.. with
+     [rr] re-based past a warp that issues — but skips runs of non-ready
+     positions through the bitset, and stall wake-ups come from the event
+     queue instead of re-testing every warp each cycle. *)
   let rr = ref 0 in
   let idle_streak = ref 0 in
   while !live > 0 do
+    while !heap_n > 0 && heap_t.(0) <= !now do
+      let wi = heap_pop () in
+      warps.(wi).st <- Ready;
+      set_ready wi
+    done;
+    (* Wake-ups pushed *during* this cycle's scan must not shorten the
+       fast-forward: the original scan only hinted warps that were already
+       stalled when their position was visited, so a warp stalling
+       mid-scan slept until the next hinted event. Snapshot the heap
+       minimum now to reproduce that. *)
+    let heap_min_start = if !heap_n > 0 then heap_t.(0) else max_int in
     min_hint := max_int;
     let issued_this_cycle = ref 0 in
     let k = ref 0 in
-    while !issued_this_cycle < arch.Arch.schedulers && !k < n_warps_total do
-      let w = warps.((!rr + !k) mod n_warps_total) in
-      (match w.st with
-      | Stalled -> if w.stall_until <= !now then w.st <- Ready else hint w.stall_until
-      | Ready | Waiting_bar _ | Waiting_cta | Retired -> ());
-      (match w.st with
-      | Ready ->
+    let scanning = ref (!ready_count > 0) in
+    while
+      !scanning
+      && !issued_this_cycle < arch.Arch.schedulers
+      && !k < n_warps_total
+    do
+      let pos = (!rr + !k) mod n_warps_total in
+      let j = next_ready pos in
+      if j < 0 then scanning := false
+      else begin
+        let d = (j - pos + n_warps_total) mod n_warps_total in
+        if d > n_warps_total - 1 - !k then
+          (* No ready warp among this cycle's remaining positions. *)
+          scanning := false
+        else begin
+          k := !k + d;
+          let w = warps.(j) in
           if try_issue w then begin
             incr issued_this_cycle;
             rr := w.index + 1
-          end
-      | Stalled | Waiting_bar _ | Waiting_cta | Retired -> ());
-      incr k
+          end;
+          (match w.st with
+          | Ready -> ()
+          | Stalled | Waiting_bar _ | Waiting_cta | Retired ->
+              clear_ready w.index);
+          incr k
+        end
+      end
     done;
     if !issued_this_cycle = 0 then begin
       incr idle_streak;
-      (* Deadlock: every live warp is parked on a barrier with no pending
-         releases possible. *)
-      let all_on_barriers =
-        Array.for_all
-          (fun w ->
-            match w.st with
-            | Waiting_bar _ | Waiting_cta | Retired -> true
-            | Ready | Stalled -> false)
-          warps
-      in
-      if all_on_barriers && !live > 0 then begin
+      (* Deadlock: no warp is ready or sleeping on a stall (the ready set
+         and event queue are empty), so every live warp is parked on a
+         barrier with no pending releases possible. *)
+      if !ready_count = 0 && !heap_n = 0 && !live > 0 then begin
         let buf = Buffer.create 256 in
         Array.iter
           (fun w ->
@@ -786,7 +920,11 @@ let run (job : job) =
           warps;
         raise (Deadlock (Buffer.contents buf))
       end;
-      now := if !min_hint = max_int then !now + 1 else max (!now + 1) !min_hint
+      (* Fast-forward to the next possible event: the earliest stall
+         wake-up pending at cycle start or the earliest issue-blocking
+         hint. *)
+      let target = min heap_min_start !min_hint in
+      now := if target = max_int then !now + 1 else max (!now + 1) target
     end
     else begin
       idle_streak := 0;

@@ -1,11 +1,69 @@
-type entry = { instr : Isa.instr option; addr : int }
+type entry = {
+  instr : Isa.instr option;
+  addr : int;
+  srcs : Isa.src array;
+  shared_srcs : Isa.saddr array;
+  has_const : bool;
+  lat_mult : int;
+  dp_slots : float;
+  flops : int;
+}
 
 type t = {
   entries : entry array;
   prologue : int array array;
   body : int array array;
   code_bytes : int;
+  max_srcs : int;
 }
+
+let no_srcs : Isa.src array = [||]
+let no_shared : Isa.saddr array = [||]
+
+(* Per-entry issue metadata, computed once here so [Sm.try_issue] does no
+   per-issue pattern-matching re-work and allocates nothing: the
+   scoreboard source operands (singleton operands of Mov/St_* get their
+   array built once), the shared-memory operands among them, whether any
+   operand reads the constant cache, and the arith op's latency
+   multiplier / DP-slot / FLOP figures. Entries are shared by every warp
+   and batch, so everything here must be warp-independent (it is). *)
+let meta_of instr =
+  match instr with
+  | Some (Isa.Arith { op; srcs; _ }) ->
+      let shared_srcs =
+        Array.of_list
+          (List.filter_map
+             (function Isa.Sshared a -> Some a | _ -> None)
+             (Array.to_list srcs))
+      in
+      let has_const =
+        Array.exists
+          (function Isa.Sconst _ | Isa.Sconst_warp _ -> true | _ -> false)
+          srcs
+      in
+      let lat_mult =
+        match op with
+        | Isa.Div | Isa.Sqrt -> 3
+        | Isa.Exp | Isa.Log -> 5
+        | _ -> 1
+      in
+      (srcs, shared_srcs, has_const, lat_mult, Isa.fop_dp_slots op,
+       Isa.fop_flops op)
+  | Some (Isa.Mov { src; _ }) | Some (Isa.St_global { src; _ })
+  | Some (Isa.St_shared { src; _ }) ->
+      let shared_srcs =
+        match src with Isa.Sshared a -> [| a |] | _ -> no_shared
+      in
+      let has_const =
+        match src with Isa.Sconst _ | Isa.Sconst_warp _ -> true | _ -> false
+      in
+      ([| src |], shared_srcs, has_const, 1, 0.0, 0)
+  | Some
+      ( Isa.Ld_global _ | Isa.Ld_shared _ | Isa.Ld_local _ | Isa.St_local _
+      | Isa.Ld_const_bank _ | Isa.Ld_param _ | Isa.Shfl _ | Isa.Ishfl _
+      | Isa.Bar_arrive _ | Isa.Bar_sync _ | Isa.Bar_cta )
+  | None ->
+      (no_srcs, no_shared, false, 1, 0.0, 0)
 
 let flatten (arch : Arch.t) (p : Isa.program) =
   let entries = ref [] in
@@ -13,7 +71,13 @@ let flatten (arch : Arch.t) (p : Isa.program) =
   let addr = ref 0 in
   let push instr bytes =
     let id = !n_entries in
-    entries := { instr; addr = !addr } :: !entries;
+    let srcs, shared_srcs, has_const, lat_mult, dp_slots, flops =
+      meta_of instr
+    in
+    entries :=
+      { instr; addr = !addr; srcs; shared_srcs; has_const; lat_mult;
+        dp_slots; flops }
+      :: !entries;
     incr n_entries;
     addr := !addr + bytes;
     id
@@ -56,11 +120,15 @@ let flatten (arch : Arch.t) (p : Isa.program) =
       Array.sub full n_pro (Array.length full - n_pro) )
   in
   let per_warp = Array.init p.Isa.n_warps split in
+  let max_srcs =
+    Array.fold_left (fun acc e -> max acc (Array.length e.srcs)) 0 entries
+  in
   {
     entries;
     prologue = Array.map fst per_warp;
     body = Array.map snd per_warp;
     code_bytes = !addr;
+    max_srcs;
   }
 
 let body_footprint_bytes t ~warp =

@@ -12,13 +12,25 @@
 type entry = {
   instr : Isa.instr option;  (** [None] for a synthetic branch *)
   addr : int;  (** code byte address *)
+  srcs : Isa.src array;
+      (** scoreboard source operands (Mov/St singletons prebuilt, so the
+          simulator's issue path allocates nothing per attempt) *)
+  shared_srcs : Isa.saddr array;  (** shared-memory operands among [srcs] *)
+  has_const : bool;  (** any operand reads the constant cache *)
+  lat_mult : int;  (** arith latency multiplier (Div/Sqrt 3, Exp/Log 5) *)
+  dp_slots : float;  (** [Isa.fop_dp_slots] of the arith op, else 0 *)
+  flops : int;  (** [Isa.fop_flops] of the arith op, else 0 *)
 }
+(** Per-entry issue metadata precomputed by {!flatten}: everything
+    {!Sm.run}'s issue path would otherwise re-derive from the instruction
+    on every attempt. *)
 
 type t = {
   entries : entry array;
   prologue : int array array;  (** per warp: entry indices *)
   body : int array array;  (** per warp: entry indices, one batch *)
   code_bytes : int;
+  max_srcs : int;  (** largest [srcs] arity over all entries *)
 }
 
 val flatten : Arch.t -> Isa.program -> t

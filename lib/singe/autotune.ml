@@ -31,25 +31,16 @@ let default_warp_candidates mech kernel version =
       | Kernel_abi.Viscosity | Kernel_abi.Conductivity | Kernel_abi.Diffusion
         -> all)
 
-let tune ?(points = 32768) ?warp_candidates ?(cta_targets = [ 1; 2 ])
-    mech kernel version arch =
-  let warp_candidates =
-    match warp_candidates with
-    | Some l -> l
-    | None -> default_warp_candidates mech kernel version
-  in
-  let tried = ref 0 and skipped = ref 0 in
-  let best = ref None in
-  List.iter
+let candidate_options ~points kernel version arch warp_candidates
+    cta_targets =
+  List.concat_map
     (fun n_warps ->
-      List.iter
+      List.concat_map
         (fun ctas_per_sm_target ->
           (* The baseline launches one thread per point: its CTA size must
              divide the problem. *)
-          if
-            version = Compile.Baseline
-            && points mod (n_warps * 32) <> 0
-          then ()
+          if version = Compile.Baseline && points mod (n_warps * 32) <> 0
+          then []
           else
             (* Chemistry also searches its communication policy (staged vs
                mixed); pure recomputation never won end-to-end. *)
@@ -58,47 +49,73 @@ let tune ?(points = 32768) ?warp_candidates ?(cta_targets = [ 1; 2 ])
               then [ Some Compile.Chem_staged; Some Compile.Chem_mixed ]
               else [ None ]
             in
-            List.iter
+            List.map
               (fun chem_comm ->
-                incr tried;
-                let options =
-                  {
-                    (Compile.default_options arch) with
-                    Compile.n_warps;
-                    ctas_per_sm_target;
-                    chem_comm;
-                    max_barriers =
-                      (if kernel = Kernel_abi.Chemistry then
-                         16 / ctas_per_sm_target
-                       else 8);
-                  }
-                in
-                match
-                  let compiled = Compile.compile mech kernel version options in
-                  let result = Compile.run compiled ~total_points:points in
-                  (compiled, result)
-                with
-                | compiled, result ->
-                    if result.Compile.max_rel_err > 1e-6 then
-                      failwith
-                        (Printf.sprintf
-                           "autotune: config warps=%d ctas=%d produced wrong \
-                            results (rel err %.2g)"
-                           n_warps ctas_per_sm_target result.Compile.max_rel_err);
-                    let throughput =
-                      result.Compile.machine.Gpusim.Machine.points_per_sec
-                    in
-                    let cand = { options; throughput; compiled; result } in
-                    (match !best with
-                    | Some b when b.throughput >= throughput -> ()
-                    | Some _ | None -> best := Some cand)
-                | exception Failure _ -> incr skipped
-                | exception Invalid_argument _ -> incr skipped)
+                {
+                  (Compile.default_options arch) with
+                  Compile.n_warps;
+                  ctas_per_sm_target;
+                  chem_comm;
+                  max_barriers =
+                    (if kernel = Kernel_abi.Chemistry then
+                       16 / ctas_per_sm_target
+                     else 8);
+                })
               comm_candidates)
         cta_targets)
-    warp_candidates;
-  match !best with
-  | Some best -> { best; tried = !tried; skipped = !skipped }
+    warp_candidates
+
+let tune ?(points = 32768) ?warp_candidates ?(cta_targets = [ 1; 2 ]) ?jobs
+    mech kernel version arch =
+  let warp_candidates =
+    match warp_candidates with
+    | Some l -> l
+    | None -> default_warp_candidates mech kernel version
+  in
+  (* Candidate evaluations are independent compile+simulate jobs: fan
+     them out, then fold the returned list in input order so [tried],
+     [skipped] and the winner (first strictly-better throughput) are
+     exactly what the serial sweep produced, no matter which worker
+     evaluated what. *)
+  let candidates =
+    candidate_options ~points kernel version arch warp_candidates cta_targets
+  in
+  let eval options =
+    match
+      let compiled = Compile.compile_cached mech kernel version options in
+      let result = Compile.run compiled ~total_points:points in
+      (compiled, result)
+    with
+    | compiled, result ->
+        if result.Compile.max_rel_err > 1e-6 then
+          failwith
+            (Printf.sprintf
+               "autotune: config warps=%d ctas=%d produced wrong results \
+                (rel err %.2g)"
+               options.Compile.n_warps options.Compile.ctas_per_sm_target
+               result.Compile.max_rel_err);
+        let throughput =
+          result.Compile.machine.Gpusim.Machine.points_per_sec
+        in
+        Some { options; throughput; compiled; result }
+    | exception Failure _ -> None
+    | exception Invalid_argument _ -> None
+  in
+  let evaluated = Sutil.Domain_pool.parallel_map ?jobs eval candidates in
+  let tried = List.length candidates in
+  let skipped, best =
+    List.fold_left
+      (fun (skipped, best) outcome ->
+        match outcome with
+        | None -> (skipped + 1, best)
+        | Some cand -> (
+            match best with
+            | Some b when b.throughput >= cand.throughput -> (skipped, best)
+            | Some _ | None -> (skipped, Some cand)))
+      (0, None) evaluated
+  in
+  match best with
+  | Some best -> { best; tried; skipped }
   | None ->
       failwith
         (Printf.sprintf "autotune: no %s configuration of %s fits on %s"

@@ -30,6 +30,7 @@ val tune :
   ?points:int ->
   ?warp_candidates:int list ->
   ?cta_targets:int list ->
+  ?jobs:int ->
   Chem.Mechanism.t ->
   Kernel_abi.kernel ->
   Compile.version ->
@@ -37,4 +38,11 @@ val tune :
   outcome
 (** Exhaustively evaluates the candidate grid at the (small) tuning size
     (default 32768 points = 32^3) and returns the fastest configuration.
-    Raises [Failure] if no candidate ran. *)
+    Raises [Failure] if no candidate ran.
+
+    Candidates are independent compile+simulate jobs and are evaluated on
+    up to [jobs] domains ({!Sutil.Domain_pool.default_jobs} when
+    omitted); [tried]/[skipped] and the winner are folded from the
+    results in candidate order, so the outcome is identical to the
+    serial sweep's. Compilations go through {!Compile.compile_cached},
+    so a configuration revisited across kernels/figures compiles once. *)

@@ -355,6 +355,49 @@ let compile_checked ?validate mech kernel version options =
   | exception Invalid_argument msg ->
       Error (Diagnostics.error ~pass:"pipeline" msg)
 
+(* ---- compile memoization -------------------------------------------
+
+   A sweep (autotuner, figures, bench) revisits the same configuration
+   many times; the pipeline is deterministic in (mechanism, kernel,
+   version, options), so identical configurations compile once per
+   process. The key digests the whole mechanism, not just its name, so
+   synthetic test mechanisms sharing a name cannot alias. Compiled
+   artifacts are immutable after the pipeline returns (simulation state
+   lives in [Memstate.t] / trace cursors), making a shared [t] safe to
+   hand to concurrent sweep workers. Only successful compiles are
+   cached; failures re-raise so callers see the exception every time. *)
+
+let memo : (string, t) Hashtbl.t = Hashtbl.create 64
+let memo_mutex = Mutex.create ()
+
+let memo_key mech kernel version options =
+  Digest.string (Marshal.to_string (mech, kernel, version, options) [])
+
+let compile_cached mech kernel version options =
+  let key = memo_key mech kernel version options in
+  let cached =
+    Mutex.lock memo_mutex;
+    let v = Hashtbl.find_opt memo key in
+    Mutex.unlock memo_mutex;
+    v
+  in
+  match cached with
+  | Some t -> t
+  | None ->
+      (* Compile outside the lock: concurrent workers may duplicate the
+         work for the same key (deterministic, so either result is the
+         same), but never serialize on each other. *)
+      let t = compile mech kernel version options in
+      Mutex.lock memo_mutex;
+      if not (Hashtbl.mem memo key) then Hashtbl.add memo key t;
+      Mutex.unlock memo_mutex;
+      t
+
+let memo_clear () =
+  Mutex.lock memo_mutex;
+  Hashtbl.reset memo;
+  Mutex.unlock memo_mutex
+
 (* ---- IR dumping (the CLI's --dump-ir) ---- *)
 
 type ir_stage = Ir_dfg | Ir_mapping | Ir_schedule | Ir_lower

@@ -120,6 +120,17 @@ val compile_checked :
     the configuration — returned as a typed diagnostic instead of an
     exception. The entry point drivers should use. *)
 
+val compile_cached :
+  Chem.Mechanism.t -> Kernel_abi.kernel -> version -> options -> t
+(** {!compile} through a process-wide memo table keyed by the digest of
+    the entire (mechanism, kernel, version, options) configuration — the
+    pipeline is deterministic, so identical configurations compile once
+    per process no matter how many sweep workers ask. Thread-safe; only
+    successful compiles are cached (failures re-raise every time). *)
+
+val memo_clear : unit -> unit
+(** Drop every memoized compilation (for tests and long-lived servers). *)
+
 type ir_stage = Ir_dfg | Ir_mapping | Ir_schedule | Ir_lower
 
 val ir_stage_of_string : string -> ir_stage option

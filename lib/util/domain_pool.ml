@@ -1,0 +1,84 @@
+(* Multicore fan-out for embarrassingly parallel sweeps (autotuning,
+   figure regeneration, benchmark config lists).
+
+   The pool is deliberately minimal: stdlib [Domain]s only, spawned per
+   [parallel_map] call and joined before it returns. Sweep items are
+   seconds-long compile+simulate jobs, so spawn cost is noise; keeping no
+   resident worker state means there is nothing to leak or tear down.
+
+   Determinism contract (the repo-wide rule this module enforces):
+   {ul
+   {- results are returned in input order, regardless of which domain
+      evaluated which item;}
+   {- if any item raises, the exception of the {e first} item in input
+      order is re-raised on the caller (with its backtrace), so failure
+      behavior does not depend on scheduling;}
+   {- nested [parallel_map] calls run serially in the calling worker —
+      one level of fan-out is enough for the sweeps we run, and it keeps
+      the number of live domains bounded by the job count.}} *)
+
+let env_jobs () =
+  match Sys.getenv_opt "SINGE_JOBS" with
+  | None -> None
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> Some n
+      | Some _ | None -> None)
+
+let override : int option Atomic.t = Atomic.make None
+
+let set_jobs n = Atomic.set override (Some (max 1 n))
+
+let default_jobs () =
+  match Atomic.get override with
+  | Some n -> n
+  | None -> (
+      match env_jobs () with
+      | Some n -> n
+      | None -> Domain.recommended_domain_count ())
+
+(* True inside a worker domain: nested parallel_map calls degrade to
+   serial List.map there (see the determinism contract above). *)
+let in_worker : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
+
+let parallel_map ?jobs f xs =
+  let jobs = match jobs with Some j -> max 1 j | None -> default_jobs () in
+  let n = List.length xs in
+  let jobs = min jobs n in
+  if jobs <= 1 || Domain.DLS.get in_worker then List.map f xs
+  else begin
+    let input = Array.of_list xs in
+    let results = Array.make n None in
+    let failures = Array.make n None in
+    let next = Atomic.make 0 in
+    let rec work () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < n then begin
+        (match f input.(i) with
+        | v -> results.(i) <- Some v
+        | exception e ->
+            failures.(i) <- Some (e, Printexc.get_raw_backtrace ()));
+        work ()
+      end
+    in
+    let worker () =
+      Domain.DLS.set in_worker true;
+      work ()
+    in
+    let domains = Array.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+    (* The calling domain is worker [0]; it must not fan out again. *)
+    Domain.DLS.set in_worker true;
+    Fun.protect
+      ~finally:(fun () ->
+        Domain.DLS.set in_worker false;
+        Array.iter Domain.join domains)
+      work;
+    Array.iter
+      (function
+        | Some (e, bt) -> Printexc.raise_with_backtrace e bt | None -> ())
+      failures;
+    Array.to_list
+      (Array.map
+         (function Some v -> v | None -> assert false (* all items ran *))
+         results)
+  end

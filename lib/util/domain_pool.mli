@@ -1,0 +1,26 @@
+(** Deterministic multicore fan-out over stdlib [Domain]s.
+
+    One [parallel_map] call spawns up to [jobs - 1] worker domains (the
+    caller is the first worker), pulls items off a shared atomic counter,
+    and joins everything before returning. Results come back in input
+    order and the first failing item's exception (in input order) is
+    re-raised on the caller, so a parallel sweep is observably identical
+    to the serial one apart from wall-clock time. Nested calls from
+    inside a worker run serially, bounding live domains by the job
+    count. *)
+
+val default_jobs : unit -> int
+(** Worker count used when [parallel_map] gets no explicit [jobs]:
+    the {!set_jobs} override if one was installed (the [--jobs] flag),
+    else a valid positive [SINGE_JOBS] environment value, else
+    [Domain.recommended_domain_count ()]. *)
+
+val set_jobs : int -> unit
+(** Install a process-wide override for {!default_jobs} (clamped to at
+    least 1). CLI entry points call this from their [--jobs] flag. *)
+
+val parallel_map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [parallel_map ?jobs f xs] maps [f] over [xs] on up to [jobs] domains
+    (default {!default_jobs}; clamped to the list length). With
+    [jobs <= 1], from inside another [parallel_map] worker, the call is
+    exactly [List.map f xs]. *)

@@ -19,4 +19,5 @@ let () =
       ("plog", Test_plog.tests);
       ("compiler-props", Test_compiler_props.tests);
       ("passes", Test_passes.tests);
+      ("parallel", Test_parallel.tests);
     ]

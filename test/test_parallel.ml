@@ -1,0 +1,208 @@
+(* Multicore determinism: the Domain_pool fan-out must be observably
+   identical to the serial sweep (result order, exception choice,
+   simulated cycles, autotune winners), and the SM scheduler's
+   event-queue fast paths must preserve the original cycle-stepping
+   semantics (exact fast-forward, live deadlock detection). *)
+
+open Gpusim
+
+(* ---- Domain_pool ---- *)
+
+let test_map_order () =
+  let xs = List.init 100 Fun.id in
+  let f x = (x * 7) mod 31 in
+  let serial = List.map f xs in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check (list int))
+        (Printf.sprintf "jobs=%d equals serial" jobs)
+        serial
+        (Sutil.Domain_pool.parallel_map ~jobs f xs))
+    [ 1; 2; 4 ]
+
+exception Boom of int
+
+let test_map_exception_order () =
+  (* Items 3 and 7 fail; whichever worker hits its failure first, the
+     caller must see the input-order-first one (3). *)
+  let f x = if x = 3 || x = 7 then raise (Boom x) else x in
+  List.iter
+    (fun jobs ->
+      match Sutil.Domain_pool.parallel_map ~jobs f (List.init 10 Fun.id) with
+      | _ -> Alcotest.fail "expected Boom"
+      | exception Boom n ->
+          Alcotest.(check int)
+            (Printf.sprintf "jobs=%d raises first failure" jobs)
+            3 n)
+    [ 1; 2; 4 ]
+
+let test_map_nested_serial () =
+  (* A parallel_map from inside a worker degrades to List.map, so the
+     domain count stays bounded and the result is still in order. *)
+  let inner x = Sutil.Domain_pool.parallel_map ~jobs:4 (fun y -> x + y) [ 1; 2; 3 ] in
+  let got = Sutil.Domain_pool.parallel_map ~jobs:2 inner [ 10; 20 ] in
+  Alcotest.(check (list (list int))) "nested" [ [ 11; 12; 13 ]; [ 21; 22; 23 ] ] got
+
+(* ---- simulated results across job counts ---- *)
+
+let dme = lazy (Chem.Mech_gen.dme ())
+
+let conductivity_result n_warps =
+  let mech = Lazy.force dme in
+  let arch = Arch.kepler_k20c in
+  let options =
+    { (Singe.Compile.default_options arch) with Singe.Compile.n_warps }
+  in
+  let c =
+    Singe.Compile.compile_cached mech Singe.Kernel_abi.Conductivity
+      Singe.Compile.Warp_specialized options
+  in
+  let r = Singe.Compile.run ~check:false c ~total_points:8192 in
+  let s = r.Singe.Compile.machine.Machine.sim in
+  ( r.Singe.Compile.machine.Machine.sm_cycles,
+    s.Sm.counters.Sm.issued,
+    s.Sm.counters.Sm.flops,
+    s.Sm.counters.Sm.barrier_stalls,
+    s.Sm.counters.Sm.icache_stall_cycles )
+
+let test_sim_identical_across_jobs () =
+  let warps = [ 2; 4; 8 ] in
+  let serial = List.map conductivity_result warps in
+  let parallel =
+    Sutil.Domain_pool.parallel_map ~jobs:4 conductivity_result warps
+  in
+  List.iter2
+    (fun (c1, i1, f1, b1, ic1) (c2, i2, f2, b2, ic2) ->
+      Alcotest.(check int) "cycles" c1 c2;
+      Alcotest.(check int) "issued" i1 i2;
+      Alcotest.(check int) "flops" f1 f2;
+      Alcotest.(check int) "barrier stalls" b1 b2;
+      Alcotest.(check int) "icache stalls" ic1 ic2)
+    serial parallel
+
+let test_autotune_winner_across_jobs () =
+  let mech = Lazy.force dme in
+  let tune jobs =
+    Singe.Autotune.tune ~warp_candidates:[ 2; 4 ] ~jobs mech
+      Singe.Kernel_abi.Conductivity Singe.Compile.Warp_specialized
+      Arch.kepler_k20c
+  in
+  let a = tune 1 and b = tune 4 in
+  Alcotest.(check int) "tried" a.Singe.Autotune.tried b.Singe.Autotune.tried;
+  Alcotest.(check int) "skipped" a.Singe.Autotune.skipped
+    b.Singe.Autotune.skipped;
+  Alcotest.(check int) "winner warps"
+    a.Singe.Autotune.best.Singe.Autotune.options.Singe.Compile.n_warps
+    b.Singe.Autotune.best.Singe.Autotune.options.Singe.Compile.n_warps;
+  Alcotest.(check int) "winner ctas"
+    a.Singe.Autotune.best.Singe.Autotune.options.Singe.Compile.ctas_per_sm_target
+    b.Singe.Autotune.best.Singe.Autotune.options.Singe.Compile.ctas_per_sm_target;
+  Alcotest.(check (float 0.0)) "winner throughput"
+    a.Singe.Autotune.best.Singe.Autotune.throughput
+    b.Singe.Autotune.best.Singe.Autotune.throughput
+
+(* ---- SM event-queue fast paths ---- *)
+
+let empty_banks n_warps = Array.init n_warps (fun _ -> Array.init 32 (fun _ -> [||]))
+let empty_ibanks n_warps = Array.init n_warps (fun _ -> Array.init 32 (fun _ -> [||]))
+
+let base_program ?(n_warps = 2) ?(barriers = 2) ~body () =
+  {
+    Isa.name = "test";
+    n_warps;
+    n_fregs = 8;
+    n_iregs = 1;
+    shared_doubles = 128;
+    local_doubles = 0;
+    barriers_used = barriers;
+    point_map = Isa.Thread_per_point;
+    prologue = Isa.Instrs [];
+    body;
+    const_bank = empty_banks n_warps;
+    param_bank = empty_ibanks n_warps;
+    const_mem = [| 3.5 |];
+    groups =
+      [|
+        { Isa.group_name = "a"; fields = 1 };
+        { Isa.group_name = "out"; fields = 1 };
+      |];
+    exp_consts_in_registers = false;
+  }
+
+let run_program ?(points = 128) p ~fill =
+  let ctas = points / (p.Isa.n_warps * 32) in
+  Machine.run ~fill_inputs:fill Arch.kepler_k20c
+    { Machine.program = p; total_points = points; ctas }
+
+(* A single warp whose whole body is one long-latency dependence chain:
+   after each issue every warp is stalled, so the scheduler spends almost
+   all its time in the idle fast-forward. The fast-forward must land
+   exactly on the wake-up cycle: issuing the dependent instruction late
+   would inflate the total, waking early would deflate it below the chain
+   latency. *)
+let test_fast_forward_exact () =
+  let chain =
+    Isa.Ld_global { dst = 0; group = 0; field = Isa.F_static 0; via_tex = true; pred = None }
+    :: List.concat
+         (List.init 8 (fun i ->
+              [
+                Isa.Arith
+                  { op = Isa.Div;
+                    dst = (i + 1) mod 2;
+                    srcs = [| Isa.Sreg (i mod 2); Isa.Simm 1.5 |];
+                    pred = None };
+              ]))
+    @ [ Isa.St_global { src = Isa.Sreg 0; group = 1; field = Isa.F_static 0; pred = None } ]
+  in
+  let p = base_program ~n_warps:1 ~body:(Isa.Instrs chain) () in
+  let r = run_program ~points:32 p ~fill:(fun _ _ -> ()) in
+  let cycles = r.Machine.sm_cycles in
+  (* Eight dependent double-precision divides dominate: each costs
+     [3 * dp_latency] (the Div latency multiplier) before its consumer
+     may issue, so the total must be at least that and — fast-forward
+     being exact — not meaningfully more than the chain plus fetch and
+     memory overheads. *)
+  let a = Arch.kepler_k20c in
+  let chain_lower = 8 * 3 * a.Arch.arith_latency in
+  Alcotest.(check bool)
+    (Printf.sprintf "cycles %d >= dependence chain %d" cycles chain_lower)
+    true (cycles >= chain_lower);
+  let upper =
+    chain_lower + a.Arch.global_latency + (2 * a.Arch.icache_miss_latency) + 200
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "cycles %d <= %d (no overshoot)" cycles upper)
+    true (cycles <= upper);
+  (* Deterministic: a second identical run reproduces the count. *)
+  let r2 = run_program ~points:32 p ~fill:(fun _ _ -> ()) in
+  Alcotest.(check int) "rerun identical" cycles r2.Machine.sm_cycles
+
+let test_deadlock_still_fires () =
+  (* With the ready-bitset + event-queue loop, a cycle where no warp is
+     ready and no stall event is pending must still be diagnosed, not
+     fast-forwarded past. *)
+  let p =
+    base_program ~n_warps:2
+      ~body:
+        (Isa.If_warps
+           { mask = 2; body = Isa.Instrs [ Isa.Bar_sync { bar = 0; count = 2 } ] })
+      ()
+  in
+  let p = { p with Isa.point_map = Isa.Coop } in
+  match run_program ~points:64 p ~fill:(fun _ _ -> ()) with
+  | exception Sm.Deadlock _ -> ()
+  | _ -> Alcotest.fail "deadlock not detected"
+
+let tests =
+  [
+    Alcotest.test_case "parallel_map order" `Quick test_map_order;
+    Alcotest.test_case "parallel_map exception order" `Quick
+      test_map_exception_order;
+    Alcotest.test_case "parallel_map nested" `Quick test_map_nested_serial;
+    Alcotest.test_case "sim identical across jobs" `Slow
+      test_sim_identical_across_jobs;
+    Alcotest.test_case "autotune winner across jobs" `Slow
+      test_autotune_winner_across_jobs;
+    Alcotest.test_case "fast-forward exact" `Quick test_fast_forward_exact;
+    Alcotest.test_case "deadlock still fires" `Quick test_deadlock_still_fires;
+  ]
