@@ -1,4 +1,4 @@
-.PHONY: all build test fmt fmt-check check perf perf-quick clean
+.PHONY: all build test test-faults fmt fmt-check check perf perf-quick clean
 
 all: build
 
@@ -7,6 +7,12 @@ build:
 
 test:
 	dune runtest
+
+# Just the fault-containment suite (static deadlock verifier, watchdog,
+# fault injection, poisoned sweeps). Included in `dune runtest`; this
+# target isolates it for quick iteration.
+test-faults:
+	dune exec test/test_main.exe -- test faults
 
 # dune formats its own files natively (ocamlformat is not a dependency);
 # `make fmt` promotes, `make fmt-check` fails on drift.

@@ -141,29 +141,49 @@ let perf_configs () =
         [ Singe.Compile.Warp_specialized; Singe.Compile.Baseline ])
     kernels
 
-let perf ~out () =
+(* One perf config's outcome: a JSON entry, a compile-stage skip, or a
+   contained simulation fault (watchdog / deadlock); the latter two are
+   counted separately in the document header. *)
+type perf_outcome = P_entry of string | P_skip of string | P_fault of string
+
+let perf ~out ?max_cycles () =
   let points = 8192 in
+  (* Arm the watchdog even when the caller does not: a regression that
+     hangs the simulator must fail the perf gate, not wedge it. *)
+  let max_cycles =
+    match max_cycles with Some n -> n | None -> 200_000_000
+  in
   let sweep_start = Unix.gettimeofday () in
   (* Each config is an independent compile+simulate job: fan them out and
      keep every print (stderr skips included) post-join so the output is
      byte-identical at any job count. Host-side wall-clock fields are the
      only thing allowed to vary across runs. *)
   let entry (mech, kernel, version, options) =
+    let label =
+      Printf.sprintf "%s %s"
+        (Singe.Kernel_abi.kernel_name kernel)
+        (Singe.Compile.version_name version)
+    in
     match
       Singe.Compile.compile_checked ~validate:true mech kernel version options
     with
     | Error d ->
-        Error
-          (Printf.sprintf "perf: skipping %s %s: %s\n"
-             (Singe.Kernel_abi.kernel_name kernel)
-             (Singe.Compile.version_name version)
+        P_skip
+          (Printf.sprintf "perf: skipping %s: %s\n" label
              (Singe.Diagnostics.to_string d))
-    | Ok (c, report) ->
+    | Ok (c, report) -> (
         let t0 = Unix.gettimeofday () in
-        let r = Singe.Compile.run c ~total_points:points in
+        match Singe.Compile.run c ~total_points:points ~max_cycles with
+        | exception Gpusim.Sm.Simulation_fault f ->
+            P_fault
+              (Printf.sprintf "perf: simulation fault in %s: %s at cycle %d: %s\n"
+                 label
+                 (Gpusim.Sm.fault_kind_name f.Gpusim.Sm.fault_kind)
+                 f.Gpusim.Sm.fault_cycle f.Gpusim.Sm.detail)
+        | r ->
         let wall_s = Unix.gettimeofday () -. t0 in
         let sm_cycles = r.Singe.Compile.machine.Gpusim.Machine.sm_cycles in
-        Ok
+        P_entry
           (Printf.sprintf
              "{\"mech\": \"%s\", \"kernel\": \"%s\", \"version\": \"%s\", \
               \"arch\": \"%s\", \"points\": %d, \"points_per_sec\": %.6g, \
@@ -182,23 +202,28 @@ let perf ~out () =
              r.Singe.Compile.max_rel_err
              wall_s
              (float_of_int sm_cycles /. Float.max 1e-9 wall_s)
-             (Singe.Pass.report_to_json report))
+             (Singe.Pass.report_to_json report)))
   in
   let outcomes = Sutil.Domain_pool.parallel_map entry (perf_configs ()) in
   let entries =
     List.filter_map
       (function
-        | Ok e -> Some e
-        | Error msg ->
+        | P_entry e -> Some e
+        | P_skip msg | P_fault msg ->
             prerr_string msg;
             None)
       outcomes
   in
+  let count p = List.length (List.filter p outcomes) in
+  let faults_detected = count (function P_fault _ -> true | _ -> false) in
+  let candidates_skipped = count (function P_entry _ -> false | _ -> true) in
   let json =
     Printf.sprintf
-      "{\"schema\": \"singe-perf-v2\", \"jobs\": %d, \"sweep_wall_s\": %.4f, \
-       \"results\": [\n%s\n]}\n"
+      "{\"schema\": \"singe-perf-v3\", \"jobs\": %d, \"max_cycles\": %d, \
+       \"faults_detected\": %d, \"candidates_skipped\": %d, \
+       \"sweep_wall_s\": %.4f, \"results\": [\n%s\n]}\n"
       (Sutil.Domain_pool.default_jobs ())
+      max_cycles faults_detected candidates_skipped
       (Unix.gettimeofday () -. sweep_start)
       (String.concat ",\n" entries)
   in
@@ -227,13 +252,34 @@ let rec extract_jobs = function
   | arg :: rest -> arg :: extract_jobs rest
   | [] -> []
 
+(* Same for [--max-cycles N]: the perf watchdog budget. *)
+let perf_max_cycles = ref None
+
+let rec extract_max_cycles = function
+  | "--max-cycles" :: n :: rest -> (
+      match int_of_string_opt n with
+      | Some c when c > 0 ->
+          perf_max_cycles := Some c;
+          extract_max_cycles rest
+      | Some _ | None ->
+          prerr_endline "bench: --max-cycles expects a positive integer";
+          exit 2)
+  | [ "--max-cycles" ] ->
+      prerr_endline "bench: --max-cycles expects a positive integer";
+      exit 2
+  | arg :: rest -> arg :: extract_max_cycles rest
+  | [] -> []
+
 let () =
-  let args = Array.to_list Sys.argv |> List.tl |> extract_jobs in
+  let args =
+    Array.to_list Sys.argv |> List.tl |> extract_jobs |> extract_max_cycles
+  in
   (match args with
   | [] | [ "all" ] -> Experiments.Figures.all ()
   | [ "microbench" ] -> microbenchmarks ()
-  | [ "perf" ] -> perf ~out:None ()
-  | [ "perf"; "--out"; file ] -> perf ~out:(Some file) ()
+  | [ "perf" ] -> perf ~out:None ?max_cycles:!perf_max_cycles ()
+  | [ "perf"; "--out"; file ] ->
+      perf ~out:(Some file) ?max_cycles:!perf_max_cycles ()
   | names ->
       List.iter
         (fun name ->

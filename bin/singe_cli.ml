@@ -7,9 +7,18 @@
    singe figures   [fig3 fig9 ... | all]
 
    Mechanisms: the bundled synthetic dme / heptane / hydrogen, or external
-   CHEMKIN inputs via --chemkin/--thermo/--transport[/--sets]. *)
+   CHEMKIN inputs via --chemkin/--thermo/--transport[/--sets].
+
+   Exit codes: 0 success; 1 unexpected error; 2 the compile pipeline
+   rejected the configuration (options or a validation pass, including
+   the static deadlock verifier); 3 the simulation was contained by the
+   runtime watchdog (deadlock, livelock or cycle-budget exhaustion) and
+   a structured fault report was printed. *)
 
 open Cmdliner
+
+let exit_compile_rejected = 2
+let exit_simulation_fault = 3
 
 let mech_term =
   let mech_name =
@@ -27,7 +36,11 @@ let mech_term =
             ~thermo_path:th ~transport_path:tr ~name:"user" ()
         with
         | Ok m -> Ok m
-        | Error e -> Error (`Msg e))
+        | Error e ->
+            Error
+              (`Msg
+                (Singe.Diagnostics.to_string
+                   (Singe.Diagnostics.of_srcloc ~pass:"parse" e))))
     | None, None, None -> (
         match String.lowercase_ascii name with
         | "dme" -> Ok (Chem.Mech_gen.dme ())
@@ -136,7 +149,39 @@ let compile_or_die ~validate mech kernel version options =
   | Ok (c, report) -> (c, report)
   | Error d ->
       Printf.eprintf "singe: %s\n" (Singe.Diagnostics.to_string d);
-      exit 1
+      exit exit_compile_rejected
+
+(* Fault-containment flags shared by the simulating commands. *)
+let cycles_conv =
+  let parse s =
+    match int_of_string_opt s with
+    | Some n when n > 0 -> Ok n
+    | Some n ->
+        Error (`Msg (Printf.sprintf "cycle budget must be positive, got %d" n))
+    | None -> Error (`Msg (Printf.sprintf "%S is not an integer" s))
+  in
+  Arg.conv (parse, Format.pp_print_int)
+
+let max_cycles_term =
+  Arg.(value & opt (some cycles_conv) None & info [ "max-cycles" ] ~docv:"N"
+       ~doc:"Arm the simulator watchdog: a simulation still live after N \
+             cycles is aborted with a structured fault report (exit code 3) \
+             instead of running forever.")
+
+let fault_conv =
+  let parse s =
+    match Gpusim.Fault.of_string s with Ok f -> Ok f | Error m -> Error (`Msg m)
+  in
+  let print ppf f = Format.pp_print_string ppf (Gpusim.Fault.to_string f) in
+  Arg.conv (parse, print)
+
+let faults_term =
+  Arg.(value & opt_all fault_conv [] & info [ "fault" ] ~docv:"SPEC"
+       ~doc:"Inject a trace-level fault before simulating (repeatable): \
+             $(b,drop-arrive:warp=W,nth=K), \
+             $(b,swap-barrier:warp=W,nth=K,bar=B), \
+             $(b,extra-arrive:warp=W,nth=K) or $(b,latency:warp=W,mult=M). \
+             Used to exercise the watchdog and the containment paths.")
 
 let print_report report =
   Format.printf "@[<v>%a@]@." Singe.Pass.pp_report report
@@ -224,11 +269,25 @@ let compile_cmd =
 
 let run_cmd =
   let points = Arg.(value & opt int 32768 & info [ "points" ] ~docv:"N") in
-  let run mech kernel arch warps version points timings validate =
+  let run mech kernel arch warps version points timings validate faults
+      max_cycles =
     let c, report =
       compile_or_die ~validate mech kernel version (options_of arch warps kernel)
     in
-    let r = Singe.Compile.run c ~total_points:points in
+    let r =
+      (* A contained simulation fault (injected or real) and a fault spec
+         that matches nothing in the trace each get their own exit code,
+         distinct from a compile-pipeline rejection. *)
+      match Singe.Compile.run c ~total_points:points ~faults ?max_cycles with
+      | r -> r
+      | exception Gpusim.Sm.Simulation_fault report ->
+          Format.eprintf "singe: simulation fault@.%a@." Gpusim.Sm.pp_fault
+            report;
+          exit exit_simulation_fault
+      | exception Invalid_argument msg ->
+          Printf.eprintf "singe: %s\n" msg;
+          exit exit_compile_rejected
+    in
     Printf.printf
       "%s on %s: %.4g points/s, %.1f GFLOPS, %.1f GB/s DRAM, worst rel. \
        error vs host reference %.2g\n"
@@ -242,13 +301,21 @@ let run_cmd =
   in
   Cmd.v (Cmd.info "run" ~doc:"Compile, simulate and verify a kernel.")
     Term.(const run $ mech_term $ kernel_term $ arch_term $ warps_term
-          $ version_term $ points $ timings_term $ validate_term)
+          $ version_term $ points $ timings_term $ validate_term
+          $ faults_term $ max_cycles_term)
 
 let tune_cmd =
-  let run mech kernel arch version () =
-    let o = Singe.Autotune.tune mech kernel version arch in
+  let run mech kernel arch version max_cycles () =
+    let o = Singe.Autotune.tune ?max_cycles mech kernel version arch in
     Printf.printf "tried %d configurations (%d skipped)\n"
       o.Singe.Autotune.tried o.Singe.Autotune.skipped;
+    List.iter
+      (fun (f : Singe.Autotune.failure) ->
+        Printf.printf "  skipped warps=%d ctas=%d: %s\n"
+          f.Singe.Autotune.failed_options.Singe.Compile.n_warps
+          f.Singe.Autotune.failed_options.Singe.Compile.ctas_per_sm_target
+          f.Singe.Autotune.reason)
+      o.Singe.Autotune.failures;
     Printf.printf "best: %d warps, %d CTAs/SM target -> %.4g points/s\n"
       o.Singe.Autotune.best.Singe.Autotune.options.Singe.Compile.n_warps
       o.Singe.Autotune.best.Singe.Autotune.options.Singe.Compile.ctas_per_sm_target
@@ -256,7 +323,7 @@ let tune_cmd =
   in
   Cmd.v (Cmd.info "tune" ~doc:"Brute-force autotune a kernel configuration.")
     Term.(const run $ mech_term $ kernel_term $ arch_term $ version_term
-          $ jobs_term)
+          $ max_cycles_term $ jobs_term)
 
 let stats_cmd =
   let run mech kernel arch warps version =

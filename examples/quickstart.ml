@@ -26,7 +26,7 @@ let () =
         ~transport_path:(path ".tran") ~name:"hydrogen" ()
     with
     | Ok m -> m
-    | Error e -> failwith e
+    | Error e -> failwith (Chem.Srcloc.to_string e)
   in
   Format.printf "loaded %a@." Chem.Mechanism.pp mech;
 

@@ -25,9 +25,7 @@ type t = {
   raw_reactions : raw_reaction list;
 }
 
-exception Parse_error of int * string
-
-let fail line fmt = Printf.ksprintf (fun s -> raise (Parse_error (line, s))) fmt
+let fail line fmt = Srcloc.raise_at line fmt
 
 let strip_comment line =
   match String.index_opt line '!' with
@@ -45,7 +43,7 @@ let float_of_token line s =
   let s = String.map (fun c -> if c = 'D' || c = 'd' then 'E' else c) s in
   match float_of_string_opt s with
   | Some f -> f
-  | None -> fail line "cannot parse number %S" s
+  | None -> Srcloc.raise_at ~token:s line "cannot parse number %S" s
 
 (* Parse one side of an equation: "2CH3+H" or "CH4 + H". "(+M)" has already
    been removed; a bare "M" term is handled by the caller. *)
@@ -234,7 +232,7 @@ let try_parse_reaction_line lineno text =
 
 type section = S_none | S_elements | S_species | S_reactions
 
-let parse contents =
+let parse ?file contents =
   let lines = String.split_on_char '\n' contents in
   let elements = ref [] in
   let species = ref [] in
@@ -303,16 +301,11 @@ let parse contents =
         species_names = !species;
         raw_reactions = List.rev !reactions;
       }
-  with Parse_error (line, msg) -> Error (Printf.sprintf "line %d: %s" line msg)
+  with Srcloc.Parse_error e -> Error (Srcloc.in_file ?file e)
 
-let parse_file path =
-  let ic = open_in path in
-  let len = in_channel_length ic in
-  let contents = really_input_string ic len in
-  close_in ic;
-  parse contents
+let parse_file path = Srcloc.with_contents path (parse ~file:path)
 
-let parse_species_sets contents =
+let parse_species_sets ?file contents =
   let lines = String.split_on_char '\n' contents in
   let qssa = ref [] and stiff = ref [] in
   let target = ref None in
@@ -332,13 +325,14 @@ let parse_species_sets contents =
               | Some dest -> dest := !dest @ tokens_of upper))
       lines;
     Ok (!qssa, !stiff)
-  with Parse_error (line, msg) -> Error (Printf.sprintf "line %d: %s" line msg)
+  with Srcloc.Parse_error e -> Error (Srcloc.in_file ?file e)
 
 let rate_model_of_raw r =
+  let err fmt = Printf.ksprintf (fun msg -> Error (Srcloc.error_at ~token:r.equation r.line "%s" msg)) fmt in
   if r.plog <> [] then
     if r.falloff || r.low <> None || r.troe <> None || r.sri <> None
        || r.landau_teller <> None
-    then Error (Printf.sprintf "line %d: PLOG/ cannot combine with falloff or LT" r.line)
+    then err "PLOG/ cannot combine with falloff or LT"
     else
       let sorted = List.sort (fun (p, _) (q, _) -> compare p q) r.plog in
       Ok (Reaction.Plog sorted)
@@ -346,24 +340,17 @@ let rate_model_of_raw r =
   match (r.falloff, r.low, r.troe, r.sri, r.landau_teller) with
   | _, _, _, _, Some (b, c) ->
       if r.falloff || r.low <> None || r.troe <> None || r.sri <> None then
-        Error
-          (Printf.sprintf "line %d: LT/ cannot combine with falloff" r.line)
+        err "LT/ cannot combine with falloff"
       else Ok (Reaction.Landau_teller { arr = r.arrhenius; b; c })
-  | _, _, Some _, Some _, None ->
-      Error
-        (Printf.sprintf "line %d: TROE/ and SRI/ are mutually exclusive" r.line)
+  | _, _, Some _, Some _, None -> err "TROE/ and SRI/ are mutually exclusive"
   | true, Some low, None, None, None ->
       Ok (Reaction.Falloff { high = r.arrhenius; low; kind = Reaction.Lindemann })
   | true, Some low, Some troe, None, None ->
       Ok (Reaction.Falloff { high = r.arrhenius; low; kind = Reaction.Troe troe })
   | true, Some low, None, Some sri, None ->
       Ok (Reaction.Falloff { high = r.arrhenius; low; kind = Reaction.Sri sri })
-  | true, None, _, _, None ->
-      Error (Printf.sprintf "line %d: falloff reaction lacks LOW/ line" r.line)
-  | false, Some _, _, _, None ->
-      Error (Printf.sprintf "line %d: LOW/ on a non-falloff reaction" r.line)
-  | false, None, Some _, _, None ->
-      Error (Printf.sprintf "line %d: TROE/ on a non-falloff reaction" r.line)
-  | false, None, None, Some _, None ->
-      Error (Printf.sprintf "line %d: SRI/ on a non-falloff reaction" r.line)
+  | true, None, _, _, None -> err "falloff reaction lacks LOW/ line"
+  | false, Some _, _, _, None -> err "LOW/ on a non-falloff reaction"
+  | false, None, Some _, _, None -> err "TROE/ on a non-falloff reaction"
+  | false, None, None, Some _, None -> err "SRI/ on a non-falloff reaction"
   | false, None, None, None, None -> Ok (Reaction.Simple r.arrhenius)

@@ -39,16 +39,23 @@ type t = {
   raw_reactions : raw_reaction list;
 }
 
-val parse : string -> (t, string) result
-(** Parse file contents. Errors carry a line number. *)
+val parse : ?file:string -> string -> (t, Srcloc.error) result
+(** Parse file contents. Errors are positioned ({!Srcloc.error}): 1-based
+    line, the offending token when one is isolated, and [file] when
+    given. *)
 
-val parse_file : string -> (t, string) result
+val parse_file : string -> (t, Srcloc.error) result
+(** {!parse} on the file's contents, with the path attached to any error
+    (including a failure to read the file itself). *)
 
-val parse_species_sets : string -> ((string list * string list), string) result
+val parse_species_sets :
+  ?file:string -> string -> (string list * string list, Srcloc.error) result
 (** Parser for the optional fourth input file: a [QSSA] section and a
     [STIFF] section, each listing species names, ["!"] comments allowed.
     Returns (qssa names, stiff names). *)
 
-val rate_model_of_raw : raw_reaction -> (Reaction.rate_model, string) result
+val rate_model_of_raw :
+  raw_reaction -> (Reaction.rate_model, Srcloc.error) result
 (** Combine the auxiliary information into a {!Reaction.rate_model};
-    rejects inconsistent combinations (e.g. TROE without LOW). *)
+    rejects inconsistent combinations (e.g. TROE without LOW), positioned
+    at the reaction's equation line. *)

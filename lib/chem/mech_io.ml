@@ -1,13 +1,23 @@
 let ( let* ) = Result.bind
 
-let load_strings ?species_sets ~chemkin ~thermo ~transport ~name () =
-  let* parsed = Chemkin_parser.parse chemkin in
-  let* thermo_entries = Thermo_parser.parse thermo in
-  let* transport_entries = Transport_parser.parse transport in
+let load_strings ?species_sets ?chemkin_file ?thermo_file ?transport_file
+    ?sets_file ~chemkin ~thermo ~transport ~name () =
+  let* parsed = Chemkin_parser.parse ?file:chemkin_file chemkin in
+  let* thermo_entries = Thermo_parser.parse ?file:thermo_file thermo in
+  let* transport_entries = Transport_parser.parse ?file:transport_file transport in
   let* sets =
     match species_sets with
     | None -> Ok ([], [])
-    | Some s -> Chemkin_parser.parse_species_sets s
+    | Some s -> Chemkin_parser.parse_species_sets ?file:sets_file s
+  in
+  (* Semantic (cross-file resolution) errors are attributed to the CHEMKIN
+     mechanism file: that is where species are declared and reactions
+     written. *)
+  let sem ?token ?(line = 0) fmt =
+    Printf.ksprintf
+      (fun msg ->
+        Error { Srcloc.loc = { Srcloc.file = chemkin_file; line; token }; msg })
+      fmt
   in
   let find_thermo name =
     List.find_opt
@@ -20,7 +30,7 @@ let load_strings ?species_sets ~chemkin ~thermo ~transport ~name () =
   (* Build the species array in CHEMKIN declaration order. *)
   let build_species sp_name =
     match find_thermo sp_name with
-    | None -> Error (Printf.sprintf "species %S has no THERMO entry" sp_name)
+    | None -> sem ~token:sp_name "species %S has no THERMO entry" sp_name
     | Some th ->
         let transport =
           match find_transport sp_name with
@@ -40,29 +50,34 @@ let load_strings ?species_sets ~chemkin ~thermo ~transport ~name () =
   let* pairs = build_all [] parsed.Chemkin_parser.species_names in
   let species = Array.of_list (List.map fst pairs) in
   let thermo_table = Array.of_list (List.map snd pairs) in
-  let index_of sp_name =
+  let index_of ?line sp_name =
     let target = String.uppercase_ascii sp_name in
     let rec go i =
       if i >= Array.length species then
-        Error (Printf.sprintf "unknown species %S" sp_name)
+        sem ~token:sp_name ?line "unknown species %S" sp_name
       else if String.uppercase_ascii species.(i).Species.name = target then Ok i
       else go (i + 1)
     in
     go 0
   in
-  let resolve_side side =
+  let resolve_side ?line side =
     let rec go acc = function
       | [] -> Ok (List.rev acc)
       | (n, c) :: rest ->
-          let* i = index_of n in
+          let* i = index_of ?line n in
           go ((i, c) :: acc) rest
     in
     go [] side
   in
   let build_reaction (raw : Chemkin_parser.raw_reaction) =
-    let* lhs = resolve_side raw.Chemkin_parser.lhs in
-    let* rhs = resolve_side raw.Chemkin_parser.rhs in
-    let* rate = Chemkin_parser.rate_model_of_raw raw in
+    let line = raw.Chemkin_parser.line in
+    let* lhs = resolve_side ~line raw.Chemkin_parser.lhs in
+    let* rhs = resolve_side ~line raw.Chemkin_parser.rhs in
+    let* rate =
+      Result.map_error
+        (Srcloc.in_file ?file:chemkin_file)
+        (Chemkin_parser.rate_model_of_raw raw)
+    in
     let reverse =
       match (raw.Chemkin_parser.rev, raw.Chemkin_parser.reversible) with
       | Some a, _ -> Reaction.Explicit a
@@ -74,7 +89,7 @@ let load_strings ?species_sets ~chemkin ~thermo ~transport ~name () =
         let rec resolve acc = function
           | [] -> Ok (List.rev acc)
           | (n, eff) :: rest ->
-              let* i = index_of n in
+              let* i = index_of ~line n in
               resolve ((i, eff) :: acc) rest
         in
         let* enhanced = resolve [] raw.Chemkin_parser.efficiencies in
@@ -108,7 +123,7 @@ let load_strings ?species_sets ~chemkin ~thermo ~transport ~name () =
   in
   match Mechanism.validate mech with
   | Ok () -> Ok mech
-  | Error problems -> Error (String.concat "; " problems)
+  | Error problems -> sem "%s" (String.concat "; " problems)
 
 let read_file path =
   let ic = open_in path in
@@ -119,11 +134,20 @@ let read_file path =
 
 let load_files ?species_sets_path ~chemkin_path ~thermo_path ~transport_path
     ~name () =
-  let species_sets = Option.map read_file species_sets_path in
-  load_strings ?species_sets ~chemkin:(read_file chemkin_path)
-    ~thermo:(read_file thermo_path)
-    ~transport:(read_file transport_path)
-    ~name ()
+  (* [read_file] raises [Sys_error] on a missing or unreadable input;
+     contain it as a positioned error so drivers never see an exception. *)
+  match
+    let species_sets = Option.map read_file species_sets_path in
+    ( species_sets,
+      read_file chemkin_path,
+      read_file thermo_path,
+      read_file transport_path )
+  with
+  | species_sets, chemkin, thermo, transport ->
+      load_strings ?species_sets ?sets_file:species_sets_path
+        ~chemkin_file:chemkin_path ~thermo_file:thermo_path
+        ~transport_file:transport_path ~chemkin ~thermo ~transport ~name ()
+  | exception Sys_error msg -> Error { Srcloc.loc = Srcloc.none; msg }
 
 let arrhenius_text (a : Reaction.arrhenius) =
   Printf.sprintf "%.6E %.3f %.3E" a.Reaction.pre_exp a.Reaction.temp_exp

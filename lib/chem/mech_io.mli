@@ -3,16 +3,26 @@
 
 val load_strings :
   ?species_sets:string ->
+  ?chemkin_file:string ->
+  ?thermo_file:string ->
+  ?transport_file:string ->
+  ?sets_file:string ->
   chemkin:string ->
   thermo:string ->
   transport:string ->
   name:string ->
   unit ->
-  (Mechanism.t, string) result
+  (Mechanism.t, Srcloc.error) result
 (** Parse all inputs, resolve species names, attach thermo/transport data,
     build rate models, and validate. Species missing a TRANSPORT entry get
     {!Species.default_transport}; species missing a THERMO entry are an
-    error. *)
+    error.
+
+    Errors are positioned ({!Srcloc.error}); the optional [*_file] names
+    label each input so a parse error points at the right source file.
+    Cross-file resolution errors (unknown species, missing THERMO entry)
+    are attributed to the CHEMKIN file, at the offending reaction's line
+    when one is involved. *)
 
 val load_files :
   ?species_sets_path:string ->
@@ -21,7 +31,10 @@ val load_files :
   transport_path:string ->
   name:string ->
   unit ->
-  (Mechanism.t, string) result
+  (Mechanism.t, Srcloc.error) result
+(** {!load_strings} on the files' contents, with each path attached to
+    its errors. An unreadable input file is returned as an error (the
+    [Sys_error] is contained), never raised. *)
 
 val chemkin_of_mechanism : Mechanism.t -> string
 (** CHEMKIN mechanism text (ELEMENTS/SPECIES/REACTIONS) for the given

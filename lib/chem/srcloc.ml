@@ -1,0 +1,50 @@
+type t = { file : string option; line : int; token : string option }
+type error = { loc : t; msg : string }
+
+exception Parse_error of error
+
+let none = { file = None; line = 0; token = None }
+let make ?file ?token line = { file; line; token }
+
+let raise_at ?token line fmt =
+  Printf.ksprintf
+    (fun msg -> raise (Parse_error { loc = make ?token line; msg }))
+    fmt
+
+let error_at ?file ?token line fmt =
+  Printf.ksprintf (fun msg -> { loc = make ?file ?token line; msg }) fmt
+
+let in_file ?file (e : error) =
+  match (file, e.loc.file) with
+  | Some _, None -> { e with loc = { e.loc with file } }
+  | _ -> e
+
+let with_contents path k =
+  match
+    let ic = open_in path in
+    let len = in_channel_length ic in
+    let contents = really_input_string ic len in
+    close_in ic;
+    contents
+  with
+  | contents -> k contents
+  | exception Sys_error msg -> Error { loc = make ~file:path 0; msg }
+
+let loc_string loc =
+  match (loc.file, loc.line) with
+  | Some f, n when n > 0 -> Some (Printf.sprintf "%s:%d" f n)
+  | Some f, _ -> Some f
+  | None, n when n > 0 -> Some (Printf.sprintf "line %d" n)
+  | None, _ -> None
+
+let message_string (e : error) =
+  match e.loc.token with
+  | Some tok -> Printf.sprintf "near %S: %s" tok e.msg
+  | None -> e.msg
+
+let to_string (e : error) =
+  match loc_string e.loc with
+  | Some l -> l ^ ": " ^ message_string e
+  | None -> message_string e
+
+let pp ppf e = Format.pp_print_string ppf (to_string e)

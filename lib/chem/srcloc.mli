@@ -1,0 +1,55 @@
+(** Source positions for the CHEMKIN-standard input parsers.
+
+    Every parser in this library ({!Chemkin_parser}, {!Thermo_parser},
+    {!Transport_parser}) and the assembly driver ({!Mech_io}) reports
+    failures as a positioned {!error} — file (when parsing from a file),
+    1-based line, and the offending token when one is isolated — instead
+    of a bare string, so drivers can point the user at the exact input
+    that broke. *)
+
+type t = {
+  file : string option;  (** input file, when parsing from disk *)
+  line : int;  (** 1-based source line; [0] when unknown *)
+  token : string option;  (** the offending token, when isolated *)
+}
+
+type error = { loc : t; msg : string }
+
+exception Parse_error of error
+(** Used internally by the parsers for early exit; the public [parse]
+    entry points always catch it and return [Error]. *)
+
+val none : t
+(** The empty location (no file, line 0, no token). *)
+
+val make : ?file:string -> ?token:string -> int -> t
+
+val raise_at : ?token:string -> int -> ('a, unit, string, 'b) format4 -> 'a
+(** [raise_at line fmt ...] raises {!Parse_error} at [line] (no file —
+    the catching entry point fills it in via {!in_file}). *)
+
+val error_at :
+  ?file:string -> ?token:string -> int ->
+  ('a, unit, string, error) format4 -> 'a
+
+val in_file : ?file:string -> error -> error
+(** Attach the source file to an error that does not have one yet
+    (errors that already carry a file keep it). *)
+
+val with_contents :
+  string -> (string -> ('a, error) result) -> ('a, error) result
+(** [with_contents path k] reads [path] and applies [k] to its contents;
+    a failure to read the file becomes a positioned error carrying the
+    path instead of an uncaught [Sys_error]. *)
+
+val loc_string : t -> string option
+(** ["file:12"], ["file"], ["line 12"], or [None] when empty. *)
+
+val message_string : error -> string
+(** The message, prefixed with [near "TOKEN": ] when a token is known. *)
+
+val to_string : error -> string
+(** One-line rendering: ["input.mech:12: near \"FOO\": message"], with
+    the absent parts omitted. *)
+
+val pp : Format.formatter -> error -> unit

@@ -4,9 +4,7 @@ type entry = {
   thermo : Thermo.entry;
 }
 
-exception Parse_error of int * string
-
-let fail line fmt = Printf.ksprintf (fun s -> raise (Parse_error (line, s))) fmt
+let fail line fmt = Srcloc.raise_at line fmt
 
 let field text lo len =
   (* 1-based fixed columns; tolerate short lines by padding. *)
@@ -21,7 +19,9 @@ let float_field lineno text lo len =
   let s = String.map (fun c -> if c = 'D' || c = 'd' then 'E' else c) s in
   match float_of_string_opt s with
   | Some f -> f
-  | None -> fail lineno "bad number %S in columns %d-%d" s lo (lo + len - 1)
+  | None ->
+      Srcloc.raise_at ~token:s lineno "bad number %S in columns %d-%d" s lo
+        (lo + len - 1)
 
 let parse_composition lineno text =
   (* Four 5-column (element: 2 chars, count: 3 chars) pairs in cols 25-44. *)
@@ -31,7 +31,7 @@ let parse_composition lineno text =
     let cnt = String.trim (field text (27 + (k * 5)) 3) in
     if sym <> "" && sym <> "0" then begin
       match Species.element_of_string sym with
-      | None -> fail lineno "unknown element %S" sym
+      | None -> Srcloc.raise_at ~token:sym lineno "unknown element %S" sym
       | Some e -> (
           match int_of_string_opt cnt with
           | Some n when n > 0 -> comps := (e, n) :: !comps
@@ -48,7 +48,7 @@ let parse_composition lineno text =
 let card_floats lineno text n =
   Array.init n (fun k -> float_field lineno text (1 + (k * 15)) 15)
 
-let parse contents =
+let parse ?file contents =
   let lines =
     String.split_on_char '\n' contents
     |> List.mapi (fun i l -> (i + 1, l))
@@ -103,19 +103,13 @@ let parse contents =
           | Error msg -> fail l1 "%s" msg);
           ignore (l3, l4, c3, c4);
           take4 ({ name; composition; thermo } :: acc) rest
-        with Parse_error (line, msg) ->
-          Error (Printf.sprintf "line %d: %s" line msg))
+        with Srcloc.Parse_error e -> Error (Srcloc.in_file ?file e))
     | (l, _) :: _ ->
-        Error (Printf.sprintf "line %d: incomplete 4-card thermo entry" l)
+        Error (Srcloc.error_at ?file l "incomplete 4-card thermo entry")
   in
   take4 [] lines
 
-let parse_file path =
-  let ic = open_in path in
-  let len = in_channel_length ic in
-  let contents = really_input_string ic len in
-  close_in ic;
-  parse contents
+let parse_file path = Srcloc.with_contents path (parse ~file:path)
 
 let to_string entries =
   let buf = Buffer.create 4096 in

@@ -17,8 +17,11 @@ type entry = {
   thermo : Thermo.entry;
 }
 
-val parse : string -> (entry list, string) result
-val parse_file : string -> (entry list, string) result
+val parse : ?file:string -> string -> (entry list, Srcloc.error) result
+(** Errors are positioned ({!Srcloc.error}): 1-based line, the bad field
+    when one is isolated, and [file] when given. *)
+
+val parse_file : string -> (entry list, Srcloc.error) result
 
 val to_string : entry list -> string
 (** Emit in the same fixed-column format ({!parse} round-trips it). *)

@@ -3,7 +3,7 @@ let strip_comment line =
   | Some i -> String.sub line 0 i
   | None -> line
 
-let parse contents =
+let parse ?file contents =
   let lines = String.split_on_char '\n' contents in
   let entries = ref [] in
   let error = ref None in
@@ -20,7 +20,8 @@ let parse contents =
           in
           match toks with
           | [ name; geo; eps; sigma; mu; alpha; zrot ] -> (
-              let nums = List.map float_of_string_opt [ geo; eps; sigma; mu; alpha; zrot ] in
+              let fields = [ geo; eps; sigma; mu; alpha; zrot ] in
+              let nums = List.map float_of_string_opt fields in
               match nums with
               | [ Some g; Some e; Some s; Some m; Some a; Some z ] ->
                   entries :=
@@ -35,24 +36,26 @@ let parse contents =
                       } )
                     :: !entries
               | _ ->
+                  let bad =
+                    List.find_opt
+                      (fun t -> float_of_string_opt t = None)
+                      fields
+                  in
                   error :=
-                    Some (Printf.sprintf "line %d: bad number in %S" lineno text))
+                    Some
+                      (Srcloc.error_at ?file ?token:bad lineno
+                         "bad number in %S" text))
           | _ ->
               error :=
                 Some
-                  (Printf.sprintf "line %d: expected name + 6 fields, got %d"
-                     lineno (List.length toks))
+                  (Srcloc.error_at ?file lineno
+                     "expected name + 6 fields, got %d" (List.length toks))
         end
       end)
     lines;
   match !error with Some e -> Error e | None -> Ok (List.rev !entries)
 
-let parse_file path =
-  let ic = open_in path in
-  let len = in_channel_length ic in
-  let contents = really_input_string ic len in
-  close_in ic;
-  parse contents
+let parse_file path = Srcloc.with_contents path (parse ~file:path)
 
 let to_string entries =
   let buf = Buffer.create 1024 in

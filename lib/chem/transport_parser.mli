@@ -4,8 +4,15 @@
     (Angstrom), dipole moment (Debye), polarizability (Angstrom^3),
     rotational relaxation number. *)
 
-val parse : string -> ((string * Species.transport_params) list, string) result
-val parse_file : string -> ((string * Species.transport_params) list, string) result
+val parse :
+  ?file:string ->
+  string ->
+  ((string * Species.transport_params) list, Srcloc.error) result
+(** Errors are positioned ({!Srcloc.error}): 1-based line, the
+    unparsable token when one is isolated, and [file] when given. *)
+
+val parse_file :
+  string -> ((string * Species.transport_params) list, Srcloc.error) result
 
 val to_string : (string * Species.transport_params) list -> string
 (** Emit in the same format ({!parse} round-trips it). *)

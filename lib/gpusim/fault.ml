@@ -1,0 +1,223 @@
+(* Deterministic trace-level fault injection.
+
+   Faults are applied to the flattened per-warp traces right before
+   simulation, so the program artifact stays untouched and the same
+   compiled kernel can be run clean and poisoned in one process. Each
+   fault is pure: [apply] returns a fresh {!Trace.t} sharing unmodified
+   entries with the input.
+
+   Positions are counted over a warp's prologue followed by its body, in
+   trace order, among the instructions the fault targets (barrier
+   arrivals for [Drop_arrive]/[Extra_arrive], any named-barrier op for
+   [Swap_barrier]). A fault that matches nothing raises
+   [Invalid_argument] — silently injecting nothing would make a
+   containment test vacuously pass. *)
+
+type t =
+  | Drop_arrive of { warp : int; nth : int }
+  | Swap_barrier of { warp : int; nth : int; bar : int }
+  | Extra_arrive of { warp : int; nth : int }
+  | Latency of { warp : int; mult : int }
+
+let to_string = function
+  | Drop_arrive { warp; nth } ->
+      Printf.sprintf "drop-arrive:warp=%d,nth=%d" warp nth
+  | Swap_barrier { warp; nth; bar } ->
+      Printf.sprintf "swap-bar:warp=%d,nth=%d,bar=%d" warp nth bar
+  | Extra_arrive { warp; nth } ->
+      Printf.sprintf "extra-arrive:warp=%d,nth=%d" warp nth
+  | Latency { warp; mult } -> Printf.sprintf "latency:warp=%d,mult=%d" warp mult
+
+let describe = function
+  | Drop_arrive { warp; nth } ->
+      Printf.sprintf "drop barrier arrival %d of warp %d" nth warp
+  | Swap_barrier { warp; nth; bar } ->
+      Printf.sprintf "retarget barrier op %d of warp %d to barrier %d" nth warp
+        bar
+  | Extra_arrive { warp; nth } ->
+      Printf.sprintf "duplicate barrier arrival %d of warp %d" nth warp
+  | Latency { warp; mult } ->
+      Printf.sprintf "multiply warp %d arithmetic latencies by %d" warp mult
+
+let of_string s =
+  let fields kind rest =
+    List.filter_map
+      (fun kv ->
+        match String.index_opt kv '=' with
+        | None -> None
+        | Some i -> (
+            let k = String.sub kv 0 i in
+            let v = String.sub kv (i + 1) (String.length kv - i - 1) in
+            match int_of_string_opt (String.trim v) with
+            | Some n -> Some (String.trim k, n)
+            | None -> None))
+      (String.split_on_char ',' rest)
+    |> fun l ->
+    fun key ->
+      match List.assoc_opt key l with
+      | Some v -> Ok v
+      | None ->
+          Error
+            (Printf.sprintf "fault %S: missing or non-integer field %S" kind
+               key)
+  in
+  let ( let* ) = Result.bind in
+  match String.index_opt s ':' with
+  | None -> Error (Printf.sprintf "fault %S: expected KIND:k=v,..." s)
+  | Some i -> (
+      let kind = String.trim (String.sub s 0 i) in
+      let rest = String.sub s (i + 1) (String.length s - i - 1) in
+      let get = fields kind rest in
+      match kind with
+      | "drop-arrive" ->
+          let* warp = get "warp" in
+          let* nth = get "nth" in
+          Ok (Drop_arrive { warp; nth })
+      | "swap-bar" ->
+          let* warp = get "warp" in
+          let* nth = get "nth" in
+          let* bar = get "bar" in
+          Ok (Swap_barrier { warp; nth; bar })
+      | "extra-arrive" ->
+          let* warp = get "warp" in
+          let* nth = get "nth" in
+          Ok (Extra_arrive { warp; nth })
+      | "latency" ->
+          let* warp = get "warp" in
+          let* mult = get "mult" in
+          Ok (Latency { warp; mult })
+      | _ ->
+          Error
+            (Printf.sprintf
+               "unknown fault kind %S (expected drop-arrive, swap-bar, \
+                extra-arrive or latency)"
+               kind))
+
+(* ---- application ---- *)
+
+let check_warp fault n_warps warp =
+  if warp < 0 || warp >= n_warps then
+    invalid_arg
+      (Printf.sprintf "fault %s: warp %d outside [0, %d)" (to_string fault)
+         warp n_warps)
+
+(* Remove, duplicate or rewrite the [nth] stream position (over prologue
+   then body) whose entry satisfies [matches]. [rewrite] maps the matched
+   entry id to [None] (drop), [Some [id]] (replace) or [Some [id; id]]
+   (duplicate). *)
+let edit_stream fault (tr : Trace.t) ~warp ~nth ~matches ~rewrite =
+  let count = ref 0 in
+  let found = ref false in
+  let edit stream =
+    if !found then stream
+    else
+      let out = ref [] in
+      Array.iter
+        (fun id ->
+          if (not !found) && matches tr.Trace.entries.(id) then begin
+            if !count = nth then begin
+              found := true;
+              match rewrite id with
+              | None -> ()
+              | Some ids -> List.iter (fun i -> out := i :: !out) ids
+            end
+            else out := id :: !out;
+            incr count
+          end
+          else out := id :: !out)
+        stream;
+      if !found then Array.of_list (List.rev !out) else stream
+  in
+  let prologue = Array.copy tr.Trace.prologue in
+  let body = Array.copy tr.Trace.body in
+  prologue.(warp) <- edit prologue.(warp);
+  body.(warp) <- edit body.(warp);
+  if not !found then
+    invalid_arg
+      (Printf.sprintf
+         "fault %s: warp %d has only %d matching instruction(s)"
+         (to_string fault) warp !count);
+  { tr with Trace.prologue; body }
+
+let is_arrive (e : Trace.entry) =
+  match e.Trace.instr with Some (Isa.Bar_arrive _) -> true | _ -> false
+
+let is_named_bar (e : Trace.entry) =
+  match e.Trace.instr with
+  | Some (Isa.Bar_arrive _) | Some (Isa.Bar_sync _) -> true
+  | _ -> false
+
+let apply_one (tr : Trace.t) fault =
+  let n_warps = Array.length tr.Trace.body in
+  match fault with
+  | Drop_arrive { warp; nth } ->
+      check_warp fault n_warps warp;
+      edit_stream fault tr ~warp ~nth ~matches:is_arrive ~rewrite:(fun _ ->
+          None)
+  | Extra_arrive { warp; nth } ->
+      check_warp fault n_warps warp;
+      edit_stream fault tr ~warp ~nth ~matches:is_arrive ~rewrite:(fun id ->
+          Some [ id; id ])
+  | Swap_barrier { warp; nth; bar } ->
+      check_warp fault n_warps warp;
+      let fresh = ref None in
+      let tr' =
+        edit_stream fault tr ~warp ~nth ~matches:is_named_bar
+          ~rewrite:(fun id ->
+            let e = tr.Trace.entries.(id) in
+            let instr =
+              match e.Trace.instr with
+              | Some (Isa.Bar_arrive { count; _ }) ->
+                  Isa.Bar_arrive { bar; count }
+              | Some (Isa.Bar_sync { count; _ }) -> Isa.Bar_sync { bar; count }
+              | _ -> assert false
+            in
+            let id' = Array.length tr.Trace.entries in
+            fresh := Some { e with Trace.instr = Some instr };
+            Some [ id' ])
+      in
+      (match !fresh with
+      | None -> tr'
+      | Some e ->
+          { tr' with Trace.entries = Array.append tr.Trace.entries [| e |] })
+  | Latency { warp; mult } ->
+      check_warp fault n_warps warp;
+      if mult < 1 then
+        invalid_arg
+          (Printf.sprintf "fault %s: mult must be >= 1" (to_string fault));
+      (* Rewrite every arith entry of the warp's streams to a perturbed
+         copy; one copy per distinct entry id, so shared entries used by
+         other warps keep their original latency. *)
+      let copies = Hashtbl.create 16 in
+      let extra = ref [] in
+      let perturb id =
+        let e = tr.Trace.entries.(id) in
+        match e.Trace.instr with
+        | Some (Isa.Arith _) -> (
+            match Hashtbl.find_opt copies id with
+            | Some id' -> id'
+            | None ->
+                let id' = Array.length tr.Trace.entries + List.length !extra in
+                extra := { e with Trace.lat_mult = e.Trace.lat_mult * mult } :: !extra;
+                Hashtbl.add copies id id';
+                id')
+        | _ -> id
+      in
+      let prologue = Array.copy tr.Trace.prologue in
+      let body = Array.copy tr.Trace.body in
+      prologue.(warp) <- Array.map perturb prologue.(warp);
+      body.(warp) <- Array.map perturb body.(warp);
+      if Hashtbl.length copies = 0 then
+        invalid_arg
+          (Printf.sprintf "fault %s: warp %d issues no arithmetic"
+             (to_string fault) warp);
+      {
+        tr with
+        Trace.entries =
+          Array.append tr.Trace.entries
+            (Array.of_list (List.rev !extra));
+        prologue;
+        body;
+      }
+
+let apply faults tr = List.fold_left apply_one tr faults

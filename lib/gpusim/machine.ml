@@ -82,8 +82,8 @@ type result = {
   simulated_points : int;
 }
 
-let run ?(fill_inputs = fun _ _ -> ()) ?(max_sim_batches = 6) (arch : Arch.t)
-    (l : launch) =
+let run ?(fill_inputs = fun _ _ -> ()) ?(max_sim_batches = 6) ?(faults = [])
+    ?max_cycles (arch : Arch.t) (l : launch) =
   let occ = occupancy arch l.program in
   let resident = min occ.resident_ctas l.ctas in
   let batches = batches_per_cta l in
@@ -118,7 +118,7 @@ let run ?(fill_inputs = fun _ _ -> ()) ?(max_sim_batches = 6) (arch : Arch.t)
       Some m
     end
   in
-  let trace = Trace.flatten arch l.program in
+  let trace = Fault.apply faults (Trace.flatten arch l.program) in
   let job =
     {
       Sm.arch;
@@ -130,13 +130,13 @@ let run ?(fill_inputs = fun _ _ -> ()) ?(max_sim_batches = 6) (arch : Arch.t)
       cta_point_base = Array.init resident (fun c -> c * per_batch * sim_batches);
     }
   in
-  let sim = Sm.run job in
+  let sim = Sm.run ?max_cycles job in
   let cycles_full =
     if batches = sim_batches then float_of_int sim.Sm.cycles
     else begin
       let mem1 = Option.get pin_mem in
       let sim1 =
-        Sm.run
+        Sm.run ?max_cycles
           {
             Sm.arch;
             program = l.program;

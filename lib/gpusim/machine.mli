@@ -50,6 +50,8 @@ type result = {
 val run :
   ?fill_inputs:(Memstate.t -> int -> unit) ->
   ?max_sim_batches:int ->
+  ?faults:Fault.t list ->
+  ?max_cycles:int ->
   Arch.t ->
   launch ->
   result
@@ -62,4 +64,10 @@ val run :
     simulation; the 1-batch pin run reuses a prefix of that data (its
     outputs are discarded, and simulated cycles/counters never depend on
     float memory contents — addresses and stall times derive only from
-    static program data). *)
+    static program data).
+
+    [faults] are applied to the flattened trace before simulation
+    ({!Fault.apply}); [max_cycles] is forwarded to {!Sm.run} as the
+    per-simulation watchdog budget. Both default to the clean, unlimited
+    run, which may then raise {!Sm.Simulation_fault} only on a genuine
+    deadlock or livelock. *)

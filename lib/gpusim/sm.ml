@@ -1,4 +1,66 @@
-exception Deadlock of string
+(* A fault is any terminal no-good state of the simulation: a barrier
+   deadlock (every live warp parked with nothing pending), a no-progress
+   livelock (the issue loop spins without retiring work) or an exhausted
+   cycle budget. All three raise [Simulation_fault] with a structured
+   snapshot of the machine instead of a bare string, so drivers can
+   render per-warp positions and barrier counters and sweeps can record
+   the failure without parsing messages. *)
+
+type fault_kind = Barrier_deadlock | No_progress | Cycle_budget
+
+type warp_dump = {
+  d_cta : int;
+  d_wid : int;
+  d_state : string;
+  d_phase : string;
+  d_pos : int;
+  d_len : int;
+  d_batch : int;
+  d_stall_until : int;
+}
+
+type barrier_dump = {
+  b_cta : int;
+  b_bar : int;  (* -1 encodes the CTA-wide barrier *)
+  b_arrived : int;
+  b_waiters : int;
+}
+
+type fault_report = {
+  fault_kind : fault_kind;
+  fault_cycle : int;
+  detail : string;
+  warp_dumps : warp_dump list;
+  barrier_dumps : barrier_dump list;
+}
+
+exception Simulation_fault of fault_report
+
+let fault_kind_name = function
+  | Barrier_deadlock -> "barrier deadlock"
+  | No_progress -> "no progress"
+  | Cycle_budget -> "cycle budget exceeded"
+
+let pp_fault ppf r =
+  Format.fprintf ppf "simulation fault: %s at cycle %d — %s"
+    (fault_kind_name r.fault_kind)
+    r.fault_cycle r.detail;
+  List.iter
+    (fun d ->
+      Format.fprintf ppf "@\n  cta %d warp %d: %s, %s pos %d/%d, batch %d"
+        d.d_cta d.d_wid d.d_state d.d_phase d.d_pos d.d_len d.d_batch;
+      if d.d_state = "stalled" then
+        Format.fprintf ppf ", wakes at %d" d.d_stall_until)
+    r.warp_dumps;
+  List.iter
+    (fun b ->
+      Format.fprintf ppf "@\n  %s barrier, cta %d: arrived=%d waiters=%d"
+        (if b.b_bar < 0 then "CTA-wide"
+         else Printf.sprintf "named %d" b.b_bar)
+        b.b_cta b.b_arrived b.b_waiters)
+    r.barrier_dumps
+
+let fault_to_string r = Format.asprintf "%a" pp_fault r
 
 type counters = {
   mutable issued : int;
@@ -105,7 +167,14 @@ let lowest_bit_index m =
   if !m land 0x1 = 0 then incr i;
   !i
 
-let run (job : job) =
+let run ?max_cycles (job : job) =
+  let budget =
+    match max_cycles with
+    | None -> max_int
+    | Some b ->
+        if b <= 0 then invalid_arg "Sm.run: max_cycles must be positive";
+        b
+  in
   let arch = job.arch and p = job.program in
   let tr = job.trace and mem = job.mem in
   let n_warps_total = job.resident_ctas * p.Isa.n_warps in
@@ -147,6 +216,71 @@ let run (job : job) =
   let c = fresh_counters () in
   let now = ref 0 in
   let live = ref n_warps_total in
+  (* Snapshot the machine and abort with a structured report. *)
+  let fault kind detail =
+    let warp_dumps =
+      Array.to_list
+        (Array.map
+           (fun w ->
+             let phase, len =
+               match w.cur.Trace.phase with
+               | 0 -> ("prologue", Array.length tr.Trace.prologue.(w.wid))
+               | 1 -> ("body", Array.length tr.Trace.body.(w.wid))
+               | _ -> ("done", Array.length tr.Trace.body.(w.wid))
+             in
+             {
+               d_cta = w.cta;
+               d_wid = w.wid;
+               d_state =
+                 (match w.st with
+                 | Ready -> "ready"
+                 | Stalled -> "stalled"
+                 | Waiting_bar b -> Printf.sprintf "waiting bar%d" b
+                 | Waiting_cta -> "waiting cta-barrier"
+                 | Retired -> "retired");
+               d_phase = phase;
+               d_pos = w.cur.Trace.pos;
+               d_len = len;
+               d_batch = w.cur.Trace.batch;
+               d_stall_until = w.stall_until;
+             })
+           warps)
+    in
+    let barrier_dumps = ref [] in
+    for cta = job.resident_ctas - 1 downto 0 do
+      for bar = Array.length bars.(cta) - 1 downto 0 do
+        let b = bars.(cta).(bar) in
+        if b.arrived > 0 || b.n_waiters > 0 then
+          barrier_dumps :=
+            {
+              b_cta = cta;
+              b_bar = bar;
+              b_arrived = b.arrived;
+              b_waiters = b.n_waiters;
+            }
+            :: !barrier_dumps
+      done;
+      let b = cta_bars.(cta) in
+      if b.arrived > 0 || b.n_waiters > 0 then
+        barrier_dumps :=
+          {
+            b_cta = cta;
+            b_bar = -1;
+            b_arrived = b.arrived;
+            b_waiters = b.n_waiters;
+          }
+          :: !barrier_dumps
+    done;
+    raise
+      (Simulation_fault
+         {
+           fault_kind = kind;
+           fault_cycle = !now;
+           detail;
+           warp_dumps;
+           barrier_dumps = !barrier_dumps;
+         })
+  in
   (* --- ready set: one bit per warp, iterated in circular index order --- *)
   let n_words = (n_warps_total + 31) / 32 in
   let ready_bits = Array.make (max 1 n_words) 0 in
@@ -835,6 +969,11 @@ let run (job : job) =
   let rr = ref 0 in
   let idle_streak = ref 0 in
   while !live > 0 do
+    if !now >= budget then
+      fault Cycle_budget
+        (Printf.sprintf
+           "cycle budget of %d exhausted with %d live warp(s) remaining"
+           budget !live);
     while !heap_n > 0 && heap_t.(0) <= !now do
       let wi = heap_pop () in
       warps.(wi).st <- Ready;
@@ -883,43 +1022,18 @@ let run (job : job) =
       (* Deadlock: no warp is ready or sleeping on a stall (the ready set
          and event queue are empty), so every live warp is parked on a
          barrier with no pending releases possible. *)
-      if !ready_count = 0 && !heap_n = 0 && !live > 0 then begin
-        let buf = Buffer.create 256 in
-        Array.iter
-          (fun w ->
-            match w.st with
-            | Waiting_bar b ->
-                Buffer.add_string buf
-                  (Printf.sprintf "cta %d warp %d waits on named barrier %d\n"
-                     w.cta w.wid b)
-            | Waiting_cta ->
-                Buffer.add_string buf
-                  (Printf.sprintf "cta %d warp %d waits on the CTA barrier\n"
-                     w.cta w.wid)
-            | Ready | Stalled | Retired -> ())
-          warps;
-        raise (Deadlock (Buffer.contents buf))
-      end;
-      if !idle_streak > 1_000_000 then begin
-        let buf = Buffer.create 256 in
-        Buffer.add_string buf
-          (Printf.sprintf "simulator made no progress for 1M cycles (now=%d, hint=%d)\n"
-             !now !min_hint);
-        Array.iter
-          (fun w ->
-            Buffer.add_string buf
-              (Printf.sprintf "cta %d warp %d: %s stall_until=%d pos=%d/%d batch=%d\n"
-                 w.cta w.wid
-                 (match w.st with
-                 | Ready -> "ready" | Stalled -> "stalled"
-                 | Waiting_bar b -> Printf.sprintf "bar%d" b
-                 | Waiting_cta -> "cta" | Retired -> "retired")
-                 w.stall_until w.cur.Trace.pos
-                 (Array.length tr.Trace.body.(w.wid))
-                 w.cur.Trace.batch))
-          warps;
-        raise (Deadlock (Buffer.contents buf))
-      end;
+      if !ready_count = 0 && !heap_n = 0 && !live > 0 then
+        fault Barrier_deadlock
+          (Printf.sprintf
+             "every live warp (%d) waits on a barrier with no pending \
+              arrival or stall wake-up"
+             !live);
+      if !idle_streak > 1_000_000 then
+        fault No_progress
+          (Printf.sprintf
+             "no instruction issued for 1M consecutive scheduler visits \
+              (hint=%d)"
+             !min_hint);
       (* Fast-forward to the next possible event: the earliest stall
          wake-up pending at cycle start or the earliest issue-blocking
          hint. *)

@@ -12,12 +12,62 @@
     {- the instruction cache and constant cache of {!Caches};}
     {- 16 named barriers per CTA with arrive/sync semantics and exact
        deadlock detection (a cycle in which every live warp waits on a
-       barrier raises {!Deadlock}).}}
+       barrier raises {!Simulation_fault}).}}
 
     Instructions are executed functionally at issue; the scoreboard
-    prevents premature reads, so results equal a sequential execution. *)
+    prevents premature reads, so results equal a sequential execution.
 
-exception Deadlock of string
+    {b Fault containment.} The scheduler never loops forever: a barrier
+    deadlock, a no-progress livelock, or an exhausted [max_cycles] budget
+    each abort the run with a structured {!Simulation_fault} carrying the
+    per-warp positions and the nonzero barrier counters at the moment of
+    the fault. *)
+
+type fault_kind =
+  | Barrier_deadlock
+      (** every live warp waits on a barrier and no stall event is
+          pending — the exact-deadlock criterion *)
+  | No_progress
+      (** the issue loop visited 1M consecutive cycles without issuing a
+          single instruction (a livelock that is not a barrier wait) *)
+  | Cycle_budget  (** the [max_cycles] watchdog budget ran out *)
+
+type warp_dump = {
+  d_cta : int;
+  d_wid : int;
+  d_state : string;  (** ["ready"], ["stalled"], ["waiting barN"], ... *)
+  d_phase : string;  (** ["prologue"], ["body"] or ["done"] *)
+  d_pos : int;  (** position in the current phase's trace *)
+  d_len : int;  (** length of that trace *)
+  d_batch : int;
+  d_stall_until : int;
+}
+
+type barrier_dump = {
+  b_cta : int;
+  b_bar : int;  (** named barrier id, or [-1] for the CTA-wide barrier *)
+  b_arrived : int;
+  b_waiters : int;
+}
+
+type fault_report = {
+  fault_kind : fault_kind;
+  fault_cycle : int;
+  detail : string;
+  warp_dumps : warp_dump list;  (** one per resident warp *)
+  barrier_dumps : barrier_dump list;  (** barriers with nonzero state *)
+}
+
+exception Simulation_fault of fault_report
+(** Raised by {!run} instead of looping forever; see {!fault_kind}. *)
+
+val fault_kind_name : fault_kind -> string
+
+val pp_fault : Format.formatter -> fault_report -> unit
+(** Multi-line rendering: the fault line followed by one line per warp
+    and one per barrier with pending state. *)
+
+val fault_to_string : fault_report -> string
 
 type counters = {
   mutable issued : int;
@@ -52,6 +102,12 @@ type job = {
   cta_point_base : int array;  (** first grid point of each resident CTA *)
 }
 
-val run : job -> result
+val run : ?max_cycles:int -> job -> result
 (** Simulates until every warp of every resident CTA retires; [job.mem] is
-    mutated with the kernel's global stores. *)
+    mutated with the kernel's global stores.
+
+    [max_cycles] is the watchdog budget: if the simulated clock reaches it
+    with warps still live, the run aborts with a {!Simulation_fault} of
+    kind {!Cycle_budget} (default: unlimited — deadlocks and livelocks are
+    still detected without a budget). Raises [Invalid_argument] when the
+    budget is not positive. *)

@@ -5,10 +5,17 @@ type candidate = {
   result : Compile.run_result;
 }
 
+type failure = {
+  failed_options : Compile.options;
+  reason : string;
+  fault : Gpusim.Sm.fault_kind option;
+}
+
 type outcome = {
   best : candidate;
   tried : int;
   skipped : int;
+  failures : failure list;
 }
 
 let default_warp_candidates mech kernel version =
@@ -65,59 +72,84 @@ let candidate_options ~points kernel version arch warp_candidates
         cta_targets)
     warp_candidates
 
+(* Render a captured per-candidate failure; simulation faults keep their
+   structured kind so sweep drivers can count containment events. *)
+let classify_exn = function
+  | Gpusim.Sm.Simulation_fault r ->
+      ( Printf.sprintf "simulation fault: %s at cycle %d — %s"
+          (Gpusim.Sm.fault_kind_name r.Gpusim.Sm.fault_kind)
+          r.Gpusim.Sm.fault_cycle r.Gpusim.Sm.detail,
+        Some r.Gpusim.Sm.fault_kind )
+  | Diagnostics.Fail d -> (Diagnostics.to_string d, None)
+  | Failure msg -> (msg, None)
+  | Invalid_argument msg -> ("invalid argument: " ^ msg, None)
+  | e -> (Printexc.to_string e, None)
+
 let tune ?(points = 32768) ?warp_candidates ?(cta_targets = [ 1; 2 ]) ?jobs
-    mech kernel version arch =
+    ?(max_cycles = 200_000_000) ?inject mech kernel version arch =
   let warp_candidates =
     match warp_candidates with
     | Some l -> l
     | None -> default_warp_candidates mech kernel version
   in
   (* Candidate evaluations are independent compile+simulate jobs: fan
-     them out, then fold the returned list in input order so [tried],
-     [skipped] and the winner (first strictly-better throughput) are
-     exactly what the serial sweep produced, no matter which worker
-     evaluated what. *)
+     them out with per-item failure capture, then fold the returned list
+     in input order so [tried], [skipped], [failures] and the winner
+     (first strictly-better throughput) are exactly what the serial
+     sweep produced, no matter which worker evaluated what. A faulty
+     candidate — one that fails to compile or fit, deadlocks, exhausts
+     the [max_cycles] watchdog budget, or computes wrong results — is
+     recorded and skipped; the sweep completes on the survivors. *)
   let candidates =
     candidate_options ~points kernel version arch warp_candidates cta_targets
   in
-  let eval options =
-    match
-      let compiled = Compile.compile_cached mech kernel version options in
-      let result = Compile.run compiled ~total_points:points in
-      (compiled, result)
-    with
-    | compiled, result ->
-        if result.Compile.max_rel_err > 1e-6 then
-          failwith
-            (Printf.sprintf
-               "autotune: config warps=%d ctas=%d produced wrong results \
-                (rel err %.2g)"
-               options.Compile.n_warps options.Compile.ctas_per_sm_target
-               result.Compile.max_rel_err);
-        let throughput =
-          result.Compile.machine.Gpusim.Machine.points_per_sec
-        in
-        Some { options; throughput; compiled; result }
-    | exception Failure _ -> None
-    | exception Invalid_argument _ -> None
+  let eval (idx, options) =
+    let faults = match inject with None -> [] | Some f -> f idx in
+    let compiled = Compile.compile_cached mech kernel version options in
+    let result =
+      Compile.run compiled ~total_points:points ~faults ~max_cycles
+    in
+    if result.Compile.max_rel_err > 1e-6 then
+      failwith
+        (Printf.sprintf
+           "autotune: config warps=%d ctas=%d produced wrong results (rel \
+            err %.2g)"
+           options.Compile.n_warps options.Compile.ctas_per_sm_target
+           result.Compile.max_rel_err);
+    let throughput = result.Compile.machine.Gpusim.Machine.points_per_sec in
+    { options; throughput; compiled; result }
   in
-  let evaluated = Sutil.Domain_pool.parallel_map ?jobs eval candidates in
+  let evaluated =
+    Sutil.Domain_pool.parallel_map_result ?jobs eval
+      (List.mapi (fun i o -> (i, o)) candidates)
+  in
   let tried = List.length candidates in
-  let skipped, best =
-    List.fold_left
-      (fun (skipped, best) outcome ->
+  let skipped, failures, best =
+    List.fold_left2
+      (fun (skipped, failures, best) options outcome ->
         match outcome with
-        | None -> (skipped + 1, best)
-        | Some cand -> (
+        | Error e ->
+            let reason, fault = classify_exn e in
+            ( skipped + 1,
+              { failed_options = options; reason; fault } :: failures,
+              best )
+        | Ok cand -> (
             match best with
-            | Some b when b.throughput >= cand.throughput -> (skipped, best)
-            | Some _ | None -> (skipped, Some cand)))
-      (0, None) evaluated
+            | Some b when b.throughput >= cand.throughput ->
+                (skipped, failures, best)
+            | Some _ | None -> (skipped, failures, Some cand)))
+      (0, [], None) candidates evaluated
   in
+  let failures = List.rev failures in
   match best with
-  | Some best -> { best; tried; skipped }
+  | Some best -> { best; tried; skipped; failures }
   | None ->
       failwith
-        (Printf.sprintf "autotune: no %s configuration of %s fits on %s"
+        (Printf.sprintf
+           "autotune: no %s configuration of %s fits on %s (%d candidate(s) \
+            failed%s)"
            (Kernel_abi.kernel_name kernel)
-           mech.Chem.Mechanism.name arch.Gpusim.Arch.name)
+           mech.Chem.Mechanism.name arch.Gpusim.Arch.name skipped
+           (match failures with
+           | [] -> ""
+           | { reason; _ } :: _ -> "; first: " ^ reason))

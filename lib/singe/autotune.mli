@@ -14,10 +14,20 @@ type candidate = {
   result : Compile.run_result;
 }
 
+type failure = {
+  failed_options : Compile.options;
+  reason : string;  (** one-line cause, e.g. the diagnostic or fault *)
+  fault : Gpusim.Sm.fault_kind option;
+      (** [Some _] when the candidate died in a contained simulation
+          fault (deadlock, livelock, watchdog budget) *)
+}
+
 type outcome = {
   best : candidate;
   tried : int;
-  skipped : int;  (** configurations that failed to compile or fit *)
+  skipped : int;  (** configurations that failed to compile, fit or run *)
+  failures : failure list;
+      (** the skipped candidates' causes, in candidate order *)
 }
 
 val default_warp_candidates :
@@ -26,11 +36,26 @@ val default_warp_candidates :
     species count for warp-specialized kernels (Fig. 9's peaks), powers of
     two for the data-parallel baseline. *)
 
+val candidate_options :
+  points:int ->
+  Kernel_abi.kernel ->
+  Compile.version ->
+  Gpusim.Arch.t ->
+  int list ->
+  int list ->
+  Compile.options list
+(** [candidate_options ~points kernel version arch warp_candidates
+    cta_targets] is the exact candidate grid {!tune} sweeps, in
+    evaluation order — exposed so tests can address individual candidates
+    (e.g. to poison one by index). *)
+
 val tune :
   ?points:int ->
   ?warp_candidates:int list ->
   ?cta_targets:int list ->
   ?jobs:int ->
+  ?max_cycles:int ->
+  ?inject:(int -> Gpusim.Fault.t list) ->
   Chem.Mechanism.t ->
   Kernel_abi.kernel ->
   Compile.version ->
@@ -42,7 +67,16 @@ val tune :
 
     Candidates are independent compile+simulate jobs and are evaluated on
     up to [jobs] domains ({!Sutil.Domain_pool.default_jobs} when
-    omitted); [tried]/[skipped] and the winner are folded from the
-    results in candidate order, so the outcome is identical to the
+    omitted); [tried]/[skipped]/[failures] and the winner are folded from
+    the results in candidate order, so the outcome is identical to the
     serial sweep's. Compilations go through {!Compile.compile_cached},
-    so a configuration revisited across kernels/figures compiles once. *)
+    so a configuration revisited across kernels/figures compiles once.
+
+    {b Fault containment.} Every candidate runs under the simulator
+    watchdog ([max_cycles], default 2e8 — far beyond any legitimate
+    tuning-size simulation), and any per-candidate exception — a
+    compile/fit failure, a {!Gpusim.Sm.Simulation_fault}, wrong results —
+    is captured as a {!failure} and the candidate skipped, so one bad
+    configuration can neither hang nor abort the sweep. [inject] maps a
+    candidate's index in the grid to trace faults for its simulation
+    (default none); used by the containment tests. *)

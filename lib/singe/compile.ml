@@ -275,6 +275,8 @@ let run_pipeline pm ~validate mech kernel version options =
         Pass.validate pm ~name:"schedule-validate" (fun () ->
             Schedule.validate ~max_barriers:options.max_barriers schedule dfg
               mapping);
+        Pass.validate pm ~name:"deadlock-check" (fun () ->
+            Deadlock_check.check schedule);
         Pass.validate pm ~name:"lower-validate" (fun () ->
             Lower.validate_output ~arch:options.arch
               ~max_barriers:options.max_barriers lowered)
@@ -304,10 +306,13 @@ let run_pipeline pm ~validate mech kernel version options =
             Schedule.build ~buffer_slots:options.buffer_slots ~group_syncs:true
               dfg mapping)
       in
-      if validate then
+      if validate then begin
         Pass.validate pm ~name:"schedule-validate" (fun () ->
             Schedule.validate ~max_barriers:options.max_barriers schedule dfg
               mapping);
+        Pass.validate pm ~name:"deadlock-check" (fun () ->
+            Deadlock_check.check schedule)
+      end;
       let cfg =
         {
           Lower.arch = options.arch;
@@ -445,7 +450,8 @@ type run_result = {
   outputs : float array array;
 }
 
-let run ?ctas ?(check = true) ?(seed = 0x5EEDL) ?t_range t ~total_points =
+let run ?ctas ?(check = true) ?(seed = 0x5EEDL) ?t_range ?(faults = [])
+    ?max_cycles t ~total_points =
   let ctas =
     match ctas with Some c -> c | None -> default_ctas t ~total_points
   in
@@ -466,7 +472,10 @@ let run ?ctas ?(check = true) ?(seed = 0x5EEDL) ?t_range t ~total_points =
     | Some _ | None -> grid := Some g);
     Kernel_abi.fill_inputs t.mech g t.lowered.Lower.program mem n
   in
-  let machine = Gpusim.Machine.run ~fill_inputs:fill t.options.arch launch in
+  let machine =
+    Gpusim.Machine.run ~fill_inputs:fill ~faults ?max_cycles t.options.arch
+      launch
+  in
   let outputs =
     Kernel_abi.read_outputs t.lowered.Lower.program machine.Gpusim.Machine.mem
   in

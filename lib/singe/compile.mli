@@ -7,8 +7,10 @@
     passes (the latter two may run several times inside the register- and
     shared-memory fitting loops), interleaved with validation passes
     ([dfg-validate], [mapping-validate], [schedule-validate],
-    [lower-validate]) that re-check each stage's invariants on the
-    artifact actually handed to the next stage. {!compile_with_report}
+    [deadlock-check], [lower-validate]) that re-check each stage's
+    invariants on the artifact actually handed to the next stage
+    ([deadlock-check] is {!Deadlock_check.check}, the executable form of
+    the §4.4 deadlock-freedom theorem). {!compile_with_report}
     exposes the resulting per-pass timings and artifact statistics;
     {!compile} is a thin wrapper that discards them.
 
@@ -162,6 +164,8 @@ val run :
   ?check:bool ->
   ?seed:int64 ->
   ?t_range:float * float ->
+  ?faults:Gpusim.Fault.t list ->
+  ?max_cycles:int ->
   t ->
   total_points:int ->
   run_result
@@ -169,4 +173,8 @@ val run :
     default) the functional outputs of all simulated points are compared
     against {!Chem.Ref_kernels}. [t_range] overrides the grid's temperature
     interval (pair it with {!options.full_range_thermo} when going below
-    the NASA mid temperature). *)
+    the NASA mid temperature).
+
+    [faults] injects trace-level faults ({!Gpusim.Fault}) and
+    [max_cycles] arms the simulator watchdog; a fault-containing run may
+    then raise {!Gpusim.Sm.Simulation_fault} instead of returning. *)

@@ -1,0 +1,549 @@
+(* Static deadlock verification of named-barrier schedules (§4.4).
+
+   The paper proves its schedules deadlock-free by construction:
+   linearizing the sync points along one topological order gives every
+   barrier a total order, each sync pairs exactly one waiter with
+   [count - 1] arrivers, and ids are recycled only across CTA-wide
+   boundaries that drain every counter. This module re-establishes the
+   property as an executable check on the finished artifact, so a
+   hand-edited, mutated, or future-pass schedule cannot reach the
+   simulator (or hardware) with a latent hang.
+
+   Three layers, mirroring the theorem's proof obligations:
+
+   {ol
+   {- {e pairing}: per epoch (the CTA barriers delimit epochs on every
+      warp), each used barrier id carries exactly one waiter and
+      [count - 1] arrivers, all quoting the same count — the sync-point
+      shape the theorem assumes;}
+   {- {e abstract execution}: run the per-warp action streams against
+      the hardware barrier semantics (an arrival counter per id; a wait
+      increments and blocks below [count]; reaching [count] subtracts it
+      and releases the registered waiters). Correct schedules are
+      order-independent — any interleaving reaches the same pairing of
+      arrivals to waits — so a single round-robin execution is a valid
+      witness, and along it we detect: an arrival completing a barrier
+      with no registered waiter (a lost release: the eventual waiter
+      starves), two concurrent waiters on one id, and global stuck
+      states;}
+   {- {e reuse safety}: at every CTA-wide boundary (and at termination)
+      each named counter must have drained to zero — the condition that
+      makes recycling an id for a later epoch's sync safe — and every
+      id must fit the 16 physical barriers.}}
+
+   On a stuck state the verifier names every blocked warp and, when the
+   blockage is mutual, the cross-warp wait cycle (warp A waits on a
+   barrier whose remaining arrivals are all behind warp B's block, and
+   vice versa). *)
+
+let physical = 16
+
+type wstate =
+  | Running
+  | Blocked_bar of int  (** waiting on this named barrier id *)
+  | Blocked_cta
+  | Finished
+
+let check (s : Schedule.t) =
+  let w = Array.length s.per_warp in
+  let problems = ref [] in
+  let n_problems = ref 0 in
+  let err fmt =
+    Printf.ksprintf
+      (fun m ->
+        (* Cap the list: one corrupted schedule can trip thousands of
+           sites, and the first few localize the bug. *)
+        incr n_problems;
+        if !n_problems <= 16 then problems := m :: !problems)
+      fmt
+  in
+  if s.barriers_used > physical then
+    err "%d barrier ids allocated, hardware has %d" s.barriers_used physical;
+  (* ---- id range ---- *)
+  Array.iteri
+    (fun warp actions ->
+      Array.iter
+        (fun a ->
+          match a with
+          | Schedule.A_arrive { bar; count } | Schedule.A_wait { bar; count }
+            ->
+              if bar < 0 || bar >= physical then
+                err "warp %d: barrier id %d outside the %d physical barriers"
+                  warp bar physical;
+              if count < 2 || count > w then
+                err "warp %d: barrier %d count %d outside [2, %d]" warp bar
+                  count w
+          | Schedule.A_op _ | Schedule.A_send _ | Schedule.A_recv _
+          | Schedule.A_cta_barrier ->
+              ())
+        actions)
+    s.per_warp;
+  (* ---- per-epoch pairing ---- *)
+  let pairing : (int * int, (int * bool * int) list ref) Hashtbl.t =
+    Hashtbl.create 32
+  in
+  let attach epoch bar entry =
+    match Hashtbl.find_opt pairing (epoch, bar) with
+    | Some l -> l := entry :: !l
+    | None -> Hashtbl.add pairing (epoch, bar) (ref [ entry ])
+  in
+  Array.iteri
+    (fun warp actions ->
+      let epoch = ref 0 in
+      Array.iter
+        (fun a ->
+          match a with
+          | Schedule.A_cta_barrier -> incr epoch
+          | Schedule.A_arrive { bar; count } ->
+              attach !epoch bar (warp, false, count)
+          | Schedule.A_wait { bar; count } ->
+              attach !epoch bar (warp, true, count)
+          | Schedule.A_op _ | Schedule.A_send _ | Schedule.A_recv _ -> ())
+        actions)
+    s.per_warp;
+  Hashtbl.iter
+    (fun (epoch, bar) entries ->
+      let entries = !entries in
+      match
+        List.sort_uniq compare (List.map (fun (_, _, c) -> c) entries)
+      with
+      | [ count ] ->
+          let waits =
+            List.length (List.filter (fun (_, is_w, _) -> is_w) entries)
+          in
+          let arrives = List.length entries - waits in
+          if waits <> 1 || arrives <> count - 1 then
+            err
+              "epoch %d barrier %d: %d waiter(s) + %d arriver(s), the \
+               count-%d sync needs 1 + %d"
+              epoch bar waits arrives count (count - 1)
+      | counts ->
+          err "epoch %d barrier %d: participants disagree on count (%s)"
+            epoch bar
+            (String.concat "," (List.map string_of_int counts)))
+    pairing;
+  (* ---- abstract execution ---- *)
+  let pos = Array.make w 0 in
+  let st = Array.make w Running in
+  let counters = Array.make physical 0 in
+  let waiters : int list array = Array.make physical [] in
+  let cta_arrived = ref 0 in
+  let cta_blocked = ref [] in
+  let finished = ref 0 in
+  let in_range bar = bar >= 0 && bar < physical in
+  let drain_check where =
+    for b = 0 to physical - 1 do
+      if counters.(b) <> 0 then begin
+        err
+          "barrier %d holds %d undrained arrival(s) %s — recycling its id \
+           is unsafe"
+          b counters.(b) where;
+        counters.(b) <- 0
+      end
+    done
+  in
+  (* Advance warp [wi] until it blocks or finishes. Barrier releases mark
+     other warps Running; the driver loop picks them up. *)
+  let rec run_warp wi =
+    let actions = s.per_warp.(wi) in
+    if pos.(wi) >= Array.length actions then begin
+      st.(wi) <- Finished;
+      incr finished
+    end
+    else begin
+      let release bar =
+        List.iter
+          (fun w2 ->
+            st.(w2) <- Running;
+            pos.(w2) <- pos.(w2) + 1)
+          waiters.(bar);
+        waiters.(bar) <- []
+      in
+      (match actions.(pos.(wi)) with
+      | Schedule.A_op _ | Schedule.A_send _ | Schedule.A_recv _ ->
+          pos.(wi) <- pos.(wi) + 1
+      | Schedule.A_arrive { bar; count } ->
+          if in_range bar then begin
+            counters.(bar) <- counters.(bar) + 1;
+            if counters.(bar) >= count then begin
+              counters.(bar) <- counters.(bar) - count;
+              if waiters.(bar) = [] then
+                err
+                  "warp %d: arrival completes barrier %d (count %d) with no \
+                   waiter registered — the release is lost and the eventual \
+                   waiter starves"
+                  wi bar count
+              else release bar
+            end
+          end;
+          pos.(wi) <- pos.(wi) + 1
+      | Schedule.A_wait { bar; count } ->
+          if not (in_range bar) then pos.(wi) <- pos.(wi) + 1
+          else begin
+            counters.(bar) <- counters.(bar) + 1;
+            if counters.(bar) >= count then begin
+              counters.(bar) <- counters.(bar) - count;
+              if waiters.(bar) <> [] then begin
+                err
+                  "barrier %d: waiter of warp %d passes while warp(s) %s \
+                   still wait on the same id (aliased syncs)"
+                  bar wi
+                  (String.concat ","
+                     (List.map string_of_int waiters.(bar)));
+                release bar
+              end;
+              pos.(wi) <- pos.(wi) + 1
+            end
+            else begin
+              if waiters.(bar) <> [] then
+                err "barrier %d: warps %s and %d wait concurrently" bar
+                  (String.concat "," (List.map string_of_int waiters.(bar)))
+                  wi;
+              waiters.(bar) <- wi :: waiters.(bar);
+              st.(wi) <- Blocked_bar bar
+            end
+          end
+      | Schedule.A_cta_barrier ->
+          incr cta_arrived;
+          if !cta_arrived = w then begin
+            drain_check "at a CTA-wide boundary";
+            cta_arrived := 0;
+            List.iter
+              (fun w2 ->
+                st.(w2) <- Running;
+                pos.(w2) <- pos.(w2) + 1)
+              !cta_blocked;
+            cta_blocked := [];
+            pos.(wi) <- pos.(wi) + 1
+          end
+          else begin
+            cta_blocked := wi :: !cta_blocked;
+            st.(wi) <- Blocked_cta
+          end);
+      match st.(wi) with Running -> run_warp wi | _ -> ()
+    end
+  in
+  let rec drive () =
+    let any = ref false in
+    for wi = 0 to w - 1 do
+      if st.(wi) = Running then begin
+        any := true;
+        run_warp wi
+      end
+    done;
+    if !any then drive ()
+  in
+  drive ();
+  if !finished < w then begin
+    (* Stuck: describe every blocked warp, then look for a cross-warp
+       wait cycle among them. A warp blocked on barrier [b] depends on
+       every warp whose remaining stream still holds an arrival for [b];
+       a warp blocked on the CTA barrier depends on every warp that has
+       not yet arrived there. *)
+    let remaining_provides wi bar =
+      let actions = s.per_warp.(wi) in
+      let found = ref false in
+      for i = pos.(wi) + 1 to Array.length actions - 1 do
+        match actions.(i) with
+        | Schedule.A_arrive { bar = b; _ } | Schedule.A_wait { bar = b; _ }
+          ->
+            if b = bar then found := true
+        | _ -> ()
+      done;
+      !found
+    in
+    let deps wi =
+      match st.(wi) with
+      | Blocked_bar bar ->
+          List.filter
+            (fun w2 ->
+              w2 <> wi && st.(w2) <> Finished
+              &&
+              match st.(w2) with
+              | Blocked_bar b2 when b2 = bar -> false
+              | _ ->
+                  (match s.per_warp.(w2).(pos.(w2)) with
+                  | Schedule.A_arrive { bar = b; _ }
+                  | Schedule.A_wait { bar = b; _ }
+                    when b = bar ->
+                      true
+                  | _ -> false)
+                  || remaining_provides w2 bar)
+            (List.init w Fun.id)
+      | Blocked_cta ->
+          List.filter
+            (fun w2 -> w2 <> wi && st.(w2) <> Blocked_cta && st.(w2) <> Finished)
+            (List.init w Fun.id)
+      | Running | Finished -> []
+    in
+    Array.iteri
+      (fun wi state ->
+        match state with
+        | Blocked_bar bar ->
+            let providers = deps wi in
+            if providers = [] then
+              err
+                "deadlock: warp %d blocks forever on barrier %d (no \
+                 remaining arrivals anywhere)"
+                wi bar
+            else
+              err
+                "deadlock: warp %d blocks on barrier %d whose remaining \
+                 arrival(s) sit behind blocked warp(s) %s"
+                wi bar
+                (String.concat "," (List.map string_of_int providers))
+        | Blocked_cta ->
+            let missing =
+              List.filter
+                (fun w2 -> st.(w2) = Finished)
+                (List.init w Fun.id)
+            in
+            if missing <> [] then
+              err
+                "deadlock: warp %d blocks on the CTA barrier but warp(s) %s \
+                 already retired without arriving"
+                wi
+                (String.concat "," (List.map string_of_int missing))
+            else
+              err "deadlock: warp %d blocks on the CTA barrier" wi
+        | Running -> err "internal: warp %d still runnable after fixpoint" wi
+        | Finished -> ())
+      st;
+    (* Cycle extraction: DFS over the dependence edges of blocked warps. *)
+    let color = Array.make w 0 in
+    let cycle = ref None in
+    let rec dfs path wi =
+      if !cycle = None then
+        if color.(wi) = 1 then begin
+          (* [path] is most-recent-first and starts with the node that
+             closed the cycle; take it plus everything back to (and
+             excluding) its previous occurrence. *)
+          let rec upto = function
+            | [] -> []
+            | x :: tl -> if x = wi then [] else x :: upto tl
+          in
+          match path with
+          | [] -> ()
+          | hd :: tl -> cycle := Some (List.rev (hd :: upto tl))
+        end
+        else if color.(wi) = 0 then begin
+          color.(wi) <- 1;
+          List.iter (fun w2 -> dfs (w2 :: path) w2) (deps wi);
+          color.(wi) <- 2
+        end
+    in
+    for wi = 0 to w - 1 do
+      dfs [ wi ] wi
+    done;
+    match !cycle with
+    | Some (_ :: _ :: _ as ws) ->
+        err "cross-warp wait cycle: %s"
+          (String.concat " -> "
+             (List.map string_of_int (ws @ [ List.hd ws ])))
+    | Some _ | None -> ()
+  end
+  else begin
+    drain_check "after the last warp retired";
+    Array.iteri
+      (fun b ws ->
+        if ws <> [] then
+          err "barrier %d still has registered waiter(s) after termination" b)
+      waiters
+  end;
+  if !n_problems > 16 then
+    err "(%d further problem(s) suppressed)" (!n_problems - 16);
+  match List.rev !problems with [] -> Ok () | l -> Error l
+
+(* ---- seeded mutation operators (the verifier's negative tests) ----
+
+   Each operator produces a minimal, provably unsafe perturbation of a
+   correct schedule: the rejection test in [test_faults] demands that
+   every generated mutant is refused. Operators that need a site the
+   schedule does not have (e.g. no CTA barrier with one warp) are
+   skipped. *)
+
+type mutant = { label : string; schedule : Schedule.t }
+
+let copy_schedule (s : Schedule.t) =
+  {
+    s with
+    Schedule.per_warp = Array.map Array.copy s.Schedule.per_warp;
+    stamps = Array.map Array.copy s.Schedule.stamps;
+  }
+
+let sites pred (s : Schedule.t) =
+  let out = ref [] in
+  Array.iteri
+    (fun warp actions ->
+      Array.iteri (fun i a -> if pred a then out := (warp, i) :: !out) actions)
+    s.Schedule.per_warp;
+  Array.of_list (List.rev !out)
+
+let is_arrive = function Schedule.A_arrive _ -> true | _ -> false
+let is_wait = function Schedule.A_wait _ -> true | _ -> false
+let is_cta = function Schedule.A_cta_barrier -> true | _ -> false
+
+let remove_at (s : Schedule.t) warp i =
+  let keep j _ = j <> i in
+  s.Schedule.per_warp.(warp) <-
+    Array.of_list
+      (List.filteri keep (Array.to_list s.Schedule.per_warp.(warp)));
+  s.Schedule.stamps.(warp) <-
+    Array.of_list (List.filteri keep (Array.to_list s.Schedule.stamps.(warp)))
+
+let insert_at (s : Schedule.t) warp i a =
+  let actions = Array.to_list s.Schedule.per_warp.(warp) in
+  let stamps = Array.to_list s.Schedule.stamps.(warp) in
+  let rec ins j l = if j = 0 then a :: l else List.hd l :: ins (j - 1) (List.tl l) in
+  let rec dup j l =
+    if j = 0 then List.hd l :: l else List.hd l :: dup (j - 1) (List.tl l)
+  in
+  s.Schedule.per_warp.(warp) <- Array.of_list (ins i actions);
+  s.Schedule.stamps.(warp) <- Array.of_list (dup i stamps)
+
+let mutants ~seed (s : Schedule.t) =
+  let rng = Sutil.Prng.create (Int64.of_int seed) in
+  let w = Array.length s.Schedule.per_warp in
+  let arrives = sites is_arrive s in
+  let waits = sites is_wait s in
+  let ctas = sites is_cta s in
+  let pick a = a.(Sutil.Prng.int rng (Array.length a)) in
+  let ops : (string * (unit -> Schedule.t option)) list =
+    [
+      ( "drop-arrive",
+        fun () ->
+          if Array.length arrives = 0 then None
+          else begin
+            let warp, i = pick arrives in
+            let m = copy_schedule s in
+            remove_at m warp i;
+            Some m
+          end );
+      ( "drop-wait",
+        fun () ->
+          if Array.length waits = 0 then None
+          else begin
+            let warp, i = pick waits in
+            let m = copy_schedule s in
+            remove_at m warp i;
+            Some m
+          end );
+      ( "swap-arrive-bar",
+        fun () ->
+          if Array.length arrives = 0 then None
+          else begin
+            let warp, i = pick arrives in
+            let m = copy_schedule s in
+            (match m.Schedule.per_warp.(warp).(i) with
+            | Schedule.A_arrive { bar; count } ->
+                let bar' = (bar + 1 + Sutil.Prng.int rng 14) mod 15 in
+                let bar' = if bar' = bar then (bar + 1) mod 15 else bar' in
+                m.Schedule.per_warp.(warp).(i) <-
+                  Schedule.A_arrive { bar = bar'; count }
+            | _ -> assert false);
+            Some m
+          end );
+      ( "swap-wait-bar",
+        fun () ->
+          if Array.length waits = 0 then None
+          else begin
+            let warp, i = pick waits in
+            let m = copy_schedule s in
+            (match m.Schedule.per_warp.(warp).(i) with
+            | Schedule.A_wait { bar; count } ->
+                let bar' = (bar + 1 + Sutil.Prng.int rng 14) mod 15 in
+                let bar' = if bar' = bar then (bar + 1) mod 15 else bar' in
+                m.Schedule.per_warp.(warp).(i) <-
+                  Schedule.A_wait { bar = bar'; count }
+            | _ -> assert false);
+            Some m
+          end );
+      ( "dup-arrive",
+        fun () ->
+          if Array.length arrives = 0 then None
+          else begin
+            let warp, i = pick arrives in
+            let m = copy_schedule s in
+            insert_at m warp i m.Schedule.per_warp.(warp).(i);
+            Some m
+          end );
+      ( "inflate-wait-count",
+        fun () ->
+          if Array.length waits = 0 then None
+          else begin
+            let warp, i = pick waits in
+            let m = copy_schedule s in
+            (match m.Schedule.per_warp.(warp).(i) with
+            | Schedule.A_wait { bar; count } ->
+                m.Schedule.per_warp.(warp).(i) <-
+                  Schedule.A_wait { bar; count = count + 1 }
+            | _ -> assert false);
+            Some m
+          end );
+      ( "deflate-arrive-count",
+        fun () ->
+          if Array.length arrives = 0 then None
+          else begin
+            let warp, i = pick arrives in
+            let m = copy_schedule s in
+            (match m.Schedule.per_warp.(warp).(i) with
+            | Schedule.A_arrive { bar; count } ->
+                m.Schedule.per_warp.(warp).(i) <-
+                  Schedule.A_arrive { bar; count = count - 1 }
+            | _ -> assert false);
+            Some m
+          end );
+      ( "drop-cta-barrier",
+        fun () ->
+          if w < 2 || Array.length ctas = 0 then None
+          else begin
+            let warp, i = pick ctas in
+            let m = copy_schedule s in
+            remove_at m warp i;
+            Some m
+          end );
+      ( "out-of-range-id",
+        fun () ->
+          if Array.length arrives = 0 then None
+          else begin
+            let warp, i = pick arrives in
+            let m = copy_schedule s in
+            (match m.Schedule.per_warp.(warp).(i) with
+            | Schedule.A_arrive { count; _ } ->
+                m.Schedule.per_warp.(warp).(i) <-
+                  Schedule.A_arrive { bar = physical; count }
+            | _ -> assert false);
+            Some m
+          end );
+      ( "wait-to-arrive",
+        fun () ->
+          if Array.length waits = 0 then None
+          else begin
+            let warp, i = pick waits in
+            let m = copy_schedule s in
+            (match m.Schedule.per_warp.(warp).(i) with
+            | Schedule.A_wait { bar; count } ->
+                m.Schedule.per_warp.(warp).(i) <-
+                  Schedule.A_arrive { bar; count }
+            | _ -> assert false);
+            Some m
+          end );
+      ( "arrive-to-wait",
+        fun () ->
+          if Array.length arrives = 0 then None
+          else begin
+            let warp, i = pick arrives in
+            let m = copy_schedule s in
+            (match m.Schedule.per_warp.(warp).(i) with
+            | Schedule.A_arrive { bar; count } ->
+                m.Schedule.per_warp.(warp).(i) <-
+                  Schedule.A_wait { bar; count }
+            | _ -> assert false);
+            Some m
+          end );
+    ]
+  in
+  List.filter_map
+    (fun (label, f) ->
+      match f () with Some schedule -> Some { label; schedule } | None -> None)
+    ops

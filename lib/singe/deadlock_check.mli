@@ -1,0 +1,42 @@
+(** Static deadlock verification of named-barrier schedules — the
+    executable form of the paper's §4.4 deadlock-freedom theorem.
+
+    The theorem's proof obligations map onto three checks run on a
+    finished {!Schedule.t}:
+    {ul
+    {- {e pairing}: within every epoch (delimited by the CTA-wide
+       barriers) each used barrier id carries exactly one waiter and
+       [count - 1] arrivers, all quoting the same count — the sync-point
+       shape the construction guarantees;}
+    {- {e abstract execution}: the per-warp action streams are run
+       against the hardware barrier semantics (arrival counters, waits
+       that block below [count], releases that subtract it). Correct
+       schedules are order-independent, so one round-robin interleaving
+       is a valid witness; along it the verifier detects lost releases
+       (an arrival completing a barrier with no registered waiter),
+       concurrent waiters on one id, and global stuck states — for
+       which it reports every blocked warp and, when the blockage is
+       mutual, the cross-warp wait cycle;}
+    {- {e reuse safety}: every named counter has drained to zero at each
+       CTA-wide boundary and at termination (the condition that makes
+       recycling an id safe), and every id fits the 16 physical
+       barriers.}}
+
+    Wired into the compile pipeline as the [deadlock-check] validation
+    pass, after [schedule-validate]. *)
+
+val check : Schedule.t -> (unit, string list) result
+(** Verify one schedule; [Error problems] lists up to 16 localized
+    findings (deduplication beyond that is summarized in a final
+    entry). Needs only the schedule itself — no dataflow graph or
+    mapping — so it also applies to hand-built or mutated schedules. *)
+
+type mutant = { label : string; schedule : Schedule.t }
+
+val mutants : seed:int -> Schedule.t -> mutant list
+(** Seeded, provably-unsafe perturbations of a correct schedule, one per
+    applicable operator: dropped/duplicated arrivals, dropped waits,
+    barrier ids swapped on either side, inflated/deflated counts, a
+    dropped CTA boundary, an out-of-range id, and arrive/wait role
+    swaps. Used by the negative tests — {!check} must reject every
+    mutant. The input schedule is not modified. *)

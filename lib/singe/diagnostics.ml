@@ -1,23 +1,38 @@
 type severity = Error | Warning
 
-type t = { severity : severity; pass : string option; message : string }
+type t = {
+  severity : severity;
+  pass : string option;
+  loc : string option;
+  message : string;
+}
 
 exception Fail of t
 
-let error ?pass message = { severity = Error; pass; message }
+let error ?pass ?loc message = { severity = Error; pass; loc; message }
 
-let errorf ?pass fmt = Printf.ksprintf (fun message -> error ?pass message) fmt
+let errorf ?pass ?loc fmt =
+  Printf.ksprintf (fun message -> error ?pass ?loc message) fmt
 
-let warning ?pass message = { severity = Warning; pass; message }
+let warning ?pass ?loc message = { severity = Warning; pass; loc; message }
 
-let fail ?pass message = raise (Fail (error ?pass message))
+let fail ?pass ?loc message = raise (Fail (error ?pass ?loc message))
 
-let failf ?pass fmt = Printf.ksprintf (fun message -> fail ?pass message) fmt
+let failf ?pass ?loc fmt =
+  Printf.ksprintf (fun message -> fail ?pass ?loc message) fmt
+
+let of_srcloc ?pass (e : Chem.Srcloc.error) =
+  error ?pass
+    ?loc:(Chem.Srcloc.loc_string e.Chem.Srcloc.loc)
+    (Chem.Srcloc.message_string e)
 
 let to_string d =
   let sev = match d.severity with Error -> "error" | Warning -> "warning" in
-  match d.pass with
-  | Some p -> Printf.sprintf "%s[%s]: %s" sev p d.message
-  | None -> Printf.sprintf "%s: %s" sev d.message
+  let head =
+    match d.pass with Some p -> Printf.sprintf "%s[%s]" sev p | None -> sev
+  in
+  match d.loc with
+  | Some l -> Printf.sprintf "%s: %s: %s" head l d.message
+  | None -> Printf.sprintf "%s: %s" head d.message
 
 let pp ppf d = Format.pp_print_string ppf (to_string d)

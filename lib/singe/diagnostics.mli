@@ -11,6 +11,9 @@ type severity = Error | Warning
 type t = {
   severity : severity;
   pass : string option;  (** originating pipeline pass, when known *)
+  loc : string option;
+      (** source position (["input.mech:12"]) when the failure points at
+          user-written input rather than a pipeline stage *)
   message : string;
 }
 
@@ -18,18 +21,24 @@ exception Fail of t
 (** Raised by validation passes and option checking; caught at the
     [_checked] API boundary and converted into a [result]. *)
 
-val error : ?pass:string -> string -> t
+val error : ?pass:string -> ?loc:string -> string -> t
 
-val errorf : ?pass:string -> ('a, unit, string, t) format4 -> 'a
+val errorf : ?pass:string -> ?loc:string -> ('a, unit, string, t) format4 -> 'a
 
-val warning : ?pass:string -> string -> t
+val warning : ?pass:string -> ?loc:string -> string -> t
 
-val fail : ?pass:string -> string -> 'b
+val fail : ?pass:string -> ?loc:string -> string -> 'b
 (** [fail msg] raises {!Fail} with an [Error] diagnostic. *)
 
-val failf : ?pass:string -> ('a, unit, string, 'b) format4 -> 'a
+val failf : ?pass:string -> ?loc:string -> ('a, unit, string, 'b) format4 -> 'a
+
+val of_srcloc : ?pass:string -> Chem.Srcloc.error -> t
+(** Lift a positioned parser error ({!Chem.Srcloc.error}) into a
+    diagnostic: the location renders into {!field-loc}, the offending
+    token into the message. *)
 
 val to_string : t -> string
-(** ["error: ..."] / ["warning[pass]: ..."] rendering, one line. *)
+(** ["error: ..."] / ["warning[pass]: ..."] /
+    ["error[parse]: input.mech:12: ..."] rendering, one line. *)
 
 val pp : Format.formatter -> t -> unit

@@ -82,3 +82,12 @@ let parallel_map ?jobs f xs =
          (function Some v -> v | None -> assert false (* all items ran *))
          results)
   end
+
+(* Per-item failure capture: wrap [f] so no item can raise, then the
+   plain fan-out applies. Used by sweeps that must survive a faulty
+   candidate (autotuning over mutated or fault-injected configurations)
+   instead of aborting on the first failure. *)
+let parallel_map_result ?jobs f xs =
+  parallel_map ?jobs
+    (fun x -> match f x with v -> Ok v | exception e -> Error e)
+    xs

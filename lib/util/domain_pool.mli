@@ -24,3 +24,12 @@ val parallel_map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
     (default {!default_jobs}; clamped to the list length). With
     [jobs <= 1], from inside another [parallel_map] worker, the call is
     exactly [List.map f xs]. *)
+
+val parallel_map_result :
+  ?jobs:int -> ('a -> 'b) -> 'a list -> ('b, exn) result list
+(** Like {!parallel_map}, but every item's failure is captured in place
+    instead of the first one aborting the sweep: item [i]'s slot is
+    [Error e] exactly when [f] raised [e] on it, and all other items
+    still run to completion. Deterministic in the same sense as
+    {!parallel_map} — the result list depends only on the input order,
+    never on worker scheduling. *)

@@ -160,7 +160,7 @@ let test_roundtrip mechf () =
     Chem.Mech_io.load_strings ~species_sets:sets ~chemkin ~thermo ~transport
       ~name:mech.Chem.Mechanism.name ()
   with
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Chem.Srcloc.to_string e)
   | Ok m2 ->
       Alcotest.(check int) "species" (Chem.Mechanism.n_species mech)
         (Chem.Mechanism.n_species m2);
@@ -204,7 +204,7 @@ ch4+oh = ch3+h2o      1.930E+05  2.40   2.106E+03
 END
 |} in
   match Chem.Chemkin_parser.parse text with
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Chem.Srcloc.to_string e)
   | Ok parsed ->
       Alcotest.(check int) "3 reactions" 3
         (List.length parsed.Chem.Chemkin_parser.raw_reactions);
@@ -216,7 +216,7 @@ END
       (match Chem.Chemkin_parser.rate_model_of_raw r1 with
       | Ok (Chem.Reaction.Falloff { kind = Chem.Reaction.Troe _; _ }) -> ()
       | Ok _ -> Alcotest.fail "expected troe falloff"
-      | Error e -> Alcotest.fail e);
+      | Error e -> Alcotest.fail (Chem.Srcloc.to_string e));
       let r2 = List.nth parsed.Chem.Chemkin_parser.raw_reactions 1 in
       Alcotest.(check bool) "rev" true (r2.Chem.Chemkin_parser.rev <> None)
 

@@ -141,7 +141,7 @@ h2+o2 = ho2+h       2.0E+08  0.00  2.400E+04
 END
 |} in
   match Chem.Chemkin_parser.parse text with
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Chem.Srcloc.to_string e)
   | Ok parsed ->
       let r1 = List.hd parsed.Chem.Chemkin_parser.raw_reactions in
       Alcotest.(check bool) "irreversible" false r1.Chem.Chemkin_parser.reversible;
@@ -161,7 +161,7 @@ let test_parser_d_exponent () =
       let r = List.hd p.Chem.Chemkin_parser.raw_reactions in
       Alcotest.(check (float 1.0)) "D exponent" 1e10
         r.Chem.Chemkin_parser.arrhenius.Chem.Reaction.pre_exp
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Chem.Srcloc.to_string e)
 
 let test_dfg_fence_ordering () =
   (* Fences sequence after their inputs in the priority topological walk. *)

@@ -139,7 +139,11 @@ let test_deadlock_detected () =
   in
   let p = { p with Isa.point_map = Isa.Coop } in
   match run_program ~points:64 p ~fill:(fun _ _ -> ()) with
-  | exception Sm.Deadlock _ -> ()
+  | exception Sm.Simulation_fault f ->
+      Alcotest.(check string)
+        "barrier deadlock kind" "barrier deadlock"
+        (Sm.fault_kind_name f.Sm.fault_kind);
+      Alcotest.(check bool) "dumps the stuck warps" true (f.Sm.warp_dumps <> [])
   | _ -> Alcotest.fail "deadlock not detected"
 
 let test_icache_streams () =

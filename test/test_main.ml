@@ -20,4 +20,5 @@ let () =
       ("compiler-props", Test_compiler_props.tests);
       ("passes", Test_passes.tests);
       ("parallel", Test_parallel.tests);
+      ("faults", Test_faults.tests);
     ]

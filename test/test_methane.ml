@@ -48,7 +48,7 @@ let test_roundtrip_files () =
   let transport = Chem.Mech_io.transport_of_mechanism m in
   let sets = Chem.Mech_io.species_sets_of_mechanism m in
   match Chem.Mech_io.load_strings ~species_sets:sets ~chemkin ~thermo ~transport ~name:"methane" () with
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Chem.Srcloc.to_string e)
   | Ok m2 ->
       Alcotest.(check int) "species survive" (Chem.Mechanism.n_species m)
         (Chem.Mechanism.n_species m2);

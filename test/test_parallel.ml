@@ -190,7 +190,7 @@ let test_deadlock_still_fires () =
   in
   let p = { p with Isa.point_map = Isa.Coop } in
   match run_program ~points:64 p ~fill:(fun _ _ -> ()) with
-  | exception Sm.Deadlock _ -> ()
+  | exception Sm.Simulation_fault _ -> ()
   | _ -> Alcotest.fail "deadlock not detected"
 
 let tests =

@@ -25,7 +25,7 @@ let compile ?arch ?nw ?(mech = hydrogen ())
 
 let expected_passes =
   [ "dfg-build"; "dfg-validate"; "mapping"; "mapping-validate"; "schedule";
-    "schedule-validate"; "lower"; "lower-validate" ]
+    "schedule-validate"; "deadlock-check"; "lower"; "lower-validate" ]
 
 let test_report_covers_pipeline () =
   let mech = Chem.Mech_gen.dme () in

@@ -69,7 +69,7 @@ let test_parse_plog () =
     \  PLOG / 1.0 5.0E+10 0.2 1.0E+4 /\nEND"
   in
   match Chem.Chemkin_parser.parse text with
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Chem.Srcloc.to_string e)
   | Ok parsed -> (
       match
         Chem.Chemkin_parser.rate_model_of_raw
@@ -80,7 +80,7 @@ let test_parse_plog () =
           Alcotest.(check bool) "sorted ascending" true
             (List.map fst t = [ 0.1; 1.0; 10.0 ])
       | Ok _ -> Alcotest.fail "expected PLOG"
-      | Error e -> Alcotest.fail e)
+      | Error e -> Alcotest.fail (Chem.Srcloc.to_string e))
 
 let test_plog_falloff_conflict () =
   let text =
@@ -103,7 +103,7 @@ let test_plog_roundtrip () =
   let mech = toy_plog () in
   let text = Chem.Mech_io.chemkin_of_mechanism mech in
   match Chem.Chemkin_parser.parse text with
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Chem.Srcloc.to_string e)
   | Ok parsed ->
       let raw =
         List.find

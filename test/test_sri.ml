@@ -74,7 +74,7 @@ h+oh = h2o           1.0E+10  0.00  0.0
 END
 |} in
   match Chem.Chemkin_parser.parse text with
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Chem.Srcloc.to_string e)
   | Ok parsed -> (
       let r = List.hd parsed.Chem.Chemkin_parser.raw_reactions in
       match Chem.Chemkin_parser.rate_model_of_raw r with
@@ -84,7 +84,7 @@ END
           Alcotest.(check (float 1e-9)) "d defaults to 1" 1.0 p.Chem.Reaction.sd;
           Alcotest.(check (float 1e-9)) "e defaults to 0" 0.0 p.Chem.Reaction.se
       | Ok _ -> Alcotest.fail "expected SRI falloff"
-      | Error e -> Alcotest.fail e)
+      | Error e -> Alcotest.fail (Chem.Srcloc.to_string e))
 
 let test_parse_sri_five_params () =
   let text =
@@ -94,7 +94,7 @@ let test_parse_sri_five_params () =
     \  SRI / 0.5 100.0 1000.0 1.2 0.1 /\nEND"
   in
   match Chem.Chemkin_parser.parse text with
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Chem.Srcloc.to_string e)
   | Ok parsed -> (
       match
         Chem.Chemkin_parser.rate_model_of_raw
@@ -127,7 +127,7 @@ let test_sri_roundtrip () =
   let mech = toy_sri () in
   let text = Chem.Mech_io.chemkin_of_mechanism mech in
   match Chem.Chemkin_parser.parse text with
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Chem.Srcloc.to_string e)
   | Ok parsed ->
       let raw =
         List.find
