@@ -1,4 +1,5 @@
-.PHONY: all build test test-faults fmt fmt-check check perf perf-quick clean
+.PHONY: all build test test-faults fmt fmt-check check perf perf-quick \
+	profile-smoke clean
 
 all: build
 
@@ -23,8 +24,9 @@ fmt-check:
 	dune build @fmt
 
 # The full local gate: everything builds, formatting is clean, tests pass,
-# and the quick perf snapshot still runs end to end on two domains.
-check: build fmt-check test perf-quick
+# the quick perf snapshot still runs end to end on two domains, and the
+# profiler's CLI surface emits conserving buckets and valid trace JSON.
+check: build fmt-check test perf-quick profile-smoke
 
 # Machine-readable performance snapshot (see bench/main.ml).
 perf:
@@ -34,6 +36,13 @@ perf:
 # fan-out (results are identical at any --jobs value).
 perf-quick:
 	SINGE_FAST=1 dune exec bench/main.exe -- perf --jobs 2
+
+# Profiler smoke: run `singe profile` on one kernel with --check, which
+# verifies bucket conservation, Chrome-trace JSON syntax, and timestamp
+# monotonicity in-process (exit 1 on any failure).
+profile-smoke:
+	dune exec bin/singe_cli.exe -- profile --mech dme --kernel viscosity \
+		--points 1248 --chrome-trace /tmp/singe-profile-smoke.json --check
 
 clean:
 	dune clean

@@ -22,6 +22,7 @@ let figures =
     ("fig14", Experiments.Figures.fig14);
     ("fig15", Experiments.Figures.fig15);
     ("fig16", Experiments.Figures.fig16);
+    ("stall-breakdown", Experiments.Figures.stall_breakdown);
     ("ablation-barriers", Experiments.Figures.ablation_barriers);
     ("ablation-exp-constants", Experiments.Figures.ablation_exp_constants);
     ("ablation-chem-comm", Experiments.Figures.ablation_chem_comm);
@@ -164,6 +165,7 @@ let perf ~out ?max_cycles () =
         (Singe.Kernel_abi.kernel_name kernel)
         (Singe.Compile.version_name version)
     in
+    let compile_t0 = Unix.gettimeofday () in
     match
       Singe.Compile.compile_checked ~validate:true mech kernel version options
     with
@@ -172,8 +174,12 @@ let perf ~out ?max_cycles () =
           (Printf.sprintf "perf: skipping %s: %s\n" label
              (Singe.Diagnostics.to_string d))
     | Ok (c, report) -> (
+        let compile_wall_s = Unix.gettimeofday () -. compile_t0 in
         let t0 = Unix.gettimeofday () in
-        match Singe.Compile.run c ~total_points:points ~max_cycles with
+        match
+          Singe.Compile.run c ~total_points:points ~max_cycles
+            ~profile:{ Gpusim.Sm.timeline_capacity = 0 }
+        with
         | exception Gpusim.Sm.Simulation_fault f ->
             P_fault
               (Printf.sprintf "perf: simulation fault in %s: %s at cycle %d: %s\n"
@@ -181,15 +187,26 @@ let perf ~out ?max_cycles () =
                  (Gpusim.Sm.fault_kind_name f.Gpusim.Sm.fault_kind)
                  f.Gpusim.Sm.fault_cycle f.Gpusim.Sm.detail)
         | r ->
-        let wall_s = Unix.gettimeofday () -. t0 in
+        (* Compile and simulate are timed separately: earlier schemas
+           reported one `wall_s` covering only the simulate call, which
+           made compiler-speed regressions invisible and (when a cached
+           compile landed inside the timed region) skewed
+           sim_cycles_per_host_sec. *)
+        let sim_wall_s = Unix.gettimeofday () -. t0 in
         let sm_cycles = r.Singe.Compile.machine.Gpusim.Machine.sm_cycles in
+        let profile_json =
+          match r.Singe.Compile.machine.Gpusim.Machine.sim.Gpusim.Sm.profile with
+          | Some p -> Gpusim.Profile.to_json p
+          | None -> "null"
+        in
         P_entry
           (Printf.sprintf
              "{\"mech\": \"%s\", \"kernel\": \"%s\", \"version\": \"%s\", \
               \"arch\": \"%s\", \"points\": %d, \"points_per_sec\": %.6g, \
               \"gflops\": %.6g, \"dram_gbs\": %.6g, \"sm_cycles\": %d, \
-              \"max_rel_err\": %.3g, \"host\": {\"wall_s\": %.4f, \
-              \"sim_cycles_per_host_sec\": %.6g}, \"report\": %s}"
+              \"max_rel_err\": %.3g, \"host\": {\"compile_wall_s\": %.4f, \
+              \"sim_wall_s\": %.4f, \"sim_cycles_per_host_sec\": %.6g}, \
+              \"profile\": %s, \"report\": %s}"
              mech.Chem.Mechanism.name
              (Singe.Kernel_abi.kernel_name kernel)
              (Singe.Compile.version_name version)
@@ -200,8 +217,9 @@ let perf ~out ?max_cycles () =
              r.Singe.Compile.machine.Gpusim.Machine.dram_gbs
              sm_cycles
              r.Singe.Compile.max_rel_err
-             wall_s
-             (float_of_int sm_cycles /. Float.max 1e-9 wall_s)
+             compile_wall_s sim_wall_s
+             (float_of_int sm_cycles /. Float.max 1e-9 sim_wall_s)
+             profile_json
              (Singe.Pass.report_to_json report)))
   in
   let outcomes = Sutil.Domain_pool.parallel_map entry (perf_configs ()) in
@@ -219,7 +237,7 @@ let perf ~out ?max_cycles () =
   let candidates_skipped = count (function P_entry _ -> false | _ -> true) in
   let json =
     Printf.sprintf
-      "{\"schema\": \"singe-perf-v3\", \"jobs\": %d, \"max_cycles\": %d, \
+      "{\"schema\": \"singe-perf-v4\", \"jobs\": %d, \"max_cycles\": %d, \
        \"faults_detected\": %d, \"candidates_skipped\": %d, \
        \"sweep_wall_s\": %.4f, \"results\": [\n%s\n]}\n"
       (Sutil.Domain_pool.default_jobs ())

@@ -3,6 +3,7 @@
    singe info      --mech dme
    singe compile   --mech heptane --kernel chemistry --arch kepler --warps 16 [--dump]
    singe run       --mech dme --kernel viscosity --arch kepler --points 32768
+   singe profile   --mech dme --kernel viscosity --chrome-trace trace.json
    singe tune      --mech dme --kernel diffusion --arch fermi
    singe figures   [fig3 fig9 ... | all]
 
@@ -179,7 +180,7 @@ let faults_term =
   Arg.(value & opt_all fault_conv [] & info [ "fault" ] ~docv:"SPEC"
        ~doc:"Inject a trace-level fault before simulating (repeatable): \
              $(b,drop-arrive:warp=W,nth=K), \
-             $(b,swap-barrier:warp=W,nth=K,bar=B), \
+             $(b,swap-bar:warp=W,nth=K,bar=B), \
              $(b,extra-arrive:warp=W,nth=K) or $(b,latency:warp=W,mult=M). \
              Used to exercise the watchdog and the containment paths.")
 
@@ -304,6 +305,139 @@ let run_cmd =
           $ version_term $ points $ timings_term $ validate_term
           $ faults_term $ max_cycles_term)
 
+let profile_cmd =
+  let points = Arg.(value & opt int 32768 & info [ "points" ] ~docv:"N") in
+  let chrome =
+    Arg.(value & opt (some string) None & info [ "chrome-trace" ] ~docv:"FILE"
+         ~doc:"Write the profiler timeline as Chrome trace-event JSON to FILE \
+               ('-' for stdout); open it at $(b,chrome://tracing) or in \
+               Perfetto.")
+  in
+  let top =
+    Arg.(value & opt int 5 & info [ "top-stalls" ] ~docv:"N"
+         ~doc:"Print the N largest per-warp stall contributors (0 disables).")
+  in
+  let timeline =
+    Arg.(value & opt int 65536 & info [ "timeline" ] ~docv:"SPANS"
+         ~doc:"Timeline ring-buffer capacity in spans; when the simulation \
+               produces more, the oldest are dropped (reported). 0 disables \
+               the timeline but keeps buckets and histograms.")
+  in
+  let check_flag =
+    Arg.(value & flag & info [ "check" ]
+         ~doc:"Validate the profile: bucket conservation (sums equal cycles x \
+               warps), Chrome-trace JSON well-formedness and timestamp \
+               monotonicity. Exit nonzero on any failure.")
+  in
+  let run mech kernel arch warps version points chrome top timeline check_it
+      faults max_cycles =
+    let c, _ =
+      compile_or_die ~validate:false mech kernel version
+        (options_of arch warps kernel)
+    in
+    let profile = { Gpusim.Sm.timeline_capacity = timeline } in
+    let r =
+      match
+        Singe.Compile.run c ~check:false ~total_points:points ~faults
+          ?max_cycles ~profile
+      with
+      | r -> r
+      | exception Gpusim.Sm.Simulation_fault report ->
+          Format.eprintf "singe: simulation fault@.%a@." Gpusim.Sm.pp_fault
+            report;
+          exit exit_simulation_fault
+      | exception Invalid_argument msg ->
+          Printf.eprintf "singe: %s\n" msg;
+          exit exit_compile_rejected
+    in
+    let prof =
+      match r.Singe.Compile.machine.Gpusim.Machine.sim.Gpusim.Sm.profile with
+      | Some p -> p
+      | None -> assert false
+    in
+    Format.printf "@[<v>%a@]@." Gpusim.Profile.pp_breakdown prof;
+    if prof.Gpusim.Profile.bar_waits <> [] then begin
+      print_endline "barrier waits:";
+      Format.printf "@[<v>%a@]@." Gpusim.Profile.pp_bar_waits prof
+    end;
+    if top > 0 then begin
+      Printf.printf "top stall contributors:\n";
+      List.iter
+        (fun (w, b, v) ->
+          let cta, wid = prof.Gpusim.Profile.warps.(w) in
+          Printf.printf "  cta%d/w%d %-11s %d cycles (%.1f%% of the warp's \
+                         time)\n"
+            cta wid
+            Gpusim.Profile.bucket_names.(b)
+            v
+            (100.0 *. float_of_int v
+            /. Float.max 1.0 (float_of_int prof.Gpusim.Profile.cycles)))
+        (Gpusim.Profile.top_stalls ~n:top prof)
+    end;
+    let trace_json = Gpusim.Profile.to_chrome_trace prof in
+    (match chrome with
+    | Some "-" -> print_string trace_json
+    | Some file ->
+        let oc = open_out file in
+        output_string oc trace_json;
+        close_out oc;
+        Printf.printf "Chrome trace (%d spans%s) written to %s\n"
+          (Array.length prof.Gpusim.Profile.timeline)
+          (if prof.Gpusim.Profile.timeline_dropped > 0 then
+             Printf.sprintf ", %d dropped" prof.Gpusim.Profile.timeline_dropped
+           else "")
+          file
+    | None -> ());
+    if check_it then begin
+      let failed = ref false in
+      let check name ok detail =
+        if ok then Printf.printf "check %-28s ok\n" name
+        else begin
+          failed := true;
+          Printf.printf "check %-28s FAILED%s\n" name
+            (if detail = "" then "" else ": " ^ detail)
+        end
+      in
+      check "bucket conservation"
+        (Gpusim.Profile.conservation_ok prof)
+        (Printf.sprintf "residual %d warp-cycles"
+           (Gpusim.Profile.conservation_residual prof));
+      (match Sutil.Json_check.validate trace_json with
+      | Ok () -> check "chrome-trace json" true ""
+      | Error m -> check "chrome-trace json" false m);
+      let monotone = ref true and last = ref min_int in
+      Array.iter
+        (fun (s : Gpusim.Profile.span) ->
+          if s.Gpusim.Profile.sp_start < !last then monotone := false;
+          last := s.Gpusim.Profile.sp_start)
+        prof.Gpusim.Profile.timeline;
+      (* The exported timeline is end-ordered; the trace emitter re-sorts
+         by start. Verify on the emitter's own ordering. *)
+      let spans = Array.copy prof.Gpusim.Profile.timeline in
+      Array.sort
+        (fun (a : Gpusim.Profile.span) b ->
+          compare a.Gpusim.Profile.sp_start b.Gpusim.Profile.sp_start)
+        spans;
+      let sorted_ok = ref true and prev = ref min_int in
+      Array.iter
+        (fun (s : Gpusim.Profile.span) ->
+          if s.Gpusim.Profile.sp_start < !prev then sorted_ok := false;
+          prev := s.Gpusim.Profile.sp_start;
+          if s.Gpusim.Profile.sp_stop < s.Gpusim.Profile.sp_start then
+            sorted_ok := false)
+        spans;
+      check "trace timestamps monotone" !sorted_ok "";
+      if !failed then exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:"Simulate a kernel with the per-warp cycle-attribution profiler \
+             and print the stall breakdown.")
+    Term.(const run $ mech_term $ kernel_term $ arch_term $ warps_term
+          $ version_term $ points $ chrome $ top $ timeline $ check_flag
+          $ faults_term $ max_cycles_term)
+
 let tune_cmd =
   let run mech kernel arch version max_cycles () =
     let o = Singe.Autotune.tune ?max_cycles mech kernel version arch in
@@ -424,6 +558,7 @@ let figures_cmd =
         | "fig14" -> Experiments.Figures.fig14 ()
         | "fig15" -> Experiments.Figures.fig15 ()
         | "fig16" -> Experiments.Figures.fig16 ()
+        | "stall-breakdown" -> Experiments.Figures.stall_breakdown ()
         | "ablation-barriers" -> Experiments.Figures.ablation_barriers ()
         | "ablation-exp-constants" -> Experiments.Figures.ablation_exp_constants ()
         | "ablation-chem-comm" -> Experiments.Figures.ablation_chem_comm ()
@@ -440,4 +575,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "singe" ~doc)
-          [ info_cmd; compile_cmd; run_cmd; tune_cmd; stats_cmd; partition_cmd; figures_cmd ]))
+          [ info_cmd; compile_cmd; run_cmd; profile_cmd; tune_cmd; stats_cmd;
+            partition_cmd; figures_cmd ]))

@@ -184,6 +184,67 @@ let fig14 () = perf_figure (Chem.Mech_gen.heptane ()) Singe.Kernel_abi.Diffusion
 let fig15 () = perf_figure (Chem.Mech_gen.dme ()) Singe.Kernel_abi.Chemistry
 let fig16 () = perf_figure (Chem.Mech_gen.heptane ()) Singe.Kernel_abi.Chemistry
 
+let stall_breakdown () =
+  header
+    "Stall breakdown (Fig. 11 style): where DME viscosity warps spend \
+     their cycles on Kepler";
+  let mech = Chem.Mech_gen.dme () in
+  let arch = Gpusim.Arch.kepler_k20c in
+  let points = if fast () then 13 * 3 * 32 else 32768 in
+  (* Tune serially (the tuner fans out its own candidates), then run the
+     two profiled simulations concurrently. *)
+  let base = tune mech Singe.Kernel_abi.Viscosity Singe.Compile.Baseline arch in
+  let ws =
+    tune mech Singe.Kernel_abi.Viscosity Singe.Compile.Warp_specialized arch
+  in
+  Printf.printf "  %-10s" "";
+  Array.iter
+    (fun name -> Printf.printf " %11s" name)
+    Gpusim.Profile.bucket_names;
+  print_newline ();
+  let rows =
+    Sutil.Domain_pool.parallel_map
+      (fun (label, (cand : Singe.Autotune.candidate)) ->
+        (* The baseline maps one thread per point, so its point count
+           must be a whole number of CTAs; round up to the tuned
+           candidate's CTA footprint (shares are insensitive to the
+           handful of extra points). *)
+        let per_cta =
+          32 * cand.Singe.Autotune.options.Singe.Compile.n_warps
+        in
+        let total_points = (points + per_cta - 1) / per_cta * per_cta in
+        let r =
+          Singe.Compile.run cand.Singe.Autotune.compiled ~total_points
+            ~profile:{ Gpusim.Sm.timeline_capacity = 0 }
+        in
+        let prof =
+          match
+            r.Singe.Compile.machine.Gpusim.Machine.sim.Gpusim.Sm.profile
+          with
+          | Some p -> p
+          | None -> assert false
+        in
+        let tot = Gpusim.Profile.bucket_totals prof in
+        let denom =
+          Float.max 1.0 (float_of_int (Gpusim.Profile.total_warp_cycles prof))
+        in
+        let b = Buffer.create 128 in
+        Printf.bprintf b "  %-10s" label;
+        Array.iter
+          (fun v ->
+            Printf.bprintf b " %10.1f%%" (100.0 *. float_of_int v /. denom))
+          tot;
+        Printf.bprintf b "   (%d cycles x %d warps%s)"
+          prof.Gpusim.Profile.cycles
+          (Gpusim.Profile.n_warps prof)
+          (if Gpusim.Profile.conservation_ok prof then ""
+           else ", NOT CONSERVED");
+        Buffer.contents b)
+      [ ("baseline", base); ("warp-spec", ws) ]
+  in
+  List.iter print_endline rows;
+  print_newline ()
+
 let ablation_barriers () =
   header
     "Ablation (§6.2): named-barrier synchronization cost in DME diffusion";
@@ -386,6 +447,7 @@ let all () =
   fig14 ();
   fig15 ();
   fig16 ();
+  stall_breakdown ();
   ablation_barriers ();
   ablation_exp_constants ();
   ablation_chem_comm ();

@@ -47,6 +47,11 @@ val fig15 : unit -> unit
 val fig16 : unit -> unit
 (** heptane chemistry *)
 
+val stall_breakdown : unit -> unit
+(** Fig.-11-style cycle-attribution table: the profiler's per-bucket
+    shares (issue / arith / memory / barriers / caches / idle) for DME
+    viscosity on Kepler, baseline vs warp-specialized. *)
+
 val ablation_barriers : unit -> unit
 (** §6.2: cost of named-barrier synchronization in the diffusion kernel —
     grouped sync points vs one barrier per edge, and the CTA-barrier

@@ -3,6 +3,10 @@ module Icache = struct
     mutable hits : int;
     mutable stream_hits : int;
     mutable misses : int;
+    mutable fill_stall_cycles : int;
+        (** Latency of every fill this cache initiated, counted once per
+            fill — warps that pile onto an in-flight fill add nothing.
+            Per-warp wait time lives in the profiler's buckets. *)
   }
 
   type t = {
@@ -45,7 +49,7 @@ module Icache = struct
       assoc;
       miss_latency = arch.Arch.icache_miss_latency;
       prefetch_cost = 6;
-      st = { hits = 0; stream_hits = 0; misses = 0 };
+      st = { hits = 0; stream_hits = 0; misses = 0; fill_stall_cycles = 0 };
     }
 
   let insert t ~now ~fill line =
@@ -103,6 +107,7 @@ module Icache = struct
           t.stream_lru.(s) <- t.stamp;
           insert t ~now ~fill:t.prefetch_cost line;
           t.st.stream_hits <- t.st.stream_hits + 1;
+          t.st.fill_stall_cycles <- t.st.fill_stall_cycles + t.prefetch_cost;
           t.prefetch_cost
         end
         else begin
@@ -117,6 +122,7 @@ module Icache = struct
           t.stream_lru.(!victim) <- t.stamp;
           insert t ~now ~fill:t.miss_latency line;
           t.st.misses <- t.st.misses + 1;
+          t.st.fill_stall_cycles <- t.st.fill_stall_cycles + t.miss_latency;
           t.miss_latency
         end
 
@@ -127,7 +133,13 @@ module Icache = struct
 end
 
 module Ccache = struct
-  type stats = { mutable hits : int; mutable misses : int }
+  type stats = {
+    mutable hits : int;
+    mutable misses : int;
+    mutable fill_stall_cycles : int;
+        (** Latency of every fill, once per initiated fill (see
+            {!Icache.stats.fill_stall_cycles}). *)
+  }
 
   type t = {
     lines : int array;
@@ -148,7 +160,7 @@ module Ccache = struct
       stamp = 0;
       slots_per_line = arch.Arch.const_line_bytes / 8;
       miss_latency = arch.Arch.global_latency;
-      st = { hits = 0; misses = 0 };
+      st = { hits = 0; misses = 0; fill_stall_cycles = 0 };
     }
 
   let access t ~now ~slot =
@@ -176,6 +188,7 @@ module Ccache = struct
       t.lru.(!victim) <- t.stamp;
       t.ready.(!victim) <- now + t.miss_latency;
       t.st.misses <- t.st.misses + 1;
+      t.st.fill_stall_cycles <- t.st.fill_stall_cycles + t.miss_latency;
       t.miss_latency
     end
 

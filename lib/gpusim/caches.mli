@@ -15,6 +15,10 @@ module Icache : sig
     mutable hits : int;
     mutable stream_hits : int;  (** misses absorbed by a prefetch stream *)
     mutable misses : int;  (** full-latency misses *)
+    mutable fill_stall_cycles : int;
+        (** latency of every fill this cache initiated, counted once per
+            fill: warps that join an in-flight fill add nothing (their
+            individual waits live in {!Profile} buckets) *)
   }
 
   val create : Arch.t -> t
@@ -33,7 +37,13 @@ end
 module Ccache : sig
   type t
 
-  type stats = { mutable hits : int; mutable misses : int }
+  type stats = {
+    mutable hits : int;
+    mutable misses : int;
+    mutable fill_stall_cycles : int;
+        (** latency of every fill, once per initiated fill (see
+            {!Icache.stats.fill_stall_cycles}) *)
+  }
 
   val create : Arch.t -> t
 

@@ -39,53 +39,90 @@ let describe = function
   | Latency { warp; mult } ->
       Printf.sprintf "multiply warp %d arithmetic latencies by %d" warp mult
 
-let of_string s =
-  let fields kind rest =
-    List.filter_map
-      (fun kv ->
+(* A value must be a plain decimal natural: [int_of_string] would also
+   accept hex, underscores and signs, which lets typos like "0x1" or
+   "1_0" slip through a spec unnoticed. *)
+let strict_nat s =
+  let s = String.trim s in
+  if
+    s <> ""
+    && String.length s <= 18
+    && String.for_all (fun ch -> ch >= '0' && ch <= '9') s
+  then int_of_string_opt s
+  else None
+
+let ( let* ) = Result.bind
+
+(* Strict field parsing: every comma-separated piece must be one
+   [key=nat] with an expected key, each expected key appears exactly
+   once. Trailing garbage, unknown or duplicate keys and non-decimal
+   values are errors — the old parser silently dropped them, so a typo'd
+   spec injected a different fault than the one written. *)
+let parse_fields kind rest keys =
+  let tbl = Hashtbl.create 4 in
+  let* () =
+    List.fold_left
+      (fun acc kv ->
+        let* () = acc in
         match String.index_opt kv '=' with
-        | None -> None
+        | None ->
+            Error
+              (Printf.sprintf "fault %S: %S is not KEY=VALUE" kind
+                 (String.trim kv))
         | Some i -> (
-            let k = String.sub kv 0 i in
+            let k = String.trim (String.sub kv 0 i) in
             let v = String.sub kv (i + 1) (String.length kv - i - 1) in
-            match int_of_string_opt (String.trim v) with
-            | Some n -> Some (String.trim k, n)
-            | None -> None))
+            if not (List.mem k keys) then
+              Error
+                (Printf.sprintf "fault %S: unknown field %S (expected %s)" kind
+                   k (String.concat ", " keys))
+            else if Hashtbl.mem tbl k then
+              Error (Printf.sprintf "fault %S: duplicate field %S" kind k)
+            else
+              match strict_nat v with
+              | Some n ->
+                  Hashtbl.add tbl k n;
+                  Ok ()
+              | None ->
+                  Error
+                    (Printf.sprintf
+                       "fault %S: field %S: %S is not a non-negative decimal \
+                        integer"
+                       kind k (String.trim v))))
+      (Ok ())
       (String.split_on_char ',' rest)
-    |> fun l ->
-    fun key ->
-      match List.assoc_opt key l with
-      | Some v -> Ok v
-      | None ->
-          Error
-            (Printf.sprintf "fault %S: missing or non-integer field %S" kind
-               key)
   in
-  let ( let* ) = Result.bind in
+  let* () =
+    List.fold_left
+      (fun acc k ->
+        let* () = acc in
+        if Hashtbl.mem tbl k then Ok ()
+        else Error (Printf.sprintf "fault %S: missing field %S" kind k))
+      (Ok ()) keys
+  in
+  Ok (fun key -> Hashtbl.find tbl key)
+
+let of_string s =
   match String.index_opt s ':' with
   | None -> Error (Printf.sprintf "fault %S: expected KIND:k=v,..." s)
   | Some i -> (
       let kind = String.trim (String.sub s 0 i) in
       let rest = String.sub s (i + 1) (String.length s - i - 1) in
-      let get = fields kind rest in
       match kind with
       | "drop-arrive" ->
-          let* warp = get "warp" in
-          let* nth = get "nth" in
-          Ok (Drop_arrive { warp; nth })
+          let* get = parse_fields kind rest [ "warp"; "nth" ] in
+          Ok (Drop_arrive { warp = get "warp"; nth = get "nth" })
       | "swap-bar" ->
-          let* warp = get "warp" in
-          let* nth = get "nth" in
-          let* bar = get "bar" in
-          Ok (Swap_barrier { warp; nth; bar })
+          let* get = parse_fields kind rest [ "warp"; "nth"; "bar" ] in
+          Ok
+            (Swap_barrier
+               { warp = get "warp"; nth = get "nth"; bar = get "bar" })
       | "extra-arrive" ->
-          let* warp = get "warp" in
-          let* nth = get "nth" in
-          Ok (Extra_arrive { warp; nth })
+          let* get = parse_fields kind rest [ "warp"; "nth" ] in
+          Ok (Extra_arrive { warp = get "warp"; nth = get "nth" })
       | "latency" ->
-          let* warp = get "warp" in
-          let* mult = get "mult" in
-          Ok (Latency { warp; mult })
+          let* get = parse_fields kind rest [ "warp"; "mult" ] in
+          Ok (Latency { warp = get "warp"; mult = get "mult" })
       | _ ->
           Error
             (Printf.sprintf
@@ -220,4 +257,19 @@ let apply_one (tr : Trace.t) fault =
         body;
       }
 
-let apply faults tr = List.fold_left apply_one tr faults
+let apply ?named_barriers faults tr =
+  (* Range-check barrier ids up front: a [Swap_barrier] beyond the SM's
+     named-barrier file used to truncate silently into whatever array
+     the simulator indexed (or crash mid-simulation). *)
+  List.iter
+    (fun f ->
+      match f with
+      | Swap_barrier { bar; _ } ->
+          let limit = Option.value named_barriers ~default:max_int in
+          if bar < 0 || bar >= limit then
+            invalid_arg
+              (Printf.sprintf "fault %s: barrier id %d outside [0, %d)"
+                 (to_string f) bar limit)
+      | Drop_arrive _ | Extra_arrive _ | Latency _ -> ())
+    faults;
+  List.fold_left apply_one tr faults

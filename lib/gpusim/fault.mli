@@ -33,13 +33,21 @@ val to_string : t -> string
 
 val of_string : string -> (t, string) result
 (** Parse a [--fault] specification, [KIND:key=value,...] with kinds
-    [drop-arrive], [swap-bar], [extra-arrive], [latency]. *)
+    [drop-arrive], [swap-bar], [extra-arrive], [latency]. Strict: every
+    expected field exactly once, values plain decimal naturals; unknown
+    or duplicate fields, trailing garbage and non-decimal values are
+    [Error] rather than silently ignored. [to_string] output always
+    parses back to the same fault. *)
 
 val describe : t -> string
 (** Human-oriented one-line description. *)
 
-val apply : t list -> Trace.t -> Trace.t
+val apply : ?named_barriers:int -> t list -> Trace.t -> Trace.t
 (** Apply the faults left to right, returning a fresh trace (unmodified
     entries are shared). Raises [Invalid_argument] when a fault matches
     nothing — the targeted warp is out of range, has fewer than [nth + 1]
-    matching instructions, or issues no arithmetic for [Latency]. *)
+    matching instructions, or issues no arithmetic for [Latency] — or,
+    when [named_barriers] is given, when a [Swap_barrier] id falls
+    outside [\[0, named_barriers)] (instead of silently indexing past
+    the SM's barrier file). {!Machine.run} always passes the
+    architecture's count. *)

@@ -83,7 +83,7 @@ type result = {
 }
 
 let run ?(fill_inputs = fun _ _ -> ()) ?(max_sim_batches = 6) ?(faults = [])
-    ?max_cycles (arch : Arch.t) (l : launch) =
+    ?max_cycles ?profile (arch : Arch.t) (l : launch) =
   let occ = occupancy arch l.program in
   let resident = min occ.resident_ctas l.ctas in
   let batches = batches_per_cta l in
@@ -118,7 +118,10 @@ let run ?(fill_inputs = fun _ _ -> ()) ?(max_sim_batches = 6) ?(faults = [])
       Some m
     end
   in
-  let trace = Fault.apply faults (Trace.flatten arch l.program) in
+  let trace =
+    Fault.apply ~named_barriers:arch.Arch.named_barriers_per_sm faults
+      (Trace.flatten arch l.program)
+  in
   let job =
     {
       Sm.arch;
@@ -130,7 +133,9 @@ let run ?(fill_inputs = fun _ _ -> ()) ?(max_sim_batches = 6) ?(faults = [])
       cta_point_base = Array.init resident (fun c -> c * per_batch * sim_batches);
     }
   in
-  let sim = Sm.run ?max_cycles job in
+  (* The profiler rides only the main simulation; the 1-batch pin run
+     below exists purely to extrapolate cycle counts. *)
+  let sim = Sm.run ?max_cycles ?profile job in
   let cycles_full =
     if batches = sim_batches then float_of_int sim.Sm.cycles
     else begin

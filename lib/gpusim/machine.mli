@@ -52,6 +52,7 @@ val run :
   ?max_sim_batches:int ->
   ?faults:Fault.t list ->
   ?max_cycles:int ->
+  ?profile:Sm.profile_spec ->
   Arch.t ->
   launch ->
   result
@@ -67,7 +68,12 @@ val run :
     static program data).
 
     [faults] are applied to the flattened trace before simulation
-    ({!Fault.apply}); [max_cycles] is forwarded to {!Sm.run} as the
-    per-simulation watchdog budget. Both default to the clean, unlimited
-    run, which may then raise {!Sm.Simulation_fault} only on a genuine
-    deadlock or livelock. *)
+    ({!Fault.apply}, with barrier ids range-checked against the
+    architecture's named-barrier count); [max_cycles] is forwarded to
+    {!Sm.run} as the per-simulation watchdog budget. Both default to the
+    clean, unlimited run, which may then raise {!Sm.Simulation_fault}
+    only on a genuine deadlock or livelock.
+
+    [profile] is forwarded to {!Sm.run} for the main simulation only (the
+    pin run exists purely to extrapolate cycles); the resulting ledger is
+    [result.sim.profile]. *)

@@ -75,14 +75,30 @@ type counters = {
   mutable barrier_stalls : int;
   mutable cta_barrier_stalls : int;
   mutable icache_stall_cycles : int;
-  mutable ccache_stall_cycles : int;
+      (** fill latency counted once per initiated i-cache fill (mirrors
+          {!Caches.Icache.stats.fill_stall_cycles}); warps piling onto an
+          in-flight fill no longer re-count it — per-warp wait time is in
+          the profiler's buckets *)
+  mutable ccache_stall_cycles : int;  (** likewise, for the constant cache *)
 }
+
+(* Profiling is opt-in: [run ~profile] keeps the per-warp cycle ledger
+   described in {!Profile}. It does not perturb the simulation — cycles
+   and counters are identical with and without it. *)
+type profile_spec = {
+  timeline_capacity : int;
+      (** ring-buffer capacity (in spans) for the Chrome-trace timeline;
+          0 keeps buckets and barrier histograms but records no spans *)
+}
+
+let default_profile = { timeline_capacity = 65536 }
 
 type result = {
   cycles : int;
   counters : counters;
   icache : Caches.Icache.stats;
   ccache : Caches.Ccache.stats;
+  profile : Profile.t option;  (** present iff [run] was given [?profile] *)
 }
 
 type job = {
@@ -167,7 +183,7 @@ let lowest_bit_index m =
   if !m land 0x1 = 0 then incr i;
   !i
 
-let run ?max_cycles (job : job) =
+let run ?max_cycles ?profile (job : job) =
   let budget =
     match max_cycles with
     | None -> max_int
@@ -328,6 +344,88 @@ let run ?max_cycles (job : job) =
     end
   in
   Array.iter (fun w -> set_ready w.index) warps;
+  (* --- optional per-warp cycle-attribution ledger (see Profile) ---
+     Each warp carries the start cycle and bucket of its current span;
+     spans flush whenever the warp's classification changes, so per-warp
+     buckets sum to the final cycle count exactly (the conservation
+     invariant). Every hook is a no-op when profiling is off. *)
+  let prof_on = profile <> None in
+  let pb =
+    if prof_on then
+      Array.init n_warps_total (fun _ -> Array.make Profile.n_buckets 0)
+    else [||]
+  in
+  let acct_from = if prof_on then Array.make n_warps_total 0 else [||] in
+  let acct_class =
+    if prof_on then Array.make n_warps_total Profile.issue else [||]
+  in
+  (* Producer bucket of each register, so a scoreboard wait classifies as
+     "waiting on a load" vs "waiting on arithmetic". *)
+  let freg_src =
+    if prof_on then
+      Array.init n_warps_total (fun _ ->
+          Array.make (max 1 p.Isa.n_fregs) Profile.arith)
+    else [||]
+  in
+  let ireg_src =
+    if prof_on then
+      Array.init n_warps_total (fun _ ->
+          Array.make (max 1 p.Isa.n_iregs) Profile.mem)
+    else [||]
+  in
+  (* Timeline ring buffer: flat parallel arrays; when capacity overflows
+     the oldest spans are overwritten (counted in [ring_dropped]). *)
+  let ring_cap =
+    match profile with
+    | None -> 0
+    | Some s ->
+        if s.timeline_capacity < 0 then
+          invalid_arg "Sm.run: timeline_capacity must be >= 0";
+        s.timeline_capacity
+  in
+  let ring_warp = Array.make (max 1 ring_cap) 0 in
+  let ring_bucket = Array.make (max 1 ring_cap) 0 in
+  let ring_start = Array.make (max 1 ring_cap) 0 in
+  let ring_stop = Array.make (max 1 ring_cap) 0 in
+  let ring_n = ref 0 and ring_next = ref 0 and ring_dropped = ref 0 in
+  let ring_push wi bucket start stop =
+    if ring_cap > 0 then begin
+      let i = !ring_next in
+      if !ring_n = ring_cap then incr ring_dropped else incr ring_n;
+      ring_warp.(i) <- wi;
+      ring_bucket.(i) <- bucket;
+      ring_start.(i) <- start;
+      ring_stop.(i) <- stop;
+      ring_next := if i + 1 = ring_cap then 0 else i + 1
+    end
+  in
+  (* Close the open span of warp [wi] at the current cycle. *)
+  let prof_flush wi =
+    let from = acct_from.(wi) in
+    if !now > from then begin
+      let cls = acct_class.(wi) in
+      pb.(wi).(cls) <- pb.(wi).(cls) + (!now - from);
+      ring_push wi cls from !now;
+      acct_from.(wi) <- !now
+    end
+  in
+  (* Reclassify warp [wi], flushing if the bucket changes. *)
+  let prof_class wi cls =
+    if acct_class.(wi) <> cls then begin
+      prof_flush wi;
+      acct_class.(wi) <- cls
+    end
+  in
+  (* Per-barrier wait statistics, aggregated across CTAs; slot [nbar] is
+     the CTA-wide barrier. *)
+  let nbar = arch.Arch.named_barriers_per_sm in
+  let bw_count = if prof_on then Array.make (nbar + 1) 0 else [||] in
+  let bw_total = if prof_on then Array.make (nbar + 1) 0 else [||] in
+  let bw_max = if prof_on then Array.make (nbar + 1) 0 else [||] in
+  let bw_hist =
+    if prof_on then Array.make_matrix (nbar + 1) Profile.hist_buckets 0
+    else [||]
+  in
   (* --- stall-event queue: a binary min-heap on wake-up time ---
      Invariant: heap entries are exactly the [Stalled] warps (a warp
      leaves [Stalled] only by being popped here), so capacity is the warp
@@ -382,8 +480,10 @@ let run ?max_cycles (job : job) =
     top
   in
   (* Every Stalled transition goes through here so the heap invariant
-     holds. Callers run on Ready or Waiting_* warps (never re-stall). *)
-  let stall_warp w until =
+     holds. Callers run on Ready or Waiting_* warps (never re-stall);
+     [cls] is the profiler bucket the sleep accrues into. *)
+  let stall_warp w until cls =
+    if prof_on then prof_class w.index cls;
     w.st <- Stalled;
     w.stall_until <- until;
     heap_push until w.index
@@ -461,14 +561,26 @@ let run ?max_cycles (job : job) =
     path.drain <- start +. transfer;
     int_of_float (Float.ceil (start +. transfer)) - !now
   in
-  (* Warp-granularity barrier release. *)
-  let release_waiters b kind =
+  (* Warp-granularity barrier release; [slot] is the profiler's
+     histogram slot ([nbar] for the CTA-wide barrier). *)
+  let release_waiters b kind slot =
+    let cls =
+      match kind with `Named -> Profile.bar_named | `Cta -> Profile.bar_cta
+    in
     for i = 0 to b.n_waiters - 1 do
       let w = warps.(b.waiters.(i)) in
+      let wait = !now - w.wait_since in
       (match kind with
-      | `Named -> c.barrier_stalls <- c.barrier_stalls + (!now - w.wait_since)
-      | `Cta -> c.cta_barrier_stalls <- c.cta_barrier_stalls + (!now - w.wait_since));
-      stall_warp w (!now + 5)
+      | `Named -> c.barrier_stalls <- c.barrier_stalls + wait
+      | `Cta -> c.cta_barrier_stalls <- c.cta_barrier_stalls + wait);
+      if prof_on then begin
+        bw_count.(slot) <- bw_count.(slot) + 1;
+        bw_total.(slot) <- bw_total.(slot) + wait;
+        if wait > bw_max.(slot) then bw_max.(slot) <- wait;
+        let h = Profile.hist_bucket wait in
+        bw_hist.(slot).(h) <- bw_hist.(slot).(h) + 1
+      end;
+      stall_warp w (!now + 5) cls
     done;
     b.n_waiters <- 0
   in
@@ -487,8 +599,11 @@ let run ?max_cycles (job : job) =
       let line = Caches.Icache.line_of_addr arch entry.Trace.addr in
       let stall = Caches.Icache.access icache ~now:!now ~line in
       if stall > 0 then begin
-        stall_warp w (!now + stall);
-        c.icache_stall_cycles <- c.icache_stall_cycles + stall;
+        (* [icache_stall_cycles] is taken from the cache's own once-per-fill
+           count at the end of the run: warps joining an in-flight fill
+           used to re-add their whole wait here, over-counting one fill up
+           to n_warps times. *)
+        stall_warp w (!now + stall) Profile.icache;
         (* The fill is delivered to this warp even if contention
            evicts the line before the retry. *)
         w.paid_fetch <- entry_id;
@@ -529,18 +644,60 @@ let run ?max_cycles (job : job) =
         | Isa.Sreg _ | Isa.Simm _ | Isa.Sshared _ -> ()
       done;
       if !stall > 0 then begin
-        stall_warp w (!now + !stall);
-        c.ccache_stall_cycles <- c.ccache_stall_cycles + !stall;
+        (* As with the i-cache: the aggregate counter now comes from the
+           cache's once-per-fill count, not per-warp waits. *)
+        stall_warp w (!now + !stall) Profile.ccache;
         w.paid_const <- entry_id;
         false
       end
       else true
     end
   in
+  (* Block reason of the most recent failed issue attempt that left its
+     warp Ready (profiler only): [try_issue] records it at every such
+     [false] path, and the scheduler scan turns it into the warp's
+     accrual bucket. *)
+  let block = ref Profile.issue in
+  (* Bucket of the latest-finishing unavailable source operand: the
+     producer that actually gates this instruction. *)
+  let sb_class ?ireg w (srcs : Isa.src array) =
+    let t = ref 0 and cls = ref Profile.arith in
+    for i = 0 to Array.length srcs - 1 do
+      match Array.unsafe_get srcs i with
+      | Isa.Sreg r ->
+          if w.freg_ready.(r) > !t then begin
+            t := w.freg_ready.(r);
+            cls := freg_src.(w.index).(r)
+          end
+      | Isa.Sshared a -> (
+          match a.Isa.s_ireg with
+          | Some r ->
+              if w.ireg_ready.(r) > !t then begin
+                t := w.ireg_ready.(r);
+                cls := ireg_src.(w.index).(r)
+              end
+          | None -> ())
+      | Isa.Simm _ | Isa.Sconst _ | Isa.Sconst_warp _ -> ()
+    done;
+    (match ireg with
+    | Some r ->
+        if w.ireg_ready.(r) > !t then begin
+          t := w.ireg_ready.(r);
+          cls := ireg_src.(w.index).(r)
+        end
+    | None -> ());
+    !cls
+  in
+  let set_block_sb ?ireg w srcs =
+    if prof_on then block := sb_class ?ireg w srcs
+  in
+  let set_fsrc w r cls = if prof_on then freg_src.(w.index).(r) <- cls in
+  let set_isrc w r cls = if prof_on then ireg_src.(w.index).(r) <- cls in
   (* Attempt to issue the next instruction of warp [w]; true if issued. *)
   let try_issue w =
     match Trace.peek tr ~warp:w.wid ~batches:job.batches w.cur with
     | None ->
+        if prof_on then prof_class w.index Profile.idle;
         w.st <- Retired;
         decr live;
         false
@@ -552,6 +709,7 @@ let run ?max_cycles (job : job) =
             (* Synthetic warp-ID branch. *)
             if not (pipe_free alu) then begin
               hintf alu.busy;
+              block := Profile.arith;
               false
             end
             else if not (fetch_ok w entry_id entry) then false
@@ -567,10 +725,12 @@ let run ?max_cycles (job : job) =
                 let ready = regs_ready w srcs in
                 if ready > !now then begin
                   hint ready;
+                  set_block_sb w srcs;
                   false
                 end
                 else if not (pipe_free dp) then begin
                   hintf dp.busy;
+                  block := Profile.arith;
                   false
                 end
                 else begin
@@ -582,6 +742,7 @@ let run ?max_cycles (job : job) =
                   in
                   if not shared_ok then begin
                     hintf shared_pipe.busy;
+                    block := Profile.mem;
                     false
                   end
                   else if not (ccache_check w entry_id entry) then false
@@ -610,6 +771,7 @@ let run ?max_cycles (job : job) =
                     w.freg_ready.(dst) <-
                       !now + (arch.Arch.arith_latency * entry.Trace.lat_mult)
                       + !extra;
+                    set_fsrc w dst Profile.arith;
                     (* Functional execution at issue. *)
                     let n_src = Array.length srcs in
                     for lane = 0 to 31 do
@@ -629,10 +791,12 @@ let run ?max_cycles (job : job) =
                 let ready = regs_ready w entry.Trace.srcs in
                 if ready > !now then begin
                   hint ready;
+                  set_block_sb w entry.Trace.srcs;
                   false
                 end
                 else if not (pipe_free alu) then begin
                   hintf alu.busy;
+                  block := Profile.arith;
                   false
                 end
                 else if not (ccache_check w entry_id entry) then false
@@ -649,6 +813,10 @@ let run ?max_cycles (job : job) =
                       extra := arch.Arch.shared_latency
                   | _ -> ());
                   w.freg_ready.(dst) <- !now + arch.Arch.arith_latency + !extra;
+                  set_fsrc w dst
+                    (match src with
+                    | Isa.Sshared _ -> Profile.mem
+                    | _ -> Profile.arith);
                   for lane = 0 to 31 do
                     if lane_active pred lane then
                       w.fregs.(dst).(lane) <- src_value w lane src
@@ -659,6 +827,7 @@ let run ?max_cycles (job : job) =
             | Isa.Ld_global { dst; group; field; via_tex; pred } ->
                 if not (pipe_free lsu) then begin
                   hintf lsu.busy;
+                  block := Profile.mem;
                   false
                 end
                 else if not (fetch_ok w entry_id entry) then false
@@ -672,6 +841,7 @@ let run ?max_cycles (job : job) =
                   let done_in = path_transfer path bytes in
                   w.freg_ready.(dst) <-
                     !now + arch.Arch.global_latency + done_in;
+                  set_fsrc w dst Profile.mem;
                   for lane = 0 to 31 do
                     if lane_active pred lane then begin
                       let f = field_of w lane field in
@@ -687,10 +857,12 @@ let run ?max_cycles (job : job) =
                 let ready = regs_ready w entry.Trace.srcs in
                 if ready > !now then begin
                   hint ready;
+                  set_block_sb w entry.Trace.srcs;
                   false
                 end
                 else if not (pipe_free lsu) then begin
                   hintf lsu.busy;
+                  block := Profile.mem;
                   false
                 end
                 else if not (fetch_ok w entry_id entry) then false
@@ -718,10 +890,15 @@ let run ?max_cycles (job : job) =
                 in
                 if ready > !now then begin
                   hint ready;
+                  (if prof_on then
+                     match addr.Isa.s_ireg with
+                     | Some r -> block := ireg_src.(w.index).(r)
+                     | None -> ());
                   false
                 end
                 else if not (pipe_free lsu && pipe_free shared_pipe) then begin
                   hintf (Float.max lsu.busy shared_pipe.busy);
+                  block := Profile.mem;
                   false
                 end
                 else if not (fetch_ok w entry_id entry) then false
@@ -732,6 +909,7 @@ let run ?max_cycles (job : job) =
                   c.bank_conflict_slots <- c.bank_conflict_slots + ways - 1;
                   pipe_issue shared_pipe (float_of_int ways);
                   w.freg_ready.(dst) <- !now + arch.Arch.shared_latency;
+                  set_fsrc w dst Profile.mem;
                   for lane = 0 to 31 do
                     if lane_active pred lane then
                       w.fregs.(dst).(lane) <-
@@ -750,10 +928,12 @@ let run ?max_cycles (job : job) =
                 in
                 if ready > !now then begin
                   hint ready;
+                  set_block_sb ?ireg:addr.Isa.s_ireg w entry.Trace.srcs;
                   false
                 end
                 else if not (pipe_free lsu && pipe_free shared_pipe) then begin
                   hintf (Float.max lsu.busy shared_pipe.busy);
+                  block := Profile.mem;
                   false
                 end
                 else if not (fetch_ok w entry_id entry) then false
@@ -774,6 +954,7 @@ let run ?max_cycles (job : job) =
             | Isa.Ld_local { dst; slot } ->
                 if not (pipe_free lsu) then begin
                   hintf lsu.busy;
+                  block := Profile.mem;
                   false
                 end
                 else if not (fetch_ok w entry_id entry) then false
@@ -783,6 +964,7 @@ let run ?max_cycles (job : job) =
                   c.local_bytes <- c.local_bytes + bytes;
                   let done_in = path_transfer localp bytes in
                   w.freg_ready.(dst) <- !now + arch.Arch.global_latency + done_in;
+                  set_fsrc w dst Profile.mem;
                   for lane = 0 to 31 do
                     let idx =
                       (((w.wid * 32) + lane) * p.Isa.local_doubles) + slot
@@ -795,10 +977,12 @@ let run ?max_cycles (job : job) =
             | Isa.St_local { src; slot } ->
                 if w.freg_ready.(src) > !now then begin
                   hint w.freg_ready.(src);
+                  if prof_on then block := freg_src.(w.index).(src);
                   false
                 end
                 else if not (pipe_free lsu) then begin
                   hintf lsu.busy;
+                  block := Profile.mem;
                   false
                 end
                 else if not (fetch_ok w entry_id entry) then false
@@ -819,6 +1003,7 @@ let run ?max_cycles (job : job) =
             | Isa.Ld_const_bank { dst; slot } ->
                 if not (pipe_free lsu) then begin
                   hintf lsu.busy;
+                  block := Profile.mem;
                   false
                 end
                 else if not (fetch_ok w entry_id entry) then false
@@ -830,6 +1015,7 @@ let run ?max_cycles (job : job) =
                    else c.global_bytes <- c.global_bytes + bytes);
                   let done_in = path_transfer path bytes in
                   w.freg_ready.(dst) <- !now + arch.Arch.global_latency + done_in;
+                  set_fsrc w dst Profile.mem;
                   for lane = 0 to 31 do
                     w.fregs.(dst).(lane) <- p.Isa.const_bank.(w.wid).(lane).(slot)
                   done;
@@ -839,6 +1025,7 @@ let run ?max_cycles (job : job) =
             | Isa.Ld_param { dst_i; slot } ->
                 if not (pipe_free lsu) then begin
                   hintf lsu.busy;
+                  block := Profile.mem;
                   false
                 end
                 else if not (fetch_ok w entry_id entry) then false
@@ -850,6 +1037,7 @@ let run ?max_cycles (job : job) =
                    else c.global_bytes <- c.global_bytes + bytes);
                   let done_in = path_transfer path bytes in
                   w.ireg_ready.(dst_i) <- !now + arch.Arch.global_latency + done_in;
+                  set_isrc w dst_i Profile.mem;
                   for lane = 0 to 31 do
                     w.iregs.(dst_i).(lane) <- p.Isa.param_bank.(w.wid).(lane).(slot)
                   done;
@@ -859,16 +1047,19 @@ let run ?max_cycles (job : job) =
             | Isa.Shfl { dst; src; lane } ->
                 if w.freg_ready.(src) > !now then begin
                   hint w.freg_ready.(src);
+                  if prof_on then block := freg_src.(w.index).(src);
                   false
                 end
                 else if not (pipe_free alu) then begin
                   hintf alu.busy;
+                  block := Profile.arith;
                   false
                 end
                 else if not (fetch_ok w entry_id entry) then false
                 else begin
                   pipe_issue alu 2.0 (* two 32-bit shuffles per double *);
                   w.freg_ready.(dst) <- !now + arch.Arch.arith_latency;
+                  set_fsrc w dst Profile.arith;
                   let v = w.fregs.(src).(lane) in
                   for l = 0 to 31 do
                     w.fregs.(dst).(l) <- v
@@ -879,16 +1070,19 @@ let run ?max_cycles (job : job) =
             | Isa.Ishfl { dst_i; src_i; lane } ->
                 if w.ireg_ready.(src_i) > !now then begin
                   hint w.ireg_ready.(src_i);
+                  if prof_on then block := ireg_src.(w.index).(src_i);
                   false
                 end
                 else if not (pipe_free alu) then begin
                   hintf alu.busy;
+                  block := Profile.arith;
                   false
                 end
                 else if not (fetch_ok w entry_id entry) then false
                 else begin
                   pipe_issue alu 1.0;
                   w.ireg_ready.(dst_i) <- !now + arch.Arch.arith_latency;
+                  set_isrc w dst_i Profile.arith;
                   let v = w.iregs.(src_i).(lane) in
                   for l = 0 to 31 do
                     w.iregs.(dst_i).(l) <- v
@@ -899,6 +1093,7 @@ let run ?max_cycles (job : job) =
             | Isa.Bar_arrive { bar; count } ->
                 if not (pipe_free alu) then begin
                   hintf alu.busy;
+                  block := Profile.arith;
                   false
                 end
                 else if not (fetch_ok w entry_id entry) then false
@@ -908,7 +1103,7 @@ let run ?max_cycles (job : job) =
                   b.arrived <- b.arrived + 1;
                   if b.arrived >= count then begin
                     b.arrived <- b.arrived - count;
-                    release_waiters b `Named
+                    release_waiters b `Named bar
                   end;
                   finish_issue w;
                   true
@@ -916,6 +1111,7 @@ let run ?max_cycles (job : job) =
             | Isa.Bar_sync { bar; count } ->
                 if not (pipe_free alu) then begin
                   hintf alu.busy;
+                  block := Profile.arith;
                   false
                 end
                 else if not (fetch_ok w entry_id entry) then false
@@ -926,7 +1122,7 @@ let run ?max_cycles (job : job) =
                   finish_issue w;
                   if b.arrived >= count then begin
                     b.arrived <- b.arrived - count;
-                    release_waiters b `Named
+                    release_waiters b `Named bar
                   end
                   else begin
                     w.st <- Waiting_bar bar;
@@ -939,6 +1135,7 @@ let run ?max_cycles (job : job) =
             | Isa.Bar_cta ->
                 if not (pipe_free alu) then begin
                   hintf alu.busy;
+                  block := Profile.arith;
                   false
                 end
                 else if not (fetch_ok w entry_id entry) then false
@@ -949,7 +1146,7 @@ let run ?max_cycles (job : job) =
                   finish_issue w;
                   if b.arrived >= p.Isa.n_warps then begin
                     b.arrived <- 0;
-                    release_waiters b `Cta
+                    release_waiters b `Cta nbar
                   end
                   else begin
                     w.st <- Waiting_cta;
@@ -959,6 +1156,26 @@ let run ?max_cycles (job : job) =
                   end;
                   true
                 end))
+  in
+  (* Profiler classification after a scheduler visit. On success the
+     visit cycle is an [issue] cycle even when the warp parks on a
+     barrier in the same call; on failure a still-Ready warp accrues the
+     blocking reason recorded by [try_issue] (state transitions — stall,
+     park, retire — were already classified at their site). *)
+  let prof_issued w =
+    let wi = w.index in
+    match w.st with
+    | Ready | Stalled | Retired -> prof_class wi Profile.issue
+    | Waiting_bar _ | Waiting_cta ->
+        prof_flush wi;
+        pb.(wi).(Profile.issue) <- pb.(wi).(Profile.issue) + 1;
+        ring_push wi Profile.issue !now (!now + 1);
+        acct_from.(wi) <- !now + 1;
+        acct_class.(wi) <-
+          (if w.st = Waiting_cta then Profile.bar_cta else Profile.bar_named)
+  in
+  let prof_failed w =
+    match w.st with Ready -> prof_class w.index !block | _ -> ()
   in
   (* --- main scheduling loop ---
      The scan visits the same position sequence as the original
@@ -1007,8 +1224,10 @@ let run ?max_cycles (job : job) =
           let w = warps.(j) in
           if try_issue w then begin
             incr issued_this_cycle;
-            rr := w.index + 1
-          end;
+            rr := w.index + 1;
+            if prof_on then prof_issued w
+          end
+          else if prof_on then prof_failed w;
           (match w.st with
           | Ready -> ()
           | Stalled | Waiting_bar _ | Waiting_cta | Retired ->
@@ -1045,9 +1264,66 @@ let run ?max_cycles (job : job) =
       incr now
     end
   done;
+  (* Aggregate cache-stall counters are the caches' once-per-fill
+     latency totals (the old per-warp accumulation re-counted a shared
+     in-flight fill for every warp that joined it). *)
+  c.icache_stall_cycles <-
+    (Caches.Icache.stats icache).Caches.Icache.fill_stall_cycles;
+  c.ccache_stall_cycles <-
+    (Caches.Ccache.stats ccache).Caches.Ccache.fill_stall_cycles;
+  let profile_result =
+    match profile with
+    | None -> None
+    | Some _ ->
+        (* Close every warp's open span at the final cycle; after this,
+           each warp's buckets sum to exactly [!now]. *)
+        for wi = 0 to n_warps_total - 1 do
+          prof_flush wi
+        done;
+        (* Unroll the ring oldest-first so the timeline is chronological
+           by span end. *)
+        let spans =
+          Array.init !ring_n (fun i ->
+              let idx =
+                if !ring_dropped = 0 then i
+                else
+                  let j = !ring_next + i in
+                  if j >= ring_cap then j - ring_cap else j
+              in
+              {
+                Profile.sp_warp = ring_warp.(idx);
+                sp_bucket = ring_bucket.(idx);
+                sp_start = ring_start.(idx);
+                sp_stop = ring_stop.(idx);
+              })
+        in
+        let bar_waits = ref [] in
+        for slot = nbar downto 0 do
+          if bw_count.(slot) > 0 then
+            bar_waits :=
+              {
+                Profile.bw_bar = (if slot = nbar then -1 else slot);
+                bw_count = bw_count.(slot);
+                bw_total = bw_total.(slot);
+                bw_max = bw_max.(slot);
+                bw_hist = Array.copy bw_hist.(slot);
+              }
+              :: !bar_waits
+        done;
+        Some
+          {
+            Profile.cycles = !now;
+            warps = Array.map (fun w -> (w.cta, w.wid)) warps;
+            buckets = pb;
+            bar_waits = !bar_waits;
+            timeline = spans;
+            timeline_dropped = !ring_dropped;
+          }
+  in
   {
     cycles = !now;
     counters = c;
     icache = Caches.Icache.stats icache;
     ccache = Caches.Ccache.stats ccache;
+    profile = profile_result;
   }

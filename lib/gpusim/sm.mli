@@ -82,14 +82,28 @@ type counters = {
   mutable barrier_stalls : int;  (** warp-cycles blocked on named barriers *)
   mutable cta_barrier_stalls : int;
   mutable icache_stall_cycles : int;
-  mutable ccache_stall_cycles : int;
+      (** fill latency counted once per initiated i-cache fill (equals
+          {!Caches.Icache.stats.fill_stall_cycles}); warps joining an
+          in-flight fill do not re-count it — per-warp wait time is in
+          {!Profile} buckets *)
+  mutable ccache_stall_cycles : int;  (** likewise, for the constant cache *)
 }
+
+type profile_spec = {
+  timeline_capacity : int;
+      (** ring-buffer capacity (in spans) for the Chrome-trace timeline;
+          0 keeps buckets and barrier histograms but records no spans *)
+}
+
+val default_profile : profile_spec
+(** [{ timeline_capacity = 65536 }] *)
 
 type result = {
   cycles : int;
   counters : counters;
   icache : Caches.Icache.stats;
   ccache : Caches.Ccache.stats;
+  profile : Profile.t option;  (** present iff {!run} was given [?profile] *)
 }
 
 type job = {
@@ -102,7 +116,7 @@ type job = {
   cta_point_base : int array;  (** first grid point of each resident CTA *)
 }
 
-val run : ?max_cycles:int -> job -> result
+val run : ?max_cycles:int -> ?profile:profile_spec -> job -> result
 (** Simulates until every warp of every resident CTA retires; [job.mem] is
     mutated with the kernel's global stores.
 
@@ -110,4 +124,12 @@ val run : ?max_cycles:int -> job -> result
     with warps still live, the run aborts with a {!Simulation_fault} of
     kind {!Cycle_budget} (default: unlimited — deadlocks and livelocks are
     still detected without a budget). Raises [Invalid_argument] when the
-    budget is not positive. *)
+    budget is not positive.
+
+    [profile] turns on the per-warp cycle-attribution ledger described in
+    {!Profile}: the result's [profile] field then holds buckets that sum
+    exactly to [cycles] for every warp, per-barrier wait histograms, and
+    (when [timeline_capacity > 0]) a span timeline for Chrome trace
+    export. Profiling never perturbs the simulation — cycles, counters
+    and memory effects are identical with and without it. Raises
+    [Invalid_argument] when [timeline_capacity] is negative. *)

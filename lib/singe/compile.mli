@@ -166,6 +166,7 @@ val run :
   ?t_range:float * float ->
   ?faults:Gpusim.Fault.t list ->
   ?max_cycles:int ->
+  ?profile:Gpusim.Sm.profile_spec ->
   t ->
   total_points:int ->
   run_result
@@ -177,4 +178,8 @@ val run :
 
     [faults] injects trace-level faults ({!Gpusim.Fault}) and
     [max_cycles] arms the simulator watchdog; a fault-containing run may
-    then raise {!Gpusim.Sm.Simulation_fault} instead of returning. *)
+    then raise {!Gpusim.Sm.Simulation_fault} instead of returning.
+
+    [profile] turns on the per-warp cycle-attribution ledger
+    ({!Gpusim.Profile}); the result lands in
+    [machine.sim.Gpusim.Sm.profile]. *)

@@ -194,6 +194,85 @@ let test_fault_spec_roundtrip () =
       | Error _ -> ())
     [ "nonsense"; "drop-arrive:warp=1"; "latency:warp=x,mult=2"; "zap:a=1" ]
 
+(* Strict parsing: trailing garbage, unknown or duplicated fields, and
+   non-decimal values must all be rejected — silent truncation of a fault
+   spec means injecting a different fault than the one asked for. *)
+let test_fault_spec_strict () =
+  List.iter
+    (fun bad ->
+      match Gpusim.Fault.of_string bad with
+      | Ok f ->
+          Alcotest.fail
+            (Printf.sprintf "accepted %S as %s" bad (Gpusim.Fault.to_string f))
+      | Error _ -> ())
+    [
+      (* trailing garbage after a complete spec *)
+      "drop-arrive:warp=1,nth=0,";
+      "drop-arrive:warp=1,nth=0,junk";
+      "latency:warp=4,mult=3 trailing";
+      (* unknown and duplicate fields *)
+      "drop-arrive:warp=1,nth=0,bar=2";
+      "latency:warp=1,warp=2,mult=3";
+      (* values that int_of_string would happily take *)
+      "latency:warp=0x10,mult=2";
+      "drop-arrive:warp=+1,nth=0";
+      "drop-arrive:warp=-1,nth=0";
+      "swap-bar:warp=1,nth=0,bar=1_0";
+      (* overlong digit strings (would overflow int_of_string) *)
+      "latency:warp=9999999999999999999999,mult=2";
+      (* missing field *)
+      "swap-bar:warp=1,bar=0";
+    ]
+
+let fault_spec_qcheck_roundtrip =
+  let gen =
+    QCheck.(
+      make
+        ~print:(fun f -> Gpusim.Fault.to_string f)
+        Gen.(
+          let nat = int_bound 1_000_000 in
+          oneof
+            [
+              map2
+                (fun warp nth -> Gpusim.Fault.Drop_arrive { warp; nth })
+                nat nat;
+              map3
+                (fun warp nth bar ->
+                  Gpusim.Fault.Swap_barrier { warp; nth; bar })
+                nat nat (int_bound 63);
+              map2
+                (fun warp nth -> Gpusim.Fault.Extra_arrive { warp; nth })
+                nat nat;
+              map2
+                (fun warp mult -> Gpusim.Fault.Latency { warp; mult })
+                nat (int_range 1 64);
+            ]))
+  in
+  QCheck_alcotest.to_alcotest ~verbose:false
+    (QCheck.Test.make ~count:500 ~name:"fault spec to_string/of_string" gen
+       (fun f ->
+         match Gpusim.Fault.of_string (Gpusim.Fault.to_string f) with
+         | Ok f' -> f = f'
+         | Error e -> QCheck.Test.fail_report e))
+
+(* An out-of-range barrier id in Swap_barrier is rejected up front by
+   [Machine.run] (which knows the architecture's named-barrier file size)
+   rather than silently simulating a barrier that cannot exist. *)
+let test_swap_barrier_out_of_range_rejected () =
+  let c = compiled (Lazy.force dme) Singe.Kernel_abi.Viscosity in
+  let warp = arriving_warp c in
+  match
+    Singe.Compile.run ~check:false c ~total_points:(13 * 3 * 32)
+      ~faults:[ Gpusim.Fault.Swap_barrier { warp; nth = 0; bar = 99 } ]
+      ~max_cycles:50_000_000
+  with
+  | _ -> Alcotest.fail "out-of-range barrier id accepted"
+  | exception Invalid_argument msg ->
+      Alcotest.(check bool)
+        (Printf.sprintf "message names the id (%s)" msg)
+        true
+        (String.length msg > 0)
+
 (* ---- sweep containment: one bad candidate cannot sink the sweep ---- *)
 
 let test_poisoned_sweep_same_winner () =
@@ -338,6 +417,11 @@ let tests =
     Alcotest.test_case "unmatchable fault rejected" `Quick
       test_unmatchable_fault_rejected;
     Alcotest.test_case "fault specs round-trip" `Quick test_fault_spec_roundtrip;
+    Alcotest.test_case "fault specs parsed strictly" `Quick
+      test_fault_spec_strict;
+    fault_spec_qcheck_roundtrip;
+    Alcotest.test_case "out-of-range barrier id rejected" `Quick
+      test_swap_barrier_out_of_range_rejected;
     Alcotest.test_case "poisoned sweep keeps winner" `Slow
       test_poisoned_sweep_same_winner;
     Alcotest.test_case "parallel_map_result order" `Quick

@@ -21,4 +21,5 @@ let () =
       ("passes", Test_passes.tests);
       ("parallel", Test_parallel.tests);
       ("faults", Test_faults.tests);
+      ("profile", Test_profile.tests);
     ]
