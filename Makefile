@@ -1,5 +1,5 @@
 .PHONY: all build test test-faults fmt fmt-check check perf perf-quick \
-	profile-smoke clean
+	profile-smoke predict-smoke clean
 
 all: build
 
@@ -24,9 +24,10 @@ fmt-check:
 	dune build @fmt
 
 # The full local gate: everything builds, formatting is clean, tests pass,
-# the quick perf snapshot still runs end to end on two domains, and the
-# profiler's CLI surface emits conserving buckets and valid trace JSON.
-check: build fmt-check test perf-quick profile-smoke
+# the quick perf snapshot still runs end to end on two domains, the
+# profiler's CLI surface emits conserving buckets and valid trace JSON,
+# and the analytic performance model stays sound (floor <= simulator).
+check: build fmt-check test perf-quick profile-smoke predict-smoke
 
 # Machine-readable performance snapshot (see bench/main.ml).
 perf:
@@ -43,6 +44,12 @@ perf-quick:
 profile-smoke:
 	dune exec bin/singe_cli.exe -- profile --mech dme --kernel viscosity \
 		--points 1248 --chrome-trace /tmp/singe-profile-smoke.json --check
+
+# Performance-model smoke: `singe predict --check` predicts every kernel x
+# version, simulates each, and exits 1 if the model drifts past its
+# accuracy gate or the simulator ever beats the provable floor.
+predict-smoke:
+	dune exec bin/singe_cli.exe -- predict --mech hydrogen --check
 
 clean:
 	dune clean

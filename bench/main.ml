@@ -28,6 +28,7 @@ let figures =
     ("ablation-chem-comm", Experiments.Figures.ablation_chem_comm);
     ("ablation-weights", Experiments.Figures.ablation_weights);
     ("ablation-batches", Experiments.Figures.ablation_batches);
+    ("model-accuracy", Experiments.Figures.model_accuracy);
   ]
 
 let microbenchmarks () =
@@ -175,6 +176,7 @@ let perf ~out ?max_cycles () =
              (Singe.Diagnostics.to_string d))
     | Ok (c, report) -> (
         let compile_wall_s = Unix.gettimeofday () -. compile_t0 in
+        let pred = Singe.Perf_model.predict c ~total_points:points in
         let t0 = Unix.gettimeofday () in
         match
           Singe.Compile.run c ~total_points:points ~max_cycles
@@ -206,6 +208,8 @@ let perf ~out ?max_cycles () =
               \"gflops\": %.6g, \"dram_gbs\": %.6g, \"sm_cycles\": %d, \
               \"max_rel_err\": %.3g, \"host\": {\"compile_wall_s\": %.4f, \
               \"sim_wall_s\": %.4f, \"sim_cycles_per_host_sec\": %.6g}, \
+              \"model\": {\"predicted_cycles\": %.0f, \"floor_cycles\": \
+              %.0f, \"rel_err\": %.4f, \"binding\": \"%s\"}, \
               \"profile\": %s, \"report\": %s}"
              mech.Chem.Mechanism.name
              (Singe.Kernel_abi.kernel_name kernel)
@@ -219,8 +223,61 @@ let perf ~out ?max_cycles () =
              r.Singe.Compile.max_rel_err
              compile_wall_s sim_wall_s
              (float_of_int sm_cycles /. Float.max 1e-9 sim_wall_s)
+             pred.Singe.Perf_model.cycles
+             pred.Singe.Perf_model.floor_cycles
+             (Singe.Perf_model.rel_err
+                ~predicted:pred.Singe.Perf_model.cycles
+                ~measured:(float_of_int sm_cycles))
+             pred.Singe.Perf_model.binding
              profile_json
              (Singe.Pass.report_to_json report)))
+  in
+  (* The autotune sweep benchmark: the same grid swept exhaustively and
+     pruned by the performance model, with the wall-clock of each mode
+     recorded so the snapshot tracks the pruning win. The compile cache
+     is warmed for the whole grid outside both timed regions (both modes
+     compile every candidate regardless), so the two walls compare
+     exactly what pruning changes: how many candidates get simulated. *)
+  let tune_sweeps =
+    let mech = Chem.Mech_gen.dme () in
+    let arch = Gpusim.Arch.kepler_k20c in
+    let kernel = Singe.Kernel_abi.Chemistry in
+    let version = Singe.Compile.Warp_specialized in
+    ignore
+      (Sutil.Domain_pool.parallel_map_result
+         (fun options ->
+           Singe.Compile.compile_cached mech kernel version options)
+         (Singe.Autotune.candidate_options ~points:32768 kernel version arch
+            (Singe.Autotune.default_warp_candidates mech kernel version)
+            [ 1; 2 ]));
+    let sweep mode =
+      let t0 = Unix.gettimeofday () in
+      let o = Singe.Autotune.tune ~mode ~max_cycles mech kernel version arch in
+      let wall = Unix.gettimeofday () -. t0 in
+      Printf.sprintf
+        "{\"sweep_mode\": \"%s\", \"sweep_wall_s\": %.4f, \"tried\": %d, \
+         \"skipped\": %d, \"candidates_pruned\": %d, \
+         \"model_rank_of_winner\": %d, \"winner\": {\"n_warps\": %d, \
+         \"ctas_per_sm_target\": %d, \"points_per_sec\": %.6g, \
+         \"predicted_cycles\": %.0f}}"
+        (match mode with
+        | Singe.Autotune.Exhaustive -> "exhaustive"
+        | Singe.Autotune.Pruned k -> Printf.sprintf "pruned-%d" k)
+        wall o.Singe.Autotune.tried o.Singe.Autotune.skipped
+        o.Singe.Autotune.candidates_pruned
+        o.Singe.Autotune.model_rank_of_winner
+        o.Singe.Autotune.best.Singe.Autotune.options.Singe.Compile.n_warps
+        o.Singe.Autotune.best.Singe.Autotune.options
+          .Singe.Compile.ctas_per_sm_target
+        o.Singe.Autotune.best.Singe.Autotune.throughput
+        o.Singe.Autotune.best.Singe.Autotune.predicted
+          .Singe.Perf_model.cycles
+    in
+    let pruned =
+      sweep (Singe.Autotune.Pruned Singe.Autotune.default_prune_keep)
+    in
+    let exhaustive = sweep Singe.Autotune.Exhaustive in
+    [ pruned; exhaustive ]
   in
   let outcomes = Sutil.Domain_pool.parallel_map entry (perf_configs ()) in
   let entries =
@@ -237,12 +294,13 @@ let perf ~out ?max_cycles () =
   let candidates_skipped = count (function P_entry _ -> false | _ -> true) in
   let json =
     Printf.sprintf
-      "{\"schema\": \"singe-perf-v4\", \"jobs\": %d, \"max_cycles\": %d, \
+      "{\"schema\": \"singe-perf-v5\", \"jobs\": %d, \"max_cycles\": %d, \
        \"faults_detected\": %d, \"candidates_skipped\": %d, \
-       \"sweep_wall_s\": %.4f, \"results\": [\n%s\n]}\n"
+       \"sweep_wall_s\": %.4f, \"tune\": [\n%s\n], \"results\": [\n%s\n]}\n"
       (Sutil.Domain_pool.default_jobs ())
       max_cycles faults_detected candidates_skipped
       (Unix.gettimeofday () -. sweep_start)
+      (String.concat ",\n" tune_sweeps)
       (String.concat ",\n" entries)
   in
   match out with

@@ -438,11 +438,231 @@ let profile_cmd =
           $ version_term $ points $ chrome $ top $ timeline $ check_flag
           $ faults_term $ max_cycles_term)
 
+let predict_cmd =
+  let points = Arg.(value & opt int 32768 & info [ "points" ] ~docv:"N") in
+  let kernel_conv =
+    let parse s =
+      match Singe.Kernel_abi.kernel_of_string s with
+      | Some k -> Ok k
+      | None -> Error (`Msg ("unknown kernel " ^ s))
+    in
+    Arg.conv
+      (parse, fun ppf k ->
+        Format.pp_print_string ppf (Singe.Kernel_abi.kernel_name k))
+  in
+  let kernel_opt =
+    Arg.(value & opt (some kernel_conv) None & info [ "kernel" ] ~docv:"KERNEL"
+         ~doc:"Restrict to one kernel (default: viscosity, diffusion and \
+               chemistry).")
+  in
+  let version_conv =
+    let parse s =
+      match Singe.Compile.version_of_string s with
+      | Some v -> Ok v
+      | None -> Error (`Msg ("unknown version " ^ s))
+    in
+    Arg.conv
+      (parse, fun ppf v ->
+        Format.pp_print_string ppf (Singe.Compile.version_name v))
+  in
+  let version_opt =
+    Arg.(value & opt (some version_conv) None & info [ "version" ] ~docv:"V"
+         ~doc:"Restrict to one code version (default: ws and baseline).")
+  in
+  let json =
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE"
+         ~doc:"Write the predicted-vs-measured rows as JSON to FILE ('-' for \
+               stdout).")
+  in
+  let check_flag =
+    Arg.(value & flag & info [ "check" ]
+         ~doc:"Validate the run: the JSON payload is well-formed and the \
+               simulator never beats the model's throughput floor. Exit \
+               nonzero on any failure.")
+  in
+  let run mech arch warps points kernel_opt version_opt json check_it =
+    let kernels =
+      match kernel_opt with
+      | Some k -> [ k ]
+      | None ->
+          [ Singe.Kernel_abi.Viscosity; Singe.Kernel_abi.Diffusion;
+            Singe.Kernel_abi.Chemistry ]
+    in
+    let versions =
+      match version_opt with
+      | Some v -> [ v ]
+      | None -> [ Singe.Compile.Warp_specialized; Singe.Compile.Baseline ]
+    in
+    let rows = ref [] in
+    Printf.printf "%-13s %-9s %5s  %12s %12s %7s  %s\n" "kernel" "version"
+      "warps" "predicted" "simulated" "err" "model binding";
+    List.iter
+      (fun kernel ->
+        List.iter
+          (fun version ->
+            let name =
+              Printf.sprintf "%s/%s"
+                (Singe.Kernel_abi.kernel_name kernel)
+                (Singe.Compile.version_name version)
+            in
+            if
+              version = Singe.Compile.Baseline
+              && points mod (warps * 32) <> 0
+            then Printf.printf "%-13s skipped (points not divisible)\n" name
+            else
+              match
+                Singe.Compile.compile_checked ~validate:false mech kernel
+                  version (options_of arch warps kernel)
+              with
+              | Error d ->
+                  Printf.printf "%-13s skipped: %s\n" name
+                    (Singe.Diagnostics.to_string d)
+              | Ok (c, _) ->
+                  let pred = Singe.Perf_model.predict c ~total_points:points in
+                  let r =
+                    match
+                      Singe.Compile.run c ~check:false ~total_points:points
+                    with
+                    | r -> r
+                    | exception Gpusim.Sm.Simulation_fault report ->
+                        Format.eprintf "singe: simulation fault@.%a@."
+                          Gpusim.Sm.pp_fault report;
+                        exit exit_simulation_fault
+                  in
+                  let measured =
+                    float_of_int
+                      r.Singe.Compile.machine.Gpusim.Machine.sm_cycles
+                  in
+                  let err =
+                    Singe.Perf_model.rel_err
+                      ~predicted:pred.Singe.Perf_model.cycles ~measured
+                  in
+                  Printf.printf "%-13s %-9s %5d  %12.0f %12.0f %6.1f%%  %s\n"
+                    (Singe.Kernel_abi.kernel_name kernel)
+                    (Singe.Compile.version_name version)
+                    warps pred.Singe.Perf_model.cycles measured (100.0 *. err)
+                    pred.Singe.Perf_model.binding;
+                  rows := (kernel, version, pred, r, err) :: !rows)
+          versions)
+      kernels;
+    let rows = List.rev !rows in
+    (match rows with
+    | [] -> ()
+    | _ ->
+        let worst =
+          List.fold_left (fun acc (_, _, _, _, e) -> Float.max acc e) 0.0 rows
+        in
+        Printf.printf "worst relative error: %.1f%%\n" (100.0 *. worst));
+    let payload =
+      let b = Buffer.create 1024 in
+      Buffer.add_string b
+        (Printf.sprintf
+           "{\n  \"schema\": \"singe-predict-v1\",\n  \"mech\": \"%s\",\n  \
+            \"arch\": \"%s\",\n  \"points\": %d,\n  \"rows\": ["
+           mech.Chem.Mechanism.name arch.Gpusim.Arch.name points);
+      List.iteri
+        (fun i (kernel, version, (pred : Singe.Perf_model.prediction), r, err) ->
+          if i > 0 then Buffer.add_string b ",";
+          Buffer.add_string b
+            (Printf.sprintf
+               "\n    {\"kernel\": \"%s\", \"version\": \"%s\", \"warps\": %d, \
+                \"predicted_cycles\": %.0f, \"measured_cycles\": %d, \
+                \"rel_err\": %.4f, \"floor_cycles\": %.0f, \
+                \"predicted_points_per_sec\": %.6g, \
+                \"measured_points_per_sec\": %.6g, \"binding\": \"%s\"}"
+               (Singe.Kernel_abi.kernel_name kernel)
+               (Singe.Compile.version_name version)
+               (options_of arch warps kernel).Singe.Compile.n_warps
+               pred.Singe.Perf_model.cycles
+               r.Singe.Compile.machine.Gpusim.Machine.sm_cycles err
+               pred.Singe.Perf_model.floor_cycles
+               pred.Singe.Perf_model.points_per_sec
+               r.Singe.Compile.machine.Gpusim.Machine.points_per_sec
+               pred.Singe.Perf_model.binding))
+        rows;
+      Buffer.add_string b "\n  ]\n}\n";
+      Buffer.contents b
+    in
+    (match json with
+    | Some "-" -> print_string payload
+    | Some file ->
+        let oc = open_out file in
+        output_string oc payload;
+        close_out oc;
+        Printf.printf "prediction rows written to %s\n" file
+    | None -> ());
+    if check_it then begin
+      let failed = ref false in
+      let check name ok detail =
+        if ok then Printf.printf "check %-28s ok\n" name
+        else begin
+          failed := true;
+          Printf.printf "check %-28s FAILED%s\n" name
+            (if detail = "" then "" else ": " ^ detail)
+        end
+      in
+      (match Sutil.Json_check.validate payload with
+      | Ok () -> check "predict json" true ""
+      | Error m -> check "predict json" false m);
+      List.iter
+        (fun (kernel, version, (pred : Singe.Perf_model.prediction), r, _) ->
+          let measured =
+            float_of_int r.Singe.Compile.machine.Gpusim.Machine.sm_cycles
+          in
+          check
+            (Printf.sprintf "floor %s/%s"
+               (Singe.Kernel_abi.kernel_name kernel)
+               (Singe.Compile.version_name version))
+            (measured >= pred.Singe.Perf_model.floor_cycles /. 1.02)
+            (Printf.sprintf "simulated %.0f beats floor %.0f" measured
+               pred.Singe.Perf_model.floor_cycles))
+        rows;
+      if !failed then exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "predict"
+       ~doc:"Predict kernel cycles with the analytic performance model and \
+             compare against the simulator.")
+    Term.(const run $ mech_term $ arch_term $ warps_term $ points $ kernel_opt
+          $ version_opt $ json $ check_flag)
+
+let tune_mode_term =
+  let mode_conv =
+    let parse = function
+      | "exhaustive" -> Ok `Exhaustive
+      | "pruned" -> Ok `Pruned
+      | s -> Error (`Msg ("unknown tune mode " ^ s ^ " (exhaustive|pruned)"))
+    in
+    let print ppf m =
+      Format.pp_print_string ppf
+        (match m with `Exhaustive -> "exhaustive" | `Pruned -> "pruned")
+    in
+    Arg.conv (parse, print)
+  in
+  Arg.(value & opt mode_conv `Exhaustive & info [ "tune-mode" ] ~docv:"MODE"
+       ~doc:"Sweep strategy: $(b,exhaustive) simulates every candidate (the \
+             paper's brute-force sweep); $(b,pruned) scores the grid with \
+             the analytic performance model and simulates only the top \
+             predicted candidates.")
+
+let top_k_term =
+  Arg.(value & opt int Singe.Autotune.default_prune_keep
+       & info [ "top-k" ] ~docv:"K"
+         ~doc:"With --tune-mode pruned: how many model-ranked candidates to \
+               simulate.")
+
 let tune_cmd =
-  let run mech kernel arch version max_cycles () =
-    let o = Singe.Autotune.tune ?max_cycles mech kernel version arch in
-    Printf.printf "tried %d configurations (%d skipped)\n"
-      o.Singe.Autotune.tried o.Singe.Autotune.skipped;
+  let run mech kernel arch version max_cycles tune_mode top_k () =
+    let mode =
+      match tune_mode with
+      | `Exhaustive -> Singe.Autotune.Exhaustive
+      | `Pruned -> Singe.Autotune.Pruned top_k
+    in
+    let o = Singe.Autotune.tune ?max_cycles ~mode mech kernel version arch in
+    Printf.printf "tried %d configurations (%d skipped, %d pruned by model)\n"
+      o.Singe.Autotune.tried o.Singe.Autotune.skipped
+      o.Singe.Autotune.candidates_pruned;
     List.iter
       (fun (f : Singe.Autotune.failure) ->
         Printf.printf "  skipped warps=%d ctas=%d: %s\n"
@@ -453,11 +673,20 @@ let tune_cmd =
     Printf.printf "best: %d warps, %d CTAs/SM target -> %.4g points/s\n"
       o.Singe.Autotune.best.Singe.Autotune.options.Singe.Compile.n_warps
       o.Singe.Autotune.best.Singe.Autotune.options.Singe.Compile.ctas_per_sm_target
+      o.Singe.Autotune.best.Singe.Autotune.throughput;
+    Printf.printf
+      "model ranked the winner #%d (predicted %.4g points/s, measured %.4g)\n"
+      o.Singe.Autotune.model_rank_of_winner
+      o.Singe.Autotune.best.Singe.Autotune.predicted
+        .Singe.Perf_model.points_per_sec
       o.Singe.Autotune.best.Singe.Autotune.throughput
   in
-  Cmd.v (Cmd.info "tune" ~doc:"Brute-force autotune a kernel configuration.")
+  Cmd.v
+    (Cmd.info "tune"
+       ~doc:"Autotune a kernel configuration (brute-force, or pruned by the \
+             analytic performance model).")
     Term.(const run $ mech_term $ kernel_term $ arch_term $ version_term
-          $ max_cycles_term $ jobs_term)
+          $ max_cycles_term $ tune_mode_term $ top_k_term $ jobs_term)
 
 let stats_cmd =
   let run mech kernel arch warps version =
@@ -564,6 +793,7 @@ let figures_cmd =
         | "ablation-chem-comm" -> Experiments.Figures.ablation_chem_comm ()
         | "ablation-weights" -> Experiments.Figures.ablation_weights ()
         | "ablation-batches" -> Experiments.Figures.ablation_batches ()
+        | "model-accuracy" -> Experiments.Figures.model_accuracy ()
         | other -> failwith ("unknown figure " ^ other))
       names
   in
@@ -575,5 +805,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "singe" ~doc)
-          [ info_cmd; compile_cmd; run_cmd; profile_cmd; tune_cmd; stats_cmd;
-            partition_cmd; figures_cmd ]))
+          [ info_cmd; compile_cmd; run_cmd; profile_cmd; predict_cmd; tune_cmd;
+            stats_cmd; partition_cmd; figures_cmd ]))

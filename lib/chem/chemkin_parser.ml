@@ -58,7 +58,18 @@ let parse_side line text =
       incr digits
     done;
     let coeff =
-      if !digits = 0 then 1 else int_of_string (String.sub t 0 !digits)
+      if !digits = 0 then 1
+      else
+        (* The digit run is unbounded user input: [int_of_string] on
+           e.g. "99999999999999999999H2O" raises an anonymous [Failure]
+           instead of a positioned parse error. *)
+        let d = String.sub t 0 !digits in
+        match int_of_string_opt d with
+        | Some c -> c
+        | None ->
+            Srcloc.raise_at ~token:d line
+              "stoichiometric coefficient %S does not fit in an integer (term %S)"
+              d t
     in
     let name = String.trim (String.sub t !digits (len - !digits)) in
     if name = "" then fail line "missing species name in term %S" t;

@@ -416,6 +416,70 @@ let ablation_weights () =
   List.iter print_string rows;
   print_newline ()
 
+let model_accuracy () =
+  header
+    "Model accuracy: analytic performance model (Perf_model) vs simulator, \
+     predicted and measured SM cycles per kernel/version";
+  let mechs =
+    if fast () then [ Chem.Mech_gen.dme () ]
+    else [ Chem.Mech_gen.dme (); Chem.Mech_gen.heptane () ]
+  in
+  let arch = Gpusim.Arch.kepler_k20c in
+  let points = 32768 in
+  let configs =
+    List.concat_map
+      (fun mech ->
+        List.concat_map
+          (fun kernel ->
+            List.map
+              (fun version -> (mech, kernel, version))
+              [ Singe.Compile.Warp_specialized; Singe.Compile.Baseline ])
+          [
+            Singe.Kernel_abi.Viscosity;
+            Singe.Kernel_abi.Diffusion;
+            Singe.Kernel_abi.Chemistry;
+          ])
+      mechs
+  in
+  Printf.printf "  %-8s %-10s %-5s %12s %12s %7s  %s\n" "mech" "kernel"
+    "vers" "predicted" "simulated" "err" "binding";
+  let rows =
+    Sutil.Domain_pool.parallel_map
+      (fun (mech, kernel, version) ->
+        let options =
+          { (Singe.Compile.default_options arch) with
+            Singe.Compile.max_barriers =
+              (if kernel = Singe.Kernel_abi.Chemistry then 16 else 8);
+            ctas_per_sm_target =
+              (if kernel = Singe.Kernel_abi.Chemistry then 1 else 2) }
+        in
+        let c = Singe.Compile.compile_cached mech kernel version options in
+        let pred = Singe.Perf_model.predict c ~total_points:points in
+        let r = Singe.Compile.run c ~total_points:points in
+        let measured =
+          float_of_int r.Singe.Compile.machine.Gpusim.Machine.sm_cycles
+        in
+        let err =
+          Singe.Perf_model.rel_err
+            ~predicted:pred.Singe.Perf_model.cycles ~measured
+        in
+        ( err,
+          Printf.sprintf "  %-8s %-10s %-5s %12.0f %12.0f %6.1f%%  %s\n"
+            mech.Chem.Mechanism.name
+            (Singe.Kernel_abi.kernel_name kernel)
+            (match version with
+            | Singe.Compile.Warp_specialized -> "ws"
+            | Singe.Compile.Baseline -> "base"
+            | Singe.Compile.Naive_warp_specialized -> "naive")
+            pred.Singe.Perf_model.cycles measured (100.0 *. err)
+            pred.Singe.Perf_model.binding ))
+      configs
+  in
+  List.iter (fun (_, s) -> print_string s) rows;
+  let worst = List.fold_left (fun a (e, _) -> Float.max a e) 0.0 rows in
+  Printf.printf "  worst relative error: %.1f%%\n" (100.0 *. worst);
+  print_newline ()
+
 let ablation_batches () =
   header
     "Ablation (§6.2): constant-load amortization across streaming batches \
@@ -452,4 +516,5 @@ let all () =
   ablation_exp_constants ();
   ablation_chem_comm ();
   ablation_weights ();
-  ablation_batches ()
+  ablation_batches ();
+  model_accuracy ()

@@ -77,5 +77,11 @@ val ablation_batches : unit -> unit
     per-CTA constant-loading prologue is amortized over more streaming
     batches. *)
 
+val model_accuracy : unit -> unit
+(** Predicted-vs-simulated SM cycles for {!Singe.Perf_model} on every
+    kernel x version (both mechanisms on Kepler), with the per-row
+    relative error and the worst case — the accuracy table DESIGN §12
+    quotes. *)
+
 val all : unit -> unit
 (** Every table, figure and ablation in order. *)

@@ -124,6 +124,8 @@ let peak_dp_gflops t =
 let bw_gbs t bytes_per_cycle =
   bytes_per_cycle *. float_of_int t.n_sms *. t.clock_mhz *. 1e6 /. 1e9
 
+let icache_line_bytes t = t.icache_line_instrs * t.instr_bytes
+
 let pp ppf t =
   Format.fprintf ppf "%s: %d SMs @ %.0f MHz, peak %.0f DP GFLOPS" t.name
     t.n_sms t.clock_mhz (peak_dp_gflops t)

@@ -74,4 +74,8 @@ val peak_dp_gflops : t -> float
 val bw_gbs : t -> float -> float
 (** Convert a bytes-per-SM-cycle figure to aggregate GB/s. *)
 
+val icache_line_bytes : t -> int
+(** Instruction-cache line size in bytes
+    ([icache_line_instrs * instr_bytes]). *)
+
 val pp : Format.formatter -> t -> unit

@@ -33,6 +33,9 @@ module Icache = struct
      break the sequence (§5.1: short divergent regions are fine). *)
   let stream_window = 16
 
+  (* Catch-up cost of a stream-covered fetch. *)
+  let prefetch_fill = 6
+
   let create (arch : Arch.t) =
     let line_bytes = arch.Arch.icache_line_instrs * arch.Arch.instr_bytes in
     let lines = arch.Arch.icache_bytes / line_bytes in
@@ -48,7 +51,7 @@ module Icache = struct
       n_sets;
       assoc;
       miss_latency = arch.Arch.icache_miss_latency;
-      prefetch_cost = 6;
+      prefetch_cost = prefetch_fill;
       st = { hits = 0; stream_hits = 0; misses = 0; fill_stall_cycles = 0 };
     }
 

@@ -32,6 +32,14 @@ module Icache : sig
 
   val stats : t -> stats
   val line_of_addr : Arch.t -> int -> int
+
+  val max_streams : int
+  (** Concurrent sequential streams the prefetcher tracks (the Fig. 9
+      cliff: more divergent long paths than this thrash). *)
+
+  val prefetch_fill : int
+  (** Catch-up cost, in cycles, of a fetch a prefetch stream covers —
+      the effective per-line cost of streaming code. *)
 end
 
 module Ccache : sig

@@ -18,6 +18,11 @@ let fop_dp_slots = function
   | Sqrt -> 8.0
   | Exp | Log -> 17.0
 
+let fop_lat_mult = function
+  | Div | Sqrt -> 3
+  | Exp | Log -> 5
+  | Add | Sub | Mul | Fma | Max | Min | Neg -> 1
+
 type pred = Lane_eq of int | Lane_lt of int
 
 type saddr = {

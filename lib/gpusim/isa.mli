@@ -47,6 +47,10 @@ val fop_dp_slots : fop -> float
 (** DP-pipe occupancy in equivalent DFMA issue slots (Exp = 17: 12-14
     polynomial DFMAs plus range reduction). *)
 
+val fop_lat_mult : fop -> int
+(** Result-latency multiplier over [Arch.arith_latency] (Div/Sqrt 3,
+    Exp/Log 5) — the same figure the simulator's trace metadata carries. *)
+
 type pred =
   | Lane_eq of int
   | Lane_lt of int

@@ -41,14 +41,8 @@ let meta_of instr =
           (function Isa.Sconst _ | Isa.Sconst_warp _ -> true | _ -> false)
           srcs
       in
-      let lat_mult =
-        match op with
-        | Isa.Div | Isa.Sqrt -> 3
-        | Isa.Exp | Isa.Log -> 5
-        | _ -> 1
-      in
-      (srcs, shared_srcs, has_const, lat_mult, Isa.fop_dp_slots op,
-       Isa.fop_flops op)
+      (srcs, shared_srcs, has_const, Isa.fop_lat_mult op,
+       Isa.fop_dp_slots op, Isa.fop_flops op)
   | Some (Isa.Mov { src; _ }) | Some (Isa.St_global { src; _ })
   | Some (Isa.St_shared { src; _ }) ->
       let shared_srcs =

@@ -1,8 +1,11 @@
+type mode = Exhaustive | Pruned of int
+
 type candidate = {
   options : Compile.options;
   throughput : float;
   compiled : Compile.t;
   result : Compile.run_result;
+  predicted : Perf_model.prediction;
 }
 
 type failure = {
@@ -16,7 +19,12 @@ type outcome = {
   tried : int;
   skipped : int;
   failures : failure list;
+  mode : mode;
+  candidates_pruned : int;
+  model_rank_of_winner : int;
 }
+
+let default_prune_keep = 8
 
 let default_warp_candidates mech kernel version =
   match version with
@@ -86,26 +94,81 @@ let classify_exn = function
   | e -> (Printexc.to_string e, None)
 
 let tune ?(points = 32768) ?warp_candidates ?(cta_targets = [ 1; 2 ]) ?jobs
-    ?(max_cycles = 200_000_000) ?inject mech kernel version arch =
+    ?(max_cycles = 200_000_000) ?inject ?(mode = Exhaustive) mech kernel
+    version arch =
   let warp_candidates =
     match warp_candidates with
     | Some l -> l
     | None -> default_warp_candidates mech kernel version
   in
-  (* Candidate evaluations are independent compile+simulate jobs: fan
-     them out with per-item failure capture, then fold the returned list
-     in input order so [tried], [skipped], [failures] and the winner
-     (first strictly-better throughput) are exactly what the serial
-     sweep produced, no matter which worker evaluated what. A faulty
-     candidate — one that fails to compile or fit, deadlocks, exhausts
-     the [max_cycles] watchdog budget, or computes wrong results — is
-     recorded and skipped; the sweep completes on the survivors. *)
   let candidates =
     candidate_options ~points kernel version arch warp_candidates cta_targets
   in
-  let eval (idx, options) =
-    let faults = match inject with None -> [] | Some f -> f idx in
+  let indexed = List.mapi (fun i o -> (i, o)) candidates in
+  (* Phase 1 — compile and score every candidate analytically. This runs
+     in both modes (it is cheap: {!Compile.compile_cached} plus
+     {!Perf_model.predict}, no simulation), so the outcome can always
+     report where the model ranked the measured winner. A candidate that
+     fails to compile or fit is a failure in either mode — the model
+     never sees it. *)
+  let score (_idx, options) =
     let compiled = Compile.compile_cached mech kernel version options in
+    let predicted = Perf_model.predict compiled ~total_points:points in
+    (compiled, predicted)
+  in
+  let scored = Sutil.Domain_pool.parallel_map_result ?jobs score indexed in
+  let compile_failures = ref [] in
+  let compiled_ok = ref [] in
+  List.iter2
+    (fun (idx, options) outcome ->
+      match outcome with
+      | Error e ->
+          let reason, fault = classify_exn e in
+          compile_failures :=
+            (idx, { failed_options = options; reason; fault })
+            :: !compile_failures
+      | Ok (compiled, predicted) ->
+          compiled_ok := (idx, options, compiled, predicted) :: !compiled_ok)
+    indexed scored;
+  (* Rank the compilable candidates by predicted throughput; ties break
+     towards the lower candidate index so the order is total and
+     deterministic. [rank_of] maps a candidate index to its 1-based model
+     rank. *)
+  let ranked =
+    List.sort
+      (fun (i1, _, _, (p1 : Perf_model.prediction)) (i2, _, _, p2) ->
+        match
+          compare p2.Perf_model.points_per_sec p1.Perf_model.points_per_sec
+        with
+        | 0 -> compare i1 i2
+        | c -> c)
+      !compiled_ok
+  in
+  let rank_of = Hashtbl.create 64 in
+  List.iteri
+    (fun r (idx, _, _, _) -> Hashtbl.replace rank_of idx (r + 1))
+    ranked;
+  let selected, candidates_pruned =
+    match mode with
+    | Exhaustive -> (ranked, 0)
+    | Pruned keep ->
+        let keep = max 1 keep in
+        let sel = List.filteri (fun r _ -> r < keep) ranked in
+        (sel, List.length ranked - List.length sel)
+  in
+  (* Simulate in candidate-index order: the fold below then reproduces the
+     serial sweep's [skipped]/[failures] bookkeeping and winner exactly,
+     no matter which worker evaluated what. *)
+  let selected =
+    List.sort (fun (i1, _, _, _) (i2, _, _, _) -> compare i1 i2) selected
+  in
+  (* Phase 2 — simulate the surviving candidates (all of them when
+     exhaustive, the model's top picks when pruned) with per-item failure
+     capture. A faulty candidate — one that deadlocks, exhausts the
+     [max_cycles] watchdog budget, or computes wrong results — is
+     recorded and skipped; the sweep completes on the survivors. *)
+  let eval (idx, options, compiled, predicted) =
+    let faults = match inject with None -> [] | Some f -> f idx in
     let result =
       Compile.run compiled ~total_points:points ~faults ~max_cycles
     in
@@ -117,32 +180,54 @@ let tune ?(points = 32768) ?warp_candidates ?(cta_targets = [ 1; 2 ]) ?jobs
            options.Compile.n_warps options.Compile.ctas_per_sm_target
            result.Compile.max_rel_err);
     let throughput = result.Compile.machine.Gpusim.Machine.points_per_sec in
-    { options; throughput; compiled; result }
+    { options; throughput; compiled; result; predicted }
   in
   let evaluated =
-    Sutil.Domain_pool.parallel_map_result ?jobs eval
-      (List.mapi (fun i o -> (i, o)) candidates)
+    Sutil.Domain_pool.parallel_map_result ?jobs eval selected
   in
   let tried = List.length candidates in
-  let skipped, failures, best =
+  let sim_failures, best =
     List.fold_left2
-      (fun (skipped, failures, best) options outcome ->
+      (fun (failures, best) (idx, options, _, _) outcome ->
         match outcome with
         | Error e ->
             let reason, fault = classify_exn e in
-            ( skipped + 1,
-              { failed_options = options; reason; fault } :: failures,
+            ( (idx, { failed_options = options; reason; fault }) :: failures,
               best )
         | Ok cand -> (
             match best with
-            | Some b when b.throughput >= cand.throughput ->
-                (skipped, failures, best)
-            | Some _ | None -> (skipped, failures, Some cand)))
-      (0, [], None) candidates evaluated
+            (* Winner tie-break is pinned: on equal throughput the earlier
+               candidate index wins ([>=] keeps the incumbent and the fold
+               visits candidates in index order), so the reported best
+               cannot depend on [jobs] or worker scheduling. *)
+            | Some (_, b) when b.throughput >= cand.throughput ->
+                (failures, best)
+            | Some _ | None -> (failures, Some (idx, cand))))
+      ([], None) selected evaluated
   in
-  let failures = List.rev failures in
+  let failures =
+    List.sort
+      (fun (i1, _) (i2, _) -> compare i1 i2)
+      (!compile_failures @ sim_failures)
+  in
+  let skipped = List.length failures in
+  let failures = List.map snd failures in
   match best with
-  | Some best -> { best; tried; skipped; failures }
+  | Some (best_idx, best) ->
+      let model_rank_of_winner =
+        match Hashtbl.find_opt rank_of best_idx with
+        | Some r -> r
+        | None -> 0
+      in
+      {
+        best;
+        tried;
+        skipped;
+        failures;
+        mode;
+        candidates_pruned;
+        model_rank_of_winner;
+      }
   | None ->
       failwith
         (Printf.sprintf

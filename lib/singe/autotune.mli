@@ -1,17 +1,33 @@
-(** Brute-force exhaustive autotuning (§4).
+(** Brute-force exhaustive autotuning (§4), optionally pruned by the
+    analytic performance model.
 
     The paper: "we used a brute-force exhaustive autotuning script to drive
     Singe"; the searchable dimensions are deliberately coarse (warps per
     CTA, target CTAs per SM, mapping weights, shared-memory strategy), so
     the space stays at a few hundred points. Configurations that do not
     compile or fit (register file, shared memory, barrier budget) are
-    skipped, exactly as a failing [nvcc] invocation would be. *)
+    skipped, exactly as a failing [nvcc] invocation would be.
+
+    {!Perf_model} makes a cheaper sweep possible: every candidate is
+    scored analytically first (static prediction, no simulation), and in
+    {!Pruned} mode only the model's top picks are actually simulated. The
+    exhaustive mode stays the default and the reference. *)
+
+type mode =
+  | Exhaustive  (** simulate every candidate (the paper's sweep) *)
+  | Pruned of int
+      (** score the whole grid with {!Perf_model.predict}, simulate only
+          the top-[k] predicted candidates ({!default_prune_keep} is the
+          conventional [k]) *)
 
 type candidate = {
   options : Compile.options;
   throughput : float;  (** points per second at the tuning problem size *)
   compiled : Compile.t;
   result : Compile.run_result;
+  predicted : Perf_model.prediction;
+      (** the model's static score for this configuration — recorded in
+          both modes so sweeps can report predicted-vs-measured *)
 }
 
 type failure = {
@@ -28,7 +44,19 @@ type outcome = {
   skipped : int;  (** configurations that failed to compile, fit or run *)
   failures : failure list;
       (** the skipped candidates' causes, in candidate order *)
+  mode : mode;  (** the mode this sweep actually ran under *)
+  candidates_pruned : int;
+      (** compilable candidates the model excluded from simulation
+          (always 0 when exhaustive) *)
+  model_rank_of_winner : int;
+      (** 1-based rank {!Perf_model} gave the measured winner over the
+          compilable grid (1 = the model's own first pick; 0 only if the
+          winner was somehow unranked) *)
 }
+
+val default_prune_keep : int
+(** How many model-ranked candidates a pruned sweep simulates by default
+    (8) — the [--tune-mode pruned] CLI default. *)
 
 val default_warp_candidates :
   Chem.Mechanism.t -> Kernel_abi.kernel -> Compile.version -> int list
@@ -56,21 +84,29 @@ val tune :
   ?jobs:int ->
   ?max_cycles:int ->
   ?inject:(int -> Gpusim.Fault.t list) ->
+  ?mode:mode ->
   Chem.Mechanism.t ->
   Kernel_abi.kernel ->
   Compile.version ->
   Gpusim.Arch.t ->
   outcome
-(** Exhaustively evaluates the candidate grid at the (small) tuning size
-    (default 32768 points = 32^3) and returns the fastest configuration.
-    Raises [Failure] if no candidate ran.
+(** Evaluates the candidate grid at the (small) tuning size (default
+    32768 points = 32^3) and returns the fastest configuration. Raises
+    [Failure] if no candidate ran.
 
-    Candidates are independent compile+simulate jobs and are evaluated on
-    up to [jobs] domains ({!Sutil.Domain_pool.default_jobs} when
-    omitted); [tried]/[skipped]/[failures] and the winner are folded from
-    the results in candidate order, so the outcome is identical to the
-    serial sweep's. Compilations go through {!Compile.compile_cached},
-    so a configuration revisited across kernels/figures compiles once.
+    Every candidate is first compiled ({!Compile.compile_cached}, so a
+    configuration revisited across kernels/figures compiles once) and
+    scored with {!Perf_model.predict}. Under [?mode] (default
+    {!Exhaustive}) either the whole compilable grid or only the model's
+    top-[k] picks are then simulated; [candidates_pruned] and
+    [model_rank_of_winner] record what the model did either way.
+
+    Candidates are independent jobs and are evaluated on up to [jobs]
+    domains ({!Sutil.Domain_pool.default_jobs} when omitted);
+    [tried]/[skipped]/[failures] and the winner are folded from the
+    results in candidate order, so the outcome is identical to the serial
+    sweep's. The winner tie-break is pinned: on equal measured
+    throughput the lowest candidate index wins, independent of [jobs].
 
     {b Fault containment.} Every candidate runs under the simulator
     watchdog ([max_cycles], default 2e8 — far beyond any legitimate

@@ -173,19 +173,36 @@ let fresh_vreg ctx =
 
 let emit ctx mask i = ctx.out_rev <- (mask, i) :: ctx.out_rev
 
+(* Total replacement for the raw [Hashtbl.find ctx.vreg_of]: a missing
+   binding means the schedule consumed a value a warp never produced or
+   received, and that must surface as a diagnostic naming the warp and
+   value, not as an anonymous [Not_found] escaping the pipeline. *)
+let vreg_find ctx ~what ~warp value =
+  match Hashtbl.find_opt ctx.vreg_of (warp, value) with
+  | Some r -> r
+  | None ->
+      Diagnostics.failf ~pass:"lower"
+        "%s: dfg value %d is not in a register for warp %d (consumed \
+         before any compute/load/recv produced it there)"
+        what value warp
+
 (* Source class of an op input as seen by one warp: shared-placed values
    are always read from shared memory (uniform across warps); register
    values must already have a local copy. *)
 let src_class ctx warp v =
+  if v < 0 || v >= Array.length ctx.mapping.Mapping.value_place then
+    Diagnostics.failf ~pass:"lower"
+      "schedule references dfg value %d outside the graph (%d values)" v
+      (Array.length ctx.mapping.Mapping.value_place);
   match ctx.mapping.Mapping.value_place.(v) with
   | Mapping.P_shared -> "S"
   | Mapping.P_reg -> (
       match Hashtbl.find_opt ctx.vreg_of (warp, v) with
       | Some r -> Printf.sprintf "R%d" r
       | None ->
-          invalid_arg
-            (Printf.sprintf "lower: warp %d reads value %s with no copy" warp
-               ctx.dfg.Dfg.values.(v).Dfg.vname))
+          Diagnostics.failf ~pass:"lower"
+            "warp %d reads value %s (%d) with no register copy in scope" warp
+            ctx.dfg.Dfg.values.(v).Dfg.vname v)
 
 let action_key ctx warp (a : Schedule.action) =
   match a with
@@ -319,7 +336,7 @@ let lower_compute ctx ~mask ~(ws : int list) ~(ops : Dfg.op array) =
     match ctx.mapping.Mapping.value_place.(v0) with
     | Mapping.P_reg ->
         (* Same vreg across the group by the grouping key. *)
-        Vreg (Hashtbl.find ctx.vreg_of (List.hd ws, v0))
+        Vreg (vreg_find ctx ~what:"compute input" ~warp:(List.hd ws) v0)
     | Mapping.P_shared ->
         let addrs = Array.make n_warps 0 in
         List.iteri
@@ -333,7 +350,14 @@ let lower_compute ctx ~mask ~(ws : int list) ~(ops : Dfg.op array) =
     | Sexpr.Imm v -> Vimm v
     | Sexpr.C _ -> const_operand ctx ~mask ~ws (pop_consts ())
     | Sexpr.In i -> input_operand i
-    | Sexpr.Var i -> List.nth env i
+    | Sexpr.Var i -> (
+        match List.nth_opt env i with
+        | Some v -> v
+        | None ->
+            Diagnostics.failf ~pass:"lower"
+              "expression for warp %d references let-variable %d with only \
+               %d binding(s) in scope"
+              (List.hd ws) i (List.length env))
     | Sexpr.Let (d, b) ->
         let sd = go env d in
         go (sd :: env) b
@@ -453,7 +477,8 @@ let lower_action_group ctx ~mask ~(ws : int list)
           let src =
             let v0 = ops.(0).Dfg.inputs.(0) in
             match ctx.mapping.Mapping.value_place.(v0) with
-            | Mapping.P_reg -> Vreg (Hashtbl.find ctx.vreg_of (w0, v0))
+            | Mapping.P_reg ->
+                Vreg (vreg_find ctx ~what:"store source" ~warp:w0 v0)
             | Mapping.P_shared ->
                 let addrs = Array.make n_warps 0 in
                 List.iteri
@@ -472,7 +497,7 @@ let lower_action_group ctx ~mask ~(ws : int list)
           match actions.(k) with
           | Schedule.A_send { value; slot } ->
               addrs.(w) <- ctx.buffer_base + (slot * 32);
-              src := Vreg (Hashtbl.find ctx.vreg_of (w, value))
+              src := Vreg (vreg_find ctx ~what:"send value" ~warp:w value)
           | _ -> assert false)
         ws;
       let addr = shared_operand ctx ~mask ~addrs ~lane:true in
@@ -737,7 +762,11 @@ let schedule_segment (seg : (int * vinstr) array) =
   end
 
 let list_schedule (code : (int * vinstr) list) =
-  if Sys.getenv_opt "SINGE_NO_SCHED" <> None then code else
+  (* An empty value means unset: drivers (and tests) can only clear an
+     environment variable by [putenv "" ], not remove it. *)
+  match Sys.getenv_opt "SINGE_NO_SCHED" with
+  | Some s when s <> "" -> code
+  | _ ->
   (* Split at mask changes and barrier fences; schedule each segment. *)
   let out = ref [] in
   let seg = ref [] in

@@ -141,7 +141,14 @@ let eval e ~consts ~input =
         incr next_const;
         v
     | In i -> input i
-    | Var i -> List.nth env i
+    | Var i -> (
+        match List.nth_opt env i with
+        | Some v -> v
+        | None ->
+            Diagnostics.failf ~pass:"sexpr-eval"
+              "malformed expression: Var %d with only %d let-binding(s) in \
+               scope"
+              i (List.length env))
     | Let (d, b) ->
         let vd = go env d in
         go (vd :: env) b

@@ -22,4 +22,5 @@ let () =
       ("parallel", Test_parallel.tests);
       ("faults", Test_faults.tests);
       ("profile", Test_profile.tests);
+      ("perf-model", Test_perf_model.tests);
     ]
