@@ -1,5 +1,5 @@
 .PHONY: all build test test-faults fmt fmt-check check perf perf-quick \
-	profile-smoke predict-smoke clean
+	profile-smoke predict-smoke chip-smoke clean
 
 all: build
 
@@ -26,8 +26,9 @@ fmt-check:
 # The full local gate: everything builds, formatting is clean, tests pass,
 # the quick perf snapshot still runs end to end on two domains, the
 # profiler's CLI surface emits conserving buckets and valid trace JSON,
-# and the analytic performance model stays sound (floor <= simulator).
-check: build fmt-check test perf-quick profile-smoke predict-smoke
+# the analytic performance model stays sound (floor <= simulator), and
+# the multi-SM chip layer is deterministic and schema-clean.
+check: build fmt-check test perf-quick profile-smoke predict-smoke chip-smoke
 
 # Machine-readable performance snapshot (see bench/main.ml).
 perf:
@@ -50,6 +51,13 @@ profile-smoke:
 # accuracy gate or the simulator ever beats the provable floor.
 predict-smoke:
 	dune exec bin/singe_cli.exe -- predict --mech hydrogen --check
+
+# Chip-layer smoke: a 4-SM DME viscosity launch must be byte-identical
+# whether simulated serially or on concurrent domains, dispatch every
+# CTA, and emit a well-formed perf-v6 "chip" JSON object (exit 1 on any
+# failure).
+chip-smoke:
+	dune exec bench/main.exe -- chip-smoke
 
 clean:
 	dune clean

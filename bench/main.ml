@@ -29,6 +29,7 @@ let figures =
     ("ablation-weights", Experiments.Figures.ablation_weights);
     ("ablation-batches", Experiments.Figures.ablation_batches);
     ("model-accuracy", Experiments.Figures.model_accuracy);
+    ("chip-scaling", Experiments.Figures.chip_scaling);
   ]
 
 let microbenchmarks () =
@@ -148,6 +149,23 @@ let perf_configs () =
    counted separately in the document header. *)
 type perf_outcome = P_entry of string | P_skip of string | P_fault of string
 
+(* The chip scheduler's outcome as one JSON object — shared between the
+   per-entry "chip" field, the scaling sweep and the chip-smoke gate so
+   all three stay schema-identical. *)
+let chip_json (ch : Gpusim.Chip.schedule) =
+  Printf.sprintf
+    "{\"n_sms\": %d, \"rounds_total\": %d, \"tail_ctas\": %d, \
+     \"makespan_cycles\": %.0f, \"cycle_spread\": %.0f, \
+     \"dispatch_imbalance\": %.4f, \"dram_util\": %.4f, \"throttle_max\": \
+     %.4f, \"spill_in_l2\": %b}"
+    ch.Gpusim.Chip.n_sms ch.Gpusim.Chip.rounds_total ch.Gpusim.Chip.tail_ctas
+    ch.Gpusim.Chip.makespan_cycles
+    (Gpusim.Chip.cycle_spread ch)
+    (Gpusim.Chip.dispatch_imbalance ch)
+    ch.Gpusim.Chip.contention.Gpusim.Chip.dram_util
+    ch.Gpusim.Chip.contention.Gpusim.Chip.throttle_max
+    ch.Gpusim.Chip.contention.Gpusim.Chip.spill_in_l2
+
 let perf ~out ?max_cycles () =
   let points = 8192 in
   (* Arm the watchdog even when the caller does not: a regression that
@@ -210,7 +228,7 @@ let perf ~out ?max_cycles () =
               \"sim_wall_s\": %.4f, \"sim_cycles_per_host_sec\": %.6g}, \
               \"model\": {\"predicted_cycles\": %.0f, \"floor_cycles\": \
               %.0f, \"rel_err\": %.4f, \"binding\": \"%s\"}, \
-              \"profile\": %s, \"report\": %s}"
+              \"chip\": %s, \"profile\": %s, \"report\": %s}"
              mech.Chem.Mechanism.name
              (Singe.Kernel_abi.kernel_name kernel)
              (Singe.Compile.version_name version)
@@ -229,6 +247,7 @@ let perf ~out ?max_cycles () =
                 ~predicted:pred.Singe.Perf_model.cycles
                 ~measured:(float_of_int sm_cycles))
              pred.Singe.Perf_model.binding
+             (chip_json r.Singe.Compile.machine.Gpusim.Machine.chip)
              profile_json
              (Singe.Pass.report_to_json report)))
   in
@@ -279,6 +298,47 @@ let perf ~out ?max_cycles () =
     let exhaustive = sweep Singe.Autotune.Exhaustive in
     [ pruned; exhaustive ]
   in
+  (* SM-count scaling rows: the spill-heavy data-parallel baseline pushes
+     the most bytes per cycle, so it is where the shared DRAM arbiter's
+     sub-linear scaling (and the tail wave's imbalance) shows first. *)
+  let chip_scaling_rows =
+    let mech = Chem.Mech_gen.dme () in
+    let arch = Gpusim.Arch.kepler_k20c in
+    let options =
+      { (Singe.Compile.default_options arch) with Singe.Compile.n_warps = 8 }
+    in
+    let c =
+      Singe.Compile.compile_cached mech Singe.Kernel_abi.Viscosity
+        Singe.Compile.Baseline options
+    in
+    let row n_sms =
+      let r =
+        Singe.Compile.run ~check:false c ~total_points:points ~max_cycles
+          ~n_sms
+      in
+      let m = r.Singe.Compile.machine in
+      ( n_sms,
+        m.Gpusim.Machine.points_per_sec,
+        chip_json m.Gpusim.Machine.chip )
+    in
+    let sm_counts =
+      List.sort_uniq compare
+        (List.filter
+           (fun n -> n <= arch.Gpusim.Arch.n_sms)
+           [ 1; 2; 4; 8; arch.Gpusim.Arch.n_sms ])
+    in
+    let rows = Sutil.Domain_pool.parallel_map row sm_counts in
+    let base =
+      match rows with (_, t, _) :: _ -> t | [] -> assert false
+    in
+    List.map
+      (fun (n_sms, pps, chip) ->
+        Printf.sprintf
+          "{\"n_sms\": %d, \"points_per_sec\": %.6g, \"speedup_vs_1\": \
+           %.4f, \"chip\": %s}"
+          n_sms pps (pps /. base) chip)
+      rows
+  in
   let outcomes = Sutil.Domain_pool.parallel_map entry (perf_configs ()) in
   let entries =
     List.filter_map
@@ -294,13 +354,15 @@ let perf ~out ?max_cycles () =
   let candidates_skipped = count (function P_entry _ -> false | _ -> true) in
   let json =
     Printf.sprintf
-      "{\"schema\": \"singe-perf-v5\", \"jobs\": %d, \"max_cycles\": %d, \
+      "{\"schema\": \"singe-perf-v6\", \"jobs\": %d, \"max_cycles\": %d, \
        \"faults_detected\": %d, \"candidates_skipped\": %d, \
-       \"sweep_wall_s\": %.4f, \"tune\": [\n%s\n], \"results\": [\n%s\n]}\n"
+       \"sweep_wall_s\": %.4f, \"tune\": [\n%s\n], \"chip_scaling\": \
+       [\n%s\n], \"results\": [\n%s\n]}\n"
       (Sutil.Domain_pool.default_jobs ())
       max_cycles faults_detected candidates_skipped
       (Unix.gettimeofday () -. sweep_start)
       (String.concat ",\n" tune_sweeps)
+      (String.concat ",\n" chip_scaling_rows)
       (String.concat ",\n" entries)
   in
   match out with
@@ -310,6 +372,67 @@ let perf ~out ?max_cycles () =
       output_string oc json;
       close_out oc;
       Printf.eprintf "perf snapshot written to %s\n" file
+
+(* ---- chip smoke gate (the `chip-smoke` mode, wired into `make check`) ----
+
+   A 4-SM DME viscosity run exercising the whole Chip layer end to end:
+   the simulated snapshot (cycles, counters, chip schedule) must be
+   byte-identical whether the run executes serially or on concurrent
+   domains, and the perf-v6 "chip" JSON it emits must be well-formed. *)
+let chip_smoke () =
+  let mech = Chem.Mech_gen.dme () in
+  let arch = Gpusim.Arch.kepler_k20c in
+  let opts =
+    { (Singe.Compile.default_options arch) with Singe.Compile.n_warps = 8 }
+  in
+  let c =
+    Singe.Compile.compile_cached mech Singe.Kernel_abi.Viscosity
+      Singe.Compile.Warp_specialized opts
+  in
+  let snapshot () =
+    let r = Singe.Compile.run ~check:false c ~total_points:32768 ~n_sms:4 in
+    let m = r.Singe.Compile.machine in
+    let ch = m.Gpusim.Machine.chip in
+    ( ch,
+      Printf.sprintf
+        "{\"schema\": \"singe-perf-v6\", \"kernel\": \"viscosity\", \
+         \"sm_cycles\": %d, \"points_per_sec\": %.6g, \"chip\": %s}"
+        m.Gpusim.Machine.sm_cycles m.Gpusim.Machine.points_per_sec
+        (chip_json ch) )
+  in
+  let failed = ref false in
+  let check name ok detail =
+    if ok then Printf.printf "check %-32s ok\n" name
+    else begin
+      failed := true;
+      Printf.printf "check %-32s FAILED%s\n" name
+        (if detail = "" then "" else ": " ^ detail)
+    end
+  in
+  Sutil.Domain_pool.set_jobs 1;
+  let ch, serial = snapshot () in
+  Sutil.Domain_pool.set_jobs 2;
+  let concurrent =
+    Sutil.Domain_pool.parallel_map (fun () -> snd (snapshot ())) [ (); () ]
+  in
+  check "determinism across --jobs"
+    (List.for_all (String.equal serial) concurrent)
+    "concurrent snapshot differs from the serial one";
+  check "4 SMs dispatched" (ch.Gpusim.Chip.n_sms = 4) "";
+  (* The warp-specialized launch grid at 32768 points is
+     [min 1024 (points/32)] CTAs (Compile.default_ctas); the dispatcher
+     must hand out exactly that many, no matter how the waves land. *)
+  check "every CTA dispatched"
+    (Array.fold_left
+       (fun acc (s : Gpusim.Chip.sm_stat) -> acc + s.Gpusim.Chip.sm_ctas)
+       0 ch.Gpusim.Chip.sms
+    = 1024)
+    "CTA conservation across SMs broke";
+  check "makespan positive" (ch.Gpusim.Chip.makespan_cycles > 0.0) "";
+  (match Sutil.Json_check.validate serial with
+  | Ok () -> check "perf-v6 chip json" true ""
+  | Error m -> check "perf-v6 chip json" false m);
+  if !failed then exit 1
 
 (* Strip a leading-anywhere [--jobs N] pair from the argument list and
    install it as the process-wide domain budget before any figure runs. *)
@@ -353,6 +476,7 @@ let () =
   (match args with
   | [] | [ "all" ] -> Experiments.Figures.all ()
   | [ "microbench" ] -> microbenchmarks ()
+  | [ "chip-smoke" ] -> chip_smoke ()
   | [ "perf" ] -> perf ~out:None ?max_cycles:!perf_max_cycles ()
   | [ "perf"; "--out"; file ] ->
       perf ~out:(Some file) ?max_cycles:!perf_max_cycles ()

@@ -152,6 +152,54 @@ let compile_or_die ~validate mech kernel version options =
       Printf.eprintf "singe: %s\n" (Singe.Diagnostics.to_string d);
       exit exit_compile_rejected
 
+(* An occupancy rejection is a configuration error like any other compile
+   rejection: render it as a diagnostic line and use the same exit code,
+   keeping the 0/2/3 contract (it is neither unexpected nor a contained
+   simulation fault). *)
+let catch_occupancy f =
+  try f () with
+  | Gpusim.Chip.Occupancy_rejected r ->
+      Printf.eprintf "singe: %s\n"
+        (Singe.Diagnostics.to_string
+           (Singe.Diagnostics.error ~pass:"occupancy"
+              (Gpusim.Chip.reject_message r)));
+      exit exit_compile_rejected
+
+(* Chip-scheduler flags shared by the simulating and predicting
+   commands. *)
+let sms_term =
+  let sms_conv =
+    let parse s =
+      match int_of_string_opt s with
+      | Some n when n >= 1 -> Ok n
+      | Some n -> Error (`Msg (Printf.sprintf "--sms must be >= 1, got %d" n))
+      | None -> Error (`Msg (Printf.sprintf "%S is not an integer" s))
+    in
+    Arg.conv (parse, Format.pp_print_int)
+  in
+  Arg.(value & opt (some sms_conv) None & info [ "sms" ] ~docv:"N"
+       ~doc:"Dispatch the launch over N SMs (default: the architecture's \
+             SM count). With 1 the CTAs run as back-to-back rounds on a \
+             single SM; with more, the chip scheduler models tail waves \
+             and shared L2/DRAM bandwidth contention.")
+
+let skew_term =
+  let skew_conv =
+    let parse s =
+      match float_of_string_opt s with
+      | Some v when Float.abs v < 2.0 -> Ok v
+      | Some v ->
+          Error
+            (`Msg (Printf.sprintf "--skew must satisfy |S| < 2, got %g" v))
+      | None -> Error (`Msg (Printf.sprintf "%S is not a number" s))
+    in
+    Arg.conv (parse, fun ppf v -> Format.fprintf ppf "%g" v)
+  in
+  Arg.(value & opt (some skew_conv) None & info [ "skew" ] ~docv:"S"
+       ~doc:"Relative per-SM clock spread: SM clock factors ramp linearly \
+             over [1-S/2, 1+S/2] (default: the architecture's, 0 on both \
+             shipped machines).")
+
 (* Fault-containment flags shared by the simulating commands. *)
 let cycles_conv =
   let parse s =
@@ -221,6 +269,7 @@ let compile_cmd =
                   ~doc:"Write the kernel as CUDA C source to FILE ('-' for stdout).") in
   let run mech kernel arch warps version dump asm cuda timings validate
       dump_ir_stage =
+    catch_occupancy @@ fun () ->
     let c, report =
       compile_or_die ~validate mech kernel version (options_of arch warps kernel)
     in
@@ -271,7 +320,8 @@ let compile_cmd =
 let run_cmd =
   let points = Arg.(value & opt int 32768 & info [ "points" ] ~docv:"N") in
   let run mech kernel arch warps version points timings validate faults
-      max_cycles =
+      max_cycles n_sms skew =
+    catch_occupancy @@ fun () ->
     let c, report =
       compile_or_die ~validate mech kernel version (options_of arch warps kernel)
     in
@@ -279,7 +329,10 @@ let run_cmd =
       (* A contained simulation fault (injected or real) and a fault spec
          that matches nothing in the trace each get their own exit code,
          distinct from a compile-pipeline rejection. *)
-      match Singe.Compile.run c ~total_points:points ~faults ?max_cycles with
+      match
+        Singe.Compile.run c ~total_points:points ~faults ?max_cycles ?n_sms
+          ?skew
+      with
       | r -> r
       | exception Gpusim.Sm.Simulation_fault report ->
           Format.eprintf "singe: simulation fault@.%a@." Gpusim.Sm.pp_fault
@@ -298,12 +351,27 @@ let run_cmd =
       r.Singe.Compile.machine.Gpusim.Machine.gflops
       r.Singe.Compile.machine.Gpusim.Machine.dram_gbs
       r.Singe.Compile.max_rel_err;
+    let ch = r.Singe.Compile.machine.Gpusim.Machine.chip in
+    Printf.printf
+      "chip: %d SM(s), %d round(s)%s, makespan %.0f cycles, dispatch \
+       imbalance %.1f%%, DRAM util %.0f%% (throttle max %.2fx)%s\n"
+      ch.Gpusim.Chip.n_sms ch.Gpusim.Chip.rounds_total
+      (if ch.Gpusim.Chip.tail_ctas > 0 then
+         Printf.sprintf " (tail wave of %d CTA(s))" ch.Gpusim.Chip.tail_ctas
+       else "")
+      ch.Gpusim.Chip.makespan_cycles
+      (100.0 *. Gpusim.Chip.dispatch_imbalance ch)
+      (100.0 *. ch.Gpusim.Chip.contention.Gpusim.Chip.dram_util)
+      ch.Gpusim.Chip.contention.Gpusim.Chip.throttle_max
+      (if ch.Gpusim.Chip.contention.Gpusim.Chip.spill_in_l2 then
+         ", spills held in L2"
+       else "");
     if timings then print_report report
   in
   Cmd.v (Cmd.info "run" ~doc:"Compile, simulate and verify a kernel.")
     Term.(const run $ mech_term $ kernel_term $ arch_term $ warps_term
           $ version_term $ points $ timings_term $ validate_term
-          $ faults_term $ max_cycles_term)
+          $ faults_term $ max_cycles_term $ sms_term $ skew_term)
 
 let profile_cmd =
   let points = Arg.(value & opt int 32768 & info [ "points" ] ~docv:"N") in
@@ -330,7 +398,8 @@ let profile_cmd =
                monotonicity. Exit nonzero on any failure.")
   in
   let run mech kernel arch warps version points chrome top timeline check_it
-      faults max_cycles =
+      faults max_cycles n_sms skew =
+    catch_occupancy @@ fun () ->
     let c, _ =
       compile_or_die ~validate:false mech kernel version
         (options_of arch warps kernel)
@@ -339,7 +408,7 @@ let profile_cmd =
     let r =
       match
         Singe.Compile.run c ~check:false ~total_points:points ~faults
-          ?max_cycles ~profile
+          ?max_cycles ~profile ?n_sms ?skew
       with
       | r -> r
       | exception Gpusim.Sm.Simulation_fault report ->
@@ -436,7 +505,7 @@ let profile_cmd =
              and print the stall breakdown.")
     Term.(const run $ mech_term $ kernel_term $ arch_term $ warps_term
           $ version_term $ points $ chrome $ top $ timeline $ check_flag
-          $ faults_term $ max_cycles_term)
+          $ faults_term $ max_cycles_term $ sms_term $ skew_term)
 
 let predict_cmd =
   let points = Arg.(value & opt int 32768 & info [ "points" ] ~docv:"N") in
@@ -480,7 +549,9 @@ let predict_cmd =
                simulator never beats the model's throughput floor. Exit \
                nonzero on any failure.")
   in
-  let run mech arch warps points kernel_opt version_opt json check_it =
+  let run mech arch warps points kernel_opt version_opt json check_it n_sms
+      skew =
+    catch_occupancy @@ fun () ->
     let kernels =
       match kernel_opt with
       | Some k -> [ k ]
@@ -518,10 +589,14 @@ let predict_cmd =
                   Printf.printf "%-13s skipped: %s\n" name
                     (Singe.Diagnostics.to_string d)
               | Ok (c, _) ->
-                  let pred = Singe.Perf_model.predict c ~total_points:points in
+                  let pred =
+                    Singe.Perf_model.predict ?n_sms ?skew c
+                      ~total_points:points
+                  in
                   let r =
                     match
                       Singe.Compile.run c ~check:false ~total_points:points
+                        ?n_sms ?skew
                     with
                     | r -> r
                     | exception Gpusim.Sm.Simulation_fault report ->
@@ -625,7 +700,7 @@ let predict_cmd =
        ~doc:"Predict kernel cycles with the analytic performance model and \
              compare against the simulator.")
     Term.(const run $ mech_term $ arch_term $ warps_term $ points $ kernel_opt
-          $ version_opt $ json $ check_flag)
+          $ version_opt $ json $ check_flag $ sms_term $ skew_term)
 
 let tune_mode_term =
   let mode_conv =
@@ -653,13 +728,17 @@ let top_k_term =
                simulate.")
 
 let tune_cmd =
-  let run mech kernel arch version max_cycles tune_mode top_k () =
+  let run mech kernel arch version max_cycles tune_mode top_k n_sms skew () =
+    catch_occupancy @@ fun () ->
     let mode =
       match tune_mode with
       | `Exhaustive -> Singe.Autotune.Exhaustive
       | `Pruned -> Singe.Autotune.Pruned top_k
     in
-    let o = Singe.Autotune.tune ?max_cycles ~mode mech kernel version arch in
+    let o =
+      Singe.Autotune.tune ?max_cycles ~mode ?n_sms ?skew mech kernel version
+        arch
+    in
     Printf.printf "tried %d configurations (%d skipped, %d pruned by model)\n"
       o.Singe.Autotune.tried o.Singe.Autotune.skipped
       o.Singe.Autotune.candidates_pruned;
@@ -686,7 +765,8 @@ let tune_cmd =
        ~doc:"Autotune a kernel configuration (brute-force, or pruned by the \
              analytic performance model).")
     Term.(const run $ mech_term $ kernel_term $ arch_term $ version_term
-          $ max_cycles_term $ tune_mode_term $ top_k_term $ jobs_term)
+          $ max_cycles_term $ tune_mode_term $ top_k_term $ sms_term
+          $ skew_term $ jobs_term)
 
 let stats_cmd =
   let run mech kernel arch warps version =
@@ -794,6 +874,7 @@ let figures_cmd =
         | "ablation-weights" -> Experiments.Figures.ablation_weights ()
         | "ablation-batches" -> Experiments.Figures.ablation_batches ()
         | "model-accuracy" -> Experiments.Figures.model_accuracy ()
+        | "chip-scaling" -> Experiments.Figures.chip_scaling ()
         | other -> failwith ("unknown figure " ^ other))
       names
   in

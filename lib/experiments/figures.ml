@@ -501,6 +501,48 @@ let ablation_batches () =
   List.iter print_string rows;
   print_newline ()
 
+let chip_scaling () =
+  header
+    "Chip scaling: DME viscosity throughput vs SM count on Kepler (fixed \
+     grid, greedy CTA dispatch, shared DRAM arbiter)";
+  let mech = Chem.Mech_gen.dme () in
+  let arch = Gpusim.Arch.kepler_k20c in
+  let points = if fast () then 262144 else 2097152 in
+  let c =
+    Singe.Compile.compile_cached mech Singe.Kernel_abi.Viscosity
+      Singe.Compile.Warp_specialized
+      (Singe.Compile.default_options arch)
+  in
+  Printf.printf "  %-6s %14s %9s %10s %10s %9s\n" "SMs" "points/s" "speedup"
+    "DRAM-util" "throttle" "imbal";
+  let sm_counts =
+    List.filter
+      (fun n -> n <= arch.Gpusim.Arch.n_sms)
+      [ 1; 2; 4; 8; arch.Gpusim.Arch.n_sms ]
+  in
+  let rows =
+    Sutil.Domain_pool.parallel_map
+      (fun n_sms ->
+        let r = Singe.Compile.run c ~total_points:points ~n_sms in
+        let m = r.Singe.Compile.machine in
+        let ch = m.Gpusim.Machine.chip in
+        ( n_sms,
+          m.Gpusim.Machine.points_per_sec,
+          ch.Gpusim.Chip.contention.Gpusim.Chip.dram_util,
+          ch.Gpusim.Chip.contention.Gpusim.Chip.throttle_max,
+          Gpusim.Chip.dispatch_imbalance ch ))
+      (List.sort_uniq compare sm_counts)
+  in
+  let base =
+    match rows with (_, t, _, _, _) :: _ -> t | [] -> assert false
+  in
+  List.iter
+    (fun (n_sms, pps, util, thr, imb) ->
+      Printf.printf "  %-6d %14.4g %8.2fx %9.0f%% %9.2fx %8.1f%%\n" n_sms pps
+        (pps /. base) (100.0 *. util) thr (100.0 *. imb))
+    rows;
+  print_newline ()
+
 let all () =
   fig3 ();
   fig9 ();
@@ -517,4 +559,5 @@ let all () =
   ablation_chem_comm ();
   ablation_weights ();
   ablation_batches ();
-  model_accuracy ()
+  model_accuracy ();
+  chip_scaling ()

@@ -83,5 +83,11 @@ val model_accuracy : unit -> unit
     relative error and the worst case — the accuracy table DESIGN §12
     quotes. *)
 
+val chip_scaling : unit -> unit
+(** Throughput vs SM count for DME viscosity on Kepler at a fixed grid:
+    the {!Gpusim.Chip} dispatcher/arbiter's wave, tail and DRAM-contention
+    behavior as the chip grows — speedup over one SM, aggregate DRAM
+    utilization, peak arbiter throttle and dispatch imbalance per row. *)
+
 val all : unit -> unit
 (** Every table, figure and ablation in order. *)

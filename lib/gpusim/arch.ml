@@ -32,6 +32,9 @@ type t = {
   broadcast : broadcast_style;
   has_ldg : bool;
   shared_operand_collector : bool;
+  l2_bytes : int;
+  dram_gbs_peak : float;
+  sm_clock_skew : float;
 }
 
 (* Bytes per SM-cycle for an aggregate bandwidth in GB/s. *)
@@ -73,6 +76,9 @@ let fermi_c2070 =
     (* Fermi arithmetic reads shared-memory operands through the operand
        collector, without a separate LD/ST issue slot. *)
     shared_operand_collector = true;
+    l2_bytes = 786432;
+    dram_gbs_peak = 144.0;
+    sm_clock_skew = 0.0;
   }
 
 let kepler_k20c =
@@ -109,6 +115,9 @@ let kepler_k20c =
     broadcast = Shuffle;
     has_ldg = true;
     shared_operand_collector = false;
+    l2_bytes = 1572864;
+    dram_gbs_peak = 208.0;
+    sm_clock_skew = 0.0;
   }
 
 let by_name s =
@@ -125,6 +134,9 @@ let bw_gbs t bytes_per_cycle =
   bytes_per_cycle *. float_of_int t.n_sms *. t.clock_mhz *. 1e6 /. 1e9
 
 let icache_line_bytes t = t.icache_line_instrs * t.instr_bytes
+
+let dram_bytes_per_chip_cycle t =
+  t.dram_gbs_peak *. 1e9 /. (t.clock_mhz *. 1e6)
 
 let pp ppf t =
   Format.fprintf ppf "%s: %d SMs @ %.0f MHz, peak %.0f DP GFLOPS" t.name

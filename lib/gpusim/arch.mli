@@ -59,6 +59,19 @@ type t = {
   shared_operand_collector : bool;
       (** arithmetic reads shared operands through the operand collector
           (Fermi), costing latency but no LD/ST issue slot *)
+  (* chip-level memory system (the Chip layer's shared-resource model) *)
+  l2_bytes : int;
+      (** L2 capacity: 768 KB on Fermi, 1.5 MB on Kepler. Per-SM spill
+          working sets that fit collectively in L2 are served without
+          touching DRAM in the chip-level arbiter. *)
+  dram_gbs_peak : float;
+      (** aggregate DRAM bandwidth shared by all SMs, in GB/s — the
+          ceiling the chip-level arbiter enforces when summed per-SM
+          streaming demand exceeds it *)
+  sm_clock_skew : float;
+      (** relative clock spread across SMs (0.0 = all SMs identical).
+          A skew [s] ramps per-SM clock factors linearly over
+          [1 - s/2 .. 1 + s/2]; models boot-time binning/boost variance. *)
 }
 
 val fermi_c2070 : t
@@ -77,5 +90,9 @@ val bw_gbs : t -> float -> float
 val icache_line_bytes : t -> int
 (** Instruction-cache line size in bytes
     ([icache_line_instrs * instr_bytes]). *)
+
+val dram_bytes_per_chip_cycle : t -> float
+(** [dram_gbs_peak] expressed in bytes per reference SM clock — the
+    chip-wide budget the Chip arbiter divides among active SMs. *)
 
 val pp : Format.formatter -> t -> unit

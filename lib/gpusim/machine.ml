@@ -1,74 +1,24 @@
-type launch = {
+(* Thin facade over the full-chip simulation layer. The launch,
+   occupancy and result types are re-exported with equations so
+   existing call sites keep working; the run core lives in [Chip]. *)
+
+type launch = Chip.launch = {
   program : Isa.program;
   total_points : int;
   ctas : int;
 }
 
-type occupancy = {
+type occupancy = Chip.occupancy = {
   resident_ctas : int;
   limited_by : string;
   warps_per_sm : int;
 }
 
-let occupancy (arch : Arch.t) (p : Isa.program) =
-  let regs32 = Isa.regs32_per_thread p in
-  if regs32 > arch.Arch.max_regs_per_thread then
-    failwith
-      (Printf.sprintf
-         "%s: %d registers per thread exceeds the %d limit on %s (the \
-          compiler should have spilled)"
-         p.Isa.name regs32 arch.Arch.max_regs_per_thread arch.Arch.name);
-  let threads_per_cta = p.Isa.n_warps * 32 in
-  let by_regs = arch.Arch.regfile_per_sm / max 1 (regs32 * threads_per_cta) in
-  let shared_bytes = p.Isa.shared_doubles * 8 in
-  let by_shared =
-    if shared_bytes = 0 then max_int else arch.Arch.shared_bytes_per_sm / shared_bytes
-  in
-  let by_warps = arch.Arch.max_warps_per_sm / p.Isa.n_warps in
-  let by_bars =
-    if p.Isa.barriers_used = 0 then max_int
-    else arch.Arch.named_barriers_per_sm / p.Isa.barriers_used
-  in
-  let limits =
-    [
-      ("registers", by_regs);
-      ("shared memory", by_shared);
-      ("warp slots", by_warps);
-      ("named barriers", by_bars);
-      ("CTA slots", arch.Arch.max_ctas_per_sm);
-    ]
-  in
-  let limited_by, resident =
-    List.fold_left
-      (fun (ln, lv) (n, v) -> if v < lv then (n, v) else (ln, lv))
-      ("CTA slots", arch.Arch.max_ctas_per_sm)
-      limits
-  in
-  if resident < 1 then
-    failwith
-      (Printf.sprintf "%s does not fit on %s (limited by %s)" p.Isa.name
-         arch.Arch.name limited_by);
-  {
-    resident_ctas = resident;
-    limited_by;
-    warps_per_sm = resident * p.Isa.n_warps;
-  }
+let occupancy = Chip.occupancy
+let points_per_cta = Chip.points_per_cta
+let batches_per_cta = Chip.batches_per_cta
 
-let points_per_cta l =
-  assert (l.total_points mod l.ctas = 0);
-  l.total_points / l.ctas
-
-let batches_per_cta l =
-  let per_batch =
-    match l.program.Isa.point_map with
-    | Isa.Coop -> 32
-    | Isa.Thread_per_point -> l.program.Isa.n_warps * 32
-  in
-  let ppc = points_per_cta l in
-  assert (ppc mod per_batch = 0);
-  ppc / per_batch
-
-type result = {
+type result = Chip.result = {
   occ : occupancy;
   waves : float;
   sm_cycles : int;
@@ -78,118 +28,13 @@ type result = {
   dram_gbs : float;
   local_gbs : float;
   sim : Sm.result;
+  tail_sim : Sm.result option;
   mem : Memstate.t;
   simulated_points : int;
+  chip : Chip.schedule;
 }
 
-let run ?(fill_inputs = fun _ _ -> ()) ?(max_sim_batches = 6) ?(faults = [])
-    ?max_cycles ?profile (arch : Arch.t) (l : launch) =
-  let occ = occupancy arch l.program in
-  let resident = min occ.resident_ctas l.ctas in
-  let batches = batches_per_cta l in
-  let per_batch =
-    match l.program.Isa.point_map with
-    | Isa.Coop -> 32
-    | Isa.Thread_per_point -> l.program.Isa.n_warps * 32
-  in
-  (* Long streaming launches are extrapolated from a short simulation:
-     cycles grow linearly in the batch count (the body repeats), so two
-     runs pin the prologue and per-batch cost exactly. *)
-  let sim_batches = min batches max_sim_batches in
-  let simulated_points = resident * per_batch * sim_batches in
-  let mem =
-    Memstate.create l.program ~n_points:simulated_points ~resident_ctas:resident
-  in
-  fill_inputs mem simulated_points;
-  (* The 1-batch pin run below reuses a prefix of the inputs just filled
-     instead of calling [fill_inputs] again: simulated cycles and
-     counters are independent of float memory contents (addresses and
-     stall times only ever derive from static program data), and the pin
-     run's functional outputs are discarded. Snapshot the prefix now,
-     before the main simulation overwrites output fields. *)
-  let pin_mem =
-    if batches <= max_sim_batches then None
-    else begin
-      let m =
-        Memstate.create l.program ~n_points:(resident * per_batch)
-          ~resident_ctas:resident
-      in
-      Memstate.copy_global_prefix ~src:mem ~dst:m;
-      Some m
-    end
-  in
-  let trace =
-    Fault.apply ~named_barriers:arch.Arch.named_barriers_per_sm faults
-      (Trace.flatten arch l.program)
-  in
-  let job =
-    {
-      Sm.arch;
-      program = l.program;
-      trace;
-      mem;
-      resident_ctas = resident;
-      batches = sim_batches;
-      cta_point_base = Array.init resident (fun c -> c * per_batch * sim_batches);
-    }
-  in
-  (* The profiler rides only the main simulation; the 1-batch pin run
-     below exists purely to extrapolate cycle counts. *)
-  let sim = Sm.run ?max_cycles ?profile job in
-  let cycles_full =
-    if batches = sim_batches then float_of_int sim.Sm.cycles
-    else begin
-      let mem1 = Option.get pin_mem in
-      let sim1 =
-        Sm.run ?max_cycles
-          {
-            Sm.arch;
-            program = l.program;
-            trace;
-            mem = mem1;
-            resident_ctas = resident;
-            batches = 1;
-            cta_point_base = Array.init resident (fun c -> c * per_batch);
-          }
-      in
-      let body =
-        float_of_int (sim.Sm.cycles - sim1.Sm.cycles)
-        /. float_of_int (sim_batches - 1)
-      in
-      let prologue = float_of_int sim1.Sm.cycles -. body in
-      prologue +. (body *. float_of_int batches)
-    end
-  in
-  let waves =
-    float_of_int l.ctas /. float_of_int (resident * arch.Arch.n_sms)
-  in
-  let waves = Float.max waves 1.0 in
-  let total_cycles = cycles_full *. waves in
-  let time_s = total_cycles /. (arch.Arch.clock_mhz *. 1e6) in
-  let points_per_sec = float_of_int l.total_points /. time_s in
-  (* The simulated SM-round covers [resident * ppc] points; extrapolate
-     totals by the point ratio. *)
-  let scale = float_of_int l.total_points /. float_of_int simulated_points in
-  let gflops =
-    float_of_int sim.Sm.counters.Sm.flops *. scale /. time_s /. 1e9
-  in
-  let bytes path = float_of_int path *. scale /. time_s /. 1e9 in
-  let dram_gbs =
-    bytes
-      (sim.Sm.counters.Sm.tex_bytes + sim.Sm.counters.Sm.global_bytes
-     + sim.Sm.counters.Sm.local_bytes)
-  in
-  let local_gbs = bytes sim.Sm.counters.Sm.local_bytes in
-  {
-    occ;
-    waves;
-    sm_cycles = sim.Sm.cycles;
-    time_s;
-    points_per_sec;
-    gflops;
-    dram_gbs;
-    local_gbs;
-    sim;
-    mem;
-    simulated_points;
-  }
+let run ?fill_inputs ?max_sim_batches ?faults ?max_cycles ?profile ?n_sms
+    ?skew arch l =
+  Chip.run ?fill_inputs ?max_sim_batches ?faults ?max_cycles ?profile ?n_sms
+    ?skew arch l

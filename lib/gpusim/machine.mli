@@ -1,4 +1,4 @@
-(** Whole-GPU kernel launches on top of the single-SM simulator.
+(** Whole-GPU kernel launches — a thin facade over {!Chip}.
 
     Occupancy is computed exactly as on the real hardware: resident CTAs
     per SM are limited by register-file capacity (the *maximum* per-warp
@@ -7,44 +7,48 @@
     and named barriers (16 per SM divided by barriers per CTA, the
     footnote of §4.2).
 
-    One SM with its resident CTAs is simulated cycle-accurately; the
-    launch's remaining CTAs are accounted by wave scaling (all SMs run
-    identical independent work). *)
+    One SM-round is simulated cycle-accurately by the {!Sm} core; the
+    launch's remaining CTAs are scheduled across SMs by the {!Chip}
+    dispatcher with shared L2/DRAM bandwidth arbitration (the old
+    fractional-wave scaling survives only as the informational [waves]
+    field). *)
 
-type launch = {
+type launch = Chip.launch = {
   program : Isa.program;
   total_points : int;  (** logical problem size, e.g. 128^3 *)
   ctas : int;  (** CTAs in the launch grid *)
 }
 
-type occupancy = {
+type occupancy = Chip.occupancy = {
   resident_ctas : int;
   limited_by : string;  (** which resource capped residency *)
   warps_per_sm : int;
 }
 
 val occupancy : Arch.t -> Isa.program -> occupancy
-(** Raises [Failure] if even a single CTA does not fit (e.g. register
-    demand above the per-thread maximum — the spilling warning of §4.1
-    should have fired instead). *)
+(** Raises {!Chip.Occupancy_rejected} if even a single CTA does not fit
+    (e.g. register demand above the per-thread maximum — the spilling
+    warning of §4.1 should have fired instead). *)
 
 val points_per_cta : launch -> int
 
 val batches_per_cta : launch -> int
 (** [Coop] kernels: 32 points per batch; [Thread_per_point]: n_warps*32. *)
 
-type result = {
+type result = Chip.result = {
   occ : occupancy;
-  waves : float;
-  sm_cycles : int;  (** simulated cycles for one SM-round *)
-  time_s : float;  (** whole-launch wall time *)
+  waves : float;  (** legacy wave count, informational only *)
+  sm_cycles : int;  (** simulated cycles for one full SM-round *)
+  time_s : float;  (** whole-launch wall time (scheduler makespan) *)
   points_per_sec : float;
   gflops : float;  (** SASS-style DP GFLOPS actually sustained *)
   dram_gbs : float;  (** tex+global+local traffic *)
   local_gbs : float;  (** spill traffic alone *)
-  sim : Sm.result;
+  sim : Sm.result;  (** the full-round simulation *)
+  tail_sim : Sm.result option;  (** the tail-round simulation, if any *)
   mem : Memstate.t;  (** post-run memory (outputs of the simulated CTAs) *)
   simulated_points : int;  (** grid points with valid outputs in [mem] *)
+  chip : Chip.schedule;  (** dispatcher/arbiter outcome *)
 }
 
 val run :
@@ -53,19 +57,23 @@ val run :
   ?faults:Fault.t list ->
   ?max_cycles:int ->
   ?profile:Sm.profile_spec ->
+  ?n_sms:int ->
+  ?skew:float ->
   Arch.t ->
   launch ->
   result
-(** [fill_inputs mem n_points] populates the input field groups before
-    simulation. Launches streaming more than [max_sim_batches] batches per
-    CTA (default 6) are extrapolated from two short simulations — cycle
-    counts are linear in the batch count, so the prologue and per-batch
-    cost are pinned exactly; functional outputs cover the simulated
-    batches. [fill_inputs] is called exactly once, for the main
-    simulation; the 1-batch pin run reuses a prefix of that data (its
-    outputs are discarded, and simulated cycles/counters never depend on
-    float memory contents — addresses and stall times derive only from
-    static program data).
+(** Delegates to {!Chip.run}; see there for the full contract.
+
+    [fill_inputs mem n_points] populates the input field groups before
+    simulation and is called exactly once, for the main simulation;
+    secondary runs (pin runs, the tail round) reuse a prefix of that
+    data (their outputs are discarded, and simulated cycles/counters
+    never depend on float memory contents — addresses and stall times
+    derive only from static program data). Launches streaming more than
+    [max_sim_batches] batches per CTA (default 6) are extrapolated from
+    two short simulations — cycle counts are linear in the batch count,
+    so the prologue and per-batch cost are pinned exactly; functional
+    outputs cover the simulated batches.
 
     [faults] are applied to the flattened trace before simulation
     ({!Fault.apply}, with barrier ids range-checked against the
@@ -74,6 +82,10 @@ val run :
     clean, unlimited run, which may then raise {!Sm.Simulation_fault}
     only on a genuine deadlock or livelock.
 
-    [profile] is forwarded to {!Sm.run} for the main simulation only (the
-    pin run exists purely to extrapolate cycles); the resulting ledger is
-    [result.sim.profile]. *)
+    [profile] is forwarded to {!Sm.run} for the main simulation only
+    (secondary runs exist purely to extrapolate cycles); the resulting
+    ledger is [result.sim.profile].
+
+    [n_sms] and [skew] override the architecture's SM count and clock
+    skew for the chip scheduler (the per-SM simulation itself is
+    unaffected). *)

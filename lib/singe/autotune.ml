@@ -88,14 +88,16 @@ let classify_exn = function
           (Gpusim.Sm.fault_kind_name r.Gpusim.Sm.fault_kind)
           r.Gpusim.Sm.fault_cycle r.Gpusim.Sm.detail,
         Some r.Gpusim.Sm.fault_kind )
+  | Gpusim.Chip.Occupancy_rejected r ->
+      ("occupancy rejected: " ^ Gpusim.Chip.reject_message r, None)
   | Diagnostics.Fail d -> (Diagnostics.to_string d, None)
   | Failure msg -> (msg, None)
   | Invalid_argument msg -> ("invalid argument: " ^ msg, None)
   | e -> (Printexc.to_string e, None)
 
 let tune ?(points = 32768) ?warp_candidates ?(cta_targets = [ 1; 2 ]) ?jobs
-    ?(max_cycles = 200_000_000) ?inject ?(mode = Exhaustive) mech kernel
-    version arch =
+    ?(max_cycles = 200_000_000) ?inject ?(mode = Exhaustive) ?n_sms ?skew
+    mech kernel version arch =
   let warp_candidates =
     match warp_candidates with
     | Some l -> l
@@ -113,7 +115,9 @@ let tune ?(points = 32768) ?warp_candidates ?(cta_targets = [ 1; 2 ]) ?jobs
      never sees it. *)
   let score (_idx, options) =
     let compiled = Compile.compile_cached mech kernel version options in
-    let predicted = Perf_model.predict compiled ~total_points:points in
+    let predicted =
+      Perf_model.predict ?n_sms ?skew compiled ~total_points:points
+    in
     (compiled, predicted)
   in
   let scored = Sutil.Domain_pool.parallel_map_result ?jobs score indexed in
@@ -170,7 +174,8 @@ let tune ?(points = 32768) ?warp_candidates ?(cta_targets = [ 1; 2 ]) ?jobs
   let eval (idx, options, compiled, predicted) =
     let faults = match inject with None -> [] | Some f -> f idx in
     let result =
-      Compile.run compiled ~total_points:points ~faults ~max_cycles
+      Compile.run compiled ~total_points:points ~faults ~max_cycles ?n_sms
+        ?skew
     in
     if result.Compile.max_rel_err > 1e-6 then
       failwith

@@ -85,6 +85,8 @@ val tune :
   ?max_cycles:int ->
   ?inject:(int -> Gpusim.Fault.t list) ->
   ?mode:mode ->
+  ?n_sms:int ->
+  ?skew:float ->
   Chem.Mechanism.t ->
   Kernel_abi.kernel ->
   Compile.version ->
@@ -93,6 +95,10 @@ val tune :
 (** Evaluates the candidate grid at the (small) tuning size (default
     32768 points = 32^3) and returns the fastest configuration. Raises
     [Failure] if no candidate ran.
+
+    [n_sms]/[skew] are forwarded to both {!Perf_model.predict} (model
+    scoring) and {!Compile.run} (simulation), so a sweep tunes for the
+    chip configuration it will actually run on.
 
     Every candidate is first compiled ({!Compile.compile_cached}, so a
     configuration revisited across kernels/figures compiles once) and

@@ -451,7 +451,7 @@ type run_result = {
 }
 
 let run ?ctas ?(check = true) ?(seed = 0x5EEDL) ?t_range ?(faults = [])
-    ?max_cycles ?profile t ~total_points =
+    ?max_cycles ?profile ?n_sms ?skew t ~total_points =
   let ctas =
     match ctas with Some c -> c | None -> default_ctas t ~total_points
   in
@@ -473,8 +473,8 @@ let run ?ctas ?(check = true) ?(seed = 0x5EEDL) ?t_range ?(faults = [])
     Kernel_abi.fill_inputs t.mech g t.lowered.Lower.program mem n
   in
   let machine =
-    Gpusim.Machine.run ~fill_inputs:fill ~faults ?max_cycles ?profile
-      t.options.arch launch
+    Gpusim.Machine.run ~fill_inputs:fill ~faults ?max_cycles ?profile ?n_sms
+      ?skew t.options.arch launch
   in
   let outputs =
     Kernel_abi.read_outputs t.lowered.Lower.program machine.Gpusim.Machine.mem

@@ -167,6 +167,8 @@ val run :
   ?faults:Gpusim.Fault.t list ->
   ?max_cycles:int ->
   ?profile:Gpusim.Sm.profile_spec ->
+  ?n_sms:int ->
+  ?skew:float ->
   t ->
   total_points:int ->
   run_result
@@ -182,4 +184,8 @@ val run :
 
     [profile] turns on the per-warp cycle-attribution ledger
     ({!Gpusim.Profile}); the result lands in
-    [machine.sim.Gpusim.Sm.profile]. *)
+    [machine.sim.Gpusim.Sm.profile].
+
+    [n_sms] and [skew] override the architecture's SM count and per-SM
+    clock skew for the chip-level scheduler ({!Gpusim.Chip}); the
+    per-SM simulation and functional outputs are unaffected. *)

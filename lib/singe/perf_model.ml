@@ -2,6 +2,7 @@ module A = Gpusim.Arch
 module I = Gpusim.Isa
 module T = Gpusim.Trace
 module M = Gpusim.Machine
+module C = Gpusim.Chip
 
 (* Calibration constants. Structure comes from the machine model (pipe
    rates, latencies, cache geometry); these scalars absorb what a static
@@ -59,6 +60,7 @@ type prediction = {
   binding : string;
   cycles : float;
   floor_cycles : float;
+  chip : C.schedule;
   time_s : float;
   points_per_sec : float;
 }
@@ -595,7 +597,7 @@ let ccache_thrashes (arch : A.t) (p : I.program) (tr : T.t) =
     tr.T.body;
   Hashtbl.length lines * arch.A.const_line_bytes > arch.A.const_cache_bytes
 
-let predict ?ctas (t : Compile.t) ~total_points =
+let predict ?ctas ?n_sms ?skew (t : Compile.t) ~total_points =
   let p = t.Compile.lowered.Lower.program in
   let arch = t.Compile.options.Compile.arch in
   let ctas =
@@ -777,16 +779,49 @@ let predict ?ctas (t : Compile.t) ~total_points =
       p.I.name resident sim_batches batches thrash agg_body.n_const
       agg_body.loads agg_body.chain prologue_cycles cold_fill cold_const
       sync_sim sync_cycles throughput_cycles thr_resource;
-  (* End-to-end: Machine.run's extrapolation and wave algebra. *)
+  (* End-to-end: mirror Chip.run's extrapolation, then feed the same
+     dispatcher/arbiter (Chip.schedule) with model-derived round costs
+     instead of simulated ones, so predicted wall time carries the same
+     tail-wave and bandwidth-contention semantics as the simulator. *)
   let cycles_full =
     cycles +. (float_of_int (batches - sim_batches) *. batch_cycles)
   in
-  let waves =
-    Float.max
-      (float_of_int ctas /. float_of_int (resident * arch.A.n_sms))
-      1.0
+  (* Round cost for k resident CTAs: the throughput term scales with k
+     (k CTAs share the pipes), the critical-path and prologue terms do
+     not. k = resident reproduces [cycles_full] exactly. *)
+  let cycles_full_of k =
+    let thr_b = float_of_int k *. thr_batch in
+    let _, b_sim = combine (float_of_int sim_batches *. thr_b) sync_sim in
+    let b_sim = b_sim +. (float_of_int (sim_batches - 1) *. icache_cycles) in
+    let _, b_steady = combine thr_b sync_cycles in
+    prologue_cycles +. b_sim
+    +. (float_of_int (batches - sim_batches) *. (b_steady +. icache_cycles))
   in
-  let time_s = cycles_full *. waves /. (arch.A.clock_mhz *. 1e6) in
+  let n_sms = match n_sms with Some n -> n | None -> arch.A.n_sms in
+  let skew = match skew with Some s -> s | None -> arch.A.sm_clock_skew in
+  let spill_working_set =
+    n_sms * resident * n_warps * 32 * p.I.local_doubles * 8
+  in
+  let spill_in_l2 =
+    p.I.local_doubles > 0 && spill_working_set <= arch.A.l2_bytes
+  in
+  (* [agg_body] holds one batch of every warp in one CTA; spill traffic
+     whose aggregate working set fits in L2 never reaches DRAM. *)
+  let batch_dram_b =
+    agg_body.tex_b +. agg_body.glob_b
+    +. (if spill_in_l2 then 0.0 else agg_body.loc_b)
+  in
+  let round_cycles k =
+    if k = resident then cycles_full else cycles_full_of k
+  in
+  let round_dram_bytes k =
+    float_of_int batches *. float_of_int k *. batch_dram_b
+  in
+  let chip =
+    C.schedule ~n_sms ~skew ~resident ~ctas ~round_cycles ~round_dram_bytes
+      ~dram_peak_bpc:(A.dram_bytes_per_chip_cycle arch) ~spill_in_l2
+  in
+  let time_s = chip.C.makespan_cycles /. (arch.A.clock_mhz *. 1e6) in
   let points_per_sec = float_of_int total_points /. time_s in
   {
     occ;
@@ -801,6 +836,7 @@ let predict ?ctas (t : Compile.t) ~total_points =
     binding;
     cycles;
     floor_cycles;
+    chip;
     time_s;
     points_per_sec;
   }

@@ -53,15 +53,26 @@ type prediction = {
       (** provable throughput-only lower bound on the simulated round (the
           simulator never beats it: body demand over pipe rates, no
           latency, no prologue) *)
-  time_s : float;  (** predicted end-to-end time (Machine.run's algebra) *)
+  chip : Gpusim.Chip.schedule;
+      (** the {!Gpusim.Chip.schedule} dispatcher/arbiter outcome on
+          model-derived round costs — the bandwidth-contention term of
+          the end-to-end prediction *)
+  time_s : float;
+      (** predicted end-to-end time (the chip schedule's makespan, same
+          semantics as [Chip.run]) *)
   points_per_sec : float;  (** predicted end-to-end throughput *)
 }
 
-val predict : ?ctas:int -> Compile.t -> total_points:int -> prediction
+val predict :
+  ?ctas:int -> ?n_sms:int -> ?skew:float -> Compile.t ->
+  total_points:int -> prediction
 (** Predict the launch {!Compile.run} would simulate for the same
     [?ctas]/[~total_points] (default grid from {!Compile.default_ctas}).
-    Pure static analysis of the compiled artifact; safe to call from
-    several domains at once. *)
+    [n_sms]/[skew] mirror {!Compile.run}'s chip overrides: the
+    end-to-end terms feed the same deterministic {!Gpusim.Chip.schedule}
+    the simulator uses, with analytically derived round costs and DRAM
+    traffic. Pure static analysis of the compiled artifact; safe to call
+    from several domains at once. *)
 
 val rel_err : predicted:float -> measured:float -> float
 (** [|predicted - measured| / measured] — the accuracy figure `singe

@@ -23,4 +23,5 @@ let () =
       ("faults", Test_faults.tests);
       ("profile", Test_profile.tests);
       ("perf-model", Test_perf_model.tests);
+      ("chip", Test_chip.tests);
     ]
