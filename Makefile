@@ -1,5 +1,5 @@
 .PHONY: all build test test-faults fmt fmt-check check perf perf-quick \
-	profile-smoke predict-smoke chip-smoke clean
+	profile-smoke predict-smoke chip-smoke synth-smoke clean
 
 all: build
 
@@ -27,8 +27,10 @@ fmt-check:
 # the quick perf snapshot still runs end to end on two domains, the
 # profiler's CLI surface emits conserving buckets and valid trace JSON,
 # the analytic performance model stays sound (floor <= simulator), and
-# the multi-SM chip layer is deterministic and schema-clean.
-check: build fmt-check test perf-quick profile-smoke predict-smoke chip-smoke
+# the multi-SM chip layer is deterministic and schema-clean, and the
+# shuffle-exchange rewrite stays bit-exact and profitable.
+check: build fmt-check test perf-quick profile-smoke predict-smoke chip-smoke \
+	synth-smoke
 
 # Machine-readable performance snapshot (see bench/main.ml).
 perf:
@@ -54,10 +56,17 @@ predict-smoke:
 
 # Chip-layer smoke: a 4-SM DME viscosity launch must be byte-identical
 # whether simulated serially or on concurrent domains, dispatch every
-# CTA, and emit a well-formed perf-v6 "chip" JSON object (exit 1 on any
+# CTA, and emit a well-formed perf-v7 "chip" JSON object (exit 1 on any
 # failure).
 chip-smoke:
 	dune exec bench/main.exe -- chip-smoke
+
+# Exchange-rewrite smoke: DME diffusion with the shuffle-exchange
+# superoptimizer on vs off must produce bit-identical outputs, remove
+# round trips without costing cycles, and emit a well-formed perf-v7
+# "exchange" JSON object (exit 1 on any failure).
+synth-smoke:
+	dune exec bench/main.exe -- synth-smoke
 
 clean:
 	dune clean

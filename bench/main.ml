@@ -28,6 +28,7 @@ let figures =
     ("ablation-chem-comm", Experiments.Figures.ablation_chem_comm);
     ("ablation-weights", Experiments.Figures.ablation_weights);
     ("ablation-batches", Experiments.Figures.ablation_batches);
+    ("ablation-exchange", Experiments.Figures.ablation_exchange);
     ("model-accuracy", Experiments.Figures.model_accuracy);
     ("chip-scaling", Experiments.Figures.chip_scaling);
   ]
@@ -214,6 +215,38 @@ let perf ~out ?max_cycles () =
            sim_cycles_per_host_sec. *)
         let sim_wall_s = Unix.gettimeofday () -. t0 in
         let sm_cycles = r.Singe.Compile.machine.Gpusim.Machine.sm_cycles in
+        (* The exchange-rewrite delta: when the shuffle-exchange
+           superoptimizer touched this entry, re-simulate with the rewrite
+           forced off so the snapshot records the cycles it bought. *)
+        let exchange_json =
+          let ex = c.Singe.Compile.lowered.Singe.Lower.exchange in
+          if ex.Singe.Shuffle_synth.sites_rewritten = 0 then "null"
+          else
+            let off_cycles =
+              match
+                Singe.Compile.compile_checked ~validate:false mech kernel
+                  version
+                  { options with Singe.Compile.synth_exchange = Some false }
+              with
+              | Error _ -> sm_cycles
+              | Ok (c_off, _) ->
+                  let r_off =
+                    Singe.Compile.run ~check:false c_off ~total_points:points
+                      ~max_cycles
+                  in
+                  r_off.Singe.Compile.machine.Gpusim.Machine.sm_cycles
+            in
+            Printf.sprintf
+              "{\"sites_rewritten\": %d, \"round_trips_removed\": %d, \
+               \"stores_removed\": %d, \"shuffle_steps\": %d, \
+               \"shared_bytes_freed\": %d, \"cycle_delta\": %d}"
+              ex.Singe.Shuffle_synth.sites_rewritten
+              ex.Singe.Shuffle_synth.round_trips_removed
+              ex.Singe.Shuffle_synth.stores_removed
+              ex.Singe.Shuffle_synth.shuffle_steps
+              ex.Singe.Shuffle_synth.shared_bytes_freed
+              (off_cycles - sm_cycles)
+        in
         let profile_json =
           match r.Singe.Compile.machine.Gpusim.Machine.sim.Gpusim.Sm.profile with
           | Some p -> Gpusim.Profile.to_json p
@@ -228,7 +261,8 @@ let perf ~out ?max_cycles () =
               \"sim_wall_s\": %.4f, \"sim_cycles_per_host_sec\": %.6g}, \
               \"model\": {\"predicted_cycles\": %.0f, \"floor_cycles\": \
               %.0f, \"rel_err\": %.4f, \"binding\": \"%s\"}, \
-              \"chip\": %s, \"profile\": %s, \"report\": %s}"
+              \"chip\": %s, \"exchange\": %s, \"profile\": %s, \"report\": \
+              %s}"
              mech.Chem.Mechanism.name
              (Singe.Kernel_abi.kernel_name kernel)
              (Singe.Compile.version_name version)
@@ -248,7 +282,7 @@ let perf ~out ?max_cycles () =
                 ~measured:(float_of_int sm_cycles))
              pred.Singe.Perf_model.binding
              (chip_json r.Singe.Compile.machine.Gpusim.Machine.chip)
-             profile_json
+             exchange_json profile_json
              (Singe.Pass.report_to_json report)))
   in
   (* The autotune sweep benchmark: the same grid swept exhaustively and
@@ -354,7 +388,7 @@ let perf ~out ?max_cycles () =
   let candidates_skipped = count (function P_entry _ -> false | _ -> true) in
   let json =
     Printf.sprintf
-      "{\"schema\": \"singe-perf-v6\", \"jobs\": %d, \"max_cycles\": %d, \
+      "{\"schema\": \"singe-perf-v7\", \"jobs\": %d, \"max_cycles\": %d, \
        \"faults_detected\": %d, \"candidates_skipped\": %d, \
        \"sweep_wall_s\": %.4f, \"tune\": [\n%s\n], \"chip_scaling\": \
        [\n%s\n], \"results\": [\n%s\n]}\n"
@@ -395,7 +429,7 @@ let chip_smoke () =
     let ch = m.Gpusim.Machine.chip in
     ( ch,
       Printf.sprintf
-        "{\"schema\": \"singe-perf-v6\", \"kernel\": \"viscosity\", \
+        "{\"schema\": \"singe-perf-v7\", \"kernel\": \"viscosity\", \
          \"sm_cycles\": %d, \"points_per_sec\": %.6g, \"chip\": %s}"
         m.Gpusim.Machine.sm_cycles m.Gpusim.Machine.points_per_sec
         (chip_json ch) )
@@ -430,8 +464,78 @@ let chip_smoke () =
     "CTA conservation across SMs broke";
   check "makespan positive" (ch.Gpusim.Chip.makespan_cycles > 0.0) "";
   (match Sutil.Json_check.validate serial with
-  | Ok () -> check "perf-v6 chip json" true ""
-  | Error m -> check "perf-v6 chip json" false m);
+  | Ok () -> check "perf-v7 chip json" true ""
+  | Error m -> check "perf-v7 chip json" false m);
+  if !failed then exit 1
+
+(* ---- exchange-rewrite smoke gate (`synth-smoke`, wired into `make check`)
+
+   DME diffusion on Kepler with the shuffle-exchange superoptimizer forced
+   on and off: the two programs must produce bit-identical outputs (the
+   rewrite's verification oracle, end to end), the rewrite must actually
+   fire and must not cost simulated cycles, and the perf-v7 "exchange"
+   JSON it emits must be well-formed. *)
+let synth_smoke () =
+  let mech = Chem.Mech_gen.dme () in
+  let arch = Gpusim.Arch.kepler_k20c in
+  let compile synth =
+    Singe.Compile.compile_cached mech Singe.Kernel_abi.Diffusion
+      Singe.Compile.Warp_specialized
+      { (Singe.Compile.default_options arch) with
+        Singe.Compile.n_warps = 8;
+        synth_exchange = Some synth }
+  in
+  let c_on = compile true and c_off = compile false in
+  let run c = Singe.Compile.run c ~total_points:8192 in
+  let r_on = run c_on and r_off = run c_off in
+  let failed = ref false in
+  let check name ok detail =
+    if ok then Printf.printf "check %-32s ok\n" name
+    else begin
+      failed := true;
+      Printf.printf "check %-32s FAILED%s\n" name
+        (if detail = "" then "" else ": " ^ detail)
+    end
+  in
+  let ex = c_on.Singe.Compile.lowered.Singe.Lower.exchange in
+  check "rewrite fired"
+    (ex.Singe.Shuffle_synth.sites_rewritten > 0
+    && ex.Singe.Shuffle_synth.round_trips_removed > 0)
+    (Printf.sprintf "%d sites rewritten, %d round trips removed"
+       ex.Singe.Shuffle_synth.sites_rewritten
+       ex.Singe.Shuffle_synth.round_trips_removed);
+  let bits (r : Singe.Compile.run_result) =
+    Array.map (Array.map Int64.bits_of_float) r.Singe.Compile.outputs
+  in
+  check "outputs bit-identical"
+    (bits r_on = bits r_off)
+    "synth-on outputs differ from the shared-memory baseline";
+  check "reference check passes"
+    (r_on.Singe.Compile.max_rel_err < 1e-9)
+    (Printf.sprintf "rel err %.2g" r_on.Singe.Compile.max_rel_err);
+  let cyc (r : Singe.Compile.run_result) =
+    r.Singe.Compile.machine.Gpusim.Machine.sm_cycles
+  in
+  check "no cycle regression"
+    (cyc r_on <= cyc r_off)
+    (Printf.sprintf "on %d > off %d cycles" (cyc r_on) (cyc r_off));
+  let payload =
+    Printf.sprintf
+      "{\"schema\": \"singe-perf-v7\", \"kernel\": \"diffusion\", \
+       \"sm_cycles\": %d, \"exchange\": {\"sites_rewritten\": %d, \
+       \"round_trips_removed\": %d, \"stores_removed\": %d, \
+       \"shuffle_steps\": %d, \"shared_bytes_freed\": %d, \"cycle_delta\": \
+       %d}}"
+      (cyc r_on) ex.Singe.Shuffle_synth.sites_rewritten
+      ex.Singe.Shuffle_synth.round_trips_removed
+      ex.Singe.Shuffle_synth.stores_removed
+      ex.Singe.Shuffle_synth.shuffle_steps
+      ex.Singe.Shuffle_synth.shared_bytes_freed
+      (cyc r_off - cyc r_on)
+  in
+  (match Sutil.Json_check.validate payload with
+  | Ok () -> check "perf-v7 exchange json" true ""
+  | Error m -> check "perf-v7 exchange json" false m);
   if !failed then exit 1
 
 (* Strip a leading-anywhere [--jobs N] pair from the argument list and
@@ -477,6 +581,7 @@ let () =
   | [] | [ "all" ] -> Experiments.Figures.all ()
   | [ "microbench" ] -> microbenchmarks ()
   | [ "chip-smoke" ] -> chip_smoke ()
+  | [ "synth-smoke" ] -> synth_smoke ()
   | [ "perf" ] -> perf ~out:None ?max_cycles:!perf_max_cycles ()
   | [ "perf"; "--out"; file ] ->
       perf ~out:(Some file) ?max_cycles:!perf_max_cycles ()

@@ -255,11 +255,23 @@ let info_cmd =
   Cmd.v (Cmd.info "info" ~doc:"Describe a mechanism.")
     Term.(const run $ mech_term)
 
-let options_of arch warps kernel =
+let options_of ?synth arch warps kernel =
   { (Singe.Compile.default_options arch) with
     Singe.Compile.n_warps = warps;
     max_barriers = (if kernel = Singe.Kernel_abi.Chemistry then 16 else 8);
-    ctas_per_sm_target = (if kernel = Singe.Kernel_abi.Chemistry then 1 else 2) }
+    ctas_per_sm_target = (if kernel = Singe.Kernel_abi.Chemistry then 1 else 2);
+    synth_exchange = synth }
+
+(* The exchange-rewrite override shared by the compiling commands:
+   unset = per-architecture auto (on exactly when the broadcast style is
+   shuffle-based). *)
+let synth_term =
+  Arg.(value & opt (some bool) None & info [ "synth-exchange" ] ~docv:"BOOL"
+       ~doc:"Force the shuffle-exchange superoptimizer on or off: same-warp \
+             shared-memory round-trips are rewritten into register forwards \
+             and lane-shuffle programs, and the freed exchange slots leave \
+             the shared footprint. Default: on when the architecture \
+             broadcasts through shuffles (Kepler), off otherwise.")
 
 let compile_cmd =
   let dump = Arg.(value & flag & info [ "dump" ] ~doc:"Print the generated code.") in
@@ -267,11 +279,12 @@ let compile_cmd =
                  ~doc:"Write the program's textual assembly to FILE ('-' for stdout).") in
   let cuda = Arg.(value & opt (some string) None & info [ "emit-cuda" ] ~docv:"FILE"
                   ~doc:"Write the kernel as CUDA C source to FILE ('-' for stdout).") in
-  let run mech kernel arch warps version dump asm cuda timings validate
+  let run mech kernel arch warps version synth dump asm cuda timings validate
       dump_ir_stage =
     catch_occupancy @@ fun () ->
     let c, report =
-      compile_or_die ~validate mech kernel version (options_of arch warps kernel)
+      compile_or_die ~validate mech kernel version
+        (options_of ?synth arch warps kernel)
     in
     let p = c.Singe.Compile.lowered.Singe.Lower.program in
     Printf.printf
@@ -314,16 +327,17 @@ let compile_cmd =
   in
   Cmd.v (Cmd.info "compile" ~doc:"Compile a kernel and report its resources.")
     Term.(const run $ mech_term $ kernel_term $ arch_term $ warps_term
-          $ version_term $ dump $ asm $ cuda $ timings_term $ validate_term
-          $ dump_ir_term)
+          $ version_term $ synth_term $ dump $ asm $ cuda $ timings_term
+          $ validate_term $ dump_ir_term)
 
 let run_cmd =
   let points = Arg.(value & opt int 32768 & info [ "points" ] ~docv:"N") in
-  let run mech kernel arch warps version points timings validate faults
+  let run mech kernel arch warps version synth points timings validate faults
       max_cycles n_sms skew =
     catch_occupancy @@ fun () ->
     let c, report =
-      compile_or_die ~validate mech kernel version (options_of arch warps kernel)
+      compile_or_die ~validate mech kernel version
+        (options_of ?synth arch warps kernel)
     in
     let r =
       (* A contained simulation fault (injected or real) and a fault spec
@@ -370,7 +384,7 @@ let run_cmd =
   in
   Cmd.v (Cmd.info "run" ~doc:"Compile, simulate and verify a kernel.")
     Term.(const run $ mech_term $ kernel_term $ arch_term $ warps_term
-          $ version_term $ points $ timings_term $ validate_term
+          $ version_term $ synth_term $ points $ timings_term $ validate_term
           $ faults_term $ max_cycles_term $ sms_term $ skew_term)
 
 let profile_cmd =
@@ -549,8 +563,8 @@ let predict_cmd =
                simulator never beats the model's throughput floor. Exit \
                nonzero on any failure.")
   in
-  let run mech arch warps points kernel_opt version_opt json check_it n_sms
-      skew =
+  let run mech arch warps synth points kernel_opt version_opt json check_it
+      n_sms skew =
     catch_occupancy @@ fun () ->
     let kernels =
       match kernel_opt with
@@ -583,7 +597,7 @@ let predict_cmd =
             else
               match
                 Singe.Compile.compile_checked ~validate:false mech kernel
-                  version (options_of arch warps kernel)
+                  version (options_of ?synth arch warps kernel)
               with
               | Error d ->
                   Printf.printf "%-13s skipped: %s\n" name
@@ -647,7 +661,7 @@ let predict_cmd =
                 \"measured_points_per_sec\": %.6g, \"binding\": \"%s\"}"
                (Singe.Kernel_abi.kernel_name kernel)
                (Singe.Compile.version_name version)
-               (options_of arch warps kernel).Singe.Compile.n_warps
+               (options_of ?synth arch warps kernel).Singe.Compile.n_warps
                pred.Singe.Perf_model.cycles
                r.Singe.Compile.machine.Gpusim.Machine.sm_cycles err
                pred.Singe.Perf_model.floor_cycles
@@ -699,8 +713,9 @@ let predict_cmd =
     (Cmd.info "predict"
        ~doc:"Predict kernel cycles with the analytic performance model and \
              compare against the simulator.")
-    Term.(const run $ mech_term $ arch_term $ warps_term $ points $ kernel_opt
-          $ version_opt $ json $ check_flag $ sms_term $ skew_term)
+    Term.(const run $ mech_term $ arch_term $ warps_term $ synth_term $ points
+          $ kernel_opt $ version_opt $ json $ check_flag $ sms_term
+          $ skew_term)
 
 let tune_mode_term =
   let mode_conv =
@@ -728,7 +743,8 @@ let top_k_term =
                simulate.")
 
 let tune_cmd =
-  let run mech kernel arch version max_cycles tune_mode top_k n_sms skew () =
+  let run mech kernel arch version synth max_cycles tune_mode top_k n_sms skew
+      () =
     catch_occupancy @@ fun () ->
     let mode =
       match tune_mode with
@@ -736,8 +752,8 @@ let tune_cmd =
       | `Pruned -> Singe.Autotune.Pruned top_k
     in
     let o =
-      Singe.Autotune.tune ?max_cycles ~mode ?n_sms ?skew mech kernel version
-        arch
+      Singe.Autotune.tune ?max_cycles ~mode ?n_sms ?skew
+        ?synth_exchange:synth mech kernel version arch
     in
     Printf.printf "tried %d configurations (%d skipped, %d pruned by model)\n"
       o.Singe.Autotune.tried o.Singe.Autotune.skipped
@@ -765,8 +781,8 @@ let tune_cmd =
        ~doc:"Autotune a kernel configuration (brute-force, or pruned by the \
              analytic performance model).")
     Term.(const run $ mech_term $ kernel_term $ arch_term $ version_term
-          $ max_cycles_term $ tune_mode_term $ top_k_term $ sms_term
-          $ skew_term $ jobs_term)
+          $ synth_term $ max_cycles_term $ tune_mode_term $ top_k_term
+          $ sms_term $ skew_term $ jobs_term)
 
 let stats_cmd =
   let run mech kernel arch warps version =
@@ -873,6 +889,7 @@ let figures_cmd =
         | "ablation-chem-comm" -> Experiments.Figures.ablation_chem_comm ()
         | "ablation-weights" -> Experiments.Figures.ablation_weights ()
         | "ablation-batches" -> Experiments.Figures.ablation_batches ()
+        | "ablation-exchange" -> Experiments.Figures.ablation_exchange ()
         | "model-accuracy" -> Experiments.Figures.model_accuracy ()
         | "chip-scaling" -> Experiments.Figures.chip_scaling ()
         | other -> failwith ("unknown figure " ^ other))

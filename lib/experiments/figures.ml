@@ -501,6 +501,63 @@ let ablation_batches () =
   List.iter print_string rows;
   print_newline ()
 
+let ablation_exchange () =
+  header
+    "Ablation: shuffle-exchange superoptimizer (same-warp shared-memory \
+     round-trips rewritten into register forwards and lane-shuffle \
+     programs), DME warp-specialized on Kepler, 32^3 points";
+  let mech = Chem.Mech_gen.dme () in
+  let arch = Gpusim.Arch.kepler_k20c in
+  Printf.printf "  %-10s %11s %11s %7s %8s %6s %8s %9s %9s\n" "kernel"
+    "off-cycles" "on-cycles" "saved" "rewrites" "trips" "shuffles" "shmem-off"
+    "shmem-on";
+  let rows =
+    Sutil.Domain_pool.parallel_map
+      (fun kernel ->
+        let eval synth =
+          let options =
+            { (Singe.Compile.default_options arch) with
+              Singe.Compile.max_barriers =
+                (if kernel = Singe.Kernel_abi.Chemistry then 16 else 8);
+              ctas_per_sm_target =
+                (if kernel = Singe.Kernel_abi.Chemistry then 1 else 2);
+              synth_exchange = Some synth }
+          in
+          let c =
+            Singe.Compile.compile_cached mech kernel
+              Singe.Compile.Warp_specialized options
+          in
+          (c, Singe.Compile.run c ~total_points:32768)
+        in
+        let c_on, r_on = eval true in
+        let _, r_off = eval false in
+        let cycles (r : Singe.Compile.run_result) =
+          r.Singe.Compile.machine.Gpusim.Machine.sm_cycles
+        in
+        let ex = c_on.Singe.Compile.lowered.Singe.Lower.exchange in
+        let kb (c : Singe.Compile.t) =
+          float_of_int
+            (c.Singe.Compile.lowered.Singe.Lower.program
+               .Gpusim.Isa.shared_doubles * 8)
+          /. 1024.
+        in
+        let c_off, _ = eval false in
+        Printf.sprintf
+          "  %-10s %11d %11d %6.2f%% %8d %6d %8d %8.1fK %8.1fK\n"
+          (Singe.Kernel_abi.kernel_name kernel)
+          (cycles r_off) (cycles r_on)
+          (100.0
+          *. float_of_int (cycles r_off - cycles r_on)
+          /. Float.max 1.0 (float_of_int (cycles r_off)))
+          ex.Singe.Shuffle_synth.sites_rewritten
+          ex.Singe.Shuffle_synth.round_trips_removed
+          ex.Singe.Shuffle_synth.shuffle_steps (kb c_off) (kb c_on))
+      [ Singe.Kernel_abi.Viscosity; Singe.Kernel_abi.Diffusion;
+        Singe.Kernel_abi.Chemistry ]
+  in
+  List.iter print_string rows;
+  print_newline ()
+
 let chip_scaling () =
   header
     "Chip scaling: DME viscosity throughput vs SM count on Kepler (fixed \
@@ -559,5 +616,6 @@ let all () =
   ablation_chem_comm ();
   ablation_weights ();
   ablation_batches ();
+  ablation_exchange ();
   model_accuracy ();
   chip_scaling ()

@@ -77,6 +77,12 @@ val ablation_batches : unit -> unit
     per-CTA constant-loading prologue is amortized over more streaming
     batches. *)
 
+val ablation_exchange : unit -> unit
+(** Shuffle-exchange superoptimizer ablation ({!Singe.Shuffle_synth}):
+    per-kernel simulated cycles with the exchange rewrite off vs on, the
+    rewrite counts (sites, round trips removed, shuffle steps) and the
+    shared-memory footprint freed — DME warp-specialized on Kepler. *)
+
 val model_accuracy : unit -> unit
 (** Predicted-vs-simulated SM cycles for {!Singe.Perf_model} on every
     kernel x version (both mechanisms on Kepler), with the per-row

@@ -303,17 +303,20 @@ type result = {
 }
 
 (* Pin-run extrapolation: after the first couple of batches warm the
-   caches, every further batch costs the same, so the last simulated
-   pair pins the steady-state body cost exactly: a [sim_batches]-run
-   plus a [sim_batches - 1]-run differ by precisely one steady batch,
-   and the remaining [batches - sim_batches] batches each add that
-   cost. (Pinning from a 1-batch run instead would average the warm-up
+   caches, the per-batch cost settles into a steady state — but not
+   necessarily a constant one: memory phase (e.g. DRAM row alignment
+   against the streaming global addresses) can make it alternate with
+   the parity of the batch index. The pin run therefore simulates TWO
+   batches fewer than the main run, so the difference pins one full
+   period of the steady cost, and the caller keeps the remaining
+   [batches - sim_batches] even so whole periods extrapolate exactly.
+   (Pinning from a 1-batch run instead would average the warm-up
    transient into the body and drift on long launches.) *)
 let extrapolate ~batches ~sim_batches ~(sim : Sm.result)
     ~(sim_prev : Sm.result) =
-  let body = float_of_int (sim.Sm.cycles - sim_prev.Sm.cycles) in
+  let body2 = float_of_int (sim.Sm.cycles - sim_prev.Sm.cycles) in
   float_of_int sim.Sm.cycles
-  +. (body *. float_of_int (batches - sim_batches))
+  +. (body2 *. float_of_int ((batches - sim_batches) / 2))
 
 let run ?(fill_inputs = fun _ _ -> ()) ?(max_sim_batches = 6) ?(faults = [])
     ?max_cycles ?profile ?n_sms ?skew (arch : Arch.t) (l : launch) =
@@ -329,9 +332,20 @@ let run ?(fill_inputs = fun _ _ -> ()) ?(max_sim_batches = 6) ?(faults = [])
     | Isa.Thread_per_point -> l.program.Isa.n_warps * 32
   in
   (* The steady-state pin pair needs two batch counts, so extrapolated
-     launches always simulate at least two batches. *)
+     launches always simulate at least two batches; when extrapolating,
+     the pin run covers [sim_batches - 2] batches (one full period of a
+     possibly parity-alternating steady cost), so the main run needs at
+     least three and [batches - sim_batches] must stay even. *)
   let max_sim_batches = max 2 max_sim_batches in
-  let sim_batches = min batches max_sim_batches in
+  let sim_batches =
+    if batches <= max_sim_batches then batches
+    else begin
+      let s = max 3 (min batches max_sim_batches) in
+      if (batches - s) mod 2 = 0 then s
+      else if s - 1 >= 3 then s - 1
+      else min batches (s + 1)
+    end
+  in
   let simulated_points = resident * per_batch * sim_batches in
   let mem =
     Memstate.create l.program ~n_points:simulated_points ~resident_ctas:resident
@@ -349,9 +363,9 @@ let run ?(fill_inputs = fun _ _ -> ()) ?(max_sim_batches = 6) ?(faults = [])
     Memstate.copy_global_prefix ~src:mem ~dst:m;
     m
   in
-  let pin_batches = sim_batches - 1 in
+  let pin_batches = sim_batches - 2 in
   let pin_mem =
-    if batches <= max_sim_batches then None
+    if batches <= sim_batches then None
     else
       Some
         (prefix_mem
@@ -364,7 +378,7 @@ let run ?(fill_inputs = fun _ _ -> ()) ?(max_sim_batches = 6) ?(faults = [])
     else Some (prefix_mem ~n_points:(tail * per_batch * sim_batches) ~resident_ctas:tail)
   in
   let tail_pin_mem =
-    if tail = 0 || batches <= max_sim_batches then None
+    if tail = 0 || batches <= sim_batches then None
     else
       Some
         (prefix_mem

@@ -77,6 +77,8 @@ type instr =
   | Ld_param of { dst_i : int; slot : int }
   | Shfl of { dst : int; src : int; lane : int }
   | Ishfl of { dst_i : int; src_i : int; lane : int }
+  | Shfl_rot of { dst : int; src : int; delta : int }
+  | Shfl_bfly of { dst : int; src : int; xor_mask : int }
   | Bar_arrive of { bar : int; count : int }
   | Bar_sync of { bar : int; count : int }
   | Bar_cta
@@ -125,7 +127,8 @@ let static_bytes (arch : Arch.t) instr =
   let slots =
     match instr with
     | Arith { op; _ } -> int_of_float (fop_dp_slots op)
-    | Shfl _ -> 2 (* two 32-bit shuffles reassemble a double *)
+    | Shfl _ | Shfl_rot _ | Shfl_bfly _ ->
+        2 (* two 32-bit shuffles reassemble a double *)
     | Mov _ | Ld_global _ | St_global _ | Ld_shared _ | St_shared _
     | Ld_local _ | St_local _ | Ld_const_bank _ | Ld_param _ | Ishfl _
     | Bar_arrive _ | Bar_sync _ | Bar_cta ->
@@ -137,7 +140,17 @@ let regs32_per_thread p = (2 * p.n_fregs) + p.n_iregs + 10
 
 let validate p =
   let problems = ref [] in
-  let err fmt = Printf.ksprintf (fun s -> problems := s :: !problems) fmt in
+  (* [where] carries the position of the instruction being checked
+     ("body[17]"), so per-instruction diagnostics point at the offending
+     site; program-level checks leave it empty. *)
+  let where = ref "" in
+  let err fmt =
+    Printf.ksprintf
+      (fun s ->
+        problems :=
+          (if !where = "" then s else !where ^ ": " ^ s) :: !problems)
+      fmt
+  in
   let check_freg tag r =
     if r < 0 || r >= p.n_fregs then err "%s: double register %d out of range" tag r
   in
@@ -243,11 +256,23 @@ let validate p =
     | Shfl { dst; src; lane } ->
         check_freg "shfl" dst;
         check_freg "shfl" src;
-        if lane < 0 || lane >= 32 then err "shfl: lane %d" lane
+        if lane < 0 || lane >= 32 then
+          err "shfl: lane %d outside [0, 32)" lane
     | Ishfl { dst_i; src_i; lane } ->
         check_ireg "ishfl" dst_i;
         check_ireg "ishfl" src_i;
-        if lane < 0 || lane >= 32 then err "ishfl: lane %d" lane
+        if lane < 0 || lane >= 32 then
+          err "ishfl: lane %d outside [0, 32)" lane
+    | Shfl_rot { dst; src; delta } ->
+        check_freg "shfl.rot" dst;
+        check_freg "shfl.rot" src;
+        if delta < 0 || delta >= 32 then
+          err "shfl.rot: delta %d outside [0, 32)" delta
+    | Shfl_bfly { dst; src; xor_mask } ->
+        check_freg "shfl.bfly" dst;
+        check_freg "shfl.bfly" src;
+        if xor_mask < 0 || xor_mask >= 32 then
+          err "shfl.bfly: xor mask %d outside [0, 32)" xor_mask
     | Bar_arrive { bar; count } | Bar_sync { bar; count } ->
         check_bar "bar" bar;
         if count < 1 || count > p.n_warps then err "bar: count %d" count
@@ -269,8 +294,16 @@ let validate p =
   in
   walk_shape p.prologue;
   walk_shape p.body;
-  iter_instrs p.prologue check;
-  iter_instrs p.body check;
+  let check_at section =
+    let idx = ref 0 in
+    fun instr ->
+      where := Printf.sprintf "%s[%d]" section !idx;
+      incr idx;
+      check instr
+  in
+  iter_instrs p.prologue (check_at "prologue");
+  iter_instrs p.body (check_at "body");
+  where := "";
   if p.n_warps < 1 || p.n_warps > 32 then err "n_warps %d out of range" p.n_warps;
   if Array.length p.const_bank <> p.n_warps then err "const_bank warp dim";
   if Array.length p.param_bank <> p.n_warps then err "param_bank warp dim";
@@ -339,6 +372,10 @@ let pp_instr ppf = function
       Format.fprintf ppf "shfl r%d <- r%d @%d" dst src lane
   | Ishfl { dst_i; src_i; lane } ->
       Format.fprintf ppf "ishfl i%d <- i%d @%d" dst_i src_i lane
+  | Shfl_rot { dst; src; delta } ->
+      Format.fprintf ppf "shfl.rot r%d <- r%d +%d" dst src delta
+  | Shfl_bfly { dst; src; xor_mask } ->
+      Format.fprintf ppf "shfl.bfly r%d <- r%d ^%d" dst src xor_mask
   | Bar_arrive { bar; count } -> Format.fprintf ppf "bar.arrive %d, %d" bar count
   | Bar_sync { bar; count } -> Format.fprintf ppf "bar.sync %d, %d" bar count
   | Bar_cta -> Format.fprintf ppf "bar.cta"

@@ -121,6 +121,13 @@ type instr =
       (** double broadcast from a lane (two 32-bit shuffles on Kepler,
           Listing 3) *)
   | Ishfl of { dst_i : int; src_i : int; lane : int }
+  | Shfl_rot of { dst : int; src : int; delta : int }
+      (** lane rotation: lane [l] receives [src] from lane
+          [(l + delta) mod 32] — PTX [shfl.idx] with wraparound, the
+          synthesized-exchange workhorse (two 32-bit shuffles per double) *)
+  | Shfl_bfly of { dst : int; src : int; xor_mask : int }
+      (** butterfly exchange: lane [l] receives [src] from lane
+          [l lxor xor_mask] — PTX [shfl.bfly] *)
   | Bar_arrive of { bar : int; count : int }
       (** non-blocking named-barrier arrival *)
   | Bar_sync of { bar : int; count : int }  (** blocking named-barrier wait *)
@@ -175,7 +182,9 @@ val regs32_per_thread : program -> int
 
 val validate : program -> (unit, string list) result
 (** Static checks: register/shared/local/barrier indices in range, predicate
-    lanes < 32, Switch_warp arity, bank dimensions. *)
+    and shuffle lanes (and rotation deltas / butterfly masks) within
+    [\[0, 32)], Switch_warp arity, bank dimensions. Per-instruction
+    problems are positioned ("body[17]: shfl: lane 33 outside [0, 32)"). *)
 
 val pp_instr : Format.formatter -> instr -> unit
 val pp_block : Format.formatter -> block -> unit

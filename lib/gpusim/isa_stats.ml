@@ -54,7 +54,8 @@ let mix_of_instr (i : Isa.instr) =
   | Isa.Ld_local _ | Isa.St_local _ -> one (fun m -> { m with local_mem = 1 })
   | Isa.Ld_const_bank _ | Isa.Ld_param _ ->
       one (fun m -> { m with const_loads = 1 })
-  | Isa.Shfl _ | Isa.Ishfl _ -> one (fun m -> { m with shuffles = 1 })
+  | Isa.Shfl _ | Isa.Ishfl _ | Isa.Shfl_rot _ | Isa.Shfl_bfly _ ->
+      one (fun m -> { m with shuffles = 1 })
   | Isa.Bar_arrive _ | Isa.Bar_sync _ | Isa.Bar_cta ->
       one (fun m -> { m with barriers = 1 })
 
@@ -62,6 +63,62 @@ let mix_of_block block =
   let acc = ref empty_mix in
   Isa.iter_instrs block (fun i -> acc := add_mix !acc (mix_of_instr i));
   !acc
+
+(* Shared-memory bytes one warp moves executing the instruction once:
+   lane-striped accesses touch one double per active lane, uniform
+   addresses are a single broadcast word. Shared operands of arithmetic
+   count too — on collector-less architectures they occupy the shared
+   pipe exactly like an explicit load. *)
+let shared_bytes_of_instr (i : Isa.instr) =
+  let active = function
+    | Some (Isa.Lane_eq _) -> 1
+    | Some (Isa.Lane_lt n) -> n
+    | None -> 32
+  in
+  let addr_bytes (a : Isa.saddr) pred =
+    8 * (if a.Isa.s_lane_mul <> 0 then active pred else 1)
+  in
+  let src_bytes pred = function
+    | Isa.Sshared a -> addr_bytes a pred
+    | _ -> 0
+  in
+  match i with
+  | Isa.Ld_shared { addr; pred; _ } -> addr_bytes addr pred
+  | Isa.St_shared { src; addr; pred } ->
+      addr_bytes addr pred + src_bytes pred src
+  | Isa.Arith { srcs; pred; _ } ->
+      Array.fold_left (fun acc s -> acc + src_bytes pred s) 0 srcs
+  | Isa.Mov { src; pred; _ } -> src_bytes pred src
+  | Isa.St_global { src; pred; _ } -> src_bytes pred src
+  | _ -> 0
+
+let shared_bytes_of_program (p : Isa.program) =
+  let pop mask =
+    let n = ref 0 in
+    let m = ref mask in
+    while !m <> 0 do
+      n := !n + (!m land 1);
+      m := !m lsr 1
+    done;
+    !n
+  in
+  let total = ref 0 in
+  let rec go exec = function
+    | Isa.Instrs l ->
+        List.iter
+          (fun i -> total := !total + (pop exec * shared_bytes_of_instr i))
+          l
+    | Isa.Seq bs -> List.iter (go exec) bs
+    | Isa.If_warps { mask; body } -> go (exec land mask) body
+    | Isa.Switch_warp arms ->
+        Array.iteri
+          (fun w arm ->
+            let m = exec land (1 lsl w) in
+            if m <> 0 then go m arm)
+          arms
+  in
+  go ((1 lsl p.Isa.n_warps) - 1) p.Isa.body;
+  !total
 
 type per_warp = { warp : int; instrs : int; flops : int; code_bytes : int }
 
@@ -111,6 +168,7 @@ type t = {
   body_bytes : int;
   prologue_bytes : int;
   flops_per_point : float;
+  shared_bytes : int;
   warps : per_warp array;
   imbalance : float;
 }
@@ -137,6 +195,7 @@ let of_program arch (p : Isa.program) =
     body_bytes = block_bytes arch p.Isa.body;
     prologue_bytes = block_bytes arch p.Isa.prologue;
     flops_per_point = float_of_int total_flops /. float_of_int points_per_batch;
+    shared_bytes = shared_bytes_of_program p;
     warps;
     imbalance = float_of_int mx /. float_of_int (max 1 mn);
   }
@@ -155,12 +214,14 @@ let pp ppf t =
     \  shuffles     %5d  (%4.1f%%)@,\
     \  barriers     %5d  (%4.1f%%)@,\
     \  moves        %5d  (%4.1f%%)@,\
-     code: body %d B, prologue %d B; %.0f FLOPs/point; warp imbalance %.2f@,"
+     code: body %d B, prologue %d B; %.0f FLOPs/point; warp imbalance %.2f@,\
+     shared traffic: %d B per body pass@,"
     m.total m.dp_arith (pct m.dp_arith) m.dp_special (pct m.dp_special)
     m.global_mem (pct m.global_mem) m.shared_mem (pct m.shared_mem)
     m.local_mem (pct m.local_mem) m.const_loads (pct m.const_loads)
     m.shuffles (pct m.shuffles) m.barriers (pct m.barriers) m.moves
-    (pct m.moves) t.body_bytes t.prologue_bytes t.flops_per_point t.imbalance;
+    (pct m.moves) t.body_bytes t.prologue_bytes t.flops_per_point t.imbalance
+    t.shared_bytes;
   Array.iter
     (fun w ->
       Format.fprintf ppf "  warp %2d: %5d instrs, %6d flops, %5d code B@," w.warp

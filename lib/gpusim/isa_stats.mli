@@ -25,6 +25,17 @@ val add_mix : mix -> mix -> mix
 val mix_of_block : Isa.block -> mix
 (** Whole-tree static mix (every instruction once, regardless of mask). *)
 
+val shared_bytes_of_instr : Isa.instr -> int
+(** Shared-memory bytes one warp moves executing the instruction once:
+    8 bytes per active lane for lane-striped loads/stores, 8 for a uniform
+    broadcast, and the same accounting for [Sshared] operands embedded in
+    arithmetic/moves/stores (the collector-less shared-pipe traffic the
+    exchange synthesizer removes). *)
+
+val shared_bytes_of_program : Isa.program -> int
+(** Shared-traffic bytes per body pass, summed across the warps that
+    execute each instruction (mask-aware). *)
+
 type per_warp = {
   warp : int;
   instrs : int;  (** instructions this warp executes per body pass *)
@@ -42,6 +53,7 @@ type t = {
   body_bytes : int;  (** static code bytes of the body *)
   prologue_bytes : int;
   flops_per_point : float;  (** per grid point, SASS-style counting *)
+  shared_bytes : int;  (** shared-traffic bytes per body pass (all warps) *)
   warps : per_warp array;
   imbalance : float;  (** max/min executed instructions across warps *)
 }

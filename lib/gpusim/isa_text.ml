@@ -92,6 +92,10 @@ let instr_text (i : Isa.instr) =
   | Isa.Shfl { dst; src; lane } -> Printf.sprintf "shfl f%d, f%d, %d" dst src lane
   | Isa.Ishfl { dst_i; src_i; lane } ->
       Printf.sprintf "ishfl i%d, i%d, %d" dst_i src_i lane
+  | Isa.Shfl_rot { dst; src; delta } ->
+      Printf.sprintf "shfl.rot f%d, f%d, %d" dst src delta
+  | Isa.Shfl_bfly { dst; src; xor_mask } ->
+      Printf.sprintf "shfl.bfly f%d, f%d, %d" dst src xor_mask
   | Isa.Bar_arrive { bar; count } -> Printf.sprintf "bar.arr %d, %d" bar count
   | Isa.Bar_sync { bar; count } -> Printf.sprintf "bar.sync %d, %d" bar count
   | Isa.Bar_cta -> "bar.cta"
@@ -341,6 +345,11 @@ let parse_instr line text =
       Isa.Shfl { dst = reg line d; src = reg line s; lane = int_of line l }
   | "ishfl", [ d; s; l ] ->
       Isa.Ishfl { dst_i = ireg line d; src_i = ireg line s; lane = int_of line l }
+  | "shfl.rot", [ d; s; n ] ->
+      Isa.Shfl_rot { dst = reg line d; src = reg line s; delta = int_of line n }
+  | "shfl.bfly", [ d; s; n ] ->
+      Isa.Shfl_bfly
+        { dst = reg line d; src = reg line s; xor_mask = int_of line n }
   | "bar.arr", [ b; c ] ->
       Isa.Bar_arrive { bar = int_of line b; count = int_of line c }
   | "bar.sync", [ b; c ] ->

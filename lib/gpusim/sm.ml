@@ -1067,6 +1067,37 @@ let run ?max_cycles ?profile (job : job) =
                   finish_issue w;
                   true
                 end
+            | Isa.Shfl_rot { dst; src; delta } | Isa.Shfl_bfly { dst; src; xor_mask = delta }
+              ->
+                if w.freg_ready.(src) > !now then begin
+                  hint w.freg_ready.(src);
+                  if prof_on then block := freg_src.(w.index).(src);
+                  false
+                end
+                else if not (pipe_free alu) then begin
+                  hintf alu.busy;
+                  block := Profile.arith;
+                  false
+                end
+                else if not (fetch_ok w entry_id entry) then false
+                else begin
+                  pipe_issue alu 2.0 (* two 32-bit shuffles per double *);
+                  w.freg_ready.(dst) <- !now + arch.Arch.arith_latency;
+                  set_fsrc w dst Profile.arith;
+                  (* Snapshot the source row first: after register
+                     allocation [dst] may alias [src], and every lane
+                     reads another lane's pre-shuffle value. *)
+                  let prev = Array.copy w.fregs.(src) in
+                  let rot = match instr with Isa.Shfl_rot _ -> true | _ -> false in
+                  for l = 0 to 31 do
+                    let from =
+                      if rot then (l + delta) land 31 else l lxor delta
+                    in
+                    w.fregs.(dst).(l) <- prev.(from)
+                  done;
+                  finish_issue w;
+                  true
+                end
             | Isa.Ishfl { dst_i; src_i; lane } ->
                 if w.ireg_ready.(src_i) > !now then begin
                   hint w.ireg_ready.(src_i);

@@ -55,6 +55,7 @@ let meta_of instr =
   | Some
       ( Isa.Ld_global _ | Isa.Ld_shared _ | Isa.Ld_local _ | Isa.St_local _
       | Isa.Ld_const_bank _ | Isa.Ld_param _ | Isa.Shfl _ | Isa.Ishfl _
+      | Isa.Shfl_rot _ | Isa.Shfl_bfly _
       | Isa.Bar_arrive _ | Isa.Bar_sync _ | Isa.Bar_cta )
   | None ->
       (no_srcs, no_shared, false, 1, 0.0, 0)

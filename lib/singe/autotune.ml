@@ -46,8 +46,8 @@ let default_warp_candidates mech kernel version =
       | Kernel_abi.Viscosity | Kernel_abi.Conductivity | Kernel_abi.Diffusion
         -> all)
 
-let candidate_options ~points kernel version arch warp_candidates
-    cta_targets =
+let candidate_options ?synth_exchange ~points kernel version arch
+    warp_candidates cta_targets =
   List.concat_map
     (fun n_warps ->
       List.concat_map
@@ -66,11 +66,16 @@ let candidate_options ~points kernel version arch warp_candidates
             in
             List.map
               (fun chem_comm ->
+                let defaults = Compile.default_options arch in
                 {
-                  (Compile.default_options arch) with
+                  defaults with
                   Compile.n_warps;
                   ctas_per_sm_target;
                   chem_comm;
+                  synth_exchange =
+                    (match synth_exchange with
+                    | Some b -> Some b
+                    | None -> defaults.Compile.synth_exchange);
                   max_barriers =
                     (if kernel = Kernel_abi.Chemistry then
                        16 / ctas_per_sm_target
@@ -97,14 +102,15 @@ let classify_exn = function
 
 let tune ?(points = 32768) ?warp_candidates ?(cta_targets = [ 1; 2 ]) ?jobs
     ?(max_cycles = 200_000_000) ?inject ?(mode = Exhaustive) ?n_sms ?skew
-    mech kernel version arch =
+    ?synth_exchange mech kernel version arch =
   let warp_candidates =
     match warp_candidates with
     | Some l -> l
     | None -> default_warp_candidates mech kernel version
   in
   let candidates =
-    candidate_options ~points kernel version arch warp_candidates cta_targets
+    candidate_options ?synth_exchange ~points kernel version arch
+      warp_candidates cta_targets
   in
   let indexed = List.mapi (fun i o -> (i, o)) candidates in
   (* Phase 1 — compile and score every candidate analytically. This runs

@@ -65,6 +65,7 @@ val default_warp_candidates :
     two for the data-parallel baseline. *)
 
 val candidate_options :
+  ?synth_exchange:bool ->
   points:int ->
   Kernel_abi.kernel ->
   Compile.version ->
@@ -75,7 +76,9 @@ val candidate_options :
 (** [candidate_options ~points kernel version arch warp_candidates
     cta_targets] is the exact candidate grid {!tune} sweeps, in
     evaluation order — exposed so tests can address individual candidates
-    (e.g. to poison one by index). *)
+    (e.g. to poison one by index). [synth_exchange] forces the
+    {!Shuffle_synth} exchange rewrite on or off for every candidate
+    (default: each candidate keeps the per-architecture auto setting). *)
 
 val tune :
   ?points:int ->
@@ -87,6 +90,7 @@ val tune :
   ?mode:mode ->
   ?n_sms:int ->
   ?skew:float ->
+  ?synth_exchange:bool ->
   Chem.Mechanism.t ->
   Kernel_abi.kernel ->
   Compile.version ->
@@ -98,7 +102,9 @@ val tune :
 
     [n_sms]/[skew] are forwarded to both {!Perf_model.predict} (model
     scoring) and {!Compile.run} (simulation), so a sweep tunes for the
-    chip configuration it will actually run on.
+    chip configuration it will actually run on. [synth_exchange] forces
+    the exchange rewrite on or off across the whole grid (default: the
+    per-architecture auto setting).
 
     Every candidate is first compiled ({!Compile.compile_cached}, so a
     configuration revisited across kernels/figures compiles once) and

@@ -29,6 +29,9 @@ type options = {
   ctas_per_sm_target : int;
   chem_comm : chem_comm option;
   full_range_thermo : bool;
+  synth_exchange : bool option;
+      (** [None] resolves per architecture: on when the broadcast style is
+          [Shuffle] (the swizzles are shuffle instructions) *)
 }
 
 let default_options arch =
@@ -47,6 +50,7 @@ let default_options arch =
     ctas_per_sm_target = 2;
     chem_comm = None;
     full_range_thermo = false;
+    synth_exchange = None;
   }
 
 let default_strategy = function
@@ -95,6 +99,14 @@ let check_options_exn mech kernel version o =
   | Some b when b < 4 ->
       fail "freg_budget = %d: lowering needs at least 4 double registers" b
   | Some _ | None -> ()
+
+(* The [--synth-exchange] default: non-identity swizzle programs are
+   shuffle instructions, so the rewrite is on by default exactly where the
+   broadcast mechanism already assumes shuffle hardware. *)
+let synth_exchange_enabled o =
+  match o.synth_exchange with
+  | Some b -> b
+  | None -> o.arch.Gpusim.Arch.broadcast = Gpusim.Arch.Shuffle
 
 let check_options mech kernel version o =
   match check_options_exn mech kernel version o with
@@ -219,6 +231,7 @@ let run_pipeline pm ~validate mech kernel version options =
           exp_consts_in_registers = options.exp_consts_in_registers;
           param_stripe_threshold = options.param_stripe_threshold;
           freg_budget = freg_budget options;
+          synth_exchange = synth_exchange_enabled options;
         }
       in
       let name =
@@ -271,6 +284,13 @@ let run_pipeline pm ~validate mech kernel version options =
           fit_shared (max 8 (buffer_slots - overshoot_slots)) (tries - 1)
       in
       let schedule, lowered = fit_shared options.buffer_slots 3 in
+      (* Surface the rewrite's work as its own [--timings] row (the wall
+         time is folded into the lower pass; the statistics are what
+         matter here). *)
+      if cfg.Lower.synth_exchange then
+        ignore
+          (Pass.run pm ~name:"synth-exchange" ~stats:Shuffle_synth.report_stats
+             (fun () -> lowered.Lower.exchange));
       if validate then begin
         Pass.validate pm ~name:"schedule-validate" (fun () ->
             Schedule.validate ~max_barriers:options.max_barriers schedule dfg
@@ -321,6 +341,7 @@ let run_pipeline pm ~validate mech kernel version options =
           exp_consts_in_registers = options.exp_consts_in_registers;
           param_stripe_threshold = options.param_stripe_threshold;
           freg_budget = freg_budget options;
+          synth_exchange = synth_exchange_enabled options;
         }
       in
       let lowered =

@@ -66,6 +66,13 @@ type options = {
           selection on T vs t_mid, so grids below the polynomial mid
           temperature are handled (default [false]: single high range, the
           combustion regime) *)
+  synth_exchange : bool option;
+      (** the {!Shuffle_synth} exchange rewrite ([--synth-exchange]):
+          same-warp shared round-trips become register forwards / shuffle
+          swizzles and freed store-region slots leave the shared footprint.
+          [None] (default) resolves per architecture — on exactly when the
+          broadcast style is {!Gpusim.Arch.Shuffle}, since non-identity
+          swizzle programs are shuffle instructions *)
 }
 
 val default_options : Gpusim.Arch.t -> options

@@ -7,6 +7,7 @@ type config = {
   exp_consts_in_registers : bool;
   param_stripe_threshold : int;
   freg_budget : int;
+  synth_exchange : bool;
 }
 
 type output = {
@@ -16,6 +17,7 @@ type output = {
   n_bank_regs : int;
   n_params : int;
   n_logical_consts : int;
+  exchange : Shuffle_synth.report;
 }
 
 module Isa = Gpusim.Isa
@@ -47,6 +49,9 @@ type vinstr =
   | VStS of { src : vsrc; addr : vshaddr; pred : Isa.pred option }
   | VBcast of { dst : int; logical : int }
       (** Kepler: shuffle broadcast of a banked constant into a register *)
+  | VSwz of { dst : int; src : int; step : Shuffle_synth.step }
+      (** one step of a synthesized lane-permutation program replacing a
+          shared-memory exchange ([--synth-exchange]) *)
   | VBarA of { bar : int; count : int }
   | VBarW of { bar : int; count : int }
   | VBarCta
@@ -618,12 +623,376 @@ let src_vregs srcs =
 let instr_src_vregs = function
   | VArith { srcs; _ } -> src_vregs srcs
   | VStG { src; _ } | VStS { src; _ } -> src_vregs [| src |]
+  | VSwz { src; _ } -> [ src ]
   | VLdG _ | VLdS _ | VBcast _ | VBarA _ | VBarW _ | VBarCta -> []
 
 let instr_dst = function
-  | VArith { dst; _ } | VLdG { dst; _ } | VLdS { dst; _ } | VBcast { dst; _ } ->
+  | VArith { dst; _ } | VLdG { dst; _ } | VLdS { dst; _ } | VBcast { dst; _ }
+  | VSwz { dst; _ } ->
       Some dst
   | VStG _ | VStS _ | VBarA _ | VBarW _ | VBarCta -> None
+
+(* ---- shuffle-exchange synthesis (the [--synth-exchange] rewrite) ----
+
+   DESIGN §14. A shared-memory read whose bytes were written by the same
+   warp is a warp-internal lane permutation in disguise: the §5 exchange
+   stores lane-striped from registers, so reading the slot back in the
+   producing warp only shuffles (here: copies) lanes of a register the
+   warp still holds. This pass walks the merged overlay stream — stream
+   order is per-warp program order, so a same-warp store/read pair whose
+   addresses have a unique static writer is ordered without any barrier
+   reasoning, across CTA barriers and across body iterations alike. For
+   each shared read it extracts the lane-communication pattern, asks
+   {!Shuffle_synth} for a register-only swizzle program, and keeps the
+   rewrite when the cost model does: identity patterns forward the stored
+   register directly (a free register read), non-identity patterns insert
+   a [VSwz] chain — gated to the [Shuffle] broadcast style, since the
+   swizzles are shuffle instructions the mirror-based architectures lack.
+   Stores whose every written address loses its last reader become dead
+   and are deleted, and store-region slots left untouched are compacted
+   out (regions above shift down), shrinking the CTA's shared
+   footprint. *)
+
+type swriter = {
+  sw_pos : int;  (** position of the store in the stream *)
+  sw_warp : int;
+  sw_src : vsrc;
+  sw_lane : int;  (** source lane resident at this address, [-1] unknown *)
+}
+
+let warps_of_mask ~n_warps mask =
+  List.filter (fun w -> mask land (1 lsl w) <> 0) (List.init n_warps Fun.id)
+
+let synth_exchange_pass ~(arch : Gpusim.Arch.t) ~n_warps ~store_limit tables
+    (code : (int * vinstr) list) =
+  (* Snapshot before compaction allocates fresh parameters below. *)
+  let params_arr = Array.of_list (List.rev tables.params) in
+  let resolve_base (a : vshaddr) w =
+    a.vs_base
+    + (if a.vs_warp then w else 0)
+    + (match a.vs_param with Some id -> params_arr.(id).(w) | None -> 0)
+  in
+  let code = Array.of_list code in
+  (* 1. Writer catalog: absolute shared double address -> static writers,
+     over the whole body. Forwarding demands a unique writer, which makes
+     it immune to slot recycling and to the body re-executing per pass. *)
+  let writers : (int, swriter list ref) Hashtbl.t = Hashtbl.create 256 in
+  let add_writer addr wr =
+    match Hashtbl.find_opt writers addr with
+    | Some l -> l := wr :: !l
+    | None -> Hashtbl.add writers addr (ref [ wr ])
+  in
+  Array.iteri
+    (fun pos (mask, ins) ->
+      match ins with
+      | VStS { src; addr; pred } ->
+          List.iter
+            (fun w ->
+              let b = resolve_base addr w in
+              let cells =
+                if addr.vs_lane then
+                  match pred with
+                  | None -> List.init 32 (fun l -> (b + l, l))
+                  | Some (Isa.Lane_eq k) -> [ (b + k, k) ]
+                  | Some (Isa.Lane_lt n) -> List.init n (fun l -> (b + l, l))
+                else
+                  match pred with
+                  | Some (Isa.Lane_eq k) -> [ (b, k) ]
+                  | Some (Isa.Lane_lt _) | None -> [ (b, -1) ]
+              in
+              List.iter
+                (fun (a, lane) ->
+                  add_writer a
+                    { sw_pos = pos; sw_warp = w; sw_src = src; sw_lane = lane })
+                cells)
+            (warps_of_mask ~n_warps mask)
+      | _ -> ())
+    code;
+  (* Destinations of identity-forwarded loads alias the stored register. *)
+  let subst : (int, int) Hashtbl.t = Hashtbl.create 32 in
+  let rec canon v =
+    match Hashtbl.find_opt subst v with Some v' -> canon v' | None -> v
+  in
+  let next_vreg =
+    let m = ref 0 in
+    Array.iter
+      (fun (_, ins) ->
+        (match instr_dst ins with Some d -> m := max !m (d + 1) | None -> ());
+        List.iter (fun s -> m := max !m (s + 1)) (instr_src_vregs ins))
+      code;
+    ref !m
+  in
+  let fresh () =
+    let v = !next_vreg in
+    next_vreg := v + 1;
+    v
+  in
+  let report = ref Shuffle_synth.empty_report in
+  let bump f = report := f !report in
+  let identity = Array.init 32 Fun.id in
+  (* Forwarding keeps the stored register alive up to the read, which
+     costs register pressure (and, in spill-bound kernels, spills) when
+     the store was the register's last use. Only forward reads that do
+     not extend the source's live range beyond a small slack past its
+     original last use. *)
+  let last_use : (int, int) Hashtbl.t = Hashtbl.create 256 in
+  Array.iteri
+    (fun pos (_, ins) ->
+      List.iter (fun v -> Hashtbl.replace last_use v pos) (instr_src_vregs ins))
+    code;
+  let live_slack = 200 in
+  let pressure_ok r pos =
+    match Hashtbl.find_opt last_use r with
+    | Some u -> pos - u <= live_slack
+    | None -> false
+  in
+  (* Can the read of [addr] at stream position [pos] under [mask] be
+     served from a register every reading warp holds? Returns the source
+     vreg and the swizzle program mapping its lanes to the read lanes. *)
+  let decide pos mask (addr : vshaddr) =
+    bump (fun r ->
+        { r with Shuffle_synth.sites_seen = r.Shuffle_synth.sites_seen + 1 });
+    let exception No in
+    try
+      let src = ref (-1) in
+      let pattern = ref None in
+      List.iter
+        (fun w ->
+          let b = resolve_base addr w in
+          let cell l = if addr.vs_lane then b + l else b in
+          let pat =
+            Array.init 32 (fun l ->
+                match Hashtbl.find_opt writers (cell l) with
+                | Some { contents = [ wr ] }
+                  when wr.sw_warp = w && wr.sw_pos < pos && wr.sw_lane >= 0
+                  -> (
+                    match wr.sw_src with
+                    | Vreg r ->
+                        let r = canon r in
+                        if not (pressure_ok r pos) then raise No;
+                        if !src < 0 then src := r
+                        else if !src <> r then raise No;
+                        wr.sw_lane
+                    | _ -> raise No)
+                | _ -> raise No)
+          in
+          match !pattern with
+          | None -> pattern := Some pat
+          | Some p0 -> if p0 <> pat then raise No)
+        (warps_of_mask ~n_warps mask);
+      match !pattern with
+      | Some pat when !src >= 0 ->
+          if pat = identity then Some (!src, [])
+          else if arch.Gpusim.Arch.broadcast <> Gpusim.Arch.Shuffle then None
+          else (
+            match Shuffle_synth.synthesize pat with
+            | Some prog
+              when Shuffle_synth.cost arch prog
+                   <= Shuffle_synth.shared_read_cost arch ->
+                Some (!src, prog)
+            | Some _ | None -> None)
+      | _ -> None
+    with No -> None
+  in
+  (* 2. The rewrite walk. *)
+  let out = ref [] in
+  let emit mask i = out := (mask, i) :: !out in
+  let emit_chain mask r prog ~dst =
+    let rec go src = function
+      | [] -> assert false
+      | [ s ] -> emit mask (VSwz { dst; src; step = s })
+      | s :: rest ->
+          let d = fresh () in
+          emit mask (VSwz { dst = d; src; step = s });
+          go d rest
+    in
+    go r prog
+  in
+  let fwd_stats mask prog =
+    let nw = List.length (warps_of_mask ~n_warps mask) in
+    bump (fun r ->
+        {
+          r with
+          Shuffle_synth.sites_rewritten = r.Shuffle_synth.sites_rewritten + 1;
+          round_trips_removed = r.Shuffle_synth.round_trips_removed + nw;
+          shuffle_steps = r.Shuffle_synth.shuffle_steps + List.length prog;
+        })
+  in
+  Array.iteri
+    (fun pos (mask, ins) ->
+      let sub_src = function Vreg v -> Vreg (canon v) | s -> s in
+      let fwd_operand s =
+        match s with
+        | Vshared a -> (
+            match decide pos mask a with
+            | Some (r, []) ->
+                fwd_stats mask [];
+                Vreg r
+            | Some (r, prog) ->
+                let d = fresh () in
+                emit_chain mask r prog ~dst:d;
+                fwd_stats mask prog;
+                Vreg d
+            | None -> s)
+        | s -> s
+      in
+      match ins with
+      | VArith r ->
+          emit mask
+            (VArith
+               { r with srcs = Array.map (fun s -> fwd_operand (sub_src s)) r.srcs })
+      | VStG r -> emit mask (VStG { r with src = fwd_operand (sub_src r.src) })
+      | VStS r -> emit mask (VStS { r with src = fwd_operand (sub_src r.src) })
+      | VLdS { dst; addr } -> (
+          match decide pos mask addr with
+          | Some (r, []) ->
+              Hashtbl.replace subst dst r;
+              fwd_stats mask []
+          | Some (r, prog) ->
+              emit_chain mask r prog ~dst;
+              fwd_stats mask prog
+          | None -> emit mask (VLdS { dst; addr }))
+      | VSwz r -> emit mask (VSwz { r with src = canon r.src })
+      | (VLdG _ | VBcast _ | VBarA _ | VBarW _ | VBarCta) as i -> emit mask i)
+    code;
+  let code = Array.of_list (List.rev !out) in
+  (* 3. Dead-store elimination: a store none of whose written addresses
+     is read anywhere in the rewritten body (any warp) is unobservable in
+     every iteration — loop-safe because the read set covers the whole
+     stream. *)
+  let read_addrs : (int, unit) Hashtbl.t = Hashtbl.create 256 in
+  let note_read (a : vshaddr) mask =
+    List.iter
+      (fun w ->
+        let b = resolve_base a w in
+        if a.vs_lane then
+          for l = 0 to 31 do
+            Hashtbl.replace read_addrs (b + l) ()
+          done
+        else Hashtbl.replace read_addrs b ())
+      (warps_of_mask ~n_warps mask)
+  in
+  Array.iter
+    (fun (mask, ins) ->
+      match ins with
+      | VLdS { addr; _ } -> note_read addr mask
+      | VArith { srcs; _ } ->
+          Array.iter (function Vshared a -> note_read a mask | _ -> ()) srcs
+      | VStG { src = Vshared a; _ } | VStS { src = Vshared a; _ } ->
+          note_read a mask
+      | _ -> ())
+    code;
+  let store_live mask (addr : vshaddr) pred =
+    List.exists
+      (fun w ->
+        let b = resolve_base addr w in
+        let cells =
+          if addr.vs_lane then
+            match pred with
+            | None -> List.init 32 (fun l -> b + l)
+            | Some (Isa.Lane_eq k) -> [ b + k ]
+            | Some (Isa.Lane_lt n) -> List.init n (fun l -> b + l)
+          else [ b ]
+        in
+        List.exists (Hashtbl.mem read_addrs) cells)
+      (warps_of_mask ~n_warps mask)
+  in
+  let code =
+    Array.to_list code
+    |> List.filter (fun (mask, ins) ->
+           match ins with
+           | VStS { addr; pred; _ } when not (store_live mask addr pred) ->
+               bump (fun r ->
+                   {
+                     r with
+                     Shuffle_synth.stores_removed =
+                       r.Shuffle_synth.stores_removed + 1;
+                   });
+               false
+           | _ -> true)
+  in
+  (* 4. Store-region compaction: slots no remaining access touches are
+     packed out and the buffer/mirror regions above shift down wholesale;
+     per-warp bases that stop agreeing after the remap get fresh
+     parameters. *)
+  let total_slots = store_limit / 32 in
+  let touched = Array.make (max 1 total_slots) false in
+  let note a = if a >= 0 && a < store_limit then touched.(a / 32) <- true in
+  let note_addr (a : vshaddr) mask =
+    List.iter
+      (fun w ->
+        let b = resolve_base a w in
+        if a.vs_lane then
+          for l = 0 to 31 do
+            note (b + l)
+          done
+        else note b)
+      (warps_of_mask ~n_warps mask)
+  in
+  List.iter
+    (fun (mask, ins) ->
+      match ins with
+      | VLdS { addr; _ } -> note_addr addr mask
+      | VStS { addr; src; _ } -> (
+          note_addr addr mask;
+          match src with Vshared a -> note_addr a mask | _ -> ())
+      | VArith { srcs; _ } ->
+          Array.iter (function Vshared a -> note_addr a mask | _ -> ()) srcs
+      | VStG { src = Vshared a; _ } -> note_addr a mask
+      | _ -> ())
+    code;
+  let slot_map = Array.make (max 1 total_slots) (-1) in
+  let next_slot = ref 0 in
+  for s = 0 to total_slots - 1 do
+    if touched.(s) then begin
+      slot_map.(s) <- !next_slot;
+      incr next_slot
+    end
+  done;
+  let n_dead = total_slots - !next_slot in
+  let freed = n_dead * 32 in
+  let code =
+    if n_dead = 0 then code
+    else begin
+      let remap_base b =
+        if b >= store_limit then b - freed
+        else begin
+          assert (b mod 32 = 0 && slot_map.(b / 32) >= 0);
+          slot_map.(b / 32) * 32
+        end
+      in
+      let rewrite_addr mask (a : vshaddr) =
+        let ws = warps_of_mask ~n_warps mask in
+        let res = Array.make n_warps 0 in
+        List.iter
+          (fun w ->
+            res.(w) <-
+              remap_base (resolve_base a w) - (if a.vs_warp then w else 0))
+          ws;
+        let w0 = List.hd ws in
+        if List.for_all (fun w -> res.(w) = res.(w0)) ws then
+          { a with vs_base = res.(w0); vs_param = None }
+        else begin
+          let id, off = alloc_param tables ~mask res in
+          { a with vs_base = off; vs_param = Some id }
+        end
+      in
+      List.map
+        (fun (mask, ins) ->
+          let ra = rewrite_addr mask in
+          let rs = function Vshared a -> Vshared (ra a) | s -> s in
+          ( mask,
+            match ins with
+            | VLdS r -> VLdS { r with addr = ra r.addr }
+            | VStS r -> VStS { src = rs r.src; addr = ra r.addr; pred = r.pred }
+            | VArith r -> VArith { r with srcs = Array.map rs r.srcs }
+            | VStG r -> VStG { r with src = rs r.src }
+            | other -> other ))
+        code
+    end
+  in
+  bump (fun r -> { r with Shuffle_synth.shared_bytes_freed = freed * 8 });
+  (code, !report, freed)
 
 (* ---- static instruction scheduling (the ptxas role of §4) ----
 
@@ -644,7 +1013,7 @@ let sched_latency = function
       | _ -> 10)
   | VLdG _ -> 400
   | VLdS _ -> 30
-  | VBcast _ -> 10
+  | VBcast _ | VSwz _ -> 10
   | _ -> 5
 
 let reads_shared srcs =
@@ -691,7 +1060,7 @@ let schedule_segment (seg : (int * vinstr) array) =
             List.iter (fun r -> add_dep r i) !global_reads_since;
             last_global_store := i;
             global_reads_since := []
-        | VBcast _ | VBarA _ | VBarW _ | VBarCta -> ());
+        | VBcast _ | VSwz _ | VBarA _ | VBarW _ | VBarCta -> ());
         match instr_dst ins with
         | Some v -> Hashtbl.replace last_def v i
         | None -> ())
@@ -813,6 +1182,7 @@ let rewrite_regs ins ~src_phys ~dst_phys =
   | VLdG r -> VLdG { r with dst = dst_phys r.dst }
   | VLdS r -> VLdS { r with dst = dst_phys r.dst }
   | VBcast r -> VBcast { r with dst = dst_phys r.dst }
+  | VSwz r -> VSwz { r with dst = dst_phys r.dst; src = src_phys r.src }
   | VStG r -> VStG { r with src = rw r.src }
   | VStS r -> VStS { r with src = rw r.src }
   | (VBarA _ | VBarW _ | VBarCta) as b -> b
@@ -1064,6 +1434,13 @@ let finalize_stream env (code : (int * rinstr) list) =
           | VBcast { dst; logical } ->
               emit mask
                 (Isa.Shfl { dst; src = logical / 32; lane = logical mod 32 })
+          | VSwz { dst; src; step } ->
+              emit mask
+                (match step with
+                | Shuffle_synth.Rot d -> Isa.Shfl_rot { dst; src; delta = d }
+                | Shuffle_synth.Bfly m ->
+                    Isa.Shfl_bfly { dst; src; xor_mask = m }
+                | Shuffle_synth.Bcast k -> Isa.Shfl { dst; src; lane = k })
           | VBarA { bar; count } -> emit mask (Isa.Bar_arrive { bar; count })
           | VBarW { bar; count } -> emit mask (Isa.Bar_sync { bar; count })
           | VBarCta -> emit mask Isa.Bar_cta))
@@ -1199,12 +1576,28 @@ let lower cfg ~name ~point_map ~out_warps ~groups (dfg : Dfg.t)
     }
   in
   let striped = ref false in
+  let exch_report = ref Shuffle_synth.empty_report in
+  let freed_doubles = ref 0 in
   let body, n_param_regs =
     if cfg.overlay then begin
-      let vcode =
-        Array.of_list
-          (list_schedule (lower_stream ~policy:cfg.const_policy ~masks_full:None))
+      let stream = lower_stream ~policy:cfg.const_policy ~masks_full:None in
+      let stream =
+        (* The rewrite reasons per logical warp; skip when the emitted
+           single-warp code is replicated across real warps (baseline),
+           where distinct warps share every shared address. *)
+        if cfg.synth_exchange && out_warps = n_mapped then begin
+          let stream', report, freed =
+            synth_exchange_pass ~arch:cfg.arch ~n_warps:n_mapped
+              ~store_limit:(mapping.Mapping.store_slots * 32)
+              tables stream
+          in
+          exch_report := report;
+          freed_doubles := freed;
+          stream'
+        end
+        else stream
       in
+      let vcode = Array.of_list (list_schedule stream) in
       let _, n_bank_regs, _, _ = build_const_bank tables ~n_warps:n_mapped ~bank_cap in
       let code, stats =
         regalloc ~first_phys:n_bank_regs ~budget:cfg.freg_budget
@@ -1258,7 +1651,8 @@ let lower cfg ~name ~point_map ~out_warps ~groups (dfg : Dfg.t)
   let n_iregs = n_param_regs + (if !striped then 2 else 0) in
   let shared_doubles =
     (mapping.Mapping.store_slots + sched.Schedule.buffer_slots) * 32
-    + if needs_mirror then 4 * n_mapped else 0
+    + (if needs_mirror then 4 * n_mapped else 0)
+    - !freed_doubles
   in
   let const_mem =
     if cfg.overlay && Array.length overflow_mem > 0 then overflow_mem
@@ -1296,6 +1690,7 @@ let lower cfg ~name ~point_map ~out_warps ~groups (dfg : Dfg.t)
     n_bank_regs;
     n_params = tables.n_params;
     n_logical_consts = tables.n_consts;
+    exchange = !exch_report;
   }
 
 let validate_output ~arch ?(max_barriers = 16) (out : output) =

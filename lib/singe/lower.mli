@@ -41,6 +41,13 @@ type config = {
       (** replicate warp parameters across lanes when at most this many;
           stripe + shuffle beyond (Listing 4) *)
   freg_budget : int;  (** double registers per thread before spilling *)
+  synth_exchange : bool;
+      (** run the {!Shuffle_synth} exchange rewrite over the overlaid
+          stream (DESIGN §14): same-warp shared round-trips become register
+          forwards or shuffle swizzle chains, fully-forwarded stores are
+          deleted, and untouched store-region slots are compacted out of
+          the shared footprint. Applies only to the overlay path whose
+          emitted code is not replicated across warps. *)
 }
 
 type output = {
@@ -50,6 +57,9 @@ type output = {
   n_bank_regs : int;  (** constant registers per thread (Fig. 10) *)
   n_params : int;
   n_logical_consts : int;
+  exchange : Shuffle_synth.report;
+      (** what the [synth_exchange] rewrite did ({!Shuffle_synth.empty_report}
+          when disabled or inapplicable) *)
 }
 
 val lower :

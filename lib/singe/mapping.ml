@@ -201,6 +201,46 @@ let store_addr t vid =
   assert (t.shared_slot.(vid) >= 0);
   t.shared_slot.(vid) * 32
 
+type exchange = {
+  ex_value : int;
+  ex_slot : int;
+  ex_producer_warp : int;
+  ex_consumer_warps : int list;
+  ex_same_warp_reads : int;
+  ex_pattern : int array;
+}
+
+(* One record per shared-placed value: who writes it, who reads it, and
+   the lane-communication pattern of the exchange. The §5 lowering always
+   stripes a P_shared value lane-aligned (lane [l] of the producer writes
+   [slot*32 + l], lane [l] of every consumer reads the same address), so
+   the pattern is the identity permutation; the synthesis pass keys off
+   [ex_same_warp_reads] — reads the producing warp itself performs are
+   register-forwardable round-trips. *)
+let exchanges (dfg : Dfg.t) t =
+  Array.to_list dfg.Dfg.values
+  |> List.filter_map (fun (v : Dfg.value) ->
+         if t.value_place.(v.Dfg.vid) <> P_shared then None
+         else
+           let pw = t.op_warp.(v.Dfg.producer) in
+           let consumer_warps =
+             List.map (fun c -> t.op_warp.(c)) v.Dfg.consumers
+             |> List.sort_uniq compare
+           in
+           let same_warp_reads =
+             List.length
+               (List.filter (fun c -> t.op_warp.(c) = pw) v.Dfg.consumers)
+           in
+           Some
+             {
+               ex_value = v.Dfg.vid;
+               ex_slot = t.shared_slot.(v.Dfg.vid);
+               ex_producer_warp = pw;
+               ex_consumer_warps = consumer_warps;
+               ex_same_warp_reads = same_warp_reads;
+               ex_pattern = Array.init 32 (fun l -> l);
+             })
+
 (* Fence segment of each op, as the placement logic in [map] computes it:
    slot recycling is only sound across a segment boundary. *)
 let segments (dfg : Dfg.t) =

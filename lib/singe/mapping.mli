@@ -63,6 +63,26 @@ val store_addr : t -> int -> int
 (** Shared-memory base address (in doubles) of a [P_shared] value: its slot
     times 32. *)
 
+type exchange = {
+  ex_value : int;  (** value id *)
+  ex_slot : int;  (** store-region slot *)
+  ex_producer_warp : int;
+  ex_consumer_warps : int list;  (** sorted, unique *)
+  ex_same_warp_reads : int;
+      (** consuming ops mapped to the producing warp — each is a shared
+          round-trip the exchange synthesizer can forward in registers *)
+  ex_pattern : int array;
+      (** lane-communication pattern: [ex_pattern.(l)] is the producer
+          lane whose value consumer lane [l] reads. The §5 lane-aligned
+          striping makes this the identity for every store-region
+          exchange. *)
+}
+
+val exchanges : Dfg.t -> t -> exchange list
+(** One record per [P_shared] value — the per-exchange communication
+    structure {!Lower}'s [--synth-exchange] pass and the exchange-ablation
+    figure consume. *)
+
 val validate :
   ?max_imbalance:float -> Dfg.t -> t -> (unit, string list) result
 (** Inter-pass invariants of a computed mapping:

@@ -196,7 +196,7 @@ let charge (arch : A.t) (p : I.program) (s : seg) (e : T.entry) =
           let bytes = 4.0 *. 32.0 in
           if arch.A.has_ldg then s.tex_b <- s.tex_b +. bytes
           else s.glob_b <- s.glob_b +. bytes
-      | I.Shfl _ ->
+      | I.Shfl _ | I.Shfl_rot _ | I.Shfl_bfly _ ->
           s.alu <- s.alu +. 2.0;
           s.chain <- s.chain +. float_of_int arch.A.arith_latency
       | I.Ishfl _ ->
@@ -393,7 +393,7 @@ let walk_step (arch : A.t) (p : I.program) ~ccache_thrash ~(pm : path_mult)
                 128.0 glob_rate
           in
           wk.ireg.(dst_i) <- wk.clk +. lat +. done_in
-      | I.Shfl { dst; _ } ->
+      | I.Shfl { dst; _ } | I.Shfl_rot { dst; _ } | I.Shfl_bfly { dst; _ } ->
           wk.alu_free <- gate wk.alu_free 2.0 arch.A.alu_issue_per_cycle;
           wk.freg.(dst) <- wk.clk +. float_of_int arch.A.arith_latency
       | I.Ishfl { dst_i; _ } ->

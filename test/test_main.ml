@@ -24,4 +24,5 @@ let () =
       ("profile", Test_profile.tests);
       ("perf-model", Test_perf_model.tests);
       ("chip", Test_chip.tests);
+      ("synth", Test_synth.tests);
     ]

@@ -191,6 +191,7 @@ let test_lower_unproduced_value () =
       exp_consts_in_registers = false;
       param_stripe_threshold = 8;
       freg_budget = 60;
+      synth_exchange = false;
     }
   in
   let groups = Singe.Kernel_abi.groups mech Singe.Kernel_abi.Viscosity in

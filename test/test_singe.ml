@@ -240,6 +240,7 @@ let qcheck_random_dfg_end_to_end =
               exp_consts_in_registers = false;
               param_stripe_threshold = 4;
               freg_budget = 24;
+              synth_exchange = false;
             }
           in
           let low =
