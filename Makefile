@@ -1,5 +1,6 @@
 .PHONY: all build test test-faults fmt fmt-check check perf perf-quick \
-	profile-smoke predict-smoke chip-smoke synth-smoke clean
+	profile-smoke predict-smoke chip-smoke synth-smoke serve-smoke \
+	serve-soak clean
 
 all: build
 
@@ -27,10 +28,11 @@ fmt-check:
 # the quick perf snapshot still runs end to end on two domains, the
 # profiler's CLI surface emits conserving buckets and valid trace JSON,
 # the analytic performance model stays sound (floor <= simulator), and
-# the multi-SM chip layer is deterministic and schema-clean, and the
-# shuffle-exchange rewrite stays bit-exact and profitable.
+# the multi-SM chip layer is deterministic and schema-clean, the
+# shuffle-exchange rewrite stays bit-exact and profitable, and the serve
+# loop answers a hostile request mix with typed responses.
 check: build fmt-check test perf-quick profile-smoke predict-smoke chip-smoke \
-	synth-smoke
+	synth-smoke serve-smoke
 
 # Machine-readable performance snapshot (see bench/main.ml).
 perf:
@@ -56,17 +58,30 @@ predict-smoke:
 
 # Chip-layer smoke: a 4-SM DME viscosity launch must be byte-identical
 # whether simulated serially or on concurrent domains, dispatch every
-# CTA, and emit a well-formed perf-v7 "chip" JSON object (exit 1 on any
+# CTA, and emit a well-formed perf-v8 "chip" JSON object (exit 1 on any
 # failure).
 chip-smoke:
 	dune exec bench/main.exe -- chip-smoke
 
 # Exchange-rewrite smoke: DME diffusion with the shuffle-exchange
 # superoptimizer on vs off must produce bit-identical outputs, remove
-# round trips without costing cycles, and emit a well-formed perf-v7
+# round trips without costing cycles, and emit a well-formed perf-v8
 # "exchange" JSON object (exit 1 on any failure).
 synth-smoke:
 	dune exec bench/main.exe -- synth-smoke
+
+# Serve smoke: drive the real `singe serve` binary over one session of
+# mixed requests — every request family, every error class, an idempotent
+# replay, a degraded deadline overrun, and a backpressure burst — and
+# re-validate every response line (exit 1 on any failure).
+serve-smoke: build
+	dune exec bench/main.exe -- serve-smoke
+
+# Serve soak: hundreds of mixed requests (valid work, malformed lines,
+# injected deadlocks and silent corruption, deadline busters, replays)
+# against one warm serve process. On demand, not part of `make check`.
+serve-soak: build
+	dune exec bench/main.exe -- serve-soak
 
 clean:
 	dune clean

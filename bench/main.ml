@@ -386,15 +386,30 @@ let perf ~out ?max_cycles () =
   let count p = List.length (List.filter p outcomes) in
   let faults_detected = count (function P_fault _ -> true | _ -> false) in
   let candidates_skipped = count (function P_entry _ -> false | _ -> true) in
+  let cache_json =
+    let ms = Singe.Compile.memo_stats () in
+    Printf.sprintf
+      "{\"size\": %d, \"limit\": %d, \"hits\": %d, \"misses\": %d, \
+       \"evictions\": %d, \"corruptions\": %d}"
+      ms.Singe.Compile.size ms.Singe.Compile.limit ms.Singe.Compile.hits
+      ms.Singe.Compile.misses ms.Singe.Compile.evictions
+      ms.Singe.Compile.corruptions
+  in
   let json =
     Printf.sprintf
-      "{\"schema\": \"singe-perf-v7\", \"jobs\": %d, \"max_cycles\": %d, \
+      "{\"schema\": \"singe-perf-v8\", \"jobs\": %d, \"max_cycles\": %d, \
        \"faults_detected\": %d, \"candidates_skipped\": %d, \
-       \"sweep_wall_s\": %.4f, \"tune\": [\n%s\n], \"chip_scaling\": \
-       [\n%s\n], \"results\": [\n%s\n]}\n"
+       \"sweep_wall_s\": %.4f, \"compile_cache\": %s, \"tune\": [\n\
+       %s\n\
+       ], \"chip_scaling\": [\n\
+       %s\n\
+       ], \"results\": [\n\
+       %s\n\
+       ]}\n"
       (Sutil.Domain_pool.default_jobs ())
       max_cycles faults_detected candidates_skipped
       (Unix.gettimeofday () -. sweep_start)
+      cache_json
       (String.concat ",\n" tune_sweeps)
       (String.concat ",\n" chip_scaling_rows)
       (String.concat ",\n" entries)
@@ -429,7 +444,7 @@ let chip_smoke () =
     let ch = m.Gpusim.Machine.chip in
     ( ch,
       Printf.sprintf
-        "{\"schema\": \"singe-perf-v7\", \"kernel\": \"viscosity\", \
+        "{\"schema\": \"singe-perf-v8\", \"kernel\": \"viscosity\", \
          \"sm_cycles\": %d, \"points_per_sec\": %.6g, \"chip\": %s}"
         m.Gpusim.Machine.sm_cycles m.Gpusim.Machine.points_per_sec
         (chip_json ch) )
@@ -464,8 +479,8 @@ let chip_smoke () =
     "CTA conservation across SMs broke";
   check "makespan positive" (ch.Gpusim.Chip.makespan_cycles > 0.0) "";
   (match Sutil.Json_check.validate serial with
-  | Ok () -> check "perf-v7 chip json" true ""
-  | Error m -> check "perf-v7 chip json" false m);
+  | Ok () -> check "perf-v8 chip json" true ""
+  | Error m -> check "perf-v8 chip json" false m);
   if !failed then exit 1
 
 (* ---- exchange-rewrite smoke gate (`synth-smoke`, wired into `make check`)
@@ -473,7 +488,7 @@ let chip_smoke () =
    DME diffusion on Kepler with the shuffle-exchange superoptimizer forced
    on and off: the two programs must produce bit-identical outputs (the
    rewrite's verification oracle, end to end), the rewrite must actually
-   fire and must not cost simulated cycles, and the perf-v7 "exchange"
+   fire and must not cost simulated cycles, and the perf-v8 "exchange"
    JSON it emits must be well-formed. *)
 let synth_smoke () =
   let mech = Chem.Mech_gen.dme () in
@@ -521,7 +536,7 @@ let synth_smoke () =
     (Printf.sprintf "on %d > off %d cycles" (cyc r_on) (cyc r_off));
   let payload =
     Printf.sprintf
-      "{\"schema\": \"singe-perf-v7\", \"kernel\": \"diffusion\", \
+      "{\"schema\": \"singe-perf-v8\", \"kernel\": \"diffusion\", \
        \"sm_cycles\": %d, \"exchange\": {\"sites_rewritten\": %d, \
        \"round_trips_removed\": %d, \"stores_removed\": %d, \
        \"shuffle_steps\": %d, \"shared_bytes_freed\": %d, \"cycle_delta\": \
@@ -534,9 +549,330 @@ let synth_smoke () =
       (cyc r_off - cyc r_on)
   in
   (match Sutil.Json_check.validate payload with
-  | Ok () -> check "perf-v7 exchange json" true ""
-  | Error m -> check "perf-v7 exchange json" false m);
+  | Ok () -> check "perf-v8 exchange json" true ""
+  | Error m -> check "perf-v8 exchange json" false m);
   if !failed then exit 1
+
+(* ---- serve smoke/soak gates (`serve-smoke` is wired into `make check`) ----
+
+   Both drive the REAL `singe serve` binary as a subprocess: requests are
+   pre-written to a file and stdout is captured to a file (no interleaved
+   pipe I/O, so the harness cannot deadlock against the server's own
+   buffering), then every response line is re-validated — well-formed
+   JSON, the expected status/class per request, bit-identical replays for
+   idempotent ids, and a closing stats document showing zero internal
+   errors, zero JSON self-check failures and a bounded compile cache. *)
+
+let serve_cli () =
+  match Sys.getenv_opt "SINGE_CLI" with
+  | Some p -> p
+  | None -> "_build/default/bin/singe_cli.exe"
+
+(* Run one serve session over [lines]; returns (exit_code, responses). *)
+let serve_session ?(flags = []) lines =
+  let cli = serve_cli () in
+  if not (Sys.file_exists cli) then begin
+    Printf.eprintf "serve harness: CLI binary %s not found (run dune build)\n"
+      cli;
+    exit 1
+  end;
+  let in_file = Filename.temp_file "singe_serve_in" ".jsonl" in
+  let out_file = Filename.temp_file "singe_serve_out" ".jsonl" in
+  let oc = open_out in_file in
+  List.iter
+    (fun l ->
+      output_string oc l;
+      output_char oc '\n')
+    lines;
+  close_out oc;
+  let fd_in = Unix.openfile in_file [ Unix.O_RDONLY ] 0 in
+  let fd_out =
+    Unix.openfile out_file [ Unix.O_WRONLY; Unix.O_TRUNC ] 0o600
+  in
+  let pid =
+    Unix.create_process cli
+      (Array.of_list ((cli :: "serve" :: flags) @ []))
+      fd_in fd_out Unix.stderr
+  in
+  Unix.close fd_in;
+  Unix.close fd_out;
+  let _, status = Unix.waitpid [] pid in
+  let ic = open_in out_file in
+  let rec read acc =
+    match input_line ic with
+    | l -> read (l :: acc)
+    | exception End_of_file -> List.rev acc
+  in
+  let responses = read [] in
+  close_in ic;
+  Sys.remove in_file;
+  Sys.remove out_file;
+  let code =
+    match status with
+    | Unix.WEXITED c -> c
+    | Unix.WSIGNALED s | Unix.WSTOPPED s -> 128 + s
+  in
+  (code, responses)
+
+(* Per-response expectation: status "ok"/"error" (+ class when error). *)
+type serve_expect =
+  | E_ok
+  | E_degraded  (** ok with ["degraded"]: true *)
+  | E_corrupt  (** ok with ["outputs_ok"]: false *)
+  | E_err of string  (** error with this ["class"] *)
+
+let serve_check_session name reqs code responses =
+  let failed = ref false in
+  let fail fmt =
+    Printf.ksprintf
+      (fun m ->
+        failed := true;
+        Printf.printf "check %-32s FAILED: %s\n" name m)
+      fmt
+  in
+  if code <> 0 then fail "server exited %d" code;
+  let n_req = List.length reqs and n_resp = List.length responses in
+  if n_req <> n_resp then fail "%d requests but %d responses" n_req n_resp;
+  let docs =
+    List.mapi
+      (fun i line ->
+        (match Sutil.Json_check.validate line with
+        | Ok () -> ()
+        | Error m -> fail "response %d fails Json_check: %s" i m);
+        match Sutil.Json.parse line with
+        | Ok doc -> Some doc
+        | Error m ->
+            fail "response %d is not parseable JSON: %s" i m;
+            None)
+      responses
+  in
+  let field doc k = Option.bind doc (Sutil.Json.member k) in
+  let sfield doc k = Option.bind (field doc k) Sutil.Json.str in
+  List.iteri
+    (fun i ((_, expect), doc) ->
+      let status = sfield doc "status" in
+      match expect with
+      | E_ok ->
+          if status <> Some "ok" then
+            fail "response %d: expected ok, got %s"
+              i (Option.value status ~default:"<none>")
+      | E_degraded ->
+          if status <> Some "ok" then fail "response %d: expected ok" i;
+          if Option.bind (field doc "degraded") Sutil.Json.bool <> Some true
+          then fail "response %d: expected degraded: true" i
+      | E_corrupt ->
+          if status <> Some "ok" then fail "response %d: expected ok" i;
+          if Option.bind (field doc "outputs_ok") Sutil.Json.bool <> Some false
+          then fail "response %d: expected outputs_ok: false" i
+      | E_err cls ->
+          if status <> Some "error" then fail "response %d: expected error" i;
+          let got = sfield doc "class" in
+          if got <> Some cls then
+            fail "response %d: expected class %s, got %s" i cls
+              (Option.value got ~default:"<none>"))
+    (List.combine reqs docs);
+  (* Internal errors are never expected from a well-formed or even a
+     hostile request stream — that class means a containment bug. *)
+  List.iteri
+    (fun i doc ->
+      if sfield doc "class" = Some "internal" then
+        fail "response %d has class internal: %s" i (List.nth responses i))
+    docs;
+  (* Idempotent ids must replay bit-identically. *)
+  let by_id = Hashtbl.create 16 in
+  List.iteri
+    (fun i doc ->
+      match sfield doc "id" with
+      | Some id when sfield doc "status" = Some "ok" -> (
+          match Hashtbl.find_opt by_id id with
+          | None -> Hashtbl.add by_id id (List.nth responses i)
+          | Some prev ->
+              if prev <> List.nth responses i then
+                fail "id %S replay is not bit-identical" id)
+      | _ -> ())
+    docs;
+  if !failed then exit 1
+  else Printf.printf "check %-32s ok (%d requests)\n" name n_req
+
+let serve_final_stats name responses =
+  match
+    List.find_opt
+      (fun l ->
+        match Sutil.Json.parse l with
+        | Ok doc ->
+            Option.bind (Sutil.Json.member "kind" doc) Sutil.Json.str
+            = Some "stats"
+        | Error _ -> false)
+      (List.rev responses)
+  with
+  | None ->
+      Printf.printf "check %-32s FAILED: no stats response\n" name;
+      exit 1
+  | Some line ->
+      let doc = Result.get_ok (Sutil.Json.parse line) in
+      let geti path =
+        let rec go doc = function
+          | [] -> Sutil.Json.int doc
+          | k :: rest -> (
+              match Sutil.Json.member k doc with
+              | Some v -> go v rest
+              | None -> None)
+        in
+        go doc path
+      in
+      let expect_zero what path =
+        match geti path with
+        | Some 0 -> ()
+        | v ->
+            Printf.printf "check %-32s FAILED: %s = %s\n" name what
+              (match v with Some n -> string_of_int n | None -> "<missing>");
+            exit 1
+      in
+      expect_zero "internal errors" [ "by_class"; "internal" ];
+      expect_zero "json self-check failures" [ "json_check_failures" ];
+      (* The stats request itself runs with the trailing shutdown line
+         still admitted: anything beyond that one queued entry would mean
+         requests piled up un-served. *)
+      (match geti [ "queue_depth" ] with
+      | Some d when d <= 1 -> ()
+      | v ->
+          Printf.printf "check %-32s FAILED: queue_depth = %s\n" name
+            (match v with Some n -> string_of_int n | None -> "<missing>");
+          exit 1);
+      expect_zero "leaked domains" [ "domain_pool"; "live_domains" ];
+      (match (geti [ "compile_cache"; "size" ], geti [ "compile_cache"; "limit" ]) with
+      | Some size, Some limit when size <= limit -> ()
+      | size, limit ->
+          Printf.printf "check %-32s FAILED: cache size %s over limit %s\n"
+            name
+            (match size with Some n -> string_of_int n | None -> "?")
+            (match limit with Some n -> string_of_int n | None -> "?");
+          exit 1);
+      Printf.printf "check %-32s ok\n" name
+
+(* The hydrogen-only smoke set: one of every request family and every
+   error class, fast enough to gate `make check`. *)
+let serve_smoke_requests =
+  [
+    ({|{"kind":"health"}|}, E_ok);
+    ({|this is not json|}, E_err "bad-request");
+    ({|{"kind":"compile","mech":"hydrogen"}|}, E_ok);
+    ( {|{"id":"r1","kind":"run","mech":"hydrogen","points":2048,"warps":4}|},
+      E_ok );
+    ( {|{"id":"r1","kind":"run","mech":"hydrogen","points":2048,"warps":4}|},
+      E_ok );
+    ({|{"id":"r1","kind":"predict"}|}, E_err "bad-request");
+    ( {|{"kind":"run","mech":"hydrogen","points":2048,"warps":4,"faults":["drop-arrive:warp=1,nth=0"]}|},
+      E_err "simulation-fault" );
+    ( {|{"kind":"run","mech":"hydrogen","points":2048,"warps":4,"faults":["corrupt-shfl:warp=0,nth=0"]}|},
+      E_corrupt );
+    ( {|{"kind":"run","mech":"hydrogen","points":2048,"warps":4,"max_cycles":5000}|},
+      E_degraded );
+    ({|{"kind":"run","mech":"hydrogen","warps":1}|}, E_err "compile-rejected");
+    ({|{"kind":"frobnicate"}|}, E_err "bad-request");
+    ({|{"kind":"run","bogus_field":1}|}, E_err "bad-request");
+    ({|{"kind":"stats"}|}, E_ok);
+    ({|{"kind":"shutdown"}|}, E_ok);
+  ]
+
+let serve_smoke () =
+  let reqs = serve_smoke_requests in
+  let code, responses = serve_session (List.map fst reqs) in
+  serve_check_session "serve smoke session" reqs code responses;
+  serve_final_stats "serve smoke final stats" responses;
+  (* Backpressure: a queue bound of 1 against a burst arriving faster
+     than it drains (file input arrives all at once) must answer every
+     line — some with busy + retry_after_ms — and exit cleanly. *)
+  let burst = List.init 5 (fun _ -> {|{"kind":"health"}|}) in
+  let code, responses =
+    serve_session ~flags:[ "--max-queue"; "1" ] burst
+  in
+  if code <> 0 then begin
+    Printf.printf "check %-32s FAILED: exit %d\n" "serve busy burst" code;
+    exit 1
+  end;
+  if List.length responses <> List.length burst then begin
+    Printf.printf "check %-32s FAILED: %d responses to %d requests\n"
+      "serve busy burst" (List.length responses) (List.length burst);
+    exit 1
+  end;
+  let busy =
+    List.filter
+      (fun l ->
+        match Sutil.Json.parse l with
+        | Ok doc ->
+            Option.bind (Sutil.Json.member "class" doc) Sutil.Json.str
+              = Some "busy"
+            && Option.bind (Sutil.Json.member "retry_after_ms" doc)
+                 Sutil.Json.int
+               <> None
+        | Error _ -> false)
+      responses
+  in
+  if busy = [] then begin
+    Printf.printf "check %-32s FAILED: no busy responses in the burst\n"
+      "serve busy burst";
+    exit 1
+  end;
+  Printf.printf "check %-32s ok (%d busy of %d)\n" "serve busy burst"
+    (List.length busy) (List.length burst)
+
+(* The soak set: hundreds of mixed requests — valid work, malformed
+   lines, rejected configurations, injected faults (deadlock and silent
+   corruption), deadline-busting budgets, idempotent replays — one warm
+   process, every request answered. Not wired into `make check` (it is
+   a multi-minute run); `make serve-soak` runs it on demand. *)
+let serve_soak () =
+  let base = {|"mech":"hydrogen","points":2048,"warps":4|} in
+  let template i =
+    match i mod 10 with
+    | 0 -> ({|{"kind":"health"}|}, E_ok)
+    | 1 -> (Printf.sprintf {|{"kind":"run",%s}|} base, E_ok)
+    | 2 ->
+        ( Printf.sprintf
+            {|{"kind":"run",%s,"faults":["corrupt-shfl:warp=0,nth=%d"]}|} base
+            (i mod 2),
+          E_corrupt )
+    | 3 ->
+        ( Printf.sprintf
+            {|{"kind":"run",%s,"faults":["drop-arrive:warp=1,nth=0"]}|} base,
+          E_err "simulation-fault" )
+    | 4 -> (Printf.sprintf {|{"kind":"run",%s,"max_cycles":5000}|} base, E_degraded)
+    | 5 ->
+        (Printf.sprintf "{\"kind\":\"run\" garbage %d" i, E_err "bad-request")
+    | 6 -> ({|{"kind":"run","mech":"nope"}|}, E_err "bad-request")
+    | 7 -> ({|{"kind":"compile","mech":"hydrogen","warps":2}|}, E_ok)
+    | 8 -> ({|{"kind":"predict","mech":"hydrogen","warps":4,"points":2048}|}, E_ok)
+    | _ -> ({|{"kind":"tune","mech":"hydrogen","top_k":2,"points":2048}|}, E_ok)
+  in
+  let n = 110 in
+  let body =
+    List.concat_map
+      (fun i ->
+        let req = template i in
+        if i mod 10 = 1 then
+          (* idempotent pair: the request and its replay *)
+          let tagged =
+            ( Printf.sprintf {|{"id":"s%d","kind":"run",%s}|} i base,
+              E_ok )
+          in
+          [ tagged; tagged ]
+        else [ req ])
+      (List.init n (fun i -> i))
+  in
+  let reqs =
+    body @ [ ({|{"kind":"stats"}|}, E_ok); ({|{"kind":"shutdown"}|}, E_ok) ]
+  in
+  (* File input arrives in one burst; a queue bound above the request
+     count keeps every line admitted so responses stay in request order
+     (the backpressure path has its own dedicated burst check). *)
+  let code, responses =
+    serve_session ~flags:[ "--max-queue"; "1024" ] (List.map fst reqs)
+  in
+  serve_check_session "serve soak session" reqs code responses;
+  serve_final_stats "serve soak final stats" responses;
+  Printf.printf "serve soak: %d requests answered by one process\n"
+    (List.length reqs)
 
 (* Strip a leading-anywhere [--jobs N] pair from the argument list and
    install it as the process-wide domain budget before any figure runs. *)
@@ -582,6 +918,8 @@ let () =
   | [ "microbench" ] -> microbenchmarks ()
   | [ "chip-smoke" ] -> chip_smoke ()
   | [ "synth-smoke" ] -> synth_smoke ()
+  | [ "serve-smoke" ] -> serve_smoke ()
+  | [ "serve-soak" ] -> serve_soak ()
   | [ "perf" ] -> perf ~out:None ?max_cycles:!perf_max_cycles ()
   | [ "perf"; "--out"; file ] ->
       perf ~out:(Some file) ?max_cycles:!perf_max_cycles ()

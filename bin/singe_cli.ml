@@ -99,11 +99,21 @@ let jobs_term =
     | None -> ()
     | Some n -> Sutil.Domain_pool.set_jobs n
   in
+  (* Strict: "--jobs 0", negatives and garbage are usage errors up front,
+     not a pool that silently refuses to parallelize. *)
+  let jobs_conv =
+    let parse s =
+      match Sutil.Domain_pool.jobs_of_string s with
+      | Ok n -> Ok n
+      | Error msg -> Error (`Msg msg)
+    in
+    Arg.conv (parse, Format.pp_print_int)
+  in
   Term.(
     const set
     $ Arg.(
         value
-        & opt (some int) None
+        & opt (some jobs_conv) None
         & info [ "jobs" ] ~docv:"N"
             ~doc:
               "Domains used for parallel sweeps (default: \\$(b,SINGE_JOBS) \
@@ -898,10 +908,88 @@ let figures_cmd =
   Cmd.v (Cmd.info "figures" ~doc:"Regenerate the paper's tables and figures.")
     Term.(const run $ names $ jobs_term)
 
+let serve_cmd =
+  let pos_int_conv what =
+    let parse s =
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> Ok n
+      | Some n -> Error (`Msg (Printf.sprintf "%s must be >= 1, got %d" what n))
+      | None -> Error (`Msg (Printf.sprintf "%s must be a positive integer, got %S" what s))
+    in
+    Arg.conv (parse, Format.pp_print_int)
+  in
+  let opt_of name what dflt doc =
+    Arg.(value & opt (pos_int_conv what) dflt & info [ name ] ~docv:"N" ~doc)
+  in
+  let d = Singe.Serve.default_config in
+  let deadline =
+    opt_of "deadline-ms" "deadline" d.Singe.Serve.deadline_ms
+      "Default per-request wall budget in milliseconds; also derives the \
+       simulator cycle budget. Requests may override it per line."
+  in
+  let cycles_per_ms =
+    opt_of "cycles-per-ms" "rate" d.Singe.Serve.cycles_per_ms
+      "Deadline-to-cycle-budget conversion rate."
+  in
+  let max_queue =
+    opt_of "max-queue" "queue bound" d.Singe.Serve.max_queue
+      "Admission queue bound; overflow requests get an immediate busy \
+       response with a retry_after_ms hint."
+  in
+  let retry_after =
+    opt_of "retry-after-ms" "retry hint" d.Singe.Serve.retry_after_ms
+      "Retry hint attached to busy responses."
+  in
+  let cache_entries =
+    opt_of "cache-entries" "cache bound" d.Singe.Serve.cache_entries
+      "Bound on the shared compile cache (LRU eviction beyond it)."
+  in
+  let run deadline_ms cycles_per_ms max_queue retry_after_ms cache_entries () =
+    let config =
+      {
+        Singe.Serve.deadline_ms;
+        cycles_per_ms;
+        max_queue;
+        retry_after_ms;
+        cache_entries;
+        id_cache_entries = d.Singe.Serve.id_cache_entries;
+      }
+    in
+    let st = Singe.Serve.create ~config () in
+    Singe.Serve.serve_fds st Unix.stdin Unix.stdout
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Serve compile/run/predict/tune/health/stats requests as \
+          newline-delimited JSON on stdin/stdout until EOF or a shutdown \
+          request. Every request is answered: failures become typed error \
+          responses and deadline overruns degrade to the analytic model.")
+    Term.(
+      const run $ deadline $ cycles_per_ms $ max_queue $ retry_after
+      $ cache_entries $ jobs_term)
+
 let () =
   let doc = "Singe: a warp-specializing DSL compiler for combustion chemistry" in
-  exit
-    (Cmd.eval
-       (Cmd.group (Cmd.info "singe" ~doc)
-          [ info_cmd; compile_cmd; run_cmd; profile_cmd; predict_cmd; tune_cmd;
-            stats_cmd; partition_cmd; figures_cmd ]))
+  let code =
+    try
+      (* catch:false so Invalid_jobs reaches the handler below instead of
+         cmdliner's generic uncaught-exception report (exit 125). *)
+      Cmd.eval ~catch:false
+        (Cmd.group (Cmd.info "singe" ~doc)
+           [ info_cmd; compile_cmd; run_cmd; profile_cmd; predict_cmd;
+             tune_cmd; stats_cmd; partition_cmd; figures_cmd; serve_cmd ])
+    with
+    | Sutil.Domain_pool.Invalid_jobs msg ->
+        (* A garbage SINGE_JOBS is a usage error, same class as a bad flag. *)
+        Printf.eprintf "singe: %s\n%!" msg;
+        124
+    | e ->
+        (* Preserve cmdliner's uncaught-exception exit so 2 stays reserved
+           for compile rejections. *)
+        Printf.eprintf "singe: internal error, uncaught exception:\n%s\n%s%!"
+          (Printexc.to_string e)
+          (Printexc.get_backtrace ());
+        125
+  in
+  exit code

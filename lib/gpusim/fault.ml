@@ -18,6 +18,7 @@ type t =
   | Swap_barrier of { warp : int; nth : int; bar : int }
   | Extra_arrive of { warp : int; nth : int }
   | Latency of { warp : int; mult : int }
+  | Corrupt_shfl of { warp : int; nth : int }
 
 let to_string = function
   | Drop_arrive { warp; nth } ->
@@ -27,6 +28,8 @@ let to_string = function
   | Extra_arrive { warp; nth } ->
       Printf.sprintf "extra-arrive:warp=%d,nth=%d" warp nth
   | Latency { warp; mult } -> Printf.sprintf "latency:warp=%d,mult=%d" warp mult
+  | Corrupt_shfl { warp; nth } ->
+      Printf.sprintf "corrupt-shfl:warp=%d,nth=%d" warp nth
 
 let describe = function
   | Drop_arrive { warp; nth } ->
@@ -38,6 +41,9 @@ let describe = function
       Printf.sprintf "duplicate barrier arrival %d of warp %d" nth warp
   | Latency { warp; mult } ->
       Printf.sprintf "multiply warp %d arithmetic latencies by %d" warp mult
+  | Corrupt_shfl { warp; nth } ->
+      Printf.sprintf "corrupt the lane selector of shuffle %d of warp %d" nth
+        warp
 
 (* A value must be a plain decimal natural: [int_of_string] would also
    accept hex, underscores and signs, which lets typos like "0x1" or
@@ -123,11 +129,14 @@ let of_string s =
       | "latency" ->
           let* get = parse_fields kind rest [ "warp"; "mult" ] in
           Ok (Latency { warp = get "warp"; mult = get "mult" })
+      | "corrupt-shfl" ->
+          let* get = parse_fields kind rest [ "warp"; "nth" ] in
+          Ok (Corrupt_shfl { warp = get "warp"; nth = get "nth" })
       | _ ->
           Error
             (Printf.sprintf
                "unknown fault kind %S (expected drop-arrive, swap-bar, \
-                extra-arrive or latency)"
+                extra-arrive, latency or corrupt-shfl)"
                kind))
 
 (* ---- application ---- *)
@@ -184,6 +193,27 @@ let is_named_bar (e : Trace.entry) =
   | Some (Isa.Bar_arrive _) | Some (Isa.Bar_sync _) -> true
   | _ -> false
 
+let is_shuffle (e : Trace.entry) =
+  match e.Trace.instr with
+  | Some (Isa.Shfl _ | Isa.Ishfl _ | Isa.Shfl_rot _ | Isa.Shfl_bfly _) -> true
+  | _ -> false
+
+(* Perturb a shuffle's lane selector minimally but always observably:
+   broadcasts and rotations read from the next lane over, butterflies
+   flip the low mask bit. All results stay in [0, 32), so the corrupted
+   instruction is still architecturally valid — the damage is silent
+   data movement, exactly the class of fault the functional output check
+   exists to catch (and PR 7's synthesized exchanges to avoid). *)
+let corrupt_shuffle = function
+  | Isa.Shfl { dst; src; lane } -> Isa.Shfl { dst; src; lane = (lane + 1) mod 32 }
+  | Isa.Ishfl { dst_i; src_i; lane } ->
+      Isa.Ishfl { dst_i; src_i; lane = (lane + 1) mod 32 }
+  | Isa.Shfl_rot { dst; src; delta } ->
+      Isa.Shfl_rot { dst; src; delta = (delta + 1) mod 32 }
+  | Isa.Shfl_bfly { dst; src; xor_mask } ->
+      Isa.Shfl_bfly { dst; src; xor_mask = xor_mask lxor 1 }
+  | _ -> assert false
+
 let apply_one (tr : Trace.t) fault =
   let n_warps = Array.length tr.Trace.body in
   match fault with
@@ -210,6 +240,28 @@ let apply_one (tr : Trace.t) fault =
               | _ -> assert false
             in
             let id' = Array.length tr.Trace.entries in
+            fresh := Some { e with Trace.instr = Some instr };
+            Some [ id' ])
+      in
+      (match !fresh with
+      | None -> tr'
+      | Some e ->
+          { tr' with Trace.entries = Array.append tr.Trace.entries [| e |] })
+  | Corrupt_shfl { warp; nth } ->
+      check_warp fault n_warps warp;
+      let fresh = ref None in
+      let tr' =
+        edit_stream fault tr ~warp ~nth ~matches:is_shuffle
+          ~rewrite:(fun id ->
+            let e = tr.Trace.entries.(id) in
+            let instr =
+              match e.Trace.instr with
+              | Some i -> corrupt_shuffle i
+              | None -> assert false
+            in
+            let id' = Array.length tr.Trace.entries in
+            (* Lane selectors are immediates: the perturbed copy keeps the
+               entry's scoreboard operands, latency class and footprint. *)
             fresh := Some { e with Trace.instr = Some instr };
             Some [ id' ])
       in
@@ -270,6 +322,6 @@ let apply ?named_barriers faults tr =
             invalid_arg
               (Printf.sprintf "fault %s: barrier id %d outside [0, %d)"
                  (to_string f) bar limit)
-      | Drop_arrive _ | Extra_arrive _ | Latency _ -> ())
+      | Drop_arrive _ | Extra_arrive _ | Latency _ | Corrupt_shfl _ -> ())
     faults;
   List.fold_left apply_one tr faults

@@ -27,13 +27,21 @@ type t =
       (** multiply the arithmetic latency of every arith instruction the
           warp issues by [mult] (schedule perturbation; must stay
           functionally correct — barrier schedules are order-independent) *)
+  | Corrupt_shfl of { warp : int; nth : int }
+      (** perturb the lane selector of the warp's [nth] shuffle
+          instruction ([Shfl]/[Ishfl] broadcasts read the next lane over,
+          [Shfl_rot] rotates one lane further, [Shfl_bfly] flips the low
+          mask bit): silent data-movement corruption across the PR 7
+          synthesized-exchange instructions, caught by the functional
+          output check rather than the deadlock detectors *)
 
 val to_string : t -> string
 (** Round-trips with {!of_string}: e.g. ["drop-arrive:warp=1,nth=0"]. *)
 
 val of_string : string -> (t, string) result
 (** Parse a [--fault] specification, [KIND:key=value,...] with kinds
-    [drop-arrive], [swap-bar], [extra-arrive], [latency]. Strict: every
+    [drop-arrive], [swap-bar], [extra-arrive], [latency],
+    [corrupt-shfl]. Strict: every
     expected field exactly once, values plain decimal naturals; unknown
     or duplicate fields, trailing garbage and non-decimal values are
     [Error] rather than silently ignored. [to_string] output always
@@ -46,7 +54,8 @@ val apply : ?named_barriers:int -> t list -> Trace.t -> Trace.t
 (** Apply the faults left to right, returning a fresh trace (unmodified
     entries are shared). Raises [Invalid_argument] when a fault matches
     nothing — the targeted warp is out of range, has fewer than [nth + 1]
-    matching instructions, or issues no arithmetic for [Latency] — or,
+    matching instructions (barrier ops, or shuffles for
+    [Corrupt_shfl]), or issues no arithmetic for [Latency] — or,
     when [named_barriers] is given, when a [Swap_barrier] id falls
     outside [\[0, named_barriers)] (instead of silently indexing past
     the SM's barrier file). {!Machine.run} always passes the

@@ -391,10 +391,102 @@ let compile_checked ?validate mech kernel version options =
    artifacts are immutable after the pipeline returns (simulation state
    lives in [Memstate.t] / trace cursors), making a shared [t] safe to
    hand to concurrent sweep workers. Only successful compiles are
-   cached; failures re-raise so callers see the exception every time. *)
+   cached; failures re-raise so callers see the exception every time.
 
-let memo : (string, t) Hashtbl.t = Hashtbl.create 64
+   The table is bounded: a long-lived server streaming distinct
+   configurations would otherwise grow it without limit (each entry
+   holds a whole lowered program). Eviction is LRU on a logical clock
+   bumped at every hit, and every hit re-verifies the stored artifact
+   against the structural fingerprint recorded at insertion — a
+   mismatch (memory corruption, or a bug mutating a "immutable"
+   artifact) drops the entry, recompiles, and is counted rather than
+   silently served. *)
+
+type memo_stats = {
+  size : int;
+  limit : int;
+  hits : int;
+  misses : int;
+  evictions : int;
+  corruptions : int;
+}
+
+type memo_entry = {
+  value : t;
+  mutable fingerprint : int array;
+      (* mutable only so tests can poison an entry to exercise the
+         corruption path; the cache itself never writes it after insert *)
+  mutable last_use : int;
+}
+
+let memo : (string, memo_entry) Hashtbl.t = Hashtbl.create 64
 let memo_mutex = Mutex.create ()
+let memo_tick = ref 0
+let memo_max = ref 512
+let memo_hits = ref 0
+let memo_misses = ref 0
+let memo_evictions = ref 0
+let memo_corruptions = ref 0
+
+(* Cheap structural checksum of a compiled artifact: program-level
+   resource counts plus schedule/DFG shape. Any in-place mutation of the
+   cached artifact that matters to simulation shows up here. *)
+let fingerprint (t : t) =
+  let p = t.lowered.Lower.program in
+  [|
+    Gpusim.Isa.static_instr_count p.Gpusim.Isa.body;
+    Gpusim.Isa.static_instr_count p.Gpusim.Isa.prologue;
+    p.Gpusim.Isa.n_fregs;
+    p.Gpusim.Isa.n_iregs;
+    p.Gpusim.Isa.shared_doubles;
+    p.Gpusim.Isa.local_doubles;
+    p.Gpusim.Isa.barriers_used;
+    t.schedule.Schedule.n_sync_points;
+    t.schedule.Schedule.buffer_slots;
+    Array.length t.dfg.Dfg.ops;
+    Array.length t.dfg.Dfg.values;
+  |]
+
+(* Callers hold [memo_mutex]. *)
+let evict_down_to limit =
+  while Hashtbl.length memo > limit do
+    let oldest = ref None in
+    Hashtbl.iter
+      (fun key e ->
+        match !oldest with
+        | Some (_, lru) when lru <= e.last_use -> ()
+        | _ -> oldest := Some (key, e.last_use))
+      memo;
+    match !oldest with
+    | None -> ()
+    | Some (key, _) ->
+        Hashtbl.remove memo key;
+        incr memo_evictions
+  done
+
+let memo_limit () = !memo_max
+
+let set_memo_limit n =
+  let n = max 1 n in
+  Mutex.lock memo_mutex;
+  memo_max := n;
+  evict_down_to n;
+  Mutex.unlock memo_mutex
+
+let memo_stats () =
+  Mutex.lock memo_mutex;
+  let s =
+    {
+      size = Hashtbl.length memo;
+      limit = !memo_max;
+      hits = !memo_hits;
+      misses = !memo_misses;
+      evictions = !memo_evictions;
+      corruptions = !memo_corruptions;
+    }
+  in
+  Mutex.unlock memo_mutex;
+  s
 
 let memo_key mech kernel version options =
   Digest.string (Marshal.to_string (mech, kernel, version, options) [])
@@ -403,7 +495,24 @@ let compile_cached mech kernel version options =
   let key = memo_key mech kernel version options in
   let cached =
     Mutex.lock memo_mutex;
-    let v = Hashtbl.find_opt memo key in
+    let v =
+      match Hashtbl.find_opt memo key with
+      | None ->
+          incr memo_misses;
+          None
+      | Some e when e.fingerprint = fingerprint e.value ->
+          incr memo_hits;
+          incr memo_tick;
+          e.last_use <- !memo_tick;
+          Some e.value
+      | Some _ ->
+          (* Re-verification failed: the artifact no longer matches what
+             was inserted. Drop it and recompile below. *)
+          Hashtbl.remove memo key;
+          incr memo_corruptions;
+          incr memo_misses;
+          None
+    in
     Mutex.unlock memo_mutex;
     v
   in
@@ -415,9 +524,21 @@ let compile_cached mech kernel version options =
          same), but never serialize on each other. *)
       let t = compile mech kernel version options in
       Mutex.lock memo_mutex;
-      if not (Hashtbl.mem memo key) then Hashtbl.add memo key t;
+      if not (Hashtbl.mem memo key) then begin
+        incr memo_tick;
+        Hashtbl.add memo key
+          { value = t; fingerprint = fingerprint t; last_use = !memo_tick };
+        evict_down_to !memo_max
+      end;
       Mutex.unlock memo_mutex;
       t
+
+let memo_poison_for_test () =
+  Mutex.lock memo_mutex;
+  let victim = Hashtbl.fold (fun _ e _ -> Some e) memo None in
+  (match victim with Some e -> e.fingerprint <- [||] | None -> ());
+  Mutex.unlock memo_mutex;
+  victim <> None
 
 let memo_clear () =
   Mutex.lock memo_mutex;

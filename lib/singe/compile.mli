@@ -140,6 +140,34 @@ val compile_cached :
 val memo_clear : unit -> unit
 (** Drop every memoized compilation (for tests and long-lived servers). *)
 
+type memo_stats = {
+  size : int;  (** entries currently cached *)
+  limit : int;  (** the bound {!set_memo_limit} installed (default 512) *)
+  hits : int;  (** lookups served from the cache (re-verified) *)
+  misses : int;  (** lookups that had to compile *)
+  evictions : int;  (** entries dropped by the LRU bound *)
+  corruptions : int;
+      (** hits whose stored artifact failed fingerprint re-verification
+          and were dropped + recompiled instead of served *)
+}
+
+val memo_stats : unit -> memo_stats
+(** Counter snapshot for perf JSON and the serve [stats] endpoint.
+    Counters are process-lifetime and survive {!memo_clear} (only the
+    entries are dropped). *)
+
+val memo_limit : unit -> int
+
+val set_memo_limit : int -> unit
+(** Install a new entry bound (clamped to at least 1), evicting LRU
+    entries immediately if the table is over it. A long-lived daemon
+    would otherwise leak one lowered program per distinct configuration
+    it ever saw. *)
+
+val memo_poison_for_test : unit -> bool
+(** Corrupt the stored fingerprint of one cached entry (test hook for
+    the re-verification path); [false] when the cache is empty. *)
+
 type ir_stage = Ir_dfg | Ir_mapping | Ir_schedule | Ir_lower
 
 val ir_stage_of_string : string -> ir_stage option

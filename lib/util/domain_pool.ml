@@ -17,13 +17,31 @@
       one level of fan-out is enough for the sweeps we run, and it keeps
       the number of live domains bounded by the job count.}} *)
 
+(* Strict job-count validation, shared by the --jobs flags and the
+   SINGE_JOBS environment variable. [int_of_string] alone would accept
+   hex / underscores, and the old code silently fell back to the domain
+   count on garbage — so SINGE_JOBS=O2 (a typo for 02) quietly ran a
+   different parallelism than asked. *)
+let jobs_of_string s =
+  let t = String.trim s in
+  if t = "" then Error "job count is empty"
+  else if not (String.for_all (fun c -> c >= '0' && c <= '9') t) then
+    Error (Printf.sprintf "%S is not a decimal integer" t)
+  else
+    match int_of_string_opt t with
+    | Some n when n >= 1 -> Ok n
+    | Some n -> Error (Printf.sprintf "job count must be >= 1, got %d" n)
+    | None -> Error (Printf.sprintf "%S is out of range" t)
+
+exception Invalid_jobs of string
+
 let env_jobs () =
   match Sys.getenv_opt "SINGE_JOBS" with
   | None -> None
   | Some s -> (
-      match int_of_string_opt (String.trim s) with
-      | Some n when n >= 1 -> Some n
-      | Some _ | None -> None)
+      match jobs_of_string s with
+      | Ok n -> Some n
+      | Error msg -> raise (Invalid_jobs (Printf.sprintf "SINGE_JOBS: %s" msg)))
 
 let override : int option Atomic.t = Atomic.make None
 
@@ -37,6 +55,21 @@ let default_jobs () =
       | Some n -> n
       | None -> Domain.recommended_domain_count ())
 
+(* ---- observability ----
+
+   Long-lived drivers (the serve loop) need two facts the pool used to
+   keep to itself: how many worker domains are live right now (a health
+   probe — nonzero after a sweep returned means a leaked/wedged domain)
+   and how often a nested fan-out silently degraded to serial (a symptom
+   of callers accidentally stacking parallel sweeps). Both are plain
+   monotone/gauge counters on atomics; they never affect scheduling. *)
+
+let live : int Atomic.t = Atomic.make 0
+let nested : int Atomic.t = Atomic.make 0
+
+let live_domains () = Atomic.get live
+let nested_serial_calls () = Atomic.get nested
+
 (* True inside a worker domain: nested parallel_map calls degrade to
    serial List.map there (see the determinism contract above). *)
 let in_worker : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
@@ -45,7 +78,14 @@ let parallel_map ?jobs f xs =
   let jobs = match jobs with Some j -> max 1 j | None -> default_jobs () in
   let n = List.length xs in
   let jobs = min jobs n in
-  if jobs <= 1 || Domain.DLS.get in_worker then List.map f xs
+  if Domain.DLS.get in_worker then begin
+    (* Nested fan-out degrades to serial by design; count the calls that
+       actually asked for parallelism so the degradation is observable
+       (serve stats, sweeps stacked by accident). *)
+    if jobs > 1 then Atomic.incr nested;
+    List.map f xs
+  end
+  else if jobs <= 1 then List.map f xs
   else begin
     let input = Array.of_list xs in
     let results = Array.make n None in
@@ -65,13 +105,21 @@ let parallel_map ?jobs f xs =
       Domain.DLS.set in_worker true;
       work ()
     in
-    let domains = Array.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+    let domains =
+      Array.init (jobs - 1) (fun _ ->
+          Atomic.incr live;
+          Domain.spawn worker)
+    in
     (* The calling domain is worker [0]; it must not fan out again. *)
     Domain.DLS.set in_worker true;
     Fun.protect
       ~finally:(fun () ->
         Domain.DLS.set in_worker false;
-        Array.iter Domain.join domains)
+        Array.iter
+          (fun d ->
+            Domain.join d;
+            Atomic.decr live)
+          domains)
       work;
     Array.iter
       (function

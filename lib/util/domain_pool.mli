@@ -9,11 +9,24 @@
     inside a worker run serially, bounding live domains by the job
     count. *)
 
+val jobs_of_string : string -> (int, string) result
+(** Strict job-count parsing shared by the [--jobs] flags and the
+    [SINGE_JOBS] environment variable: a plain positive decimal integer.
+    Zero, negatives, hex, underscores, empty and garbage are [Error]
+    with a one-line cause — never a silent fallback. *)
+
+exception Invalid_jobs of string
+(** Raised by {!default_jobs} when [SINGE_JOBS] is set but does not pass
+    {!jobs_of_string}; the message names the variable and the cause.
+    Entry points render it as a typed configuration error instead of
+    inheriting whatever parallelism the silent fallback picked. *)
+
 val default_jobs : unit -> int
 (** Worker count used when [parallel_map] gets no explicit [jobs]:
     the {!set_jobs} override if one was installed (the [--jobs] flag),
-    else a valid positive [SINGE_JOBS] environment value, else
-    [Domain.recommended_domain_count ()]. *)
+    else the validated [SINGE_JOBS] environment value, else
+    [Domain.recommended_domain_count ()]. Raises {!Invalid_jobs} when
+    [SINGE_JOBS] is set to anything {!jobs_of_string} rejects. *)
 
 val set_jobs : int -> unit
 (** Install a process-wide override for {!default_jobs} (clamped to at
@@ -33,3 +46,14 @@ val parallel_map_result :
     still run to completion. Deterministic in the same sense as
     {!parallel_map} — the result list depends only on the input order,
     never on worker scheduling. *)
+
+val live_domains : unit -> int
+(** Worker domains currently spawned by in-flight [parallel_map] calls
+    (the caller's own domain is not counted). Always [0] when no fan-out
+    is running — a nonzero value after a sweep returned means a leaked
+    or wedged domain, which the serve health probe treats as fatal. *)
+
+val nested_serial_calls : unit -> int
+(** Process-lifetime count of [parallel_map] calls that asked for more
+    than one job from inside a worker and therefore degraded to serial
+    execution (the determinism contract's bounded-domains rule). *)

@@ -186,6 +186,7 @@ let test_fault_spec_roundtrip () =
       Gpusim.Fault.Swap_barrier { warp = 2; nth = 3; bar = 5 };
       Gpusim.Fault.Extra_arrive { warp = 0; nth = 2 };
       Gpusim.Fault.Latency { warp = 4; mult = 3 };
+      Gpusim.Fault.Corrupt_shfl { warp = 0; nth = 1 };
     ];
   List.iter
     (fun bad ->
@@ -222,6 +223,11 @@ let test_fault_spec_strict () =
       "latency:warp=9999999999999999999999,mult=2";
       (* missing field *)
       "swap-bar:warp=1,bar=0";
+      (* corrupt-shfl: same strictness as the barrier faults *)
+      "corrupt-shfl:warp=1";
+      "corrupt-shfl:warp=1,nth=0,mult=2";
+      "corrupt-shfl:warp=1,nth=0x2";
+      "corrupt-shfl:nth=0";
     ]
 
 let fault_spec_qcheck_roundtrip =
@@ -246,6 +252,9 @@ let fault_spec_qcheck_roundtrip =
               map2
                 (fun warp mult -> Gpusim.Fault.Latency { warp; mult })
                 nat (int_range 1 64);
+              map2
+                (fun warp nth -> Gpusim.Fault.Corrupt_shfl { warp; nth })
+                nat nat;
             ]))
   in
   QCheck_alcotest.to_alcotest ~verbose:false
@@ -400,6 +409,36 @@ let test_diagnostics_carry_loc () =
         true
         (String.sub rendered 0 23 = "error[parse]: in.mech:2")
 
+(* ---- corrupt-shfl: silent data-movement corruption across the
+   synthesized-exchange shuffles — the run completes (no deadlock, the
+   lane selector is not a barrier), but the functional output check
+   catches the wrong data movement. ---- *)
+
+let test_corrupt_shfl_corrupts_outputs () =
+  let c = compiled (Lazy.force dme) Singe.Kernel_abi.Viscosity in
+  let r =
+    Singe.Compile.run c ~total_points:(13 * 3 * 32)
+      ~faults:[ Gpusim.Fault.Corrupt_shfl { warp = 0; nth = 0 } ]
+      ~max_cycles:50_000_000
+  in
+  Alcotest.(check bool)
+    "outputs corrupted" true
+    (r.Singe.Compile.max_rel_err > 1e-6);
+  let clean = Singe.Compile.run c ~total_points:(13 * 3 * 32) ~max_cycles:50_000_000 in
+  Alcotest.(check bool)
+    "clean run stays clean" true
+    (clean.Singe.Compile.max_rel_err < 1e-9)
+
+let test_corrupt_shfl_unmatchable_rejected () =
+  let c = compiled (Lazy.force dme) Singe.Kernel_abi.Viscosity in
+  match
+    Singe.Compile.run ~check:false c ~total_points:(13 * 3 * 32)
+      ~faults:[ Gpusim.Fault.Corrupt_shfl { warp = 0; nth = 100_000 } ]
+      ~max_cycles:50_000_000
+  with
+  | _ -> Alcotest.fail "unmatchable corrupt-shfl accepted"
+  | exception Invalid_argument _ -> ()
+
 let tests =
   [
     Alcotest.test_case "verifier accepts shipped schedules" `Slow
@@ -420,6 +459,10 @@ let tests =
     Alcotest.test_case "fault specs parsed strictly" `Quick
       test_fault_spec_strict;
     fault_spec_qcheck_roundtrip;
+    Alcotest.test_case "corrupt-shfl corrupts outputs" `Quick
+      test_corrupt_shfl_corrupts_outputs;
+    Alcotest.test_case "unmatchable corrupt-shfl rejected" `Quick
+      test_corrupt_shfl_unmatchable_rejected;
     Alcotest.test_case "out-of-range barrier id rejected" `Quick
       test_swap_barrier_out_of_range_rejected;
     Alcotest.test_case "poisoned sweep keeps winner" `Slow

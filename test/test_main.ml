@@ -25,4 +25,5 @@ let () =
       ("perf-model", Test_perf_model.tests);
       ("chip", Test_chip.tests);
       ("synth", Test_synth.tests);
+      ("serve", Test_serve.tests);
     ]

@@ -38,10 +38,64 @@ let test_map_exception_order () =
 
 let test_map_nested_serial () =
   (* A parallel_map from inside a worker degrades to List.map, so the
-     domain count stays bounded and the result is still in order. *)
+     domain count stays bounded and the result is still in order. The
+     degradation is counted, so a long-lived driver can see sweeps that
+     accidentally stack parallelism. *)
+  let before = Sutil.Domain_pool.nested_serial_calls () in
   let inner x = Sutil.Domain_pool.parallel_map ~jobs:4 (fun y -> x + y) [ 1; 2; 3 ] in
   let got = Sutil.Domain_pool.parallel_map ~jobs:2 inner [ 10; 20 ] in
-  Alcotest.(check (list (list int))) "nested" [ [ 11; 12; 13 ]; [ 21; 22; 23 ] ] got
+  Alcotest.(check (list (list int))) "nested" [ [ 11; 12; 13 ]; [ 21; 22; 23 ] ] got;
+  Alcotest.(check int)
+    "nested degradations counted" (before + 2)
+    (Sutil.Domain_pool.nested_serial_calls ());
+  Alcotest.(check int) "no leaked domains" 0 (Sutil.Domain_pool.live_domains ())
+
+(* ---- strict job-count validation (--jobs / SINGE_JOBS) ---- *)
+
+let test_jobs_of_string () =
+  List.iter
+    (fun (s, expect) ->
+      Alcotest.(check int)
+        (Printf.sprintf "%S parses" s)
+        expect
+        (match Sutil.Domain_pool.jobs_of_string s with
+        | Ok n -> n
+        | Error m -> Alcotest.failf "%S rejected: %s" s m))
+    [ ("1", 1); ("4", 4); (" 8 ", 8); ("32", 32) ];
+  List.iter
+    (fun s ->
+      match Sutil.Domain_pool.jobs_of_string s with
+      | Ok n -> Alcotest.failf "%S accepted as %d" s n
+      | Error _ -> ())
+    [
+      "0"; "-2"; "+3"; ""; "  "; "0x10"; "2_0"; "two"; "4.0";
+      "99999999999999999999999999";
+    ]
+
+let test_env_jobs_rejected () =
+  (* SINGE_JOBS garbage must raise the typed error, not silently fall
+     back to some other parallelism. *)
+  let orig = Sys.getenv_opt "SINGE_JOBS" in
+  let restore () =
+    (* There is no unsetenv in stdlib Unix: restore the original value,
+       or pin the documented unset-default explicitly. *)
+    Unix.putenv "SINGE_JOBS"
+      (match orig with
+      | Some v -> v
+      | None -> string_of_int (Domain.recommended_domain_count ()))
+  in
+  Fun.protect ~finally:restore (fun () ->
+      Unix.putenv "SINGE_JOBS" "O2";
+      (match Sutil.Domain_pool.default_jobs () with
+      | n -> Alcotest.failf "SINGE_JOBS=O2 accepted as %d" n
+      | exception Sutil.Domain_pool.Invalid_jobs msg ->
+          Alcotest.(check bool)
+            "message names the variable" true
+            (String.length msg >= 10 && String.sub msg 0 10 = "SINGE_JOBS"));
+      Unix.putenv "SINGE_JOBS" "0";
+      match Sutil.Domain_pool.default_jobs () with
+      | n -> Alcotest.failf "SINGE_JOBS=0 accepted as %d" n
+      | exception Sutil.Domain_pool.Invalid_jobs _ -> ())
 
 (* ---- simulated results across job counts ---- *)
 
@@ -199,6 +253,9 @@ let tests =
     Alcotest.test_case "parallel_map exception order" `Quick
       test_map_exception_order;
     Alcotest.test_case "parallel_map nested" `Quick test_map_nested_serial;
+    Alcotest.test_case "jobs_of_string strict" `Quick test_jobs_of_string;
+    Alcotest.test_case "SINGE_JOBS garbage rejected" `Quick
+      test_env_jobs_rejected;
     Alcotest.test_case "sim identical across jobs" `Slow
       test_sim_identical_across_jobs;
     Alcotest.test_case "autotune winner across jobs" `Slow

@@ -1,0 +1,395 @@
+(* The serve loop's contract: the wire protocol round-trips, every
+   failure mode at the request boundary maps to its documented error
+   class, deadline overruns degrade to the analytic model instead of
+   erroring, idempotent ids replay bit-identically, backpressure answers
+   with busy + retry hint, and the shared compile memo stays bounded and
+   re-verified. Every response asserted on here is also re-validated
+   with Json_check — the loop's own self-check, exercised directly. *)
+
+module Serve = Singe.Serve
+module J = Sutil.Json
+
+let parse_doc line =
+  (match Sutil.Json_check.validate line with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "response fails Json_check: %s (%s)" m line);
+  match J.parse line with
+  | Ok doc -> doc
+  | Error m -> Alcotest.failf "response not parseable: %s (%s)" m line
+
+(* Answer one line on [st], asserting the response validates. *)
+let handle st line =
+  let resp, stop = Serve.handle_line st line in
+  ignore (parse_doc resp);
+  (resp, stop)
+
+let sfield line key =
+  Option.bind (J.member key (parse_doc line)) J.str
+
+let bfield line key =
+  Option.bind (J.member key (parse_doc line)) J.bool
+
+let check_class line expect =
+  Alcotest.(check (option string)) "status" (Some "error") (sfield line "status");
+  Alcotest.(check (option string)) "class" (Some expect) (sfield line "class")
+
+(* ---- wire protocol: qcheck round-trip ---- *)
+
+let request_roundtrip_qcheck =
+  let open QCheck in
+  let str_gen =
+    Gen.oneof
+      [
+        Gen.oneofl
+          [
+            "dme"; "hydrogen"; "viscosity"; "ws"; "";
+            "a\"quote"; "back\\slash"; "tab\tnl\n"; "h\xc3\xa9llo";
+          ];
+        Gen.string_size ~gen:Gen.printable (Gen.int_bound 12);
+      ]
+  in
+  let target_gen =
+    Gen.map
+      (fun (((mech, kernel), (arch, version)), (warps, points, synth)) ->
+        {
+          Serve.t_mech = mech;
+          t_kernel = kernel;
+          t_arch = arch;
+          t_version = version;
+          t_warps = warps;
+          t_points = points;
+          t_synth = synth;
+        })
+      Gen.(
+        pair
+          (pair (pair str_gen str_gen) (pair str_gen str_gen))
+          (triple (int_range 1 1024) (int_range 1 1_000_000)
+             (opt Gen.bool)))
+  in
+  let payload_gen =
+    Gen.oneof
+      [
+        Gen.map (fun t -> Serve.Compile_req t) target_gen;
+        Gen.map (fun t -> Serve.Predict_req t) target_gen;
+        Gen.map
+          (fun (t, faults, max_cycles) ->
+            Serve.Run_req { target = t; faults; max_cycles })
+          Gen.(
+            triple target_gen
+              (list_size (int_bound 3) str_gen)
+              (opt (int_range 1 1_000_000_000)));
+        Gen.map
+          (fun (t, top_k) -> Serve.Tune_req { target = t; top_k })
+          Gen.(pair target_gen (int_range 1 64));
+        Gen.return Serve.Health_req;
+        Gen.return Serve.Stats_req;
+        Gen.return Serve.Shutdown_req;
+      ]
+  in
+  let request_gen =
+    Gen.map
+      (fun ((id, deadline), payload) ->
+        { Serve.req_id = id; req_deadline_ms = deadline; req = payload })
+      Gen.(pair (pair (opt str_gen) (opt (int_range 1 1_000_000))) payload_gen)
+  in
+  let arb = make ~print:Serve.request_to_json request_gen in
+  QCheck_alcotest.to_alcotest ~verbose:false
+    (Test.make ~count:500 ~name:"serve request encode/decode round-trip" arb
+       (fun r ->
+         let line = Serve.request_to_json r in
+         (match Sutil.Json_check.validate line with
+         | Ok () -> ()
+         | Error m -> Test.fail_reportf "encoded request invalid: %s" m);
+         match Serve.parse_request line with
+         | Ok r' -> r = r'
+         | Error m -> Test.fail_reportf "decode failed: %s" m))
+
+(* ---- one test per error class at the request boundary ---- *)
+
+let test_bad_request_class () =
+  let st = Serve.create () in
+  let resp, stop = handle st "this is not json" in
+  Alcotest.(check bool) "keeps serving" false stop;
+  check_class resp "bad-request";
+  let resp, _ = handle st {|{"kind":"frobnicate"}|} in
+  check_class resp "bad-request";
+  let resp, _ = handle st {|{"kind":"run","bogus":1}|} in
+  check_class resp "bad-request";
+  let resp, _ = handle st {|{"kind":"run","warps":0}|} in
+  check_class resp "bad-request";
+  let resp, _ = handle st {|{"kind":"run","mech":"unobtainium"}|} in
+  check_class resp "bad-request";
+  (* a fault spec that does not parse is a client error, not a server one *)
+  let resp, _ =
+    handle st {|{"kind":"run","mech":"hydrogen","faults":["zap:a=1"]}|}
+  in
+  check_class resp "bad-request";
+  (* the id is echoed even on a rejected envelope *)
+  let resp, _ = handle st {|{"id":"e1","kind":"run","bogus":1}|} in
+  Alcotest.(check (option string)) "id echoed" (Some "e1") (sfield resp "id")
+
+let test_compile_rejected_class () =
+  let st = Serve.create () in
+  (* warp specialization needs at least two warps: typed rejection *)
+  let resp, _ = handle st {|{"kind":"run","mech":"hydrogen","warps":1}|} in
+  check_class resp "compile-rejected";
+  Alcotest.(check (option string))
+    "exit analog" (Some "2")
+    (Option.map string_of_int
+       (Option.bind (J.member "exit_analog" (parse_doc resp)) J.int));
+  (* a parseable fault spec that matches nothing in the trace *)
+  let resp, _ =
+    handle st
+      {|{"kind":"run","mech":"hydrogen","points":2048,"warps":4,"faults":["corrupt-shfl:warp=0,nth=100000"]}|}
+  in
+  check_class resp "compile-rejected";
+  (* baseline divisibility is checked up front, not by an assert *)
+  let resp, _ =
+    handle st {|{"kind":"run","mech":"hydrogen","version":"baseline","points":100,"warps":4}|}
+  in
+  check_class resp "compile-rejected"
+
+let test_simulation_fault_class () =
+  let st = Serve.create () in
+  let resp, _ =
+    handle st
+      {|{"kind":"run","mech":"hydrogen","points":2048,"warps":4,"faults":["drop-arrive:warp=1,nth=0"]}|}
+  in
+  check_class resp "simulation-fault";
+  let doc = parse_doc resp in
+  (match J.member "fault" doc with
+  | Some f ->
+      Alcotest.(check (option string))
+        "fault kind" (Some "barrier deadlock")
+        (Option.bind (J.member "kind" f) J.str)
+  | None -> Alcotest.fail "no fault object");
+  Alcotest.(check (option string))
+    "exit analog" (Some "3")
+    (Option.map string_of_int (Option.bind (J.member "exit_analog" doc) J.int))
+
+let test_busy_class () =
+  let st = Serve.create () in
+  let resp = Serve.busy_line st {|{"id":"b7","kind":"health"}|} in
+  check_class resp "busy";
+  Alcotest.(check (option string)) "id echoed" (Some "b7") (sfield resp "id");
+  Alcotest.(check (option string))
+    "retry hint" (Some "50")
+    (Option.map string_of_int
+       (Option.bind (J.member "retry_after_ms" (parse_doc resp)) J.int))
+
+(* ---- corrupted outputs are reported, not hidden ---- *)
+
+let test_corrupt_run_reported () =
+  let st = Serve.create () in
+  let resp, _ =
+    handle st
+      {|{"kind":"run","mech":"hydrogen","points":2048,"warps":4,"faults":["corrupt-shfl:warp=0,nth=0"]}|}
+  in
+  Alcotest.(check (option string)) "status" (Some "ok") (sfield resp "status");
+  Alcotest.(check (option bool))
+    "outputs flagged" (Some false) (bfield resp "outputs_ok")
+
+(* ---- deadline degradation ---- *)
+
+(* cycles_per_ms = 1 pins any deadline at the 10k-cycle floor budget,
+   which even the smallest kernel exceeds — the deterministic way to
+   exercise the degraded paths. *)
+let tight_config =
+  { Serve.default_config with Serve.cycles_per_ms = 1 }
+
+let test_run_degrades_to_model () =
+  let st = Serve.create ~config:tight_config () in
+  let resp, _ =
+    handle st
+      {|{"kind":"run","mech":"hydrogen","points":2048,"warps":4,"deadline_ms":1}|}
+  in
+  Alcotest.(check (option string)) "status" (Some "ok") (sfield resp "status");
+  Alcotest.(check (option bool)) "degraded" (Some true) (bfield resp "degraded");
+  let doc = parse_doc resp in
+  (match J.member "model" doc with
+  | Some m ->
+      let pos k =
+        match Option.bind (J.member k m) J.num with
+        | Some v when v > 0.0 -> ()
+        | v ->
+            Alcotest.failf "model.%s not positive: %s" k
+              (match v with Some f -> string_of_float f | None -> "<missing>")
+      in
+      pos "predicted_cycles";
+      pos "predicted_points_per_sec";
+      pos "floor_cycles"
+  | None -> Alcotest.fail "no model payload");
+  match sfield resp "caveat" with
+  | Some c ->
+      Alcotest.(check bool)
+        "caveat names the model" true
+        (String.length c > 0)
+  | None -> Alcotest.fail "no caveat on a degraded response"
+
+let test_tune_degrades_to_model_ranking () =
+  let st = Serve.create ~config:tight_config () in
+  let resp, _ =
+    handle st
+      {|{"kind":"tune","mech":"hydrogen","kernel":"viscosity","points":2048,"top_k":2,"deadline_ms":1}|}
+  in
+  Alcotest.(check (option string)) "status" (Some "ok") (sfield resp "status");
+  Alcotest.(check (option bool)) "degraded" (Some true) (bfield resp "degraded");
+  let doc = parse_doc resp in
+  (match Option.bind (J.member "candidates_ranked" doc) J.int with
+  | Some n when n >= 1 -> ()
+  | v ->
+      Alcotest.failf "candidates_ranked = %s"
+        (match v with Some n -> string_of_int n | None -> "<missing>"));
+  match J.member "best" doc with
+  | Some b ->
+      (match Option.bind (J.member "warps" b) J.int with
+      | Some w when w >= 2 -> ()
+      | _ -> Alcotest.fail "degraded best has no warp count")
+  | None -> Alcotest.fail "no best candidate"
+
+(* hard deadlocks must NOT degrade — wrong is worse than slow *)
+let test_deadlock_not_degraded () =
+  let st = Serve.create ~config:tight_config () in
+  let resp, _ =
+    handle st
+      {|{"kind":"run","mech":"hydrogen","points":2048,"warps":4,"deadline_ms":100000,"faults":["drop-arrive:warp=1,nth=0"]}|}
+  in
+  check_class resp "simulation-fault"
+
+(* ---- idempotent retries ---- *)
+
+let test_idempotent_replay () =
+  let st = Serve.create () in
+  let line =
+    {|{"id":"r9","kind":"run","mech":"hydrogen","points":2048,"warps":4,"deadline_ms":600000}|}
+  in
+  let first, _ = handle st line in
+  let second, _ = handle st line in
+  Alcotest.(check string) "bit-identical replay" first second;
+  (* the same id with a different payload is a client bug, not a cache hit *)
+  let resp, _ = handle st {|{"id":"r9","kind":"health"}|} in
+  check_class resp "bad-request"
+
+let test_identical_requests_deterministic () =
+  (* Two cold processes (modeled as two fresh states) must produce the
+     same bytes for the same request — nothing wall-clock-dependent in a
+     normal response. *)
+  let line =
+    {|{"kind":"run","mech":"hydrogen","points":2048,"warps":4,"deadline_ms":600000}|}
+  in
+  let a, _ = handle (Serve.create ()) line in
+  let b, _ = handle (Serve.create ()) line in
+  Alcotest.(check string) "deterministic across states" a b
+
+(* ---- lifecycle ---- *)
+
+let test_shutdown_and_health () =
+  let st = Serve.create () in
+  let resp, _ = handle st {|{"kind":"health"}|} in
+  Alcotest.(check (option bool)) "live" (Some true) (bfield resp "live");
+  (match J.member "compile_cache" (parse_doc resp) with
+  | Some _ -> ()
+  | None -> Alcotest.fail "health has no compile_cache");
+  let resp, stop = handle st {|{"kind":"shutdown"}|} in
+  Alcotest.(check (option string)) "status" (Some "ok") (sfield resp "status");
+  Alcotest.(check bool) "stops" true stop;
+  Alcotest.(check int) "requests counted" 2 (Serve.requests_total st)
+
+(* ---- the bounded compile memo ---- *)
+
+let test_memo_lru_bound () =
+  let prev_limit = Singe.Compile.memo_limit () in
+  Fun.protect
+    ~finally:(fun () -> Singe.Compile.set_memo_limit prev_limit)
+    (fun () ->
+      Singe.Compile.memo_clear ();
+      Singe.Compile.set_memo_limit 2;
+      let mech = Chem.Mech_gen.hydrogen () in
+      let arch = Gpusim.Arch.kepler_k20c in
+      let compile warps =
+        ignore
+          (Singe.Compile.compile_cached mech Singe.Kernel_abi.Viscosity
+             Singe.Compile.Warp_specialized
+             {
+               (Singe.Compile.default_options arch) with
+               Singe.Compile.n_warps = warps;
+             })
+      in
+      let before = Singe.Compile.memo_stats () in
+      compile 2;
+      compile 3;
+      compile 4;
+      let after = Singe.Compile.memo_stats () in
+      Alcotest.(check bool)
+        "size bounded" true
+        (after.Singe.Compile.size <= 2);
+      Alcotest.(check bool)
+        "eviction counted" true
+        (after.Singe.Compile.evictions > before.Singe.Compile.evictions);
+      (* LRU: warps=2 was evicted, warps=4 is still cached *)
+      let h0 = after.Singe.Compile.hits in
+      compile 4;
+      Alcotest.(check int)
+        "recent entry still hits" (h0 + 1)
+        ((Singe.Compile.memo_stats ()).Singe.Compile.hits);
+      let m0 = (Singe.Compile.memo_stats ()).Singe.Compile.misses in
+      compile 2;
+      Alcotest.(check int)
+        "oldest entry was evicted" (m0 + 1)
+        ((Singe.Compile.memo_stats ()).Singe.Compile.misses))
+
+let test_memo_reverification () =
+  let prev_limit = Singe.Compile.memo_limit () in
+  Fun.protect
+    ~finally:(fun () -> Singe.Compile.set_memo_limit prev_limit)
+    (fun () ->
+      Singe.Compile.memo_clear ();
+      let mech = Chem.Mech_gen.hydrogen () in
+      let arch = Gpusim.Arch.kepler_k20c in
+      let compile () =
+        Singe.Compile.compile_cached mech Singe.Kernel_abi.Viscosity
+          Singe.Compile.Warp_specialized
+          (Singe.Compile.default_options arch)
+      in
+      ignore (compile ());
+      Alcotest.(check bool)
+        "poison found an entry" true
+        (Singe.Compile.memo_poison_for_test ());
+      let before = Singe.Compile.memo_stats () in
+      let c = compile () in
+      let after = Singe.Compile.memo_stats () in
+      Alcotest.(check int)
+        "corruption detected" (before.Singe.Compile.corruptions + 1)
+        after.Singe.Compile.corruptions;
+      (* the recompiled artifact is sound: it simulates correctly *)
+      let r = Singe.Compile.run c ~total_points:2048 ~max_cycles:50_000_000 in
+      Alcotest.(check bool)
+        "recompiled artifact verifies" true
+        (r.Singe.Compile.max_rel_err < 1e-9))
+
+let tests =
+  [
+    request_roundtrip_qcheck;
+    Alcotest.test_case "bad-request class" `Quick test_bad_request_class;
+    Alcotest.test_case "compile-rejected class" `Quick
+      test_compile_rejected_class;
+    Alcotest.test_case "simulation-fault class" `Quick
+      test_simulation_fault_class;
+    Alcotest.test_case "busy class" `Quick test_busy_class;
+    Alcotest.test_case "corrupted outputs reported" `Quick
+      test_corrupt_run_reported;
+    Alcotest.test_case "run degrades to model" `Quick
+      test_run_degrades_to_model;
+    Alcotest.test_case "tune degrades to model ranking" `Quick
+      test_tune_degrades_to_model_ranking;
+    Alcotest.test_case "deadlock is not degraded" `Quick
+      test_deadlock_not_degraded;
+    Alcotest.test_case "idempotent replay bit-identical" `Quick
+      test_idempotent_replay;
+    Alcotest.test_case "identical requests deterministic" `Quick
+      test_identical_requests_deterministic;
+    Alcotest.test_case "shutdown and health" `Quick test_shutdown_and_health;
+    Alcotest.test_case "compile memo LRU bound" `Quick test_memo_lru_bound;
+    Alcotest.test_case "compile memo re-verification" `Quick
+      test_memo_reverification;
+  ]
