@@ -31,6 +31,7 @@ let figures =
     ("ablation-exchange", Experiments.Figures.ablation_exchange);
     ("model-accuracy", Experiments.Figures.model_accuracy);
     ("chip-scaling", Experiments.Figures.chip_scaling);
+    ("partition-search", Experiments.Figures.partition_search);
   ]
 
 let microbenchmarks () =
@@ -252,6 +253,53 @@ let perf ~out ?max_cycles () =
           | Some p -> Gpusim.Profile.to_json p
           | None -> "null"
         in
+        (* The searched counterpart of this hand-partitioned entry: a
+           model-only Partition_search pass (jobs pinned to 1 — the entry
+           itself already runs inside the snapshot's fan-out) recording
+           the candidate funnel and whether the analytic ranking would
+           have picked a different split. Baseline has no partition to
+           search. *)
+        let partition_json =
+          match version with
+          | Singe.Compile.Baseline | Singe.Compile.Naive_warp_specialized ->
+              "{\"mode\": \"hand\", \"search\": null}"
+          | Singe.Compile.Warp_specialized -> (
+              match
+                Singe.Partition_search.search ~jobs:1 ~simulate:false mech
+                  kernel version ~base:options ()
+              with
+              | Error _ -> "{\"mode\": \"hand\", \"search\": null}"
+              | Ok o ->
+                  let spec_json =
+                    match o.Singe.Partition_search.winner_spec with
+                    | None -> "null"
+                    | Some s ->
+                        Printf.sprintf
+                          "{\"producer_warps\": %d, \"hub_threshold\": %d, \
+                           \"chain_weight\": %.3g, \"strategy\": \"%s\", \
+                           \"buffer_slots\": %d}"
+                          s.Singe.Mapping.producer_warps
+                          s.Singe.Mapping.hub_threshold
+                          s.Singe.Mapping.chain_weight
+                          (match s.Singe.Mapping.auto_strategy with
+                          | Singe.Mapping.Store -> "store"
+                          | Singe.Mapping.Buffer -> "buffer"
+                          | Singe.Mapping.Mixed -> "mixed")
+                          o.Singe.Partition_search.winner
+                            .Singe.Compile.buffer_slots
+                  in
+                  Printf.sprintf
+                    "{\"mode\": \"hand\", \"search\": {\"searched\": %d, \
+                     \"gated\": %d, \"rejected\": %d, \"confirmed\": %b, \
+                     \"model_hand_cycles\": %.0f, \"model_winner_cycles\": \
+                     %.0f, \"winner\": %s}}"
+                    o.Singe.Partition_search.searched
+                    o.Singe.Partition_search.gated
+                    (List.length o.Singe.Partition_search.rejections)
+                    o.Singe.Partition_search.confirmed
+                    o.Singe.Partition_search.hand_cycles
+                    o.Singe.Partition_search.winner_cycles spec_json)
+        in
         P_entry
           (Printf.sprintf
              "{\"mech\": \"%s\", \"kernel\": \"%s\", \"version\": \"%s\", \
@@ -261,8 +309,8 @@ let perf ~out ?max_cycles () =
               \"sim_wall_s\": %.4f, \"sim_cycles_per_host_sec\": %.6g}, \
               \"model\": {\"predicted_cycles\": %.0f, \"floor_cycles\": \
               %.0f, \"rel_err\": %.4f, \"binding\": \"%s\"}, \
-              \"chip\": %s, \"exchange\": %s, \"profile\": %s, \"report\": \
-              %s}"
+              \"partition\": %s, \"chip\": %s, \"exchange\": %s, \
+              \"profile\": %s, \"report\": %s}"
              mech.Chem.Mechanism.name
              (Singe.Kernel_abi.kernel_name kernel)
              (Singe.Compile.version_name version)
@@ -280,7 +328,7 @@ let perf ~out ?max_cycles () =
              (Singe.Perf_model.rel_err
                 ~predicted:pred.Singe.Perf_model.cycles
                 ~measured:(float_of_int sm_cycles))
-             pred.Singe.Perf_model.binding
+             pred.Singe.Perf_model.binding partition_json
              (chip_json r.Singe.Compile.machine.Gpusim.Machine.chip)
              exchange_json profile_json
              (Singe.Pass.report_to_json report)))
@@ -397,7 +445,7 @@ let perf ~out ?max_cycles () =
   in
   let json =
     Printf.sprintf
-      "{\"schema\": \"singe-perf-v8\", \"jobs\": %d, \"max_cycles\": %d, \
+      "{\"schema\": \"singe-perf-v9\", \"jobs\": %d, \"max_cycles\": %d, \
        \"faults_detected\": %d, \"candidates_skipped\": %d, \
        \"sweep_wall_s\": %.4f, \"compile_cache\": %s, \"tune\": [\n\
        %s\n\
@@ -427,7 +475,7 @@ let perf ~out ?max_cycles () =
    A 4-SM DME viscosity run exercising the whole Chip layer end to end:
    the simulated snapshot (cycles, counters, chip schedule) must be
    byte-identical whether the run executes serially or on concurrent
-   domains, and the perf-v6 "chip" JSON it emits must be well-formed. *)
+   domains, and the perf-v9 "chip" JSON it emits must be well-formed. *)
 let chip_smoke () =
   let mech = Chem.Mech_gen.dme () in
   let arch = Gpusim.Arch.kepler_k20c in
@@ -444,7 +492,7 @@ let chip_smoke () =
     let ch = m.Gpusim.Machine.chip in
     ( ch,
       Printf.sprintf
-        "{\"schema\": \"singe-perf-v8\", \"kernel\": \"viscosity\", \
+        "{\"schema\": \"singe-perf-v9\", \"kernel\": \"viscosity\", \
          \"sm_cycles\": %d, \"points_per_sec\": %.6g, \"chip\": %s}"
         m.Gpusim.Machine.sm_cycles m.Gpusim.Machine.points_per_sec
         (chip_json ch) )
@@ -479,8 +527,8 @@ let chip_smoke () =
     "CTA conservation across SMs broke";
   check "makespan positive" (ch.Gpusim.Chip.makespan_cycles > 0.0) "";
   (match Sutil.Json_check.validate serial with
-  | Ok () -> check "perf-v8 chip json" true ""
-  | Error m -> check "perf-v8 chip json" false m);
+  | Ok () -> check "perf-v9 chip json" true ""
+  | Error m -> check "perf-v9 chip json" false m);
   if !failed then exit 1
 
 (* ---- exchange-rewrite smoke gate (`synth-smoke`, wired into `make check`)
@@ -536,7 +584,7 @@ let synth_smoke () =
     (Printf.sprintf "on %d > off %d cycles" (cyc r_on) (cyc r_off));
   let payload =
     Printf.sprintf
-      "{\"schema\": \"singe-perf-v8\", \"kernel\": \"diffusion\", \
+      "{\"schema\": \"singe-perf-v9\", \"kernel\": \"diffusion\", \
        \"sm_cycles\": %d, \"exchange\": {\"sites_rewritten\": %d, \
        \"round_trips_removed\": %d, \"stores_removed\": %d, \
        \"shuffle_steps\": %d, \"shared_bytes_freed\": %d, \"cycle_delta\": \
@@ -549,8 +597,110 @@ let synth_smoke () =
       (cyc r_off - cyc r_on)
   in
   (match Sutil.Json_check.validate payload with
-  | Ok () -> check "perf-v8 exchange json" true ""
-  | Error m -> check "perf-v8 exchange json" false m);
+  | Ok () -> check "perf-v9 exchange json" true ""
+  | Error m -> check "perf-v9 exchange json" false m);
+  if !failed then exit 1
+
+(* ---- partition search smoke gate (`partition-smoke`, in `make check`) ----
+
+   The full three-phase search — propose, model-rank, deadlock-gate,
+   simulate-confirm — on hydrogen viscosity: the searcher must rediscover
+   or beat the hand partition (simulated cycles no worse), every gate
+   rejection must carry a [partition-rejected] diagnostic, the winning
+   options must themselves pass the safety gate when recompiled, and the
+   perf-v9 "partition" JSON must be well-formed. Hydrogen keeps the
+   candidate compiles cheap enough for `make check` (~a few seconds). *)
+let partition_smoke () =
+  let mech = Chem.Mech_gen.hydrogen () in
+  let arch = Gpusim.Arch.kepler_k20c in
+  let base =
+    { (Singe.Compile.default_options arch) with
+      Singe.Compile.n_warps = 8;
+      max_barriers = 8;
+      ctas_per_sm_target = 2
+    }
+  in
+  let failed = ref false in
+  let check name ok detail =
+    if ok then Printf.printf "check %-32s ok\n" name
+    else begin
+      failed := true;
+      Printf.printf "check %-32s FAILED%s\n" name
+        (if detail = "" then "" else ": " ^ detail)
+    end
+  in
+  let t0 = Unix.gettimeofday () in
+  (match
+     Singe.Partition_search.search ~points:8192 mech Singe.Kernel_abi.Viscosity
+       Singe.Compile.Warp_specialized ~base ()
+   with
+  | Error d -> check "search completes" false (Singe.Diagnostics.to_string d)
+  | Ok o ->
+      check "search completes" true "";
+      check "simulation confirmed" o.Singe.Partition_search.confirmed "";
+      check "rediscovers or beats hand"
+        (o.Singe.Partition_search.winner_cycles
+        <= o.Singe.Partition_search.hand_cycles)
+        (Printf.sprintf "winner %.0f > hand %.0f cycles"
+           o.Singe.Partition_search.winner_cycles
+           o.Singe.Partition_search.hand_cycles);
+      check "rejections carry diagnostics"
+        (List.for_all
+           (fun (r : Singe.Partition_search.rejection) ->
+             let msg = Singe.Diagnostics.to_string r.rej_diag in
+             String.length msg > 0
+             && r.rej_diag.Singe.Diagnostics.pass = Some "partition-search")
+           o.Singe.Partition_search.rejections)
+        "a rejection lost its partition-search diagnostic";
+      (match
+         Singe.Compile.compile_checked ~validate:false mech
+           Singe.Kernel_abi.Viscosity Singe.Compile.Warp_specialized
+           o.Singe.Partition_search.winner
+       with
+      | Error d ->
+          check "winner recompiles" false (Singe.Diagnostics.to_string d)
+      | Ok (c, _) -> (
+          check "winner recompiles" true "";
+          match Singe.Partition_search.gate c with
+          | Ok () -> check "winner passes the safety gate" true ""
+          | Error d ->
+              check "winner passes the safety gate" false
+                (Singe.Diagnostics.to_string d)));
+      let spec_json =
+        match o.Singe.Partition_search.winner_spec with
+        | None -> "null"
+        | Some s ->
+            Printf.sprintf
+              "{\"producer_warps\": %d, \"hub_threshold\": %d, \
+               \"chain_weight\": %.3g, \"strategy\": \"%s\", \
+               \"buffer_slots\": %d}"
+              s.Singe.Mapping.producer_warps s.Singe.Mapping.hub_threshold
+              s.Singe.Mapping.chain_weight
+              (match s.Singe.Mapping.auto_strategy with
+              | Singe.Mapping.Store -> "store"
+              | Singe.Mapping.Buffer -> "buffer"
+              | Singe.Mapping.Mixed -> "mixed")
+              o.Singe.Partition_search.winner.Singe.Compile.buffer_slots
+      in
+      let payload =
+        Printf.sprintf
+          "{\"schema\": \"singe-perf-v9\", \"kernel\": \"viscosity\", \
+           \"partition\": {\"mode\": \"hand\", \"search\": {\"searched\": %d, \
+           \"gated\": %d, \"rejected\": %d, \"confirmed\": %b, \
+           \"model_hand_cycles\": %.0f, \"model_winner_cycles\": %.0f, \
+           \"winner\": %s}}}"
+          o.Singe.Partition_search.searched o.Singe.Partition_search.gated
+          (List.length o.Singe.Partition_search.rejections)
+          o.Singe.Partition_search.confirmed
+          o.Singe.Partition_search.hand_cycles
+          o.Singe.Partition_search.winner_cycles spec_json
+      in
+      match Sutil.Json_check.validate payload with
+      | Ok () -> check "perf-v9 partition json" true ""
+      | Error m -> check "perf-v9 partition json" false m);
+  let wall = Unix.gettimeofday () -. t0 in
+  check "under the 30s budget" (wall < 30.0)
+    (Printf.sprintf "search took %.1fs" wall);
   if !failed then exit 1
 
 (* ---- serve smoke/soak gates (`serve-smoke` is wired into `make check`) ----
@@ -918,6 +1068,7 @@ let () =
   | [ "microbench" ] -> microbenchmarks ()
   | [ "chip-smoke" ] -> chip_smoke ()
   | [ "synth-smoke" ] -> synth_smoke ()
+  | [ "partition-smoke" ] -> partition_smoke ()
   | [ "serve-smoke" ] -> serve_smoke ()
   | [ "serve-soak" ] -> serve_soak ()
   | [ "perf" ] -> perf ~out:None ?max_cycles:!perf_max_cycles ()

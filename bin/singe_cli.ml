@@ -283,19 +283,70 @@ let synth_term =
              the shared footprint. Default: on when the architecture \
              broadcasts through shuffles (Kepler), off otherwise.")
 
+(* The partition mode shared by the compiling commands: hand keeps the
+   paper's fixed producer/consumer split, auto derives one from the DFG
+   with Partition_search (model-only resolution; [singe tune
+   --partition auto] additionally confirms by simulation). *)
+let partition_term =
+  let mode_conv =
+    let parse = function
+      | "hand" -> Ok `Hand
+      | "auto" -> Ok `Auto
+      | s -> Error (`Msg ("unknown partition mode " ^ s ^ " (hand|auto)"))
+    in
+    let print ppf m =
+      Format.pp_print_string ppf (match m with `Hand -> "hand" | `Auto -> "auto")
+    in
+    Arg.conv (parse, print)
+  in
+  Arg.(value & opt mode_conv `Hand & info [ "partition" ] ~docv:"MODE"
+       ~doc:"Warp partition: $(b,hand) keeps the paper's fixed \
+             producer/consumer split; $(b,auto) searches structure-derived \
+             candidate partitions (fan-out hubs as producers, arithmetic \
+             chains onto consumers) crossed with pipeline depths, ranked by \
+             the analytic model and gated by the static deadlock verifier. \
+             A candidate that fails the gate is reported as \
+             partition-rejected and never simulated.")
+
+(* Resolve --partition for the one-configuration commands: model-only
+   search, hand base retained when nothing beats it. A search failure is
+   a compile rejection like any other (exit code 2). *)
+let resolve_partition partition mech kernel version options =
+  match partition with
+  | `Hand -> options
+  | `Auto -> (
+      match
+        Singe.Partition_search.resolve_options mech kernel version
+          ~base:options
+      with
+      | resolved ->
+          (match resolved.Singe.Compile.partition with
+          | Singe.Compile.Partition_auto spec ->
+              Format.printf "partition auto: %a (slots %d)@."
+                Singe.Mapping.pp_auto_spec spec
+                resolved.Singe.Compile.buffer_slots
+          | Singe.Compile.Partition_hand ->
+              print_endline
+                "partition auto: hand mapping retained (no candidate beat it)");
+          resolved
+      | exception Singe.Diagnostics.Fail d ->
+          Printf.eprintf "singe: %s\n" (Singe.Diagnostics.to_string d);
+          exit exit_compile_rejected)
+
 let compile_cmd =
   let dump = Arg.(value & flag & info [ "dump" ] ~doc:"Print the generated code.") in
   let asm = Arg.(value & opt (some string) None & info [ "emit-asm" ] ~docv:"FILE"
                  ~doc:"Write the program's textual assembly to FILE ('-' for stdout).") in
   let cuda = Arg.(value & opt (some string) None & info [ "emit-cuda" ] ~docv:"FILE"
                   ~doc:"Write the kernel as CUDA C source to FILE ('-' for stdout).") in
-  let run mech kernel arch warps version synth dump asm cuda timings validate
-      dump_ir_stage =
+  let run mech kernel arch warps version synth partition dump asm cuda timings
+      validate dump_ir_stage =
     catch_occupancy @@ fun () ->
-    let c, report =
-      compile_or_die ~validate mech kernel version
+    let options =
+      resolve_partition partition mech kernel version
         (options_of ?synth arch warps kernel)
     in
+    let c, report = compile_or_die ~validate mech kernel version options in
     let p = c.Singe.Compile.lowered.Singe.Lower.program in
     Printf.printf
       "%s: %d instrs, %d double regs/thread (%d of them constant bank), %d \
@@ -337,18 +388,19 @@ let compile_cmd =
   in
   Cmd.v (Cmd.info "compile" ~doc:"Compile a kernel and report its resources.")
     Term.(const run $ mech_term $ kernel_term $ arch_term $ warps_term
-          $ version_term $ synth_term $ dump $ asm $ cuda $ timings_term
-          $ validate_term $ dump_ir_term)
+          $ version_term $ synth_term $ partition_term $ dump $ asm $ cuda
+          $ timings_term $ validate_term $ dump_ir_term)
 
 let run_cmd =
   let points = Arg.(value & opt int 32768 & info [ "points" ] ~docv:"N") in
-  let run mech kernel arch warps version synth points timings validate faults
-      max_cycles n_sms skew =
+  let run mech kernel arch warps version synth partition points timings
+      validate faults max_cycles n_sms skew =
     catch_occupancy @@ fun () ->
-    let c, report =
-      compile_or_die ~validate mech kernel version
+    let options =
+      resolve_partition partition mech kernel version
         (options_of ?synth arch warps kernel)
     in
+    let c, report = compile_or_die ~validate mech kernel version options in
     let r =
       (* A contained simulation fault (injected or real) and a fault spec
          that matches nothing in the trace each get their own exit code,
@@ -394,8 +446,9 @@ let run_cmd =
   in
   Cmd.v (Cmd.info "run" ~doc:"Compile, simulate and verify a kernel.")
     Term.(const run $ mech_term $ kernel_term $ arch_term $ warps_term
-          $ version_term $ synth_term $ points $ timings_term $ validate_term
-          $ faults_term $ max_cycles_term $ sms_term $ skew_term)
+          $ version_term $ synth_term $ partition_term $ points $ timings_term
+          $ validate_term $ faults_term $ max_cycles_term $ sms_term
+          $ skew_term)
 
 let profile_cmd =
   let points = Arg.(value & opt int 32768 & info [ "points" ] ~docv:"N") in
@@ -573,8 +626,8 @@ let predict_cmd =
                simulator never beats the model's throughput floor. Exit \
                nonzero on any failure.")
   in
-  let run mech arch warps synth points kernel_opt version_opt json check_it
-      n_sms skew =
+  let run mech arch warps synth partition points kernel_opt version_opt json
+      check_it n_sms skew =
     catch_occupancy @@ fun () ->
     let kernels =
       match kernel_opt with
@@ -605,9 +658,24 @@ let predict_cmd =
               && points mod (warps * 32) <> 0
             then Printf.printf "%-13s skipped (points not divisible)\n" name
             else
+              (* Resolve --partition auto per row (model-only); a base
+                 compile failure skips the row like any other, keeping
+                 predict's best-effort table semantics. *)
+              let resolved =
+                match partition with
+                | `Hand -> Ok (options_of ?synth arch warps kernel)
+                | `Auto -> (
+                    try
+                      Ok
+                        (Singe.Partition_search.resolve_options mech kernel
+                           version
+                           ~base:(options_of ?synth arch warps kernel))
+                    with Singe.Diagnostics.Fail d -> Error d)
+              in
               match
-                Singe.Compile.compile_checked ~validate:false mech kernel
-                  version (options_of ?synth arch warps kernel)
+                Result.bind resolved (fun options ->
+                    Singe.Compile.compile_checked ~validate:false mech kernel
+                      version options)
               with
               | Error d ->
                   Printf.printf "%-13s skipped: %s\n" name
@@ -723,9 +791,9 @@ let predict_cmd =
     (Cmd.info "predict"
        ~doc:"Predict kernel cycles with the analytic performance model and \
              compare against the simulator.")
-    Term.(const run $ mech_term $ arch_term $ warps_term $ synth_term $ points
-          $ kernel_opt $ version_opt $ json $ check_flag $ sms_term
-          $ skew_term)
+    Term.(const run $ mech_term $ arch_term $ warps_term $ synth_term
+          $ partition_term $ points $ kernel_opt $ version_opt $ json
+          $ check_flag $ sms_term $ skew_term)
 
 let tune_mode_term =
   let mode_conv =
@@ -753,9 +821,37 @@ let top_k_term =
                simulate.")
 
 let tune_cmd =
-  let run mech kernel arch version synth max_cycles tune_mode top_k n_sms skew
-      () =
+  let run mech kernel arch warps version synth partition max_cycles tune_mode
+      top_k n_sms skew () =
     catch_occupancy @@ fun () ->
+    match partition with
+    | `Auto -> (
+        (* Full three-phase partition search: model ranking, deadlock
+           gate, then simulated confirmation through the autotuner with
+           the hand mapping seeded into the grid. *)
+        match
+          Singe.Partition_search.search ~top_k ?max_cycles ?n_sms ?skew mech
+            kernel version
+            ~base:(options_of ?synth arch warps kernel)
+            ()
+        with
+        | Ok o ->
+            Format.printf "%a@." Singe.Partition_search.pp_outcome o;
+            List.iter
+              (fun (r : Singe.Partition_search.rejection) ->
+                Printf.printf "  rejected %s: %s\n"
+                  (match r.Singe.Partition_search.rej_options
+                           .Singe.Compile.partition with
+                  | Singe.Compile.Partition_auto spec ->
+                      Format.asprintf "%a" Singe.Mapping.pp_auto_spec spec
+                  | Singe.Compile.Partition_hand -> "hand")
+                  (Singe.Diagnostics.to_string
+                     r.Singe.Partition_search.rej_diag))
+              o.Singe.Partition_search.rejections
+        | Error d ->
+            Printf.eprintf "singe: %s\n" (Singe.Diagnostics.to_string d);
+            exit exit_compile_rejected)
+    | `Hand ->
     let mode =
       match tune_mode with
       | `Exhaustive -> Singe.Autotune.Exhaustive
@@ -790,9 +886,9 @@ let tune_cmd =
     (Cmd.info "tune"
        ~doc:"Autotune a kernel configuration (brute-force, or pruned by the \
              analytic performance model).")
-    Term.(const run $ mech_term $ kernel_term $ arch_term $ version_term
-          $ synth_term $ max_cycles_term $ tune_mode_term $ top_k_term
-          $ sms_term $ skew_term $ jobs_term)
+    Term.(const run $ mech_term $ kernel_term $ arch_term $ warps_term
+          $ version_term $ synth_term $ partition_term $ max_cycles_term
+          $ tune_mode_term $ top_k_term $ sms_term $ skew_term $ jobs_term)
 
 let stats_cmd =
   let run mech kernel arch warps version =
@@ -902,6 +998,7 @@ let figures_cmd =
         | "ablation-exchange" -> Experiments.Figures.ablation_exchange ()
         | "model-accuracy" -> Experiments.Figures.model_accuracy ()
         | "chip-scaling" -> Experiments.Figures.chip_scaling ()
+        | "partition-search" -> Experiments.Figures.partition_search ()
         | other -> failwith ("unknown figure " ^ other))
       names
   in

@@ -95,5 +95,12 @@ val chip_scaling : unit -> unit
     behavior as the chip grows — speedup over one SM, aggregate DRAM
     utilization, peak arbiter throttle and dispatch imbalance per row. *)
 
+val partition_search : unit -> unit
+(** Automatic partition search vs the hand mapping ({!Singe.Partition_search},
+    DESIGN §16): hand vs searched cycles, the search/gate/reject funnel and
+    the winning spec for every warp-specialized kernel of both mechanisms on
+    Kepler. Winners are confirmed by simulation (model-only under
+    [SINGE_FAST]). *)
+
 val all : unit -> unit
 (** Every table, figure and ablation in order. *)

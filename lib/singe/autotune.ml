@@ -102,15 +102,18 @@ let classify_exn = function
 
 let tune ?(points = 32768) ?warp_candidates ?(cta_targets = [ 1; 2 ]) ?jobs
     ?(max_cycles = 200_000_000) ?inject ?(mode = Exhaustive) ?n_sms ?skew
-    ?synth_exchange mech kernel version arch =
-  let warp_candidates =
-    match warp_candidates with
-    | Some l -> l
-    | None -> default_warp_candidates mech kernel version
-  in
+    ?synth_exchange ?grid mech kernel version arch =
   let candidates =
-    candidate_options ?synth_exchange ~points kernel version arch
-      warp_candidates cta_targets
+    match grid with
+    | Some g -> g
+    | None ->
+        let warp_candidates =
+          match warp_candidates with
+          | Some l -> l
+          | None -> default_warp_candidates mech kernel version
+        in
+        candidate_options ?synth_exchange ~points kernel version arch
+          warp_candidates cta_targets
   in
   let indexed = List.mapi (fun i o -> (i, o)) candidates in
   (* Phase 1 — compile and score every candidate analytically. This runs

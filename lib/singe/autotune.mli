@@ -54,6 +54,11 @@ type outcome = {
           winner was somehow unranked) *)
 }
 
+val classify_exn : exn -> string * Gpusim.Sm.fault_kind option
+(** Render a per-candidate failure one-line ([Simulation_fault]s keep
+    their structured kind); shared with {!Partition_search}'s rejection
+    bookkeeping. *)
+
 val default_prune_keep : int
 (** How many model-ranked candidates a pruned sweep simulates by default
     (8) — the [--tune-mode pruned] CLI default. *)
@@ -91,6 +96,7 @@ val tune :
   ?n_sms:int ->
   ?skew:float ->
   ?synth_exchange:bool ->
+  ?grid:Compile.options list ->
   Chem.Mechanism.t ->
   Kernel_abi.kernel ->
   Compile.version ->
@@ -99,6 +105,14 @@ val tune :
 (** Evaluates the candidate grid at the (small) tuning size (default
     32768 points = 32^3) and returns the fastest configuration. Raises
     [Failure] if no candidate ran.
+
+    [grid] replaces the built-in warp x CTA x policy candidate grid with
+    an explicit list of option records, evaluated in list order under the
+    same two-phase machinery (model scoring, then simulation with fault
+    containment and the index-ordered deterministic winner fold) —
+    {!Partition_search} confirms its searched partitions through this.
+    [warp_candidates]/[cta_targets]/[synth_exchange] are ignored when
+    [grid] is given.
 
     [n_sms]/[skew] are forwarded to both {!Perf_model.predict} (model
     scoring) and {!Compile.run} (simulation), so a sweep tunes for the

@@ -14,6 +14,12 @@ let version_of_string s =
 
 type chem_comm = Chem_staged | Chem_recompute | Chem_mixed
 
+type partition = Partition_hand | Partition_auto of Mapping.auto_spec
+
+let partition_name = function
+  | Partition_hand -> "hand"
+  | Partition_auto _ -> "auto"
+
 type options = {
   arch : Gpusim.Arch.t;
   n_warps : int;
@@ -32,6 +38,11 @@ type options = {
   synth_exchange : bool option;
       (** [None] resolves per architecture: on when the broadcast style is
           [Shuffle] (the swizzles are shuffle instructions) *)
+  partition : partition;
+      (** where the warp assignment comes from: the partitioner's domain
+          hints ([Partition_hand], the paper's §4.1 mapping) or a
+          structure-derived {!Mapping.auto_spec} proposed by
+          {!Partition_search} *)
 }
 
 let default_options arch =
@@ -51,6 +62,7 @@ let default_options arch =
     chem_comm = None;
     full_range_thermo = false;
     synth_exchange = None;
+    partition = Partition_hand;
   }
 
 let default_strategy = function
@@ -95,6 +107,21 @@ let check_options_exn mech kernel version o =
       o.ctas_per_sm_target;
   if o.param_stripe_threshold < 0 then
     fail "param_stripe_threshold = %d is negative" o.param_stripe_threshold;
+  (match o.partition with
+  | Partition_hand -> ()
+  | Partition_auto s ->
+      if s.Mapping.producer_warps < 1 || s.Mapping.producer_warps >= o.n_warps
+      then
+        fail
+          "partition: producer_warps = %d outside [1, %d] — specialization \
+           needs at least one consumer warp"
+          s.Mapping.producer_warps (o.n_warps - 1);
+      if s.Mapping.hub_threshold < 2 then
+        fail "partition: hub_threshold = %d — a hub needs at least 2 consumers"
+          s.Mapping.hub_threshold;
+      if not (s.Mapping.chain_weight > 0.0) then
+        fail "partition: chain_weight = %g must be positive"
+          s.Mapping.chain_weight);
   match o.freg_budget with
   | Some b when b < 4 ->
       fail "freg_budget = %d: lowering needs at least 4 double registers" b
@@ -216,8 +243,14 @@ let run_pipeline pm ~validate mech kernel version options =
             Dfg.validate ~n_warps:options.n_warps dfg);
       let mapping =
         Pass.run pm ~name:"mapping" ~stats:(mapping_stats dfg) (fun () ->
-            Mapping.map dfg ~n_warps:options.n_warps ~weights:options.weights
-              ~strategy ~respect_hints:options.respect_hints)
+            match options.partition with
+            | Partition_hand ->
+                Mapping.map dfg ~n_warps:options.n_warps
+                  ~weights:options.weights ~strategy
+                  ~respect_hints:options.respect_hints
+            | Partition_auto spec ->
+                Mapping.map_auto dfg ~n_warps:options.n_warps
+                  ~weights:options.weights ~spec)
       in
       if validate then
         Pass.validate pm ~name:"mapping-validate" (fun () ->

@@ -38,6 +38,16 @@ type chem_comm = Chem_staged | Chem_recompute | Chem_mixed
     ([Chem_recompute]), or concentrations staged with Gibbs energies
     recomputed ([Chem_mixed]). *)
 
+type partition = Partition_hand | Partition_auto of Mapping.auto_spec
+(** Where the warp assignment comes from: the partitioner's domain hints
+    ([Partition_hand], the paper's §4.1 mapping, the default) or a
+    structure-derived candidate ({!Mapping.map_auto}) proposed by
+    {!Partition_search}. The data-parallel [Baseline] version maps onto a
+    single warp either way and ignores this knob. *)
+
+val partition_name : partition -> string
+(** ["hand"] or ["auto"]. *)
+
 type options = {
   arch : Gpusim.Arch.t;
   n_warps : int;  (** warps per CTA *)
@@ -73,6 +83,10 @@ type options = {
           [None] (default) resolves per architecture — on exactly when the
           broadcast style is {!Gpusim.Arch.Shuffle}, since non-identity
           swizzle programs are shuffle instructions *)
+  partition : partition;
+      (** [--partition hand|auto]: hand (domain-hint) mapping or a
+          searched {!Mapping.auto_spec}; part of the memo key like every
+          other option *)
 }
 
 val default_options : Gpusim.Arch.t -> options

@@ -12,10 +12,15 @@
    Three layers, mirroring the theorem's proof obligations:
 
    {ol
-   {- {e pairing}: per epoch (the CTA barriers delimit epochs on every
-      warp), each used barrier id carries exactly one waiter and
-      [count - 1] arrivers, all quoting the same count — the sync-point
-      shape the theorem assumes;}
+   {- {e pairing and reuse safety} ([Schedule.pairing_problems]): along
+      the emission-stamp linearization each barrier id's stream must
+      decompose into consecutive uses of [count - 1] arrivals followed
+      by one wait, all quoting the same count, with consecutive uses of
+      an id separated by a CTA-wide boundary (the condition that drains
+      the hardware counter and makes recycling the id safe). A single
+      use may span a boundary — the allocator keeps in-flight ids
+      across id-pressure boundaries, and arrivals always precede the
+      wait, so the cut cannot deadlock;}
    {- {e abstract execution}: run the per-warp action streams against
       the hardware barrier semantics (an arrival counter per id; a wait
       increments and blocks below [count]; reaching [count] subtracts it
@@ -26,10 +31,9 @@
       with no registered waiter (a lost release: the eventual waiter
       starves), two concurrent waiters on one id, and global stuck
       states;}
-   {- {e reuse safety}: at every CTA-wide boundary (and at termination)
-      each named counter must have drained to zero — the condition that
-      makes recycling an id for a later epoch's sync safe — and every
-      id must fit the 16 physical barriers.}}
+   {- {e id range and termination}: every id fits the 16 physical
+      barriers, and no counter holds arrivals after the last warp
+      retires (a wait that can never be released).}}
 
    On a stuck state the verifier names every blocked warp and, when the
    blockage is mutual, the cross-warp wait cycle (warp A waits on a
@@ -78,50 +82,15 @@ let check (s : Schedule.t) =
               ())
         actions)
     s.per_warp;
-  (* ---- per-epoch pairing ---- *)
-  let pairing : (int * int, (int * bool * int) list ref) Hashtbl.t =
-    Hashtbl.create 32
-  in
-  let attach epoch bar entry =
-    match Hashtbl.find_opt pairing (epoch, bar) with
-    | Some l -> l := entry :: !l
-    | None -> Hashtbl.add pairing (epoch, bar) (ref [ entry ])
-  in
-  Array.iteri
-    (fun warp actions ->
-      let epoch = ref 0 in
-      Array.iter
-        (fun a ->
-          match a with
-          | Schedule.A_cta_barrier -> incr epoch
-          | Schedule.A_arrive { bar; count } ->
-              attach !epoch bar (warp, false, count)
-          | Schedule.A_wait { bar; count } ->
-              attach !epoch bar (warp, true, count)
-          | Schedule.A_op _ | Schedule.A_send _ | Schedule.A_recv _ -> ())
-        actions)
-    s.per_warp;
-  Hashtbl.iter
-    (fun (epoch, bar) entries ->
-      let entries = !entries in
-      match
-        List.sort_uniq compare (List.map (fun (_, _, c) -> c) entries)
-      with
-      | [ count ] ->
-          let waits =
-            List.length (List.filter (fun (_, is_w, _) -> is_w) entries)
-          in
-          let arrives = List.length entries - waits in
-          if waits <> 1 || arrives <> count - 1 then
-            err
-              "epoch %d barrier %d: %d waiter(s) + %d arriver(s), the \
-               count-%d sync needs 1 + %d"
-              epoch bar waits arrives count (count - 1)
-      | counts ->
-          err "epoch %d barrier %d: participants disagree on count (%s)"
-            epoch bar
-            (String.concat "," (List.map string_of_int counts)))
-    pairing;
+  (* ---- per-use pairing and id-recycling safety ----
+     Checked along the global emission-stamp linearization (the
+     construction's own sync-point order): each id's stream must split
+     into consecutive uses of [count - 1] arrivals then one wait, and
+     consecutive uses must be separated by a CTA-wide boundary. A single
+     use spanning a boundary is legal — the allocator keeps in-flight
+     ids across id-pressure boundaries (arrivals always precede the
+     wait, so the cut cannot deadlock). *)
+  List.iter (fun p -> err "%s" p) (Schedule.pairing_problems s);
   (* ---- abstract execution ---- *)
   let pos = Array.make w 0 in
   let st = Array.make w Running in
@@ -131,12 +100,18 @@ let check (s : Schedule.t) =
   let cta_blocked = ref [] in
   let finished = ref 0 in
   let in_range bar = bar >= 0 && bar < physical in
+  (* A counter may legitimately be non-zero at a CTA-wide boundary — a
+     sync whose arrivals precede an id-pressure boundary and whose wait
+     follows it stays in flight across the crossing, and the allocator
+     does not recycle its id meanwhile (the pairing layer verifies
+     that). Undrained arrivals are only a fault once every warp has
+     retired: then no wait can ever absorb them, so some release was
+     lost. *)
   let drain_check where =
     for b = 0 to physical - 1 do
       if counters.(b) <> 0 then begin
-        err
-          "barrier %d holds %d undrained arrival(s) %s — recycling its id \
-           is unsafe"
+        err "barrier %d holds %d undrained arrival(s) %s — the release is \
+             lost"
           b counters.(b) where;
         counters.(b) <- 0
       end
@@ -206,7 +181,6 @@ let check (s : Schedule.t) =
       | Schedule.A_cta_barrier ->
           incr cta_arrived;
           if !cta_arrived = w then begin
-            drain_check "at a CTA-wide boundary";
             cta_arrived := 0;
             List.iter
               (fun w2 ->

@@ -4,10 +4,14 @@
     The theorem's proof obligations map onto three checks run on a
     finished {!Schedule.t}:
     {ul
-    {- {e pairing}: within every epoch (delimited by the CTA-wide
-       barriers) each used barrier id carries exactly one waiter and
-       [count - 1] arrivers, all quoting the same count — the sync-point
-       shape the construction guarantees;}
+    {- {e pairing and reuse safety} ({!Schedule.pairing_problems}): along
+       the emission-stamp linearization each barrier id decomposes into
+       consecutive uses of [count - 1] arrivals followed by one waiter,
+       all quoting the same count, with consecutive uses of an id
+       separated by a CTA-wide boundary (the condition that drains the
+       hardware counter and makes recycling the id safe — a single use
+       may legally span a boundary, as the allocator keeps in-flight ids
+       live across id-pressure cuts);}
     {- {e abstract execution}: the per-warp action streams are run
        against the hardware barrier semantics (arrival counters, waits
        that block below [count], releases that subtract it). Correct
@@ -17,10 +21,9 @@
        concurrent waiters on one id, and global stuck states — for
        which it reports every blocked warp and, when the blockage is
        mutual, the cross-warp wait cycle;}
-    {- {e reuse safety}: every named counter has drained to zero at each
-       CTA-wide boundary and at termination (the condition that makes
-       recycling an id safe), and every id fits the 16 physical
-       barriers.}}
+    {- {e id range and termination}: every id fits the 16 physical
+       barriers, and no counter holds arrivals after the last warp
+       retires (a wait that can never be released).}}
 
     Wired into the compile pipeline as the [deadlock-check] validation
     pass, after [schedule-validate]. *)

@@ -663,8 +663,39 @@ type swriter = {
 let warps_of_mask ~n_warps mask =
   List.filter (fun w -> mask land (1 lsl w) <> 0) (List.init n_warps Fun.id)
 
-let synth_exchange_pass ~(arch : Gpusim.Arch.t) ~n_warps ~store_limit tables
-    (code : (int * vinstr) list) =
+(* How far (in stream positions) a forward may extend a live range before
+   the pressure gate refuses it. Derived from the register file instead of
+   a magic constant. Two terms:
+   {ul
+   {- a base window of [12 * freg_budget]: each forward keeps one extra
+      value live, so extensions shorter than a few turnovers of the
+      per-thread file stay a small fraction of total pressure — even a
+      spill-bound kernel (the chemistry shape) pays at most one extra
+      spill pair per forward, still cheaper than the shared round trip
+      the forward replaces;}
+   {- a headroom bonus of [8 * (freg_budget - steady)]: when the
+      mapping's steady-state demand — the busiest warp's produced values
+      ([Mapping.warp_values]) spread over the fence segments they stay
+      live across — leaves real headroom, the extension is free and the
+      window widens proportionally.}}
+   A Fermi-class file (budget ~24 doubles) thus gets a ~290-position
+   window where a Kepler-class one gets ~670+, instead of both
+   inheriting a Kepler-calibrated 200. *)
+let derived_live_slack ~freg_budget (dfg : Dfg.t) (mapping : Mapping.t) =
+  let values = Mapping.warp_values dfg mapping in
+  let peak = Array.fold_left max 0 values in
+  let segments =
+    1
+    + Array.fold_left
+        (fun acc (op : Dfg.op) ->
+          if op.Dfg.kind = Dfg.Fence then acc + 1 else acc)
+        0 dfg.Dfg.ops
+  in
+  let steady = (peak + segments - 1) / segments in
+  (12 * freg_budget) + (8 * max 0 (freg_budget - steady))
+
+let synth_exchange_pass ~(arch : Gpusim.Arch.t) ~n_warps ~store_limit
+    ~live_slack tables (code : (int * vinstr) list) =
   (* Snapshot before compaction allocates fresh parameters below. *)
   let params_arr = Array.of_list (List.rev tables.params) in
   let resolve_base (a : vshaddr) w =
@@ -740,7 +771,6 @@ let synth_exchange_pass ~(arch : Gpusim.Arch.t) ~n_warps ~store_limit tables
     (fun pos (_, ins) ->
       List.iter (fun v -> Hashtbl.replace last_use v pos) (instr_src_vregs ins))
     code;
-  let live_slack = 200 in
   let pressure_ok r pos =
     match Hashtbl.find_opt last_use r with
     | Some u -> pos - u <= live_slack
@@ -1369,15 +1399,20 @@ type finalize_env = {
 }
 
 let finalize_stream env (code : (int * rinstr) list) =
-  (* Returns (mask, Isa.instr) list; striped parameter reads insert an
-     Ishfl into a temporary integer register before the consumer. *)
+  (* Returns ((mask, Isa.instr) list, max_temps); striped parameter reads
+     insert an Ishfl into a temporary integer register before the
+     consumer. [max_temps] is the high-water count of those temporaries
+     over any single instruction — the extra integer registers the
+     program must declare beyond the parameter bank. *)
   let out = ref [] in
   let emit mask i = out := (mask, i) :: !out in
   let tmp_counter = ref 0 in
+  let max_temps = ref 0 in
   let resolve_param mask logical =
     if env.f_striped then begin
       let tmp = env.f_param_regs + !tmp_counter in
       incr tmp_counter;
+      if !tmp_counter > !max_temps then max_temps := !tmp_counter;
       emit mask
         (Isa.Ishfl { dst_i = tmp; src_i = logical / 32; lane = logical mod 32 });
       tmp
@@ -1445,7 +1480,7 @@ let finalize_stream env (code : (int * rinstr) list) =
           | VBarW { bar; count } -> emit mask (Isa.Bar_sync { bar; count })
           | VBarCta -> emit mask Isa.Bar_cta))
     code;
-  List.rev !out
+  (List.rev !out, !max_temps)
 
 (* Group consecutive same-mask instructions into blocks. *)
 let assemble_blocks ~full_mask (code : (int * Isa.instr) list) =
@@ -1576,6 +1611,7 @@ let lower cfg ~name ~point_map ~out_warps ~groups (dfg : Dfg.t)
     }
   in
   let striped = ref false in
+  let param_temps = ref 0 in
   let exch_report = ref Shuffle_synth.empty_report in
   let freed_doubles = ref 0 in
   let body, n_param_regs =
@@ -1589,6 +1625,8 @@ let lower cfg ~name ~point_map ~out_warps ~groups (dfg : Dfg.t)
           let stream', report, freed =
             synth_exchange_pass ~arch:cfg.arch ~n_warps:n_mapped
               ~store_limit:(mapping.Mapping.store_slots * 32)
+              ~live_slack:
+                (derived_live_slack ~freg_budget:cfg.freg_budget dfg mapping)
               tables stream
           in
           exch_report := report;
@@ -1609,7 +1647,9 @@ let lower cfg ~name ~point_map ~out_warps ~groups (dfg : Dfg.t)
         build_param_bank tables ~n_warps:n_mapped ~striped:!striped
       in
       let env = { f_striped = !striped; f_param_regs = n_param_regs } in
-      (assemble_blocks ~full_mask (finalize_stream env code), n_param_regs)
+      let finalized, max_temps = finalize_stream env code in
+      param_temps := max_temps;
+      (assemble_blocks ~full_mask finalized, n_param_regs)
     end
     else begin
       (* Naive §5.1 code generation: a top-level switch on the warp id with
@@ -1626,9 +1666,7 @@ let lower cfg ~name ~point_map ~out_warps ~groups (dfg : Dfg.t)
             in
             spill_stats := max_stats !spill_stats stats;
             let env = { f_striped = false; f_param_regs = 0 } in
-            let instrs =
-              List.map snd (finalize_stream env code)
-            in
+            let instrs = List.map snd (fst (finalize_stream env code)) in
             Isa.Instrs instrs)
       in
       (Isa.Switch_warp per_warp, 0)
@@ -1648,7 +1686,11 @@ let lower cfg ~name ~point_map ~out_warps ~groups (dfg : Dfg.t)
     @ List.init n_param_regs (fun k -> Isa.Ld_param { dst_i = k; slot = k })
   in
   let n_fregs = max n_bank_regs !spill_stats.high_water in
-  let n_iregs = n_param_regs + (if !striped then 2 else 0) in
+  (* The striped-parameter Ishfl temporaries live above the parameter
+     bank; size the integer register file from the emitter's actual
+     per-instruction high water, not a guessed constant (searched
+     partitions can put three param operands on one instruction). *)
+  let n_iregs = n_param_regs + (if !striped then !param_temps else 0) in
   let shared_doubles =
     (mapping.Mapping.store_slots + sched.Schedule.buffer_slots) * 32
     + (if needs_mirror then 4 * n_mapped else 0)

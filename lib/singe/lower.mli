@@ -62,6 +62,17 @@ type output = {
           when disabled or inapplicable) *)
 }
 
+val derived_live_slack : freg_budget:int -> Dfg.t -> Mapping.t -> int
+(** The exchange rewrite's live-range pressure gate, in stream positions:
+    how far a register forward may extend a value's live range past its
+    original last use. Derived from the allocator's headroom — the
+    per-thread double budget minus the mapping's steady per-warp demand
+    (the busiest warp of {!Mapping.warp_values}, spread over the graph's
+    fence segments) — so a kernel whose demand saturates the budget
+    (spill-bound chemistry) gets zero slack while one with headroom keeps
+    a window proportional to it. Replaces the fixed 200-position constant
+    the gate shipped with. *)
+
 val lower :
   config ->
   name:string ->

@@ -20,22 +20,35 @@ type t = {
    not). *)
 let op_reg_need (op : Dfg.op) = match op.Dfg.output with Some _ -> 1 | None -> 0
 
-let map (dfg : Dfg.t) ~n_warps ~weights ~strategy ~respect_hints =
+(* The mapper is a total function only over sane inputs. [n_warps < 1]
+   would send every op to the phantom warp 0 of zero-length balance
+   accumulators (an out-of-range [op_warp] write followed by an
+   index-out-of-bounds in [warp_flops]); reject it as a positioned
+   diagnostic instead. Degenerate graphs on the other side — no ops, or
+   fewer ops than warps — are fine: the greedy loop simply leaves the
+   surplus warps empty, which is a valid (trivial) mapping. *)
+let check_degenerate (dfg : Dfg.t) ~n_warps =
+  if n_warps < 1 then
+    Diagnostics.failf ~pass:"mapping" ~loc:dfg.Dfg.graph_name
+      "cannot map %d operation(s) onto %d warp(s): need at least one warp"
+      (Array.length dfg.Dfg.ops) n_warps
+
+let map_core (dfg : Dfg.t) ~n_warps ~weights ~strategy ~hint_of =
+  check_degenerate dfg ~n_warps;
   let n_ops = Array.length dfg.Dfg.ops in
   let op_warp = Array.make n_ops (-1) in
   let flops = Array.make n_warps 0.0 in
   let regs = Array.make n_warps 0.0 in
   (* Pinned operations first. *)
-  if respect_hints then
-    Array.iter
-      (fun (op : Dfg.op) ->
-        match op.Dfg.hint with
-        | Some w when w >= 0 && w < n_warps ->
-            op_warp.(op.Dfg.id) <- w;
-            flops.(w) <- flops.(w) +. float_of_int (Dfg.op_flops op);
-            regs.(w) <- regs.(w) +. float_of_int (op_reg_need op)
-        | Some _ | None -> ())
-      dfg.Dfg.ops;
+  Array.iter
+    (fun (op : Dfg.op) ->
+      match hint_of op with
+      | Some w when w >= 0 && w < n_warps ->
+          op_warp.(op.Dfg.id) <- w;
+          flops.(w) <- flops.(w) +. float_of_int (Dfg.op_flops op);
+          regs.(w) <- regs.(w) +. float_of_int (op_reg_need op)
+      | Some _ | None -> ())
+    dfg.Dfg.ops;
   (* Remaining ops in decreasing cost order; each goes to the warp that
      locally minimizes the weighted cost. *)
   let remaining =
@@ -166,6 +179,65 @@ let map (dfg : Dfg.t) ~n_warps ~weights ~strategy ~respect_hints =
     store_slots = !n_slots;
     strategy;
   }
+
+let map (dfg : Dfg.t) ~n_warps ~weights ~strategy ~respect_hints =
+  map_core dfg ~n_warps ~weights ~strategy ~hint_of:(fun (op : Dfg.op) ->
+      if respect_hints then op.Dfg.hint else None)
+
+(* ---- structure-derived partitions (the Partition_search seeds) ---- *)
+
+type auto_spec = {
+  producer_warps : int;
+  hub_threshold : int;
+  chain_weight : float;
+  auto_strategy : strategy;
+}
+
+let pp_auto_spec ppf s =
+  Format.fprintf ppf "producers=%d hub>=%d chain=%.2g strategy=%s"
+    s.producer_warps s.hub_threshold s.chain_weight
+    (match s.auto_strategy with
+    | Store -> "store"
+    | Buffer -> "buffer"
+    | Mixed -> "mixed")
+
+(* Derive a partition from graph shape instead of domain hints: loads and
+   fan-out hubs (values feeding at least [hub_threshold] consumers) are
+   the producer side and get pinned round-robin over the first
+   [producer_warps] warps; everything else — the long arithmetic chains —
+   is placed greedily with the locality weight scaled by [chain_weight],
+   so a chain glues itself to the warp already holding its neighbors and
+   the FLOP-balance term spreads whole chains over the consumer warps. *)
+let map_auto (dfg : Dfg.t) ~n_warps ~weights ~spec =
+  check_degenerate dfg ~n_warps;
+  let producers = max 1 (min spec.producer_warps n_warps) in
+  let fanout v = List.length dfg.Dfg.values.(v).Dfg.consumers in
+  let next = ref 0 in
+  let hints =
+    Array.map
+      (fun (op : Dfg.op) ->
+        let is_producer =
+          match op.Dfg.kind with
+          | Dfg.Load _ -> true
+          | Dfg.Compute _ -> (
+              match op.Dfg.output with
+              | Some v -> fanout v >= spec.hub_threshold
+              | None -> false)
+          | Dfg.Store _ | Dfg.Fence -> false
+        in
+        if is_producer then begin
+          let w = !next mod producers in
+          incr next;
+          Some w
+        end
+        else None)
+      dfg.Dfg.ops
+  in
+  let weights =
+    { weights with w_locality = weights.w_locality *. spec.chain_weight }
+  in
+  map_core dfg ~n_warps ~weights ~strategy:spec.auto_strategy
+    ~hint_of:(fun (op : Dfg.op) -> hints.(op.Dfg.id))
 
 let warp_flops dfg t =
   let acc = Array.make t.n_warps 0 in

@@ -47,7 +47,35 @@ val map :
   t
 (** Hints (from domain-specific partitioning) are honored when
     [respect_hints]; remaining operations are placed greedily in order of
-    decreasing cost. *)
+    decreasing cost.
+
+    Raises {!Diagnostics.Fail} (pass ["mapping"], positioned at the graph
+    name) when [n_warps < 1]. Degenerate graphs — empty, or with fewer
+    operations than warps — yield a valid trivial mapping with the surplus
+    warps left empty. *)
+
+type auto_spec = {
+  producer_warps : int;
+      (** warps the structural producer side (loads, fan-out hubs) is
+          pinned to, round-robin *)
+  hub_threshold : int;
+      (** fan-out (consumer count) at which a computed value's producer
+          counts as a hub and joins the producer side *)
+  chain_weight : float;
+      (** multiplier on {!weights}' locality term: higher values glue long
+          single-consumer arithmetic chains onto one consumer warp *)
+  auto_strategy : strategy;  (** shared-memory strategy for the candidate *)
+}
+(** A structure-derived partition candidate, proposed by
+    {!Partition_search} instead of the paper's domain knowledge. *)
+
+val pp_auto_spec : Format.formatter -> auto_spec -> unit
+
+val map_auto : Dfg.t -> n_warps:int -> weights:weights -> spec:auto_spec -> t
+(** Like {!map}, but the warp assignment is seeded from graph structure
+    (per [spec]) rather than from the partitioner's domain hints: loads
+    and hubs become producers, chains follow locality onto consumer warps.
+    Raises {!Diagnostics.Fail} like {!map} on degenerate warp counts. *)
 
 val warp_flops : Dfg.t -> t -> int array
 (** Per-warp FLOP totals (balance diagnostics). *)

@@ -443,6 +443,94 @@ let well_formed t (dfg : Dfg.t) (m : Mapping.t) =
   | [] -> Ok ()
   | l -> Error (String.concat "; " l)
 
+(* Stamp-ordered per-use named-barrier pairing. The global emission
+   stamps linearize every action along the planner's topological walk —
+   the same linearization the §4.4 construction proves against. Along
+   it, each barrier id's stream decomposes into consecutive *uses*:
+   [count - 1] arrivals followed by exactly one wait, every participant
+   quoting the same count. A use may legitimately span a CTA-wide
+   boundary (the allocator inserts id-pressure boundaries between a
+   sync's arrivals and its wait and simply keeps the id allocated across
+   them — arrivals always precede the wait, so the cut is safe), but two
+   *different* uses of one id must be separated by a boundary past every
+   attachment of the earlier use: that is what drains the hardware
+   counter and makes recycling the id safe. Epochs (per-warp CTA-barrier
+   crossing counts, identical across warps because boundaries are
+   emitted on every warp) witness that separation. *)
+let pairing_problems (t : t) =
+  let problems = ref [] in
+  let err fmt = Printf.ksprintf (fun s -> problems := s :: !problems) fmt in
+  let by_bar : (int, (int * int * int * bool * int) list ref) Hashtbl.t =
+    (* bar -> (stamp, warp, epoch, is_wait, count) *)
+    Hashtbl.create 16
+  in
+  let attach bar entry =
+    match Hashtbl.find_opt by_bar bar with
+    | Some l -> l := entry :: !l
+    | None -> Hashtbl.add by_bar bar (ref [ entry ])
+  in
+  Array.iteri
+    (fun warp actions ->
+      let epoch = ref 0 in
+      Array.iteri
+        (fun i a ->
+          match a with
+          | A_cta_barrier -> incr epoch
+          | A_arrive { bar; count } ->
+              attach bar (t.stamps.(warp).(i), warp, !epoch, false, count)
+          | A_wait { bar; count } ->
+              attach bar (t.stamps.(warp).(i), warp, !epoch, true, count)
+          | A_op _ | A_send _ | A_recv _ -> ())
+        actions)
+    t.per_warp;
+  let bars = Hashtbl.fold (fun bar l acc -> (bar, !l) :: acc) by_bar [] in
+  List.iter
+    (fun (bar, entries) ->
+      let entries = List.sort compare entries in
+      let pending = ref [] in (* arrivals since the last completed use *)
+      let prev_max_epoch = ref (-1) in
+      List.iter
+        (fun (_, warp, epoch, is_wait, count) ->
+          if not is_wait then pending := (epoch, count) :: !pending
+          else begin
+            let arrivals = List.rev !pending in
+            pending := [];
+            (match
+               List.sort_uniq compare
+                 (count :: List.map (fun (_, c) -> c) arrivals)
+             with
+            | [ c ] ->
+                if List.length arrivals <> c - 1 then
+                  err
+                    "barrier %d: the use ending at warp %d's wait has %d \
+                     arrival(s), the count-%d sync needs %d"
+                    bar warp (List.length arrivals) c (c - 1)
+            | cs ->
+                err "barrier %d: participants of warp %d's sync disagree on \
+                     count (%s)"
+                  bar warp
+                  (String.concat "," (List.map string_of_int cs)));
+            let min_epoch =
+              List.fold_left (fun acc (e, _) -> min acc e) epoch arrivals
+            in
+            let max_epoch =
+              List.fold_left (fun acc (e, _) -> max acc e) epoch arrivals
+            in
+            if !prev_max_epoch >= min_epoch then
+              err
+                "barrier %d: reused in epoch %d with no CTA-wide boundary \
+                 past its previous use (last attachment in epoch %d) — the \
+                 counter may not have drained"
+                bar min_epoch !prev_max_epoch;
+            prev_max_epoch := max_epoch
+          end)
+        entries;
+      if !pending <> [] then
+        err "barrier %d: %d arrival(s) with no subsequent wait" bar
+          (List.length !pending))
+    (List.sort compare bars);
+  List.rev !problems
+
 let validate ?(max_barriers = 16) t (dfg : Dfg.t) (m : Mapping.t) =
   let problems = ref [] in
   let err fmt = Printf.ksprintf (fun s -> problems := s :: !problems) fmt in
@@ -451,25 +539,8 @@ let validate ?(max_barriers = 16) t (dfg : Dfg.t) (m : Mapping.t) =
     err "%d named barriers used, budget is %d" t.barriers_used max_barriers;
   if t.barriers_used > 16 then
     err "%d named barriers used, hardware has 16" t.barriers_used;
-  (* Per-epoch named-barrier pairing. A CTA-wide barrier provably drains
-     every arrival counter (all warps cross it), so within one epoch a
-     barrier id belongs to exactly one sync point: one waiter and
-     [count - 1] arrivers, every participant quoting the same count. The
-     epoch index of an action is the number of CTA barriers its warp has
-     crossed — identical across warps because boundaries are emitted on
-     every warp. *)
-  let pairing : (int * int, (int * [ `Arrive | `Wait ] * int) list ref) Hashtbl.t
-      =
-    Hashtbl.create 32
-  in
-  let attach epoch bar entry =
-    match Hashtbl.find_opt pairing (epoch, bar) with
-    | Some l -> l := entry :: !l
-    | None -> Hashtbl.add pairing (epoch, bar) (ref [ entry ])
-  in
   Array.iteri
     (fun warp actions ->
-      let epoch = ref 0 in
       let stamps = t.stamps.(warp) in
       if Array.length stamps <> Array.length actions then
         err "warp %d: %d stamps for %d actions" warp (Array.length stamps)
@@ -479,40 +550,18 @@ let validate ?(max_barriers = 16) t (dfg : Dfg.t) (m : Mapping.t) =
           if i > 0 && i < Array.length stamps && stamps.(i) <= stamps.(i - 1)
           then err "warp %d: stamps not strictly increasing at action %d" warp i;
           match a with
-          | A_cta_barrier -> incr epoch
-          | A_arrive { bar; count } -> attach !epoch bar (warp, `Arrive, count)
-          | A_wait { bar; count } -> attach !epoch bar (warp, `Wait, count)
+          | A_arrive { bar; _ } | A_wait { bar; _ } ->
+              if bar < 0 || bar >= t.barriers_used then
+                err "warp %d: barrier id %d outside [0, %d)" warp bar
+                  t.barriers_used
           | A_send { slot; _ } | A_recv { slot; _ } ->
               if slot < 0 || slot >= t.buffer_slots then
                 err "warp %d: ring slot %d outside [0, %d)" warp slot
                   t.buffer_slots
-          | A_op _ -> ())
+          | A_op _ | A_cta_barrier -> ())
         actions)
     t.per_warp;
-  Hashtbl.iter
-    (fun (epoch, bar) entries ->
-      let entries = !entries in
-      if bar < 0 || bar >= t.barriers_used then
-        err "epoch %d: barrier id %d outside [0, %d)" epoch bar t.barriers_used;
-      let counts =
-        List.sort_uniq compare (List.map (fun (_, _, c) -> c) entries)
-      in
-      match counts with
-      | [ count ] ->
-          let waits =
-            List.length (List.filter (fun (_, k, _) -> k = `Wait) entries)
-          in
-          let arrives = List.length entries - waits in
-          if waits <> 1 || arrives <> count - 1 then
-            err
-              "epoch %d barrier %d: %d waiter(s) and %d arriver(s) for count \
-               %d (want 1 + %d)"
-              epoch bar waits arrives count (count - 1)
-      | _ ->
-          err "epoch %d barrier %d: participants disagree on count (%s)" epoch
-            bar
-            (String.concat "," (List.map string_of_int counts)))
-    pairing;
+  List.iter (fun p -> err "%s" p) (pairing_problems t);
   match List.rev !problems with [] -> Ok () | l -> Error l
 
 let pp_dump (dfg : Dfg.t) ppf t =

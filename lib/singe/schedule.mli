@@ -80,14 +80,25 @@ val well_formed : t -> Dfg.t -> Mapping.t -> (unit, string) result
     has a matching send/recv; arrive/wait counts per barrier id are
     consistent. *)
 
+val pairing_problems : t -> string list
+(** Named-barrier producer/consumer pairing, checked per {e use} along
+    the global emission-stamp order (the construction's linearization):
+    each barrier id's action stream must decompose into consecutive uses
+    of [count - 1] arrivals followed by one wait, all agreeing on
+    [count]. A single use may span a CTA-wide boundary (the allocator
+    keeps in-flight ids across id-pressure boundaries; arrivals always
+    precede the wait, so the cut is benign) — but consecutive {e uses}
+    of one id must be separated by a boundary past every attachment of
+    the earlier use, the condition that drains the hardware counter and
+    makes recycling the id safe. Returns one message per violation;
+    shared by {!validate} and [Deadlock_check.check]. *)
+
 val validate :
   ?max_barriers:int -> t -> Dfg.t -> Mapping.t -> (unit, string list) result
 (** The schedule-safety validation pass: {!well_formed}, plus
     {ul
-    {- named-barrier producer/consumer pairing — within each epoch
-       (delimited by CTA-wide barriers, which drain every arrival counter)
-       each used barrier id carries exactly one waiter and [count - 1]
-       arrivers, all agreeing on [count];}
+    {- named-barrier producer/consumer pairing and id-recycling safety
+       ({!pairing_problems});}
     {- the §4.2 coloring bound: [barriers_used] of at most [max_barriers]
        (and never beyond the 16 hardware ids);}
     {- transport sanity: send/recv ring slots within [buffer_slots], and

@@ -57,6 +57,7 @@ type target = {
   t_warps : int;
   t_points : int;
   t_synth : bool option;
+  t_partition : string;
 }
 
 type payload =
@@ -87,6 +88,7 @@ let default_target =
     t_warps = 8;
     t_points = 8192;
     t_synth = None;
+    t_partition = "hand";
   }
 
 let kind_name = function
@@ -118,7 +120,13 @@ let request_to_json r =
       ("warps", Num (float_of_int t.t_warps));
       ("points", Num (float_of_int t.t_points));
     ]
-    @ match t.t_synth with Some b -> [ ("synth_exchange", Bool b) ] | None -> []
+    @ (match t.t_synth with
+      | Some b -> [ ("synth_exchange", Bool b) ]
+      | None -> [])
+    @
+    match t.t_partition with
+    | "hand" -> []
+    | p -> [ ("partition", Str p) ]
   in
   let rest =
     match r.req with
@@ -145,7 +153,16 @@ let ( let* ) = Result.bind
 
 let envelope_keys = [ "id"; "deadline_ms"; "kind" ]
 let target_keys =
-  [ "mech"; "kernel"; "arch"; "version"; "warps"; "points"; "synth_exchange" ]
+  [
+    "mech";
+    "kernel";
+    "arch";
+    "version";
+    "warps";
+    "points";
+    "synth_exchange";
+    "partition";
+  ]
 
 let check_fields doc allowed =
   match doc with
@@ -188,6 +205,16 @@ let target_of doc =
   let* warps = opt_pos_int doc "warps" in
   let* points = opt_pos_int doc "points" in
   let* synth = opt_field doc "synth_exchange" J.bool "a boolean" in
+  let* partition = opt_field doc "partition" J.str "a string" in
+  let* partition =
+    match partition with
+    | None -> Ok dflt.t_partition
+    | Some ("hand" | "auto") -> Ok (Option.get partition)
+    | Some other ->
+        Error
+          (Printf.sprintf
+             "field \"partition\" must be \"hand\" or \"auto\", got %S" other)
+  in
   Ok
     {
       t_mech = Option.value mech ~default:dflt.t_mech;
@@ -197,6 +224,7 @@ let target_of doc =
       t_warps = Option.value warps ~default:dflt.t_warps;
       t_points = Option.value points ~default:dflt.t_points;
       t_synth = synth;
+      t_partition = partition;
     }
 
 let request_of_json doc =
@@ -338,7 +366,24 @@ type state = {
   tune_cache : (string, (string * J.t) list) Hashtbl.t;
 }
 
+(* A config hole found the hard way: [deadline_ms <= 0] used to slip
+   through here, [budget_cycles] silently clamped the resulting
+   non-positive cycle budget to the 10k floor, and every defaulted
+   request came back [degraded:true] with a misleading caveat. Reject the
+   configuration at construction instead. *)
+let check_config c =
+  let bad what v =
+    invalid_arg (Printf.sprintf "Serve.create: %s = %d must be >= 1" what v)
+  in
+  if c.deadline_ms < 1 then bad "deadline_ms" c.deadline_ms;
+  if c.cycles_per_ms < 1 then bad "cycles_per_ms" c.cycles_per_ms;
+  if c.max_queue < 1 then bad "max_queue" c.max_queue;
+  if c.retry_after_ms < 1 then bad "retry_after_ms" c.retry_after_ms;
+  if c.cache_entries < 1 then bad "cache_entries" c.cache_entries;
+  if c.id_cache_entries < 1 then bad "id_cache_entries" c.id_cache_entries
+
 let create ?(config = default_config) () =
+  check_config config;
   Compile.set_memo_limit config.cache_entries;
   {
     cfg = config;
@@ -495,6 +540,21 @@ let resolve_target t =
       synth_exchange = t.t_synth;
     }
   in
+  let options =
+    (* "auto" resolves through the model-only partition search (compile
+       memo shared, so a repeated target resolves from cache); pipeline
+       failures of the search itself are typed rejections like any other
+       compile failure. *)
+    if t.t_partition <> "auto" then options
+    else
+      match
+        Partition_search.resolve_options mech kernel version ~base:options
+      with
+      | o -> o
+      | exception Diagnostics.Fail d ->
+          raise (Reply (Rejected, Diagnostics.to_string d))
+      | exception Failure msg -> raise (Reply (Rejected, "pipeline: " ^ msg))
+  in
   (mech, kernel, arch, version, options)
 
 (* The baseline launches one thread per point; a non-divisible grid
@@ -520,8 +580,17 @@ let compile_target mech kernel version options =
 
 (* deadline_ms -> simulator cycle budget, saturating at the watchdog
    ceiling (no deadline may disarm containment) with a floor that keeps
-   trivial budgets from aborting inside the prologue bookkeeping. *)
+   trivial budgets from aborting inside the prologue bookkeeping. The
+   floor is for positive-but-tiny deadlines only: a non-positive deadline
+   can reach here neither from the wire (the parser rejects it as
+   bad-request) nor from the config default ([check_config]), so treat it
+   as the caller bug it is instead of silently serving a degraded
+   answer. *)
 let budget_cycles cfg deadline_ms =
+  if deadline_ms < 1 then
+    invalid_arg
+      (Printf.sprintf "Serve.budget_cycles: deadline_ms = %d must be >= 1"
+         deadline_ms);
   if deadline_ms >= watchdog_ceiling / cfg.cycles_per_ms then watchdog_ceiling
   else max 10_000 (deadline_ms * cfg.cycles_per_ms)
 
@@ -548,6 +617,40 @@ let model_json (pred : Perf_model.prediction) =
       ("time_s", num pred.Perf_model.time_s);
     ]
 
+let strategy_name = function
+  | Mapping.Store -> "store"
+  | Mapping.Buffer -> "buffer"
+  | Mapping.Mixed -> "mixed"
+
+(* The searched-partition payload, shaped like the perf snapshot's v9
+   per-entry "partition" object. *)
+let partition_json (o : Partition_search.outcome) =
+  J.Obj
+    ([
+       ( "mode",
+         J.Str
+           (match o.Partition_search.winner_spec with
+           | None -> "hand"
+           | Some _ -> "auto") );
+       ("hand_cycles", num o.Partition_search.hand_cycles);
+       ("winner_cycles", num o.Partition_search.winner_cycles);
+       ("searched", numi o.Partition_search.searched);
+       ("gated", numi o.Partition_search.gated);
+       ("rejected", numi (List.length o.Partition_search.rejections));
+       ("simulated", numi o.Partition_search.simulated);
+       ("confirmed", J.Bool o.Partition_search.confirmed);
+     ]
+    @
+    match o.Partition_search.winner_spec with
+    | None -> []
+    | Some s ->
+        [
+          ("producer_warps", numi s.Mapping.producer_warps);
+          ("hub_threshold", numi s.Mapping.hub_threshold);
+          ("chain_weight", num s.Mapping.chain_weight);
+          ("strategy", J.Str (strategy_name s.Mapping.auto_strategy));
+        ])
+
 let degraded_caveat budget =
   Printf.sprintf
     "degraded answer: the simulation exceeded its %d-cycle deadline budget; \
@@ -572,6 +675,8 @@ let handle_compile st id t =
       ("barriers", numi c.Compile.schedule.Schedule.barriers_used);
       ("sync_points", numi c.Compile.schedule.Schedule.n_sync_points);
       ("occupancy", occupancy_json occ);
+      ( "partition",
+        J.Str (Compile.partition_name options.Compile.partition) );
     ]
 
 let handle_predict st id t =
@@ -581,7 +686,11 @@ let handle_predict st id t =
   let c = compile_target mech kernel version options in
   let pred = Perf_model.predict c ~total_points:t.t_points in
   ok_response st id "predict"
-    [ ("points", numi t.t_points); ("model", model_json pred) ]
+    [
+      ("points", numi t.t_points);
+      ("model", model_json pred);
+      ("partition", J.Str (Compile.partition_name options.Compile.partition));
+    ]
 
 let handle_run st id deadline_ms ~target:t ~faults ~max_cycles =
   st.c.n_run <- st.c.n_run + 1;
@@ -687,7 +796,11 @@ let tune_key r = Digest.to_hex (Digest.string (request_to_json r))
 
 let handle_tune st id deadline_ms ~target:t ~top_k =
   st.c.n_tune <- st.c.n_tune + 1;
-  let mech, kernel, arch, version, _options = resolve_target t in
+  (* Resolve the hand base even for partition:"auto" — the search wants
+     the un-searched options as its baseline, not a pre-resolved winner. *)
+  let mech, kernel, arch, version, base =
+    resolve_target { t with t_partition = "hand" }
+  in
   let key =
     tune_key
       {
@@ -699,6 +812,50 @@ let handle_tune st id deadline_ms ~target:t ~top_k =
   match Hashtbl.find_opt st.tune_cache key with
   | Some fields ->
       st.c.tune_cache_hits <- st.c.tune_cache_hits + 1;
+      ok_response st id "tune" fields
+  | None when t.t_partition = "auto" ->
+      (* Partition-search tune: score/gate the structural candidates and
+         confirm survivors by simulation (through Autotune's grid mode),
+         degrading to the model-only ranking when the deadline budget
+         kills every simulation. *)
+      let budget = budget_cycles st.cfg deadline_ms in
+      let searched ~simulate =
+        Partition_search.search ~points:t.t_points ~top_k ~max_cycles:budget
+          ~simulate mech kernel version ~base ()
+      in
+      let fields =
+        match searched ~simulate:true with
+        | Ok o ->
+            [
+              ("degraded", J.Bool false);
+              ("budget_cycles", numi budget);
+              ("partition", partition_json o);
+              ( "best",
+                J.Obj
+                  [
+                    ("warps", numi o.Partition_search.winner.Compile.n_warps);
+                    ( "ctas_per_sm",
+                      numi
+                        o.Partition_search.winner.Compile.ctas_per_sm_target
+                    );
+                    ( "buffer_slots",
+                      numi o.Partition_search.winner.Compile.buffer_slots );
+                  ] );
+            ]
+        | Error _ -> (
+            match searched ~simulate:false with
+            | Ok o ->
+                st.c.degraded <- st.c.degraded + 1;
+                [
+                  ("degraded", J.Bool true);
+                  ("budget_cycles", numi budget);
+                  ("partition", partition_json o);
+                  ("caveat", J.Str (degraded_caveat budget));
+                ]
+            | Error d -> raise (Reply (Rejected, Diagnostics.to_string d)))
+      in
+      if Hashtbl.length st.tune_cache >= 64 then Hashtbl.reset st.tune_cache;
+      Hashtbl.replace st.tune_cache key fields;
       ok_response st id "tune" fields
   | None ->
       let budget = budget_cycles st.cfg deadline_ms in

@@ -67,6 +67,11 @@ type target = {
   t_warps : int;
   t_points : int;
   t_synth : bool option;  (** [--synth-exchange] override *)
+  t_partition : string;
+      (** ["hand"] (default) or ["auto"]: auto resolves the warp
+          partition through {!Partition_search} (model-only for
+          compile/run/predict; a [tune] request confirms by simulation
+          and reports the search outcome in a ["partition"] object) *)
 }
 
 type payload =
@@ -108,7 +113,10 @@ type state
 
 val create : ?config:config -> unit -> state
 (** Fresh counters and caches; installs [config.cache_entries] as the
-    compile-memo bound. *)
+    compile-memo bound. Raises [Invalid_argument] when any config field
+    is non-positive — notably [deadline_ms <= 0], which would otherwise
+    silently clamp every defaulted request's cycle budget to the 10k
+    floor and answer it [degraded:true]. *)
 
 val handle_line : state -> string -> string * bool
 (** Answer one raw request line with one response line (no trailing

@@ -25,5 +25,6 @@ let () =
       ("perf-model", Test_perf_model.tests);
       ("chip", Test_chip.tests);
       ("synth", Test_synth.tests);
+      ("partition", Test_partition.tests);
       ("serve", Test_serve.tests);
     ]

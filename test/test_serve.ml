@@ -50,7 +50,8 @@ let request_roundtrip_qcheck =
   in
   let target_gen =
     Gen.map
-      (fun (((mech, kernel), (arch, version)), (warps, points, synth)) ->
+      (fun ((((mech, kernel), (arch, version)), (warps, points, synth)),
+            partition) ->
         {
           Serve.t_mech = mech;
           t_kernel = kernel;
@@ -59,12 +60,15 @@ let request_roundtrip_qcheck =
           t_warps = warps;
           t_points = points;
           t_synth = synth;
+          t_partition = partition;
         })
       Gen.(
         pair
-          (pair (pair str_gen str_gen) (pair str_gen str_gen))
-          (triple (int_range 1 1024) (int_range 1 1_000_000)
-             (opt Gen.bool)))
+          (pair
+             (pair (pair str_gen str_gen) (pair str_gen str_gen))
+             (triple (int_range 1 1024) (int_range 1 1_000_000)
+                (opt Gen.bool)))
+          (oneofl [ "hand"; "auto" ]))
   in
   let payload_gen =
     Gen.oneof
@@ -127,6 +131,36 @@ let test_bad_request_class () =
   (* the id is echoed even on a rejected envelope *)
   let resp, _ = handle st {|{"id":"e1","kind":"run","bogus":1}|} in
   Alcotest.(check (option string)) "id echoed" (Some "e1") (sfield resp "id")
+
+(* Regression: [deadline_ms <= 0] used to be clamped silently — on the
+   wire it must be a bad-request, and in the config it must be rejected
+   at [create] time, never defaulted into every request. *)
+let test_nonpositive_deadline_rejected () =
+  let st = Serve.create () in
+  let resp, stop =
+    handle st {|{"kind":"run","mech":"hydrogen","deadline_ms":0}|}
+  in
+  Alcotest.(check bool) "keeps serving" false stop;
+  check_class resp "bad-request";
+  let resp, _ =
+    handle st {|{"kind":"run","mech":"hydrogen","deadline_ms":-5}|}
+  in
+  check_class resp "bad-request";
+  (* a positive deadline on the same session still works *)
+  let resp, _ =
+    handle st
+      {|{"kind":"predict","mech":"hydrogen","kernel":"viscosity","deadline_ms":2000}|}
+  in
+  Alcotest.(check (option string)) "status" (Some "ok") (sfield resp "status");
+  List.iter
+    (fun deadline_ms ->
+      match
+        Serve.create ~config:{ Serve.default_config with deadline_ms } ()
+      with
+      | exception Invalid_argument _ -> ()
+      | _st ->
+          Alcotest.failf "Serve.create accepted deadline_ms = %d" deadline_ms)
+    [ 0; -1 ]
 
 let test_compile_rejected_class () =
   let st = Serve.create () in
@@ -371,6 +405,8 @@ let tests =
   [
     request_roundtrip_qcheck;
     Alcotest.test_case "bad-request class" `Quick test_bad_request_class;
+    Alcotest.test_case "non-positive deadline rejected" `Quick
+      test_nonpositive_deadline_rejected;
     Alcotest.test_case "compile-rejected class" `Quick
       test_compile_rejected_class;
     Alcotest.test_case "simulation-fault class" `Quick
