@@ -1,6 +1,6 @@
 .PHONY: all build test test-faults fmt fmt-check check perf perf-quick \
 	profile-smoke predict-smoke chip-smoke synth-smoke partition-smoke \
-	serve-smoke serve-soak clean
+	stencil-smoke serve-smoke serve-soak clean
 
 all: build
 
@@ -31,9 +31,11 @@ fmt-check:
 # the multi-SM chip layer is deterministic and schema-clean, the
 # shuffle-exchange rewrite stays bit-exact and profitable, the partition
 # searcher rediscovers-or-beats the hand mapping under its deadlock gate,
-# and the serve loop answers a hostile request mix with typed responses.
+# the stencil pipelines stay bit-exact against their host oracle in both
+# tiling modes, and the serve loop answers a hostile request mix with
+# typed responses.
 check: build fmt-check test perf-quick profile-smoke predict-smoke chip-smoke \
-	synth-smoke partition-smoke serve-smoke
+	synth-smoke partition-smoke stencil-smoke serve-smoke
 
 # Machine-readable performance snapshot (see bench/main.ml).
 perf:
@@ -59,14 +61,14 @@ predict-smoke:
 
 # Chip-layer smoke: a 4-SM DME viscosity launch must be byte-identical
 # whether simulated serially or on concurrent domains, dispatch every
-# CTA, and emit a well-formed perf-v9 "chip" JSON object (exit 1 on any
+# CTA, and emit a well-formed perf-v10 "chip" JSON object (exit 1 on any
 # failure).
 chip-smoke:
 	dune exec bench/main.exe -- chip-smoke
 
 # Exchange-rewrite smoke: DME diffusion with the shuffle-exchange
 # superoptimizer on vs off must produce bit-identical outputs, remove
-# round trips without costing cycles, and emit a well-formed perf-v9
+# round trips without costing cycles, and emit a well-formed perf-v10
 # "exchange" JSON object (exit 1 on any failure).
 synth-smoke:
 	dune exec bench/main.exe -- synth-smoke
@@ -74,10 +76,18 @@ synth-smoke:
 # Partition-search smoke: the three-phase searcher (propose, model-rank,
 # deadlock-gate, simulate-confirm) on hydrogen viscosity must rediscover
 # or beat the hand partition in under ~30 s, with every winner passing
-# the safety gate and a well-formed perf-v9 "partition" JSON object
+# the safety gate and a well-formed perf-v10 "partition" JSON object
 # (exit 1 on any failure).
 partition-smoke:
 	dune exec bench/main.exe -- partition-smoke
+
+# Stencil smoke: both bundled stencil pipelines, warp-specialized on both
+# architectures, must match the host reference bit-for-bit, agree across
+# the two tiling modes on the commonly-simulated prefix, keep the model
+# floor sound, and emit a well-formed perf-v10 stencil JSON object
+# (exit 1 on any failure).
+stencil-smoke:
+	dune exec bench/main.exe -- stencil-smoke
 
 # Serve smoke: drive the real `singe serve` binary over one session of
 # mixed requests — every request family, every error class, an idempotent

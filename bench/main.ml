@@ -145,6 +145,20 @@ let perf_configs () =
           (mech, kernel, version, options))
         [ Singe.Compile.Warp_specialized; Singe.Compile.Baseline ])
     kernels
+  @ (* The stencil workload column (perf-v10): both bundled pipelines,
+       warp-specialized and baseline. The mechanism is carried for the
+       record's "mech" field only — stencil kernels never read it. *)
+  List.concat_map
+    (fun id ->
+      List.map
+        (fun version ->
+          let options =
+            { (Singe.Compile.default_options arch) with
+              Singe.Compile.n_warps = 4 }
+          in
+          (mech, Singe.Kernel_abi.Stencil id, version, options))
+        [ Singe.Compile.Warp_specialized; Singe.Compile.Baseline ])
+    [ Singe.Stencil_pipe.Edge3; Singe.Stencil_pipe.Unsharp2 ]
 
 (* One perf config's outcome: a JSON entry, a compile-stage skip, or a
    contained simulation fault (watchdog / deadlock); the latter two are
@@ -302,8 +316,9 @@ let perf ~out ?max_cycles () =
         in
         P_entry
           (Printf.sprintf
-             "{\"mech\": \"%s\", \"kernel\": \"%s\", \"version\": \"%s\", \
-              \"arch\": \"%s\", \"points\": %d, \"points_per_sec\": %.6g, \
+             "{\"mech\": \"%s\", \"workload\": \"%s\", \"kernel\": \
+              \"%s\", \"version\": \"%s\", \"arch\": \"%s\", \"points\": \
+              %d, \"points_per_sec\": %.6g, \
               \"gflops\": %.6g, \"dram_gbs\": %.6g, \"sm_cycles\": %d, \
               \"max_rel_err\": %.3g, \"host\": {\"compile_wall_s\": %.4f, \
               \"sim_wall_s\": %.4f, \"sim_cycles_per_host_sec\": %.6g}, \
@@ -312,6 +327,9 @@ let perf ~out ?max_cycles () =
               \"partition\": %s, \"chip\": %s, \"exchange\": %s, \
               \"profile\": %s, \"report\": %s}"
              mech.Chem.Mechanism.name
+             (match kernel with
+             | Singe.Kernel_abi.Stencil _ -> "stencil"
+             | _ -> "combustion")
              (Singe.Kernel_abi.kernel_name kernel)
              (Singe.Compile.version_name version)
              c.Singe.Compile.options.Singe.Compile.arch.Gpusim.Arch.name
@@ -445,7 +463,7 @@ let perf ~out ?max_cycles () =
   in
   let json =
     Printf.sprintf
-      "{\"schema\": \"singe-perf-v9\", \"jobs\": %d, \"max_cycles\": %d, \
+      "{\"schema\": \"singe-perf-v10\", \"jobs\": %d, \"max_cycles\": %d, \
        \"faults_detected\": %d, \"candidates_skipped\": %d, \
        \"sweep_wall_s\": %.4f, \"compile_cache\": %s, \"tune\": [\n\
        %s\n\
@@ -475,7 +493,7 @@ let perf ~out ?max_cycles () =
    A 4-SM DME viscosity run exercising the whole Chip layer end to end:
    the simulated snapshot (cycles, counters, chip schedule) must be
    byte-identical whether the run executes serially or on concurrent
-   domains, and the perf-v9 "chip" JSON it emits must be well-formed. *)
+   domains, and the perf-v10 "chip" JSON it emits must be well-formed. *)
 let chip_smoke () =
   let mech = Chem.Mech_gen.dme () in
   let arch = Gpusim.Arch.kepler_k20c in
@@ -492,7 +510,7 @@ let chip_smoke () =
     let ch = m.Gpusim.Machine.chip in
     ( ch,
       Printf.sprintf
-        "{\"schema\": \"singe-perf-v9\", \"kernel\": \"viscosity\", \
+        "{\"schema\": \"singe-perf-v10\", \"kernel\": \"viscosity\", \
          \"sm_cycles\": %d, \"points_per_sec\": %.6g, \"chip\": %s}"
         m.Gpusim.Machine.sm_cycles m.Gpusim.Machine.points_per_sec
         (chip_json ch) )
@@ -527,8 +545,8 @@ let chip_smoke () =
     "CTA conservation across SMs broke";
   check "makespan positive" (ch.Gpusim.Chip.makespan_cycles > 0.0) "";
   (match Sutil.Json_check.validate serial with
-  | Ok () -> check "perf-v9 chip json" true ""
-  | Error m -> check "perf-v9 chip json" false m);
+  | Ok () -> check "perf-v10 chip json" true ""
+  | Error m -> check "perf-v10 chip json" false m);
   if !failed then exit 1
 
 (* ---- exchange-rewrite smoke gate (`synth-smoke`, wired into `make check`)
@@ -536,7 +554,7 @@ let chip_smoke () =
    DME diffusion on Kepler with the shuffle-exchange superoptimizer forced
    on and off: the two programs must produce bit-identical outputs (the
    rewrite's verification oracle, end to end), the rewrite must actually
-   fire and must not cost simulated cycles, and the perf-v8 "exchange"
+   fire and must not cost simulated cycles, and the perf-v10 "exchange"
    JSON it emits must be well-formed. *)
 let synth_smoke () =
   let mech = Chem.Mech_gen.dme () in
@@ -584,7 +602,7 @@ let synth_smoke () =
     (Printf.sprintf "on %d > off %d cycles" (cyc r_on) (cyc r_off));
   let payload =
     Printf.sprintf
-      "{\"schema\": \"singe-perf-v9\", \"kernel\": \"diffusion\", \
+      "{\"schema\": \"singe-perf-v10\", \"kernel\": \"diffusion\", \
        \"sm_cycles\": %d, \"exchange\": {\"sites_rewritten\": %d, \
        \"round_trips_removed\": %d, \"stores_removed\": %d, \
        \"shuffle_steps\": %d, \"shared_bytes_freed\": %d, \"cycle_delta\": \
@@ -597,8 +615,8 @@ let synth_smoke () =
       (cyc r_off - cyc r_on)
   in
   (match Sutil.Json_check.validate payload with
-  | Ok () -> check "perf-v9 exchange json" true ""
-  | Error m -> check "perf-v9 exchange json" false m);
+  | Ok () -> check "perf-v10 exchange json" true ""
+  | Error m -> check "perf-v10 exchange json" false m);
   if !failed then exit 1
 
 (* ---- partition search smoke gate (`partition-smoke`, in `make check`) ----
@@ -608,7 +626,7 @@ let synth_smoke () =
    or beat the hand partition (simulated cycles no worse), every gate
    rejection must carry a [partition-rejected] diagnostic, the winning
    options must themselves pass the safety gate when recompiled, and the
-   perf-v9 "partition" JSON must be well-formed. Hydrogen keeps the
+   perf-v10 "partition" JSON must be well-formed. Hydrogen keeps the
    candidate compiles cheap enough for `make check` (~a few seconds). *)
 let partition_smoke () =
   let mech = Chem.Mech_gen.hydrogen () in
@@ -684,7 +702,7 @@ let partition_smoke () =
       in
       let payload =
         Printf.sprintf
-          "{\"schema\": \"singe-perf-v9\", \"kernel\": \"viscosity\", \
+          "{\"schema\": \"singe-perf-v10\", \"kernel\": \"viscosity\", \
            \"partition\": {\"mode\": \"hand\", \"search\": {\"searched\": %d, \
            \"gated\": %d, \"rejected\": %d, \"confirmed\": %b, \
            \"model_hand_cycles\": %.0f, \"model_winner_cycles\": %.0f, \
@@ -696,11 +714,106 @@ let partition_smoke () =
           o.Singe.Partition_search.winner_cycles spec_json
       in
       match Sutil.Json_check.validate payload with
-      | Ok () -> check "perf-v9 partition json" true ""
-      | Error m -> check "perf-v9 partition json" false m);
+      | Ok () -> check "perf-v10 partition json" true ""
+      | Error m -> check "perf-v10 partition json" false m);
   let wall = Unix.gettimeofday () -. t0 in
   check "under the 30s budget" (wall < 30.0)
     (Printf.sprintf "search took %.1fs" wall);
+  if !failed then exit 1
+
+(* ---- stencil smoke gate (`stencil-smoke`, wired into `make check`) ----
+
+   Both bundled stencil pipelines, warp-specialized on both
+   architectures: the simulated outputs must match the host reference
+   bit-for-bit (the fill and the oracle share the same source pixels and
+   the same Sexpr trees, so any drift is a compiler bug), overlapped and
+   non-overlapped tiling must agree bit-for-bit with each other, the
+   overlapped default must not be slower, the model floor must hold, and
+   the perf-v10 stencil JSON must be well-formed. *)
+let stencil_smoke () =
+  let mech = Chem.Mech_gen.hydrogen () in
+  let points = 2048 in
+  let failed = ref false in
+  let check name ok detail =
+    if ok then Printf.printf "check %-32s ok\n" name
+    else begin
+      failed := true;
+      Printf.printf "check %-32s FAILED%s\n" name
+        (if detail = "" then "" else ": " ^ detail)
+    end
+  in
+  let rows =
+    List.concat_map
+      (fun id ->
+        List.map
+          (fun arch ->
+            let compile overlap =
+              Singe.Compile.compile_cached mech
+                (Singe.Kernel_abi.Stencil id)
+                Singe.Compile.Warp_specialized
+                { (Singe.Compile.default_options arch) with
+                  Singe.Compile.n_warps = 4;
+                  stencil_overlap = overlap }
+            in
+            let c_on = compile true and c_off = compile false in
+            let r_on = Singe.Compile.run c_on ~total_points:points in
+            let r_off = Singe.Compile.run c_off ~total_points:points in
+            let tag =
+              Printf.sprintf "%s/%s" (Singe.Stencil_pipe.id_name id)
+                arch.Gpusim.Arch.name
+            in
+            check (tag ^ " overlap bit-exact")
+              (r_on.Singe.Compile.max_rel_err = 0.0)
+              (Printf.sprintf "rel err %.3g" r_on.Singe.Compile.max_rel_err);
+            check (tag ^ " exchange bit-exact")
+              (r_off.Singe.Compile.max_rel_err = 0.0)
+              (Printf.sprintf "rel err %.3g" r_off.Singe.Compile.max_rel_err);
+            (* The two modes may extrapolate from different batch counts,
+               so only the commonly-simulated prefix is comparable — on
+               it they must agree bit-for-bit. (Which mode is faster is a
+               per-pipeline tradeoff the `stencil-overlap` figure
+               reports, not a gate: unsharp2's redundant sharpen
+               recompute outweighs the halo exchange it saves.) *)
+            let bits (r : Singe.Compile.run_result) n =
+              Array.map
+                (fun f -> Array.map Int64.bits_of_float (Array.sub f 0 n))
+                r.Singe.Compile.outputs
+            in
+            let common =
+              min
+                (Array.length r_on.Singe.Compile.outputs.(0))
+                (Array.length r_off.Singe.Compile.outputs.(0))
+            in
+            check (tag ^ " tiling modes agree")
+              (bits r_on common = bits r_off common)
+              "overlapped outputs differ from the exchange tiling";
+            let cyc (r : Singe.Compile.run_result) =
+              r.Singe.Compile.machine.Gpusim.Machine.sm_cycles
+            in
+            let pred = Singe.Perf_model.predict c_on ~total_points:points in
+            check (tag ^ " model floor holds")
+              (pred.Singe.Perf_model.floor_cycles
+              <= float_of_int (cyc r_on))
+              (Printf.sprintf "floor %.0f > measured %d"
+                 pred.Singe.Perf_model.floor_cycles (cyc r_on));
+            Printf.sprintf
+              "{\"workload\": \"stencil\", \"kernel\": \"%s\", \"arch\": \
+               \"%s\", \"sm_cycles\": %d, \"exchange_sm_cycles\": %d, \
+               \"max_rel_err\": %.3g, \"floor_cycles\": %.0f}"
+              (Singe.Stencil_pipe.id_name id)
+              arch.Gpusim.Arch.name (cyc r_on) (cyc r_off)
+              r_on.Singe.Compile.max_rel_err
+              pred.Singe.Perf_model.floor_cycles)
+          [ Gpusim.Arch.kepler_k20c; Gpusim.Arch.fermi_c2070 ])
+      [ Singe.Stencil_pipe.Edge3; Singe.Stencil_pipe.Unsharp2 ]
+  in
+  let payload =
+    Printf.sprintf "{\"schema\": \"singe-perf-v10\", \"stencil\": [%s]}"
+      (String.concat ", " rows)
+  in
+  (match Sutil.Json_check.validate payload with
+  | Ok () -> check "perf-v10 stencil json" true ""
+  | Error m -> check "perf-v10 stencil json" false m);
   if !failed then exit 1
 
 (* ---- serve smoke/soak gates (`serve-smoke` is wired into `make check`) ----
@@ -1069,6 +1182,7 @@ let () =
   | [ "chip-smoke" ] -> chip_smoke ()
   | [ "synth-smoke" ] -> synth_smoke ()
   | [ "partition-smoke" ] -> partition_smoke ()
+  | [ "stencil-smoke" ] -> stencil_smoke ()
   | [ "serve-smoke" ] -> serve_smoke ()
   | [ "serve-soak" ] -> serve_soak ()
   | [ "perf" ] -> perf ~out:None ?max_cycles:!perf_max_cycles ()

@@ -64,7 +64,9 @@ let kernel_term =
   in
   let printer ppf k = Format.pp_print_string ppf (Singe.Kernel_abi.kernel_name k) in
   Arg.(value & opt (Arg.conv (parse, printer)) Singe.Kernel_abi.Viscosity
-       & info [ "kernel" ] ~docv:"KERNEL" ~doc:"viscosity, diffusion or chemistry.")
+       & info [ "kernel" ] ~docv:"KERNEL"
+           ~doc:"viscosity, conductivity, diffusion, chemistry, or a stencil \
+                 pipeline: edge3, unsharp2.")
 
 let arch_term =
   let parse s =
@@ -165,7 +167,10 @@ let compile_or_die ~validate mech kernel version options =
 (* An occupancy rejection is a configuration error like any other compile
    rejection: render it as a diagnostic line and use the same exit code,
    keeping the 0/2/3 contract (it is neither unexpected nor a contained
-   simulation fault). *)
+   simulation fault). Positioned diagnostics raised after the compile
+   boundary (e.g. the launch-grid divisibility check inside
+   [Compile.run]) are configuration errors too — render them the same
+   way instead of letting them escape as an uncaught exception. *)
 let catch_occupancy f =
   try f () with
   | Gpusim.Chip.Occupancy_rejected r ->
@@ -173,6 +178,9 @@ let catch_occupancy f =
         (Singe.Diagnostics.to_string
            (Singe.Diagnostics.error ~pass:"occupancy"
               (Gpusim.Chip.reject_message r)));
+      exit exit_compile_rejected
+  | Singe.Diagnostics.Fail d ->
+      Printf.eprintf "singe: %s\n" (Singe.Diagnostics.to_string d);
       exit exit_compile_rejected
 
 (* Chip-scheduler flags shared by the simulating and predicting
@@ -265,12 +273,23 @@ let info_cmd =
   Cmd.v (Cmd.info "info" ~doc:"Describe a mechanism.")
     Term.(const run $ mech_term)
 
-let options_of ?synth arch warps kernel =
+let options_of ?synth ?(overlap = true) arch warps kernel =
   { (Singe.Compile.default_options arch) with
     Singe.Compile.n_warps = warps;
     max_barriers = (if kernel = Singe.Kernel_abi.Chemistry then 16 else 8);
     ctas_per_sm_target = (if kernel = Singe.Kernel_abi.Chemistry then 1 else 2);
-    synth_exchange = synth }
+    synth_exchange = synth;
+    stencil_overlap = overlap }
+
+(* The tiling mode for stencil kernels; ignored by the combustion ones. *)
+let overlap_term =
+  Arg.(value & opt bool true & info [ "stencil-overlap" ] ~docv:"BOOL"
+       ~doc:"Warp-overlapped tiling for stencil pipelines: when on, upstream \
+             bands compute halo-extended tiles (redundant recompute at the \
+             seams) so every consumer warp reads from exactly one producer; \
+             when off, each column is computed once and halo taps read \
+             cross-warp through shared memory. Ignored by the combustion \
+             kernels.")
 
 (* The exchange-rewrite override shared by the compiling commands:
    unset = per-architecture auto (on exactly when the broadcast style is
@@ -339,12 +358,12 @@ let compile_cmd =
                  ~doc:"Write the program's textual assembly to FILE ('-' for stdout).") in
   let cuda = Arg.(value & opt (some string) None & info [ "emit-cuda" ] ~docv:"FILE"
                   ~doc:"Write the kernel as CUDA C source to FILE ('-' for stdout).") in
-  let run mech kernel arch warps version synth partition dump asm cuda timings
-      validate dump_ir_stage =
+  let run mech kernel arch warps version synth overlap partition dump asm cuda
+      timings validate dump_ir_stage =
     catch_occupancy @@ fun () ->
     let options =
       resolve_partition partition mech kernel version
-        (options_of ?synth arch warps kernel)
+        (options_of ?synth ~overlap arch warps kernel)
     in
     let c, report = compile_or_die ~validate mech kernel version options in
     let p = c.Singe.Compile.lowered.Singe.Lower.program in
@@ -388,17 +407,17 @@ let compile_cmd =
   in
   Cmd.v (Cmd.info "compile" ~doc:"Compile a kernel and report its resources.")
     Term.(const run $ mech_term $ kernel_term $ arch_term $ warps_term
-          $ version_term $ synth_term $ partition_term $ dump $ asm $ cuda
-          $ timings_term $ validate_term $ dump_ir_term)
+          $ version_term $ synth_term $ overlap_term $ partition_term $ dump
+          $ asm $ cuda $ timings_term $ validate_term $ dump_ir_term)
 
 let run_cmd =
   let points = Arg.(value & opt int 32768 & info [ "points" ] ~docv:"N") in
-  let run mech kernel arch warps version synth partition points timings
+  let run mech kernel arch warps version synth overlap partition points timings
       validate faults max_cycles n_sms skew =
     catch_occupancy @@ fun () ->
     let options =
       resolve_partition partition mech kernel version
-        (options_of ?synth arch warps kernel)
+        (options_of ?synth ~overlap arch warps kernel)
     in
     let c, report = compile_or_die ~validate mech kernel version options in
     let r =
@@ -446,9 +465,9 @@ let run_cmd =
   in
   Cmd.v (Cmd.info "run" ~doc:"Compile, simulate and verify a kernel.")
     Term.(const run $ mech_term $ kernel_term $ arch_term $ warps_term
-          $ version_term $ synth_term $ partition_term $ points $ timings_term
-          $ validate_term $ faults_term $ max_cycles_term $ sms_term
-          $ skew_term)
+          $ version_term $ synth_term $ overlap_term $ partition_term $ points
+          $ timings_term $ validate_term $ faults_term $ max_cycles_term
+          $ sms_term $ skew_term)
 
 let profile_cmd =
   let points = Arg.(value & opt int 32768 & info [ "points" ] ~docv:"N") in
@@ -474,12 +493,12 @@ let profile_cmd =
                warps), Chrome-trace JSON well-formedness and timestamp \
                monotonicity. Exit nonzero on any failure.")
   in
-  let run mech kernel arch warps version points chrome top timeline check_it
-      faults max_cycles n_sms skew =
+  let run mech kernel arch warps version overlap points chrome top timeline
+      check_it faults max_cycles n_sms skew =
     catch_occupancy @@ fun () ->
     let c, _ =
       compile_or_die ~validate:false mech kernel version
-        (options_of arch warps kernel)
+        (options_of ~overlap arch warps kernel)
     in
     let profile = { Gpusim.Sm.timeline_capacity = timeline } in
     let r =
@@ -581,8 +600,8 @@ let profile_cmd =
        ~doc:"Simulate a kernel with the per-warp cycle-attribution profiler \
              and print the stall breakdown.")
     Term.(const run $ mech_term $ kernel_term $ arch_term $ warps_term
-          $ version_term $ points $ chrome $ top $ timeline $ check_flag
-          $ faults_term $ max_cycles_term $ sms_term $ skew_term)
+          $ version_term $ overlap_term $ points $ chrome $ top $ timeline
+          $ check_flag $ faults_term $ max_cycles_term $ sms_term $ skew_term)
 
 let predict_cmd =
   let points = Arg.(value & opt int 32768 & info [ "points" ] ~docv:"N") in
@@ -598,8 +617,8 @@ let predict_cmd =
   in
   let kernel_opt =
     Arg.(value & opt (some kernel_conv) None & info [ "kernel" ] ~docv:"KERNEL"
-         ~doc:"Restrict to one kernel (default: viscosity, diffusion and \
-               chemistry).")
+         ~doc:"Restrict to one kernel (default: viscosity, diffusion, \
+               chemistry, edge3 and unsharp2).")
   in
   let version_conv =
     let parse s =
@@ -626,15 +645,17 @@ let predict_cmd =
                simulator never beats the model's throughput floor. Exit \
                nonzero on any failure.")
   in
-  let run mech arch warps synth partition points kernel_opt version_opt json
-      check_it n_sms skew =
+  let run mech arch warps synth overlap partition points kernel_opt version_opt
+      json check_it n_sms skew =
     catch_occupancy @@ fun () ->
     let kernels =
       match kernel_opt with
       | Some k -> [ k ]
       | None ->
           [ Singe.Kernel_abi.Viscosity; Singe.Kernel_abi.Diffusion;
-            Singe.Kernel_abi.Chemistry ]
+            Singe.Kernel_abi.Chemistry;
+            Singe.Kernel_abi.Stencil Singe.Stencil_pipe.Edge3;
+            Singe.Kernel_abi.Stencil Singe.Stencil_pipe.Unsharp2 ]
     in
     let versions =
       match version_opt with
@@ -663,13 +684,13 @@ let predict_cmd =
                  predict's best-effort table semantics. *)
               let resolved =
                 match partition with
-                | `Hand -> Ok (options_of ?synth arch warps kernel)
+                | `Hand -> Ok (options_of ?synth ~overlap arch warps kernel)
                 | `Auto -> (
                     try
                       Ok
                         (Singe.Partition_search.resolve_options mech kernel
                            version
-                           ~base:(options_of ?synth arch warps kernel))
+                           ~base:(options_of ?synth ~overlap arch warps kernel))
                     with Singe.Diagnostics.Fail d -> Error d)
               in
               match
@@ -739,7 +760,8 @@ let predict_cmd =
                 \"measured_points_per_sec\": %.6g, \"binding\": \"%s\"}"
                (Singe.Kernel_abi.kernel_name kernel)
                (Singe.Compile.version_name version)
-               (options_of ?synth arch warps kernel).Singe.Compile.n_warps
+               (options_of ?synth ~overlap arch warps kernel)
+                 .Singe.Compile.n_warps
                pred.Singe.Perf_model.cycles
                r.Singe.Compile.machine.Gpusim.Machine.sm_cycles err
                pred.Singe.Perf_model.floor_cycles
@@ -792,8 +814,8 @@ let predict_cmd =
        ~doc:"Predict kernel cycles with the analytic performance model and \
              compare against the simulator.")
     Term.(const run $ mech_term $ arch_term $ warps_term $ synth_term
-          $ partition_term $ points $ kernel_opt $ version_opt $ json
-          $ check_flag $ sms_term $ skew_term)
+          $ overlap_term $ partition_term $ points $ kernel_opt $ version_opt
+          $ json $ check_flag $ sms_term $ skew_term)
 
 let tune_mode_term =
   let mode_conv =
@@ -821,8 +843,8 @@ let top_k_term =
                simulate.")
 
 let tune_cmd =
-  let run mech kernel arch warps version synth partition max_cycles tune_mode
-      top_k n_sms skew () =
+  let run mech kernel arch warps version synth overlap partition max_cycles
+      tune_mode top_k n_sms skew () =
     catch_occupancy @@ fun () ->
     match partition with
     | `Auto -> (
@@ -832,7 +854,7 @@ let tune_cmd =
         match
           Singe.Partition_search.search ~top_k ?max_cycles ?n_sms ?skew mech
             kernel version
-            ~base:(options_of ?synth arch warps kernel)
+            ~base:(options_of ?synth ~overlap arch warps kernel)
             ()
         with
         | Ok o ->
@@ -859,7 +881,8 @@ let tune_cmd =
     in
     let o =
       Singe.Autotune.tune ?max_cycles ~mode ?n_sms ?skew
-        ?synth_exchange:synth mech kernel version arch
+        ?synth_exchange:synth ~stencil_overlap:overlap mech kernel version
+        arch
     in
     Printf.printf "tried %d configurations (%d skipped, %d pruned by model)\n"
       o.Singe.Autotune.tried o.Singe.Autotune.skipped
@@ -887,8 +910,9 @@ let tune_cmd =
        ~doc:"Autotune a kernel configuration (brute-force, or pruned by the \
              analytic performance model).")
     Term.(const run $ mech_term $ kernel_term $ arch_term $ warps_term
-          $ version_term $ synth_term $ partition_term $ max_cycles_term
-          $ tune_mode_term $ top_k_term $ sms_term $ skew_term $ jobs_term)
+          $ version_term $ synth_term $ overlap_term $ partition_term
+          $ max_cycles_term $ tune_mode_term $ top_k_term $ sms_term
+          $ skew_term $ jobs_term)
 
 let stats_cmd =
   let run mech kernel arch warps version =
@@ -967,6 +991,26 @@ let partition_cmd =
                    (List.map string_of_int node.Chem.Qssa.deps)))
             g.Chem.Qssa.nodes
         end
+    | Singe.Kernel_abi.Stencil id ->
+        let p = Singe.Stencil_pipe.get id in
+        let n_stages = List.length p.Singe.Stencil_pipe.stages in
+        Printf.printf
+          "stencil band partition (warp-overlapped tiling): %s, %d stage(s) \
+           + loads, %d warps\n"
+          p.Singe.Stencil_pipe.pipe_name n_stages warps;
+        for s = 1 to n_stages do
+          let lo, hi = Singe.Stencil_dfg.band ~n_warps:warps ~n_stages s in
+          let stage = List.nth p.Singe.Stencil_pipe.stages (s - 1) in
+          Printf.printf "  stage %d (%s, radius %d) -> warps [%d, %d)\n" s
+            stage.Singe.Stencil_pipe.stage_name stage.Singe.Stencil_pipe.radius
+            lo hi;
+          for col = 0 to p.Singe.Stencil_pipe.width - 1 do
+            if col mod 8 = 0 then
+              Printf.printf "    col %2d -> warp %d\n" col
+                (Singe.Stencil_dfg.owner_warp ~n_warps:warps ~n_stages
+                   ~width:p.Singe.Stencil_pipe.width ~stage:s ~col)
+          done
+        done
   in
   Cmd.v
     (Cmd.info "partition"
@@ -999,6 +1043,7 @@ let figures_cmd =
         | "model-accuracy" -> Experiments.Figures.model_accuracy ()
         | "chip-scaling" -> Experiments.Figures.chip_scaling ()
         | "partition-search" -> Experiments.Figures.partition_search ()
+        | "stencil-overlap" -> Experiments.Figures.stencil_overlap ()
         | other -> failwith ("unknown figure " ^ other))
       names
   in

@@ -438,6 +438,8 @@ let model_accuracy () =
             Singe.Kernel_abi.Viscosity;
             Singe.Kernel_abi.Diffusion;
             Singe.Kernel_abi.Chemistry;
+            Singe.Kernel_abi.Stencil Singe.Stencil_pipe.Edge3;
+            Singe.Kernel_abi.Stencil Singe.Stencil_pipe.Unsharp2;
           ])
       mechs
   in
@@ -661,6 +663,60 @@ let partition_search () =
     (if simulate then " and was confirmed by simulation" else "");
   print_newline ()
 
+let stencil_overlap () =
+  header
+    "Stencil tiling: warp-overlapped (halo recompute, single-producer tile \
+     handoffs) vs non-overlapped (cross-warp halo reads through shared \
+     memory), hand band mapping vs searched partition\n\
+     stencil pipelines on Kepler; SM cycles at 32^3 points";
+  let mech = Chem.Mech_gen.dme () in
+  let arch = Gpusim.Arch.kepler_k20c in
+  let points = 32768 in
+  Printf.printf "  %-10s %-14s %12s %12s %7s  %s\n" "pipeline" "tiling" "hand"
+    "auto" "gain" "winner";
+  List.iter
+    (fun id ->
+      let kernel = Singe.Kernel_abi.Stencil id in
+      List.iter
+        (fun overlap ->
+          let base =
+            { (Singe.Compile.default_options arch) with
+              Singe.Compile.stencil_overlap = overlap }
+          in
+          let cycles options =
+            let c =
+              Singe.Compile.compile_cached mech kernel
+                Singe.Compile.Warp_specialized options
+            in
+            let r = Singe.Compile.run c ~total_points:points in
+            float_of_int r.Singe.Compile.machine.Gpusim.Machine.sm_cycles
+          in
+          let hand = cycles base in
+          match
+            Singe.Partition_search.resolve_options mech kernel
+              Singe.Compile.Warp_specialized ~base
+          with
+          | resolved ->
+              let auto = cycles resolved in
+              let gain = 100.0 *. (hand -. auto) /. Float.max 1.0 hand in
+              Printf.printf "  %-10s %-14s %12.0f %12.0f %6.1f%%  %s\n"
+                (Singe.Stencil_pipe.id_name id)
+                (if overlap then "overlapped" else "non-overlapped")
+                hand auto gain
+                (match resolved.Singe.Compile.partition with
+                | Singe.Compile.Partition_auto spec ->
+                    Format.asprintf "%a" Singe.Mapping.pp_auto_spec spec
+                | Singe.Compile.Partition_hand -> "hand mapping retained")
+          | exception Singe.Diagnostics.Fail d ->
+              Printf.printf "  %-10s %-14s %12.0f %12s  search rejected: %s\n"
+                (Singe.Stencil_pipe.id_name id)
+                (if overlap then "overlapped" else "non-overlapped")
+                hand "-"
+                (Singe.Diagnostics.to_string d))
+        [ true; false ])
+    Singe.Stencil_pipe.all_ids;
+  print_newline ()
+
 let all () =
   fig3 ();
   fig9 ();
@@ -680,4 +736,5 @@ let all () =
   ablation_exchange ();
   model_accuracy ();
   chip_scaling ();
-  partition_search ()
+  partition_search ();
+  stencil_overlap ()

@@ -102,5 +102,11 @@ val partition_search : unit -> unit
     Kepler. Winners are confirmed by simulation (model-only under
     [SINGE_FAST]). *)
 
+val stencil_overlap : unit -> unit
+(** Warp-overlapped vs non-overlapped stencil tiling ({!Singe.Stencil_dfg},
+    DESIGN §17): simulated SM cycles for every stencil pipeline on Kepler
+    under both tiling modes, each with the hand band mapping and the
+    searched partition ([--partition auto], model-resolved). *)
+
 val all : unit -> unit
 (** Every table, figure and ablation in order. *)

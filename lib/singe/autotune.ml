@@ -44,10 +44,15 @@ let default_warp_candidates mech kernel version =
              chains hide behind cross-CTA parallelism), so search both ends. *)
           List.sort_uniq compare (all @ [ 20 ])
       | Kernel_abi.Viscosity | Kernel_abi.Conductivity | Kernel_abi.Diffusion
-        -> all)
+        -> all
+      | Kernel_abi.Stencil _ ->
+          (* Stencil stages do not depend on the mechanism's species count;
+             the useful axis is the producer/consumer band split, which
+             scales with powers of two. *)
+          [ 2; 4; 8; 16 ])
 
-let candidate_options ?synth_exchange ~points kernel version arch
-    warp_candidates cta_targets =
+let candidate_options ?synth_exchange ?stencil_overlap ~points kernel version
+    arch warp_candidates cta_targets =
   List.concat_map
     (fun n_warps ->
       List.concat_map
@@ -76,6 +81,10 @@ let candidate_options ?synth_exchange ~points kernel version arch
                     (match synth_exchange with
                     | Some b -> Some b
                     | None -> defaults.Compile.synth_exchange);
+                  stencil_overlap =
+                    (match stencil_overlap with
+                    | Some b -> b
+                    | None -> defaults.Compile.stencil_overlap);
                   max_barriers =
                     (if kernel = Kernel_abi.Chemistry then
                        16 / ctas_per_sm_target
@@ -102,7 +111,7 @@ let classify_exn = function
 
 let tune ?(points = 32768) ?warp_candidates ?(cta_targets = [ 1; 2 ]) ?jobs
     ?(max_cycles = 200_000_000) ?inject ?(mode = Exhaustive) ?n_sms ?skew
-    ?synth_exchange ?grid mech kernel version arch =
+    ?synth_exchange ?stencil_overlap ?grid mech kernel version arch =
   let candidates =
     match grid with
     | Some g -> g
@@ -112,8 +121,8 @@ let tune ?(points = 32768) ?warp_candidates ?(cta_targets = [ 1; 2 ]) ?jobs
           | Some l -> l
           | None -> default_warp_candidates mech kernel version
         in
-        candidate_options ?synth_exchange ~points kernel version arch
-          warp_candidates cta_targets
+        candidate_options ?synth_exchange ?stencil_overlap ~points kernel
+          version arch warp_candidates cta_targets
   in
   let indexed = List.mapi (fun i o -> (i, o)) candidates in
   (* Phase 1 — compile and score every candidate analytically. This runs

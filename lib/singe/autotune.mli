@@ -71,6 +71,7 @@ val default_warp_candidates :
 
 val candidate_options :
   ?synth_exchange:bool ->
+  ?stencil_overlap:bool ->
   points:int ->
   Kernel_abi.kernel ->
   Compile.version ->
@@ -83,7 +84,9 @@ val candidate_options :
     evaluation order — exposed so tests can address individual candidates
     (e.g. to poison one by index). [synth_exchange] forces the
     {!Shuffle_synth} exchange rewrite on or off for every candidate
-    (default: each candidate keeps the per-architecture auto setting). *)
+    (default: each candidate keeps the per-architecture auto setting).
+    [stencil_overlap] fixes the stencil tiling mode across the grid
+    (default: the overlapped default; ignored by combustion kernels). *)
 
 val tune :
   ?points:int ->
@@ -96,6 +99,7 @@ val tune :
   ?n_sms:int ->
   ?skew:float ->
   ?synth_exchange:bool ->
+  ?stencil_overlap:bool ->
   ?grid:Compile.options list ->
   Chem.Mechanism.t ->
   Kernel_abi.kernel ->

@@ -38,6 +38,11 @@ type options = {
   synth_exchange : bool option;
       (** [None] resolves per architecture: on when the broadcast style is
           [Shuffle] (the swizzles are shuffle instructions) *)
+  stencil_overlap : bool;
+      (** stencil kernels only — overlapped tiling: upstream warps
+          recompute halo columns so each downstream warp reads from
+          exactly one upstream warp; [false] computes every column once
+          and exchanges halos cross-warp through shared memory *)
   partition : partition;
       (** where the warp assignment comes from: the partitioner's domain
           hints ([Partition_hand], the paper's §4.1 mapping) or a
@@ -62,6 +67,7 @@ let default_options arch =
     chem_comm = None;
     full_range_thermo = false;
     synth_exchange = None;
+    stencil_overlap = true;
     partition = Partition_hand;
   }
 
@@ -69,6 +75,10 @@ let default_strategy = function
   | Kernel_abi.Viscosity | Kernel_abi.Conductivity -> Mapping.Store
   | Kernel_abi.Diffusion -> Mapping.Mixed
   | Kernel_abi.Chemistry -> Mapping.Buffer
+  (* Stencil tile handoffs are static single-writer values read at known
+     offsets: the store region (plus the scheduler's named-barrier
+     handshakes) carries them; the transport ring adds nothing. *)
+  | Kernel_abi.Stencil _ -> Mapping.Store
 
 type t = {
   mech : Chem.Mechanism.t;
@@ -142,8 +152,8 @@ let check_options mech kernel version o =
 
 (* ---- transform passes ---- *)
 
-let build_dfg ?(chem_comm = Chem_staged) ?(full_range_thermo = false) mech
-    kernel ~n_warps =
+let build_dfg ?(chem_comm = Chem_staged) ?(full_range_thermo = false)
+    ?(stencil_overlap = true) mech kernel ~n_warps =
   match kernel with
   | Kernel_abi.Viscosity -> Viscosity_dfg.build mech ~n_warps
   | Kernel_abi.Conductivity -> Conductivity_dfg.build mech ~n_warps
@@ -157,6 +167,9 @@ let build_dfg ?(chem_comm = Chem_staged) ?(full_range_thermo = false) mech
       in
       Chemistry_dfg.build ~recompute_conc ~recompute_gibbs ~full_range_thermo
         mech ~n_warps
+  | Kernel_abi.Stencil id ->
+      Stencil_dfg.build (Stencil_pipe.get id) ~n_warps
+        ~overlap:stencil_overlap
 
 let freg_budget options =
   match options.freg_budget with
@@ -236,7 +249,8 @@ let run_pipeline pm ~validate mech kernel version options =
       let dfg =
         Pass.run pm ~name:"dfg-build" ~stats:dfg_stats (fun () ->
             build_dfg ~chem_comm ~full_range_thermo:options.full_range_thermo
-              mech kernel ~n_warps:options.n_warps)
+              ~stencil_overlap:options.stencil_overlap mech kernel
+              ~n_warps:options.n_warps)
       in
       if validate then
         Pass.validate pm ~name:"dfg-validate" (fun () ->
@@ -340,8 +354,8 @@ let run_pipeline pm ~validate mech kernel version options =
          so map onto a single logical warp and emit warp-independent code. *)
       let dfg =
         Pass.run pm ~name:"dfg-build" ~stats:dfg_stats (fun () ->
-            build_dfg ~full_range_thermo:options.full_range_thermo mech kernel
-              ~n_warps:1)
+            build_dfg ~full_range_thermo:options.full_range_thermo
+              ~stencil_overlap:options.stencil_overlap mech kernel ~n_warps:1)
       in
       if validate then
         Pass.validate pm ~name:"dfg-validate" (fun () ->
@@ -614,7 +628,16 @@ let default_ctas t ~total_points =
   match t.version with
   | Baseline ->
       let per_cta = t.options.n_warps * 32 in
-      assert (total_points mod per_cta = 0);
+      (* Used to be an [assert]: a stray --points on a baseline launch
+         would abort the process instead of explaining itself. *)
+      if total_points mod per_cta <> 0 then
+        Diagnostics.failf ~pass:"launch"
+          ~loc:(Kernel_abi.kernel_name t.kernel)
+          "baseline %s launches one thread per point: %d points do not \
+           divide into %d-thread CTAs (%d warps x 32); pick a multiple or \
+           pass an explicit CTA count"
+          (Kernel_abi.kernel_name t.kernel)
+          total_points per_cta t.options.n_warps;
       total_points / per_cta
   | Warp_specialized | Naive_warp_specialized ->
       min 1024 (total_points / 32)
@@ -645,7 +668,7 @@ let run ?ctas ?(check = true) ?(seed = 0x5EEDL) ?t_range ?(faults = [])
     (match !grid with
     | Some g0 when g0.Chem.Grid.points >= n -> ()
     | Some _ | None -> grid := Some g);
-    Kernel_abi.fill_inputs t.mech g t.lowered.Lower.program mem n
+    Kernel_abi.fill_inputs t.mech g t.kernel t.lowered.Lower.program mem n
   in
   let machine =
     Gpusim.Machine.run ~fill_inputs:fill ~faults ?max_cycles ?profile ?n_sms

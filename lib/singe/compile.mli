@@ -83,6 +83,12 @@ type options = {
           [None] (default) resolves per architecture — on exactly when the
           broadcast style is {!Gpusim.Arch.Shuffle}, since non-identity
           swizzle programs are shuffle instructions *)
+  stencil_overlap : bool;
+      (** stencil kernels only ([--stencil-overlap]) — overlapped tiling:
+          upstream warps recompute halo columns so each downstream warp
+          reads its whole tile from exactly one upstream warp (default
+          [true]); [false] computes every column once and exchanges halos
+          cross-warp through shared memory *)
   partition : partition;
       (** [--partition hand|auto]: hand (domain-hint) mapping or a
           searched {!Mapping.auto_spec}; part of the memo key like every
@@ -105,7 +111,8 @@ val default_strategy : Kernel_abi.kernel -> Mapping.strategy
 (** Store for viscosity, Mixed for diffusion, Buffer for chemistry: its
     reaction rates stay in registers and exchange through the shared
     buffer; only the explicitly staged species vectors (Listing 4's
-    [scratch]) live in shared memory (§4.1). *)
+    [scratch]) live in shared memory (§4.1). Stencil kernels use Store:
+    tile handoffs are static single-writer values read at known offsets. *)
 
 type t = {
   mech : Chem.Mechanism.t;
@@ -198,7 +205,9 @@ val default_ctas : t -> total_points:int -> int
 (** Launch-grid size: warp-specialized kernels use a fixed CTA grid (1024,
     capped so each CTA gets at least one 32-point batch) so larger problems
     amortize the constant-loading prologue over more batches (§6.2);
-    the baseline launches one thread per point. *)
+    the baseline launches one thread per point and raises a positioned
+    {!Diagnostics.Fail} (pass ["launch"]) when the point count does not
+    divide into whole CTAs. *)
 
 type run_result = {
   machine : Gpusim.Machine.result;

@@ -142,7 +142,18 @@ let topo_order t =
         if indegree.(s) = 0 then ready := IS.add s !ready)
       (List.rev succs.(i))
   done;
-  if !k <> n then failwith (t.graph_name ^ ": dataflow graph has a cycle");
+  if !k <> n then begin
+    (* Name a stuck op so a frontend author can find the back edge. *)
+    let stuck = ref [] in
+    Array.iteri
+      (fun i d -> if d > 0 && List.length !stuck < 4 then stuck := i :: !stuck)
+      indegree;
+    Diagnostics.failf ~pass:"dfg-build" ~loc:t.graph_name
+      "dataflow graph %s has a cycle through %d op(s), e.g. %s" t.graph_name
+      (n - !k)
+      (String.concat ", "
+         (List.rev_map (fun i -> t.ops.(i).name) !stuck))
+  end;
   order
 
 let validate ?n_warps t =
@@ -176,7 +187,9 @@ let validate ?n_warps t =
       | Some o when o = vid -> ()
       | _ -> err "value %s: producer mismatch" v.vname)
     t.values;
-  (try ignore (topo_order t) with Failure m -> err "%s" m);
+  (try ignore (topo_order t) with
+  | Failure m -> err "%s" m
+  | Diagnostics.Fail d -> err "%s" (Diagnostics.to_string d));
   match !problems with [] -> Ok () | l -> Error (List.rev l)
 
 let pp_stats ppf t =

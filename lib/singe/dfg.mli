@@ -82,7 +82,8 @@ val validate : ?n_warps:int -> t -> (unit, string list) result
     [\[0, n_warps)] (the mapper would silently ignore a stray one). *)
 
 val topo_order : t -> int array
-(** Operation ids in a dependency-respecting order. Raises [Failure] on a
+(** Operation ids in a dependency-respecting order. Raises a positioned
+    {!Diagnostics.Fail} (pass ["dfg-build"]) naming stuck operations on a
     cycle. *)
 
 val pp_stats : Format.formatter -> t -> unit

@@ -16,7 +16,12 @@ let point_inputs mech grid p =
     diffusion = Array.map (fun sp -> diff.(sp)) computed;
   }
 
-let eval (dfg : Dfg.t) inputs =
+(* The interpreter is input-layout agnostic: callers supply the load
+   environment. Before the stencil frontend existed, the chemistry group
+   names were hardwired here (and a store to anything but "out" was an
+   [invalid_arg]), so any non-combustion graph crashed the oracle with an
+   unpositioned exception. *)
+let eval_env (dfg : Dfg.t) ~load =
   let values = Array.make (max 1 (Array.length dfg.Dfg.values)) 0.0 in
   let out = Hashtbl.create 8 in
   Array.iter
@@ -24,15 +29,7 @@ let eval (dfg : Dfg.t) inputs =
       let op = dfg.Dfg.ops.(op_id) in
       match op.Dfg.kind with
       | Dfg.Load { group; field; _ } ->
-          let v =
-            match group with
-            | "temperature" -> inputs.temp
-            | "pressure" -> inputs.pressure
-            | "mole_frac" -> inputs.mole_frac.(field)
-            | "diffusion_in" -> inputs.diffusion.(field)
-            | other -> invalid_arg ("dfg_interp: unknown input group " ^ other)
-          in
-          values.(Option.get op.Dfg.output) <- v
+          values.(Option.get op.Dfg.output) <- load ~group ~field
       | Dfg.Compute e ->
           let consts = Array.of_list (Sexpr.constants e) in
           let v =
@@ -42,9 +39,43 @@ let eval (dfg : Dfg.t) inputs =
       | Dfg.Fence -> ()
       | Dfg.Store { group; field } ->
           if group = "out" then Hashtbl.replace out field values.(op.Dfg.inputs.(0))
-          else invalid_arg ("dfg_interp: store to unknown group " ^ group))
+          else
+            Diagnostics.failf ~pass:"dfg-interp" ~loc:dfg.Dfg.graph_name
+              "graph %s stores to group %S; the interpreter only captures \
+               \"out\""
+              dfg.Dfg.graph_name group)
     (Dfg.topo_order dfg);
   out
+
+let chem_load (dfg : Dfg.t) inputs ~group ~field =
+  match group with
+  | "temperature" -> inputs.temp
+  | "pressure" -> inputs.pressure
+  | "mole_frac" -> inputs.mole_frac.(field)
+  | "diffusion_in" -> inputs.diffusion.(field)
+  | other ->
+      Diagnostics.failf ~pass:"dfg-interp" ~loc:dfg.Dfg.graph_name
+        "graph %s loads group %S, not one of the chemistry input groups \
+         (use eval_env with a matching load environment)"
+        dfg.Dfg.graph_name other
+
+let eval dfg inputs = eval_env dfg ~load:(chem_load dfg inputs)
+
+let stencil_load (dfg : Dfg.t) ~source ~group ~field =
+  match group with
+  | "image" ->
+      if field < 0 || field >= Array.length source then
+        Diagnostics.failf ~pass:"dfg-interp" ~loc:dfg.Dfg.graph_name
+          "graph %s loads image column %d, source row has %d"
+          dfg.Dfg.graph_name field (Array.length source)
+      else source.(field)
+  | other ->
+      Diagnostics.failf ~pass:"dfg-interp" ~loc:dfg.Dfg.graph_name
+        "graph %s loads group %S, not a stencil input group"
+        dfg.Dfg.graph_name other
+
+let eval_stencil dfg ~source =
+  eval_env dfg ~load:(stencil_load dfg ~source)
 
 let eval_field dfg inputs f =
   let out = eval dfg inputs in

@@ -1,8 +1,13 @@
 (** Direct (scalar, host-side) interpretation of a dataflow graph for one
     grid point. This gives a third, independent evaluation of every kernel
     — used by tests to pin the DFG-construction stage against
-    {!Chem.Ref_kernels}, separating partitioning bugs from code-generation
-    bugs. *)
+    {!Chem.Ref_kernels} (combustion) or {!Stencil_pipe.reference}
+    (stencil), separating partitioning bugs from code-generation bugs.
+
+    The interpreter core ({!eval_env}) is input-layout agnostic; layout
+    knowledge lives in the load environments. Unknown groups raise
+    positioned {!Diagnostics.Fail} (pass ["dfg-interp"]) naming the
+    graph, never bare [Invalid_argument]. *)
 
 type inputs = {
   temp : float;
@@ -13,9 +18,19 @@ type inputs = {
 
 val point_inputs : Chem.Mechanism.t -> Chem.Grid.t -> int -> inputs
 
+val eval_env :
+  Dfg.t -> load:(group:string -> field:int -> float) ->
+  (int, float) Hashtbl.t
+(** Evaluates every operation in topological order, reading loads through
+    [load]; the result maps the [out] group's field index to the stored
+    value. *)
+
 val eval : Dfg.t -> inputs -> (int, float) Hashtbl.t
-(** Evaluates every operation in topological order; the result maps the
-    [out] group's field index to the stored value. *)
+(** {!eval_env} with the chemistry input groups. *)
+
+val eval_stencil : Dfg.t -> source:float array -> (int, float) Hashtbl.t
+(** {!eval_env} with the stencil ["image"] group read from one source
+    scanline (indexed by column). *)
 
 val eval_field : Dfg.t -> inputs -> int -> float
 (** Value stored to [out] field [f]. Raises [Not_found] if the graph never

@@ -1,10 +1,20 @@
-type kernel = Viscosity | Conductivity | Diffusion | Chemistry
+type kernel =
+  | Viscosity
+  | Conductivity
+  | Diffusion
+  | Chemistry
+  | Stencil of Stencil_pipe.id
 
 let kernel_name = function
   | Viscosity -> "viscosity"
   | Conductivity -> "conductivity"
   | Diffusion -> "diffusion"
   | Chemistry -> "chemistry"
+  | Stencil id -> Stencil_pipe.id_name id
+
+let all_kernels =
+  [ Viscosity; Conductivity; Diffusion; Chemistry ]
+  @ List.map (fun id -> Stencil id) Stencil_pipe.all_ids
 
 let kernel_of_string s =
   match String.lowercase_ascii s with
@@ -12,38 +22,72 @@ let kernel_of_string s =
   | "conductivity" -> Some Conductivity
   | "diffusion" -> Some Diffusion
   | "chemistry" -> Some Chemistry
-  | _ -> None
+  | other -> Option.map (fun id -> Stencil id) (Stencil_pipe.id_of_string other)
+
+let is_stencil = function
+  | Stencil _ -> true
+  | Viscosity | Conductivity | Diffusion | Chemistry -> false
 
 let out_fields mech = function
   | Viscosity | Conductivity -> 1
   | Diffusion | Chemistry -> Array.length (Chem.Mechanism.computed_species mech)
+  | Stencil id -> (Stencil_pipe.get id).Stencil_pipe.width
 
 let groups mech kernel =
-  let n = Array.length (Chem.Mechanism.computed_species mech) in
-  [|
-    { Gpusim.Isa.group_name = "temperature"; fields = 1 };
-    { Gpusim.Isa.group_name = "pressure"; fields = 1 };
-    { Gpusim.Isa.group_name = "mole_frac"; fields = n };
-    { Gpusim.Isa.group_name = "diffusion_in"; fields = n };
-    { Gpusim.Isa.group_name = "out"; fields = out_fields mech kernel };
-  |]
+  match kernel with
+  | Stencil id ->
+      (* Stencil kernels live in an image-shaped address space: one field
+         per column, each grid point an independent scanline. The
+         chemistry groups are absent on purpose — a pass that assumes
+         their presence is exactly the kind of bug this workload exists
+         to flush out. *)
+      let w = (Stencil_pipe.get id).Stencil_pipe.width in
+      [|
+        { Gpusim.Isa.group_name = "image"; fields = w };
+        { Gpusim.Isa.group_name = "out"; fields = w };
+      |]
+  | Viscosity | Conductivity | Diffusion | Chemistry ->
+      let n = Array.length (Chem.Mechanism.computed_species mech) in
+      [|
+        { Gpusim.Isa.group_name = "temperature"; fields = 1 };
+        { Gpusim.Isa.group_name = "pressure"; fields = 1 };
+        { Gpusim.Isa.group_name = "mole_frac"; fields = n };
+        { Gpusim.Isa.group_name = "diffusion_in"; fields = n };
+        { Gpusim.Isa.group_name = "out"; fields = out_fields mech kernel };
+      |]
 
 let group_id program name = Gpusim.Memstate.group_index program name
 
-let fill_inputs mech (grid : Chem.Grid.t) program mem n =
+(* The source image of a stencil scanline, derived deterministically from
+   the point's grid temperature. Shared by [fill_inputs] and
+   [reference_outputs] so oracle comparisons start bit-identical. *)
+let stencil_source grid ~points ~width =
+  Array.init points (fun p ->
+      let temp = Chem.Grid.point_temperature grid p in
+      Array.init width (fun col -> Stencil_pipe.source_value ~temp ~col))
+
+let fill_inputs mech (grid : Chem.Grid.t) kernel program mem n =
   assert (grid.Chem.Grid.points >= n);
   let take arr = Array.sub arr 0 n in
   let set name field data =
     Gpusim.Memstate.set_field mem ~group:(group_id program name) ~field data
   in
-  set "temperature" 0 (take grid.Chem.Grid.temperature);
-  set "pressure" 0 (take grid.Chem.Grid.pressure);
-  let computed = Chem.Mechanism.computed_species mech in
-  Array.iteri
-    (fun pos sp ->
-      set "mole_frac" pos (take grid.Chem.Grid.mole_frac.(sp));
-      set "diffusion_in" pos (take grid.Chem.Grid.diffusion_in.(sp)))
-    computed
+  match kernel with
+  | Stencil id ->
+      let w = (Stencil_pipe.get id).Stencil_pipe.width in
+      let rows = stencil_source grid ~points:n ~width:w in
+      for col = 0 to w - 1 do
+        set "image" col (Array.init n (fun p -> rows.(p).(col)))
+      done
+  | Viscosity | Conductivity | Diffusion | Chemistry ->
+      set "temperature" 0 (take grid.Chem.Grid.temperature);
+      set "pressure" 0 (take grid.Chem.Grid.pressure);
+      let computed = Chem.Mechanism.computed_species mech in
+      Array.iteri
+        (fun pos sp ->
+          set "mole_frac" pos (take grid.Chem.Grid.mole_frac.(sp));
+          set "diffusion_in" pos (take grid.Chem.Grid.diffusion_in.(sp)))
+        computed
 
 let read_outputs program mem =
   let g = group_id program "out" in
@@ -99,5 +143,15 @@ let reference_outputs mech grid kernel ~points =
             ~diffusion:(Chem.Grid.point_diffusion grid p)
         in
         Array.iteri (fun i v -> out.(i).(p) <- v) r.Chem.Ref_kernels.wdot
+      done;
+      out
+  | Stencil id ->
+      let pipe = Stencil_pipe.get id in
+      let w = pipe.Stencil_pipe.width in
+      let rows = stencil_source grid ~points ~width:w in
+      let out = Array.init w (fun _ -> Array.make points 0.0) in
+      for p = 0 to points - 1 do
+        let res = Stencil_pipe.reference pipe ~source:rows.(p) in
+        Array.iteri (fun col v -> out.(col).(p) <- v) res
       done;
       out

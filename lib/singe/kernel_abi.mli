@@ -1,6 +1,6 @@
 (** The memory interface shared by all generated kernels.
 
-    Global field groups (SoA, §3.1):
+    Global field groups (SoA, §3.1). Combustion kernels:
     {ul
     {- ["temperature"], ["pressure"]: one field each;}
     {- ["mole_frac"]: one field per {e computed} species, indexed by
@@ -8,29 +8,56 @@
     {- ["diffusion_in"]: per computed species, the diffusion outputs
        consumed by the chemistry stiffness phase (Listing 4);}
     {- ["out"]: kernel outputs — 1 field for viscosity and conductivity,
-       N for diffusion (Delta_i), N for chemistry (wdot).}} *)
+       N for diffusion (Delta_i), N for chemistry (wdot).}}
 
-type kernel = Viscosity | Conductivity | Diffusion | Chemistry
+    Stencil kernels (ROADMAP item 4) use an image-shaped space instead:
+    ["image"] with one field per column (each grid point is an independent
+    scanline) and ["out"] with the same width. The chemistry groups are
+    deliberately absent there. *)
+
+type kernel =
+  | Viscosity
+  | Conductivity
+  | Diffusion
+  | Chemistry
+  | Stencil of Stencil_pipe.id
 (** [Conductivity] is the transport-suite extension kernel (Mathur mixture
     conductivity) — not one of the paper's three evaluation kernels, but
-    S3D's getcoeffs computes it alongside viscosity and diffusion. *)
+    S3D's getcoeffs computes it alongside viscosity and diffusion.
+    [Stencil] kernels are the image-processing workload family; the grid
+    temperature seeds their source rows deterministically. *)
 
 val kernel_name : kernel -> string
 val kernel_of_string : string -> kernel option
+
+val all_kernels : kernel list
+(** Every kernel the driver can compile, chemistry first. *)
+
+val is_stencil : kernel -> bool
 
 val out_fields : Chem.Mechanism.t -> kernel -> int
 
 val groups : Chem.Mechanism.t -> kernel -> Gpusim.Isa.group_info array
 
+val stencil_source :
+  Chem.Grid.t -> points:int -> width:int -> float array array
+(** Per-point source rows ([rows.(p).(col)]) derived from the grid
+    temperature — the image both {!fill_inputs} and {!reference_outputs}
+    start from. *)
+
 val fill_inputs :
-  Chem.Mechanism.t -> Chem.Grid.t -> Gpusim.Isa.program ->
+  Chem.Mechanism.t -> Chem.Grid.t -> kernel -> Gpusim.Isa.program ->
   Gpusim.Memstate.t -> int -> unit
-(** Copies the first [n] points of the grid into the input groups.
-    Requires the grid to hold at least [n] points. *)
+(** Copies the first [n] points of the grid into the input groups (for
+    stencil kernels: fills the ["image"] group from the derived source
+    rows). Requires the grid to hold at least [n] points. *)
 
 val read_outputs : Gpusim.Isa.program -> Gpusim.Memstate.t -> float array array
 (** [out] group contents, one array per field. *)
 
 val reference_outputs :
   Chem.Mechanism.t -> Chem.Grid.t -> kernel -> points:int -> float array array
-(** Host-reference results in the same field layout, for comparison. *)
+(** Host-reference results in the same field layout, for comparison.
+    Combustion kernels compare against {!Chem.Ref_kernels} (tolerance
+    applies); stencil kernels evaluate the pipeline's own [Sexpr] trees
+    and match the simulator bit for bit. *)

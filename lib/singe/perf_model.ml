@@ -43,6 +43,15 @@ let sync_overlap = cal "SINGE_MODEL_OVERLAP" 0.3
    (fills overlap with other warps' execution). *)
 let icache_exposure = cal "SINGE_MODEL_ICACHE" 0.5
 
+(* Cross-CTA dilution of memory-path contention. Warps of one CTA march
+   through their load phases in lockstep and genuinely collide on the
+   path, but co-resident CTAs drift apart (staggered launch, divergent
+   stalls), so only part of their traffic lands in the same window. The
+   original model charged the full pack ([resident * users / 2]), which
+   was invisible while every shipped kernel ran at 1-2 resident CTAs;
+   the stencil pipelines occupy 4 and exposed the overestimate. *)
+let cross_cta_overlap = cal "SINGE_MODEL_CROSS_CTA" 0.5
+
 (* A divergent region longer than this many instructions occupies its own
    prefetch stream (two cache lines of run-ahead no longer cover it). *)
 let long_path_instrs = 128
@@ -632,7 +641,9 @@ let predict ?ctas ?n_sms ?skew (t : Compile.t) ~total_points =
             per_warp.(w)
         then incr n
       done;
-      Float.max 1.0 (float_of_int (resident * !n) /. 2.0)
+      let own = float_of_int !n in
+      let others = cross_cta_overlap *. own *. float_of_int (resident - 1) in
+      Float.max 1.0 ((own +. others) /. 2.0)
     in
     { tex_m = users `Tex; glob_m = users `Glob; loc_m = users `Loc }
   in

@@ -137,11 +137,10 @@ let build ?(buffer_slots = 16) ?(group_syncs = true) ?(max_barriers = 8)
           then incr n_new)
         op.Dfg.inputs;
       if !n_new > buffer_slots then
-        failwith
-          (Printf.sprintf
-             "schedule: op %s needs %d transports but the buffer ring has \
-              only %d slots"
-             op.Dfg.name !n_new buffer_slots);
+        Diagnostics.failf ~pass:"schedule" ~loc:dfg.Dfg.graph_name
+          "op %s needs %d transports but the buffer ring has only %d slots \
+           (raise buffer_slots or change the mapping strategy)"
+          op.Dfg.name !n_new buffer_slots;
       let free_in_epoch = buffer_slots - !next_slot in
       (* Epoch when the ring cannot supply this op, or when sync pressure
          since the last boundary is past what the hardware barriers can

@@ -1,0 +1,263 @@
+(* Stencil-pipeline partitioner: lowers a Stencil_pipe description to the
+   DFG IR with the warps specialized by *stage* (arXiv 1909.07190's
+   pipeline mapping recast onto Singe's producer/consumer machinery).
+
+   Warps are split into contiguous bands, one per stage; loads ride with
+   the first band. Two tiling modes:
+
+   - non-overlapped ([overlap:false]): every (stage, column) value is
+     computed exactly once by its block owner, and halo taps at block and
+     band boundaries read it cross-warp through shared memory — maximal
+     sharing, so single values fan out to consumers in several warps and
+     several pipeline segments. This is the shape chemistry never
+     produces: the same static value read by many warps at many offsets.
+
+   - overlapped ([overlap:true]): each downstream warp reads from exactly
+     one upstream warp; upstream warps compute *extended* tiles covering
+     their consumers' halos, recomputing boundary columns redundantly.
+     Cross-warp traffic collapses to the band-to-band tile handoffs,
+     which the scheduler carries over named barriers.
+
+   Unlike the chemistry partitioners there are deliberately no fences:
+   every inter-stage dependence is a named-barrier handshake, so the
+   schedule the checker and simulator see is pipeline-shaped, not
+   phase-barrier-shaped. *)
+
+(* Contiguous warp band of stage [s] (1-based), half-open. Degenerate
+   warp counts collapse bands onto the last available warp, so the
+   builder works for any [n_warps >= 1] (including the baseline's 1). *)
+let band ~n_warps ~n_stages s =
+  let lo = (s - 1) * n_warps / n_stages in
+  let hi = s * n_warps / n_stages in
+  let lo = min lo (n_warps - 1) in
+  let hi = max hi (lo + 1) in
+  (lo, hi)
+
+(* Block partition of [w] columns over [k] warps: band-local warp [i]
+   owns [cols lo, cols hi). *)
+let block ~w ~k i = (i * w / k, (i + 1) * w / k)
+
+let owner_warp ~n_warps ~n_stages ~width ~stage ~col =
+  let lo, hi = band ~n_warps ~n_stages stage in
+  let k = hi - lo in
+  let rec find i =
+    if i >= k - 1 then lo + (k - 1)
+    else
+      let _, chi = block ~w:width ~k i in
+      if col < chi then lo + i else find (i + 1)
+  in
+  find 0
+
+type range = { r_lo : int; r_hi : int } (* half-open; r_hi <= r_lo = empty *)
+
+let empty_range = { r_lo = 0; r_hi = 0 }
+let range_is_empty r = r.r_hi <= r.r_lo
+
+let range_union a b =
+  if range_is_empty a then b
+  else if range_is_empty b then a
+  else { r_lo = min a.r_lo b.r_lo; r_hi = max a.r_hi b.r_hi }
+
+let expand ~w ~radius r =
+  if range_is_empty r then r
+  else { r_lo = max 0 (r.r_lo - radius); r_hi = min w (r.r_hi + radius) }
+
+let build (p : Stencil_pipe.t) ~n_warps ~overlap =
+  if n_warps < 1 then
+    Diagnostics.failf ~pass:"dfg-build" ~loc:p.Stencil_pipe.pipe_name
+      "stencil pipeline %s cannot be partitioned onto %d warp(s)"
+      p.Stencil_pipe.pipe_name n_warps;
+  let w = p.Stencil_pipe.width in
+  let stages = Array.of_list p.Stencil_pipe.stages in
+  let m = Array.length stages in
+  let band = band ~n_warps ~n_stages:m in
+  let b = Dfg.Builder.create p.Stencil_pipe.pipe_name in
+  (* vals : (stage, col, producing warp) -> value id. In non-overlapped
+     mode each (stage, col) has one producer; in overlapped mode halo
+     columns are recomputed per warp. *)
+  let vals : (int * int * int, int) Hashtbl.t = Hashtbl.create 256 in
+  (* loads : (col, warp) -> value id. Non-overlapped mode loads each
+     column once (on its stage-1 block owner) and shares it; overlapped
+     mode and source skip-connections duplicate loads per reading warp. *)
+  let loads : (int * int, int) Hashtbl.t = Hashtbl.create 64 in
+  let clamp = Stencil_pipe.clamp_col ~w in
+  (* Per-warp tile of stage [s]: the columns warp [warp] computes. *)
+  let tiles = Array.make_matrix (m + 1) n_warps empty_range in
+  if overlap then begin
+    (* Requirements flow backwards: the last stage computes exactly its
+       owned block; each upstream warp covers the union of its assigned
+       consumers' halo-expanded tiles (redundant recompute at the seams). *)
+    let mlo, mhi = band m in
+    for i = 0 to mhi - mlo - 1 do
+      let clo, chi = block ~w ~k:(mhi - mlo) i in
+      tiles.(m).(mlo + i) <- { r_lo = clo; r_hi = chi }
+    done;
+    for s = m - 1 downto 1 do
+      let plo, phi = band s and clo, chi = band (s + 1) in
+      let k0 = phi - plo and k1 = chi - clo in
+      for j = 0 to k1 - 1 do
+        let u = j * k0 / k1 in
+        tiles.(s).(plo + u) <-
+          range_union
+            tiles.(s).(plo + u)
+            (expand ~w ~radius:stages.(s).Stencil_pipe.radius
+               tiles.(s + 1).(clo + j))
+      done
+    done
+  end
+  else
+    for s = 1 to m do
+      let lo, hi = band s in
+      for i = 0 to hi - lo - 1 do
+        let clo, chi = block ~w ~k:(hi - lo) i in
+        tiles.(s).(lo + i) <- { r_lo = clo; r_hi = chi }
+      done
+    done;
+  (* The warp a stage-[s] tap on column [c] reads from, as seen by
+     band-(s+1) warp [warp]. *)
+  let tap_warp ~s ~reader c =
+    if not overlap then owner_warp ~n_warps ~n_stages:m ~width:w ~stage:s ~col:c
+    else begin
+      let plo, phi = band s and clo, chi = band (s + 1) in
+      let k0 = phi - plo and k1 = chi - clo in
+      let u = plo + ((reader - clo) * k0 / k1) in
+      if not (Hashtbl.mem vals (s, c, u)) then
+        Diagnostics.failf ~pass:"dfg-build" ~loc:p.Stencil_pipe.pipe_name
+          "stencil %s: stage %d warp %d expects column %d from warp %d, \
+           which never computed it (tile planning bug)"
+          p.Stencil_pipe.pipe_name (s + 1) reader c u;
+      u
+    end
+  in
+  let max_tile s =
+    let lo, hi = band s in
+    let acc = ref 0 in
+    for warp = lo to hi - 1 do
+      let r = tiles.(s).(warp) in
+      acc := max !acc (r.r_hi - r.r_lo)
+    done;
+    !acc
+  in
+  let nth_col s warp o =
+    let r = tiles.(s).(warp) in
+    if o < r.r_hi - r.r_lo then Some (r.r_lo + o) else None
+  in
+  (* Load phase. Emission is round-robin (offset outer, warp inner)
+     throughout, like the chemistry partitioners, so the scheduler's
+     topological walk advances all warps of a band together and overlay
+     alignment pairs the o-th op of every warp. *)
+  let lo1, hi1 = band 1 in
+  let load_tiles =
+    Array.init n_warps (fun warp ->
+        if warp < lo1 || warp >= hi1 then empty_range
+        else
+          expand ~w ~radius:stages.(0).Stencil_pipe.radius tiles.(1).(warp))
+  in
+  (* Non-overlapped mode: each column is loaded once, by the stage-1
+     owner of the column; overlapped mode: each warp loads its whole
+     halo-extended tile. *)
+  let max_load =
+    Array.fold_left (fun a r -> max a (r.r_hi - r.r_lo)) 0 load_tiles
+  in
+  for o = 0 to max_load - 1 do
+    for warp = 0 to n_warps - 1 do
+      let r = load_tiles.(warp) in
+      if o < r.r_hi - r.r_lo then begin
+        let c = r.r_lo + o in
+        let take =
+          if overlap then true
+          else owner_warp ~n_warps ~n_stages:m ~width:w ~stage:1 ~col:c = warp
+        in
+        if take && not (Hashtbl.mem loads (c, warp)) then
+          Hashtbl.add loads (c, warp)
+            (Dfg.Builder.load b ~hint:warp
+               ~align:(Printf.sprintf "ld:%d" o)
+               ~name:(Printf.sprintf "px%d_w%d" c warp)
+               ~group:"image" ~field:c ())
+      end
+    done
+  done;
+  (* The load a stage-1 tap (or a skip connection) on column [c] reads,
+     as seen by warp [reader]. Skip connections always load privately on
+     the reading warp — raw source pixels are never communicated. *)
+  let source_load ~private_ ~reader c =
+    if private_ || overlap then begin
+      match Hashtbl.find_opt loads (c, reader) with
+      | Some v -> v
+      | None ->
+          let v =
+            Dfg.Builder.load b ~hint:reader
+              ~align:(Printf.sprintf "skip:%d" c)
+              ~name:(Printf.sprintf "px%d_w%d" c reader)
+              ~group:"image" ~field:c ()
+          in
+          Hashtbl.add loads (c, reader) v;
+          v
+    end
+    else
+      let u = owner_warp ~n_warps ~n_stages:m ~width:w ~stage:1 ~col:c in
+      match Hashtbl.find_opt loads (c, u) with
+      | Some v -> v
+      | None ->
+          Diagnostics.failf ~pass:"dfg-build" ~loc:p.Stencil_pipe.pipe_name
+            "stencil %s: column %d was never loaded by its owner warp %d"
+            p.Stencil_pipe.pipe_name c u
+  in
+  (* Compute phases, one per stage, round-robin within the stage's band. *)
+  for s = 1 to m do
+    let st = stages.(s - 1) in
+    let r = st.Stencil_pipe.radius in
+    let lo, hi = band s in
+    for o = 0 to max_tile s - 1 do
+      for warp = lo to hi - 1 do
+        match nth_col s warp o with
+        | None -> ()
+        | Some c ->
+            let taps =
+              Array.init ((2 * r) + 1) (fun i ->
+                  let tc = clamp (c - r + i) in
+                  if s = 1 then source_load ~private_:overlap ~reader:warp tc
+                  else
+                    let u = tap_warp ~s:(s - 1) ~reader:warp tc in
+                    match Hashtbl.find_opt vals (s - 1, tc, u) with
+                    | Some v -> v
+                    | None ->
+                        Diagnostics.failf ~pass:"dfg-build"
+                          ~loc:p.Stencil_pipe.pipe_name
+                          "stencil %s: stage %d tap on column %d missing \
+                           from warp %d"
+                          p.Stencil_pipe.pipe_name s tc u)
+            in
+            let inputs =
+              if st.Stencil_pipe.uses_source then
+                Array.append taps [| source_load ~private_:true ~reader:warp c |]
+              else taps
+            in
+            Hashtbl.add vals (s, c, warp)
+              (Dfg.Builder.compute b ~hint:warp
+                 ~align:(Printf.sprintf "s%d:%d" s o)
+                 ~name:(Printf.sprintf "%s%d_w%d" st.Stencil_pipe.stage_name c warp)
+                 ~inputs st.Stencil_pipe.expr)
+      done
+    done
+  done;
+  (* Store phase: the last band writes its owned blocks. *)
+  let mlo, mhi = band m in
+  for o = 0 to max_tile m - 1 do
+    for warp = mlo to mhi - 1 do
+      match nth_col m warp o with
+      | None -> ()
+      | Some c ->
+          let owns =
+            if overlap then true
+            else owner_warp ~n_warps ~n_stages:m ~width:w ~stage:m ~col:c = warp
+          in
+          if owns then
+            Dfg.Builder.store b ~hint:warp
+              ~align:(Printf.sprintf "st:%d" o)
+              ~name:(Printf.sprintf "store%d" c)
+              ~group:"out" ~field:c
+              (Hashtbl.find vals (m, c, warp))
+    done
+  done;
+  Dfg.Builder.finish b

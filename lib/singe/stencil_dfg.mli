@@ -1,0 +1,28 @@
+(** Stencil-pipeline partitioner: lowers {!Stencil_pipe} descriptions to
+    the DFG IR with warps specialized by stage (warp-overlapped tiling,
+    arXiv 1909.07190).
+
+    Warps split into contiguous bands, one per stage; loads ride with the
+    first band. With [overlap:false] every (stage, column) value is
+    computed once and halo taps read it cross-warp through shared memory;
+    with [overlap:true] upstream warps compute halo-extended tiles
+    (redundant recompute at the seams) so each downstream warp reads from
+    exactly one upstream warp and cross-warp traffic collapses to
+    band-to-band tile handoffs over named barriers. No fences are emitted
+    in either mode. *)
+
+val band : n_warps:int -> n_stages:int -> int -> int * int
+(** [band ~n_warps ~n_stages s] is stage [s]'s (1-based) warp band,
+    half-open. Total for any [n_warps >= 1]; degenerate counts collapse
+    bands onto the last warp. *)
+
+val block : w:int -> k:int -> int -> int * int
+(** Block partition of [w] columns over [k] warps, half-open. *)
+
+val owner_warp :
+  n_warps:int -> n_stages:int -> width:int -> stage:int -> col:int -> int
+(** The warp owning [col]'s output in [stage] (1-based). *)
+
+val build : Stencil_pipe.t -> n_warps:int -> overlap:bool -> Dfg.t
+(** Raises {!Diagnostics.Fail} (pass ["dfg-build"]) on degenerate warp
+    counts or internal tile-planning inconsistencies. *)

@@ -27,4 +27,5 @@ let () =
       ("synth", Test_synth.tests);
       ("partition", Test_partition.tests);
       ("serve", Test_serve.tests);
+      ("stencil", Test_stencil.tests);
     ]

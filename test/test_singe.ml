@@ -62,6 +62,9 @@ let interp_matches mechf kernel warps tol () =
     | Singe.Kernel_abi.Conductivity -> Singe.Conductivity_dfg.build mech ~n_warps:warps
     | Singe.Kernel_abi.Diffusion -> Singe.Diffusion_dfg.build mech ~n_warps:warps
     | Singe.Kernel_abi.Chemistry -> Singe.Chemistry_dfg.build mech ~n_warps:warps
+    | Singe.Kernel_abi.Stencil id ->
+        Singe.Stencil_dfg.build (Singe.Stencil_pipe.get id) ~n_warps:warps
+          ~overlap:true
   in
   (match Singe.Dfg.validate dfg with
   | Ok () -> ()
@@ -145,6 +148,9 @@ let test_schedule_well_formed () =
         | Singe.Kernel_abi.Conductivity -> Singe.Conductivity_dfg.build mech ~n_warps:warps
         | Singe.Kernel_abi.Diffusion -> Singe.Diffusion_dfg.build mech ~n_warps:warps
         | Singe.Kernel_abi.Chemistry -> Singe.Chemistry_dfg.build mech ~n_warps:warps
+        | Singe.Kernel_abi.Stencil id ->
+            Singe.Stencil_dfg.build (Singe.Stencil_pipe.get id) ~n_warps:warps
+              ~overlap:true
       in
       let m =
         Singe.Mapping.map dfg ~n_warps:warps ~weights:Singe.Mapping.default_weights
